@@ -1,0 +1,63 @@
+//! **Fig. 10** — F1 and NCR vs the number of classes on SYN3 (with
+//! globally frequent items) and SYN4 (without), ε = 4, k = 20, classes ∈
+//! {10, 20, 30, 40, 50}.
+//!
+//! Run: `cargo bench -p mcim-bench --bench fig10_topk_vary_classes`
+
+use mcim_bench::workloads::{evaluate_topk, syn_config};
+use mcim_bench::{fmt, BenchEnv, Table};
+use mcim_datasets::{syn3, syn4};
+use mcim_oracles::Eps;
+use mcim_topk::{TopKConfig, TopKMethod};
+
+fn main() {
+    let env = BenchEnv::from_env(2);
+    env.announce("Fig. 10: top-k mining vs class count (SYN3/SYN4, eps = 4, k = 20)");
+    let k = 20;
+    let methods = TopKMethod::fig7_set();
+    let class_counts = [10u32, 20, 30, 40, 50];
+    type Generator = fn(mcim_datasets::SynLargeConfig) -> mcim_datasets::Dataset;
+    for (name, generator) in [
+        ("fig10ab_syn3", syn3 as Generator),
+        ("fig10cd_syn4", syn4 as Generator),
+    ] {
+        let mut f1_table = Table::new(
+            format!("{name}_f1"),
+            &["classes", "HEC", "PTJ", "PTJ-Shuffling+VP", "PTS", "PTS-Shuffling+VP+CP"],
+        );
+        let mut ncr_table = Table::new(
+            format!("{name}_ncr"),
+            &["classes", "HEC", "PTJ", "PTJ-Shuffling+VP", "PTS", "PTS-Shuffling+VP+CP"],
+        );
+        for &classes in &class_counts {
+            let ds = generator(syn_config(env.scale, classes));
+            let truth = ds.true_top_k(k);
+            let config = TopKConfig::new(k, Eps::new(4.0).unwrap());
+            let mut f1_row = vec![format!("{classes}")];
+            let mut ncr_row = vec![format!("{classes}")];
+            for method in methods {
+                let scores = evaluate_topk(
+                    method,
+                    config,
+                    &ds,
+                    &truth,
+                    env.trials,
+                    0xF1610 ^ classes as u64,
+                );
+                f1_row.push(fmt(scores.f1));
+                ncr_row.push(fmt(scores.ncr));
+            }
+            f1_table.push(f1_row);
+            ncr_table.push(ncr_row);
+        }
+        println!("dataset: {name}");
+        f1_table.print_and_save().expect("write results");
+        ncr_table.print_and_save().expect("write results");
+    }
+    println!(
+        "Expected shape (paper Fig. 10): utility falls as classes grow for\n\
+         every method; optimized methods stay above their baselines; the\n\
+         PTS family degrades much more on SYN4 (no global items to exploit)\n\
+         while PTJ behaves similarly on both."
+    );
+}

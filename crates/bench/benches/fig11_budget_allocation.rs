@@ -1,0 +1,57 @@
+//! **Fig. 11** — privacy-budget allocation: F1 of the optimized PTS scheme
+//! on SYN4 with 5/10/20 classes as the label share p = ε₁/ε sweeps 0.1–0.9
+//! (ε = 4, k = 20).
+//!
+//! Run: `cargo bench -p mcim-bench --bench fig11_budget_allocation`
+
+use mcim_bench::workloads::{evaluate_topk, syn_config};
+use mcim_bench::{fmt, BenchEnv, Table};
+use mcim_datasets::syn4;
+use mcim_oracles::Eps;
+use mcim_topk::{TopKConfig, TopKMethod};
+
+fn main() {
+    let env = BenchEnv::from_env(2);
+    env.announce("Fig. 11: budget allocation p = eps1/eps (SYN4, eps = 4, k = 20)");
+    let k = 20;
+    let method = TopKMethod::PtsShuffled {
+        validity: true,
+        global: true,
+        correlated: true,
+    };
+    let mut table = Table::new(
+        "fig11_budget_allocation_f1",
+        &["p", "5 classes", "10 classes", "20 classes"],
+    );
+    let datasets: Vec<_> = [5u32, 10, 20]
+        .iter()
+        .map(|&c| {
+            let ds = syn4(syn_config(env.scale, c));
+            let truth = ds.true_top_k(k);
+            (ds, truth)
+        })
+        .collect();
+    for p in [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9] {
+        let mut row = vec![format!("{p}")];
+        for (ds, truth) in &datasets {
+            let mut config = TopKConfig::new(k, Eps::new(4.0).unwrap());
+            config.label_frac = p;
+            let scores = evaluate_topk(
+                method,
+                config,
+                ds,
+                truth,
+                env.trials,
+                0xF1611 ^ (p * 100.0) as u64,
+            );
+            row.push(fmt(scores.f1));
+        }
+        table.push(row);
+    }
+    table.print_and_save().expect("write results");
+    println!(
+        "Expected shape (paper Fig. 11): F1 rises then falls with p; the\n\
+         optimum sits in 0.4-0.6 and is flat enough that p = 0.5 is a safe\n\
+         default."
+    );
+}

@@ -1,0 +1,85 @@
+//! Criterion micro-benchmarks: privatize/aggregate throughput of the
+//! frequency oracles and the paper's two perturbation mechanisms.
+//!
+//! Run: `cargo bench -p mcim-bench --bench oracle_throughput`
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mcim_core::{
+    CorrelatedPerturbation, CpAggregator, Domains, LabelItem, ValidityInput, ValidityPerturbation,
+    VpAggregator,
+};
+use mcim_oracles::{Aggregator, Eps, Oracle};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_privatize(c: &mut Criterion) {
+    let eps = Eps::new(1.0).unwrap();
+    let d = 1024u32;
+    let mut group = c.benchmark_group("privatize_d1024_eps1");
+    for (name, oracle) in [
+        ("grr", Oracle::grr(eps, d).unwrap()),
+        ("oue", Oracle::oue(eps, d).unwrap()),
+        ("olh", Oracle::olh(eps, d).unwrap()),
+    ] {
+        group.bench_function(name, |b| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| oracle.privatize(512, &mut rng).unwrap())
+        });
+    }
+    group.bench_function("vp", |b| {
+        let vp = ValidityPerturbation::new(eps, d).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| vp.privatize(ValidityInput::Valid(512), &mut rng).unwrap())
+    });
+    group.bench_function("cp", |b| {
+        let cp =
+            CorrelatedPerturbation::with_total(Eps::new(2.0).unwrap(), Domains::new(8, d).unwrap())
+                .unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| cp.privatize(LabelItem::new(3, 512), &mut rng).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_aggregate(c: &mut Criterion) {
+    let eps = Eps::new(1.0).unwrap();
+    let d = 1024u32;
+    let mut group = c.benchmark_group("absorb_d1024_eps1");
+    let oue = Oracle::oue(eps, d).unwrap();
+    let mut rng = StdRng::seed_from_u64(4);
+    let oue_report = oue.privatize(512, &mut rng).unwrap();
+    group.bench_function("oue", |b| {
+        b.iter_batched(
+            || Aggregator::new(&oue),
+            |mut agg| agg.absorb(&oue_report).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    let vp = ValidityPerturbation::new(eps, d).unwrap();
+    let vp_report = vp.privatize(ValidityInput::Valid(512), &mut rng).unwrap();
+    group.bench_function("vp", |b| {
+        b.iter_batched(
+            || VpAggregator::new(&vp),
+            |mut agg| agg.absorb(&vp_report).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    let cp = CorrelatedPerturbation::with_total(Eps::new(2.0).unwrap(), Domains::new(8, d).unwrap())
+        .unwrap();
+    let cp_report = cp.privatize(LabelItem::new(3, 512), &mut rng).unwrap();
+    group.bench_function("cp", |b| {
+        b.iter_batched(
+            || CpAggregator::new(&cp),
+            |mut agg| agg.absorb(&cp_report).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_privatize, bench_aggregate
+}
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion end-to-end benchmarks: full frequency-estimation pipelines
+//! (client privatization + server aggregation + calibration).
+//!
+//! Run: `cargo bench -p mcim-bench --bench pipeline_throughput`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcim_core::{Domains, Framework, LabelItem};
+use mcim_oracles::Eps;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_frameworks(c: &mut Criterion) {
+    let domains = Domains::new(4, 256).unwrap();
+    let data: Vec<LabelItem> = (0..20_000)
+        .map(|u| LabelItem::new(u % 4, (u * 31) % 256))
+        .collect();
+    let eps = Eps::new(2.0).unwrap();
+    let mut group = c.benchmark_group("frequency_pipeline_n20k_c4_d256");
+    group.sample_size(10);
+    for fw in Framework::fig6_set() {
+        group.bench_function(fw.name(), |b| {
+            let mut rng = StdRng::seed_from_u64(9);
+            b.iter(|| fw.run(eps, domains, &data, &mut rng).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_frameworks);
+criterion_main!(benches);

@@ -1,0 +1,251 @@
+//! # mcim-bench
+//!
+//! Shared harness for the benchmark targets that regenerate every table and
+//! figure of the paper's evaluation section (§VII). Each target in
+//! `benches/` prints the paper-style rows/series and writes a CSV under
+//! `results/`.
+//!
+//! ## Scaling
+//!
+//! Paper-scale workloads (5–9M users, 14k–28k items, 20 trials) exceed a CI
+//! time budget; every target therefore reads:
+//!
+//! * `MCIM_SCALE` — `small` (default) or `paper`,
+//! * `MCIM_TRIALS` — trial-count override.
+//!
+//! EXPERIMENTS.md records the shape comparison at the default scale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod workloads;
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::PathBuf;
+
+/// Workload scale selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Laptop/CI scale (default): minutes per target.
+    Small,
+    /// The paper's full sizes: hours per target.
+    Paper,
+}
+
+/// Environment-driven benchmark configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchEnv {
+    /// Selected workload scale.
+    pub scale: Scale,
+    /// Number of trials to average (paper: 20).
+    pub trials: usize,
+}
+
+impl BenchEnv {
+    /// Reads `MCIM_SCALE` / `MCIM_TRIALS`, with `default_trials` used for
+    /// the small scale (paper scale defaults to the paper's 20 trials).
+    pub fn from_env(default_trials: usize) -> Self {
+        let scale = match std::env::var("MCIM_SCALE").as_deref() {
+            Ok("paper") | Ok("PAPER") | Ok("full") => Scale::Paper,
+            _ => Scale::Small,
+        };
+        let trials = std::env::var("MCIM_TRIALS")
+            .ok()
+            .and_then(|t| t.parse().ok())
+            .unwrap_or(match scale {
+                Scale::Small => default_trials,
+                Scale::Paper => 20,
+            });
+        BenchEnv { scale, trials }
+    }
+
+    /// Announces the configuration on stdout.
+    pub fn announce(&self, bench: &str) {
+        println!(
+            "== {bench} | scale={:?} trials={} (set MCIM_SCALE=paper / MCIM_TRIALS=n to change) ==",
+            self.scale, self.trials
+        );
+    }
+}
+
+/// A printable, CSV-dumpable results table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table. `name` becomes the CSV file stem.
+    pub fn new(name: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            name: name.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (must match the header arity).
+    pub fn push(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::new();
+            for (cell, w) in cells.iter().zip(widths) {
+                let _ = write!(line, "{cell:>w$}  ");
+            }
+            line.trim_end().to_string()
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers, &widths));
+        let total: usize = widths.iter().sum::<usize>() + widths.len() * 2;
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Prints the table and writes `results/<name>.csv`.
+    pub fn print_and_save(&self) -> io::Result<PathBuf> {
+        println!("{}", self.render());
+        let dir = results_dir();
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.csv", self.name));
+        let mut csv = String::new();
+        let esc = |s: &str| {
+            if s.contains([',', '"', '\n']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let _ = writeln!(
+            csv,
+            "{}",
+            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                csv,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        fs::write(&path, csv)?;
+        println!("[saved {}]\n", path.display());
+        Ok(path)
+    }
+}
+
+/// Where CSVs land: the repo root's `results/` directory.
+fn results_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results")
+}
+
+/// Runs `trials` independent jobs (seeded 0..trials) across threads and
+/// collects the results in trial order.
+pub fn run_trials<T, F>(trials: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(trials.max(1));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let done: Vec<std::sync::Mutex<Option<T>>> =
+        (0..trials).map(|_| std::sync::Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= trials {
+                    break;
+                }
+                let value = f(i as u64);
+                *done[i].lock().expect("slot lock") = Some(value);
+            });
+        }
+    });
+    done.into_iter()
+        .map(|m| m.into_inner().expect("lock").expect("every trial slot filled"))
+        .collect()
+}
+
+/// Mean of a slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Formats a float compactly for table cells.
+pub fn fmt(x: f64) -> String {
+    if x == 0.0 {
+        "0".into()
+    } else if x.abs() >= 1000.0 || x.abs() < 0.01 {
+        format!("{x:.3e}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_defaults_to_small() {
+        let env = BenchEnv::from_env(5);
+        assert_eq!(env.scale, Scale::Small);
+        assert!(env.trials >= 1);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("test", &["a", "long_header"]);
+        t.push(vec!["1".into(), "2".into()]);
+        let s = t.render();
+        assert!(s.contains("long_header"));
+        assert!(s.lines().count() >= 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn table_rejects_bad_rows() {
+        let mut t = Table::new("test", &["a"]);
+        t.push(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn run_trials_returns_in_order() {
+        let out = run_trials(16, |seed| seed * 2);
+        assert_eq!(out, (0..16).map(|i| i * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn mean_and_fmt() {
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(fmt(0.0), "0");
+        assert!(fmt(12345.0).contains('e'));
+        assert_eq!(fmt(0.5), "0.500");
+    }
+}

@@ -1,0 +1,180 @@
+//! CSV reading/writing for label-item pairs and result tables.
+//!
+//! Input format: one `label,item` pair per line (base-10, 0-indexed), with
+//! an optional `label,item` header. Domains are inferred as `max + 1`
+//! unless overridden on the command line.
+
+use std::fs;
+use std::path::Path;
+
+use mcim_core::{Domains, FrequencyTable, LabelItem};
+
+/// A loaded dataset with inferred or declared domains.
+pub struct LoadedData {
+    /// One pair per user.
+    pub pairs: Vec<LabelItem>,
+    /// Class/item domains.
+    pub domains: Domains,
+}
+
+/// Reads a `label,item` CSV. `classes`/`items` of 0 mean "infer from data".
+pub fn read_pairs(
+    path: &Path,
+    classes: u32,
+    items: u32,
+) -> Result<LoadedData, Box<dyn std::error::Error>> {
+    let content = fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let mut pairs = Vec::new();
+    let (mut max_label, mut max_item) = (0u32, 0u32);
+    for (lineno, line) in content.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if lineno == 0 && line.to_ascii_lowercase().starts_with("label") {
+            continue; // header
+        }
+        let mut fields = line.split(',');
+        let (a, b) = (fields.next(), fields.next());
+        if fields.next().is_some() {
+            return Err(format!("line {}: expected `label,item`", lineno + 1).into());
+        }
+        let parse = |s: Option<&str>, what: &str| -> Result<u32, String> {
+            s.map(str::trim)
+                .filter(|s| !s.is_empty())
+                .ok_or_else(|| format!("line {}: missing {what}", lineno + 1))?
+                .parse()
+                .map_err(|_| format!("line {}: {what} is not a non-negative integer", lineno + 1))
+        };
+        let label = parse(a, "label")?;
+        let item = parse(b, "item")?;
+        max_label = max_label.max(label);
+        max_item = max_item.max(item);
+        pairs.push(LabelItem::new(label, item));
+    }
+    if pairs.is_empty() {
+        return Err("input contains no pairs".into());
+    }
+    let classes = if classes == 0 { max_label + 1 } else { classes };
+    let items = if items == 0 { max_item + 1 } else { items };
+    let domains = Domains::new(classes, items)?;
+    for &p in &pairs {
+        domains.check(p)?;
+    }
+    Ok(LoadedData { pairs, domains })
+}
+
+/// Writes an estimated frequency table as `class,item,estimate` CSV.
+pub fn write_frequency_csv(
+    path: &Path,
+    table: &FrequencyTable,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let mut out = String::from("class,item,estimate\n");
+    for class in 0..table.domains().classes() {
+        for item in 0..table.domains().items() {
+            out.push_str(&format!("{class},{item},{}\n", table.get(class, item)));
+        }
+    }
+    fs::write(path, out)?;
+    Ok(())
+}
+
+/// Writes per-class top-k results as `class,rank,item` CSV.
+pub fn write_topk_csv(
+    path: &Path,
+    per_class: &[Vec<u32>],
+) -> Result<(), Box<dyn std::error::Error>> {
+    let mut out = String::from("class,rank,item\n");
+    for (class, items) in per_class.iter().enumerate() {
+        for (rank, item) in items.iter().enumerate() {
+            out.push_str(&format!("{class},{},{item}\n", rank + 1));
+        }
+    }
+    fs::write(path, out)?;
+    Ok(())
+}
+
+/// Writes a dataset as `label,item` CSV.
+pub fn write_pairs_csv(
+    path: &Path,
+    pairs: &[LabelItem],
+) -> Result<(), Box<dyn std::error::Error>> {
+    let mut out = String::from("label,item\n");
+    for p in pairs {
+        out.push_str(&format!("{},{}\n", p.label, p.item));
+    }
+    fs::write(path, out)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("mcim-cli-tests");
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn round_trip_pairs() {
+        let path = tmp("round_trip.csv");
+        let pairs = vec![LabelItem::new(0, 3), LabelItem::new(2, 7)];
+        write_pairs_csv(&path, &pairs).unwrap();
+        let loaded = read_pairs(&path, 0, 0).unwrap();
+        assert_eq!(loaded.pairs, pairs);
+        assert_eq!(loaded.domains.classes(), 3, "inferred as max+1");
+        assert_eq!(loaded.domains.items(), 8);
+    }
+
+    #[test]
+    fn explicit_domains_override_inference() {
+        let path = tmp("explicit.csv");
+        write_pairs_csv(&path, &[LabelItem::new(0, 0)]).unwrap();
+        let loaded = read_pairs(&path, 5, 100).unwrap();
+        assert_eq!(loaded.domains.classes(), 5);
+        assert_eq!(loaded.domains.items(), 100);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let path = tmp("garbage.csv");
+        fs::write(&path, "label,item\n1,2,3\n").unwrap();
+        assert!(read_pairs(&path, 0, 0).is_err(), "extra field");
+        fs::write(&path, "label,item\nx,2\n").unwrap();
+        assert!(read_pairs(&path, 0, 0).is_err(), "non-numeric");
+        fs::write(&path, "").unwrap();
+        assert!(read_pairs(&path, 0, 0).is_err(), "empty");
+        assert!(read_pairs(&tmp("missing.csv"), 0, 0).is_err(), "missing file");
+    }
+
+    #[test]
+    fn domain_violation_with_explicit_domains() {
+        let path = tmp("violation.csv");
+        fs::write(&path, "5,1\n").unwrap();
+        assert!(read_pairs(&path, 2, 10).is_err(), "label 5 outside c=2");
+    }
+
+    #[test]
+    fn frequency_and_topk_outputs() {
+        let domains = Domains::new(2, 2).unwrap();
+        let table = FrequencyTable::ground_truth(
+            domains,
+            &[LabelItem::new(0, 1), LabelItem::new(1, 0)],
+        )
+        .unwrap();
+        let fpath = tmp("freq_out.csv");
+        write_frequency_csv(&fpath, &table).unwrap();
+        let content = fs::read_to_string(&fpath).unwrap();
+        assert!(content.starts_with("class,item,estimate"));
+        assert_eq!(content.lines().count(), 5);
+
+        let tpath = tmp("topk_out.csv");
+        write_topk_csv(&tpath, &[vec![1, 0], vec![0]]).unwrap();
+        let content = fs::read_to_string(&tpath).unwrap();
+        assert!(content.contains("0,1,1"));
+        assert!(content.contains("1,1,0"));
+    }
+}

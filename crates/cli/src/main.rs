@@ -1,0 +1,315 @@
+//! `mcim` — multi-class item mining under local differential privacy.
+//!
+//! ```text
+//! mcim freq --input pairs.csv --eps 2.0 --framework pts-cp --output est.csv
+//! mcim topk --input pairs.csv --eps 4.0 --k 20 --method pts-opt --output top.csv
+//! mcim gen  --dataset jd --users 100000 --items 2048 --output pairs.csv
+//! mcim help
+//! ```
+
+mod args;
+mod io;
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use args::{ArgError, Args};
+use mcim_core::Framework;
+use mcim_topk::{mine, TopKConfig, TopKMethod};
+
+const HELP: &str = "\
+mcim — multi-class item mining under local differential privacy
+
+USAGE:
+  mcim freq --input <pairs.csv> --eps <f64> [options]
+  mcim topk --input <pairs.csv> --eps <f64> --k <n> [options]
+  mcim gen  --dataset <anime|jd|syn3|syn4> --users <n> [options]
+  mcim help
+
+COMMON OPTIONS:
+  --classes <n>   class-domain size (default: inferred as max label + 1)
+  --items <n>     item-domain size (default: inferred as max item + 1)
+  --seed <n>      RNG seed (default 0)
+  --output <file> write results as CSV (default: print a summary)
+
+freq OPTIONS:
+  --framework <hec|ptj|pts|pts-cp>   (default pts-cp)
+  --label-frac <f64>                 PTS budget share for the label (default 0.5)
+
+topk OPTIONS:
+  --method <hec|ptj|ptj-opt|pts|pts-opt>   (default pts-opt)
+  --label-frac / --sample-frac / --noise-b  pipeline parameters (defaults 0.5 / 0.2 / 2)
+
+gen OPTIONS:
+  --classes <n>   class count for syn3/syn4 (default 10)
+  --items <n>     item-domain size (default 2048)
+";
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    match run(&raw) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run `mcim help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(raw: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let args = Args::parse(raw)?;
+    match args.command.as_str() {
+        "help" | "--help" | "-h" => {
+            println!("{HELP}");
+            Ok(())
+        }
+        "freq" => cmd_freq(&args),
+        "topk" => cmd_topk(&args),
+        "gen" => cmd_gen(&args),
+        other => Err(ArgError(format!("unknown subcommand `{other}`")).into()),
+    }
+}
+
+fn parse_framework(name: &str) -> Result<Framework, ArgError> {
+    match name {
+        "hec" => Ok(Framework::Hec),
+        "ptj" => Ok(Framework::Ptj),
+        "pts" => Ok(Framework::Pts { label_frac: 0.5 }),
+        "pts-cp" => Ok(Framework::PtsCp { label_frac: 0.5 }),
+        _ => Err(ArgError(format!(
+            "unknown framework `{name}` (hec|ptj|pts|pts-cp)"
+        ))),
+    }
+}
+
+fn parse_method(name: &str) -> Result<TopKMethod, ArgError> {
+    match name {
+        "hec" => Ok(TopKMethod::Hec),
+        "ptj" => Ok(TopKMethod::PtjPem { validity: false }),
+        "ptj-opt" => Ok(TopKMethod::PtjShuffled { validity: true }),
+        "pts" => Ok(TopKMethod::PtsPem {
+            validity: false,
+            global: false,
+        }),
+        "pts-opt" => Ok(TopKMethod::PtsShuffled {
+            validity: true,
+            global: true,
+            correlated: true,
+        }),
+        _ => Err(ArgError(format!(
+            "unknown method `{name}` (hec|ptj|ptj-opt|pts|pts-opt)"
+        ))),
+    }
+}
+
+fn cmd_freq(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    args.expect_only(&[
+        "input", "eps", "classes", "items", "seed", "output", "framework", "label-frac",
+    ])?;
+    let input = args.required("input")?;
+    let eps = mcim_oracles::Eps::new(args.required_num::<f64>("eps")?)?;
+    let data = io::read_pairs(
+        Path::new(input),
+        args.num_or("classes", 0u32)?,
+        args.num_or("items", 0u32)?,
+    )?;
+    let label_frac: f64 = args.num_or("label-frac", 0.5)?;
+    let framework = match parse_framework(args.optional("framework").unwrap_or("pts-cp"))? {
+        Framework::Pts { .. } => Framework::Pts { label_frac },
+        Framework::PtsCp { .. } => Framework::PtsCp { label_frac },
+        other => other,
+    };
+    let mut rng = StdRng::seed_from_u64(args.num_or("seed", 0u64)?);
+    let result = framework.run(eps, data.domains, &data.pairs, &mut rng)?;
+    eprintln!(
+        "{}: N = {}, c = {}, d = {}, {} — {:.0} uplink bits/user",
+        framework.name(),
+        data.pairs.len(),
+        data.domains.classes(),
+        data.domains.items(),
+        eps,
+        result.comm.bits_per_user()
+    );
+    match args.optional("output") {
+        Some(path) => {
+            io::write_frequency_csv(Path::new(path), &result.table)?;
+            eprintln!("wrote {path}");
+        }
+        None => {
+            println!("class | top-5 items by estimated frequency");
+            for class in 0..data.domains.classes() {
+                let top = result.table.top_k(class, 5);
+                let cells: Vec<String> = top
+                    .iter()
+                    .map(|&i| format!("#{i} ({:.0})", result.table.get(class, i)))
+                    .collect();
+                println!("{class:>5} | {}", cells.join(", "));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_topk(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    args.expect_only(&[
+        "input", "eps", "k", "classes", "items", "seed", "output", "method", "label-frac",
+        "sample-frac", "noise-b",
+    ])?;
+    let input = args.required("input")?;
+    let eps = mcim_oracles::Eps::new(args.required_num::<f64>("eps")?)?;
+    let k: usize = args.required_num("k")?;
+    let data = io::read_pairs(
+        Path::new(input),
+        args.num_or("classes", 0u32)?,
+        args.num_or("items", 0u32)?,
+    )?;
+    let method = parse_method(args.optional("method").unwrap_or("pts-opt"))?;
+    let mut config = TopKConfig::new(k, eps);
+    config.label_frac = args.num_or("label-frac", config.label_frac)?;
+    config.sample_frac = args.num_or("sample-frac", config.sample_frac)?;
+    config.noise_factor = args.num_or("noise-b", config.noise_factor)?;
+    let mut rng = StdRng::seed_from_u64(args.num_or("seed", 0u64)?);
+    let result = mine(method, config, data.domains, &data.pairs, &mut rng)?;
+    eprintln!(
+        "{}: N = {}, c = {}, d = {}, {}, k = {k} — {:.0} uplink bits/user",
+        method.name(),
+        data.pairs.len(),
+        data.domains.classes(),
+        data.domains.items(),
+        eps,
+        result.comm.bits_per_user()
+    );
+    match args.optional("output") {
+        Some(path) => {
+            io::write_topk_csv(Path::new(path), &result.per_class)?;
+            eprintln!("wrote {path}");
+        }
+        None => {
+            for (class, items) in result.per_class.iter().enumerate() {
+                println!("class {class}: {items:?}");
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_gen(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    args.expect_only(&["dataset", "users", "items", "classes", "seed", "output"])?;
+    let dataset = args.required("dataset")?;
+    let users: usize = args.num_or("users", 100_000)?;
+    let items: u32 = args.num_or("items", 2_048)?;
+    let classes: u32 = args.num_or("classes", 10)?;
+    let seed: u64 = args.num_or("seed", 0)?;
+    let ds = match dataset {
+        "anime" => mcim_datasets::anime_like(mcim_datasets::RealConfig { users, items, seed }),
+        "jd" => mcim_datasets::jd_like(mcim_datasets::RealConfig { users, items, seed }),
+        "syn3" => mcim_datasets::syn3(mcim_datasets::SynLargeConfig {
+            classes,
+            items,
+            users,
+            seed,
+        }),
+        "syn4" => mcim_datasets::syn4(mcim_datasets::SynLargeConfig {
+            classes,
+            items,
+            users,
+            seed,
+        }),
+        other => {
+            return Err(ArgError(format!(
+                "unknown dataset `{other}` (anime|jd|syn3|syn4)"
+            ))
+            .into())
+        }
+    };
+    let output = args.optional("output").unwrap_or("pairs.csv");
+    io::write_pairs_csv(Path::new(output), &ds.pairs)?;
+    eprintln!(
+        "generated {}: {} users, c = {}, d = {} → {output}",
+        ds.name,
+        ds.len(),
+        ds.domains.classes(),
+        ds.domains.items()
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_cli(parts: &[&str]) -> Result<(), Box<dyn std::error::Error>> {
+        run(&parts.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("mcim-cli-main-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn help_and_unknown_commands() {
+        assert!(run_cli(&["help"]).is_ok());
+        assert!(run_cli(&["frobnicate"]).is_err());
+        assert!(run_cli(&[]).is_err());
+    }
+
+    #[test]
+    fn gen_then_freq_then_topk() {
+        let pairs = tmp("e2e_pairs.csv");
+        run_cli(&[
+            "gen", "--dataset", "syn4", "--users", "20000", "--items", "256", "--classes", "4",
+            "--output", &pairs,
+        ])
+        .unwrap();
+
+        let freq_out = tmp("e2e_freq.csv");
+        run_cli(&[
+            "freq", "--input", &pairs, "--eps", "4.0", "--framework", "pts-cp", "--output",
+            &freq_out,
+        ])
+        .unwrap();
+        let content = std::fs::read_to_string(&freq_out).unwrap();
+        assert!(content.lines().count() > 4 * 256, "one row per cell");
+
+        let topk_out = tmp("e2e_topk.csv");
+        run_cli(&[
+            "topk", "--input", &pairs, "--eps", "4.0", "--k", "5", "--method", "pts-opt",
+            "--output", &topk_out,
+        ])
+        .unwrap();
+        let content = std::fs::read_to_string(&topk_out).unwrap();
+        assert!(content.starts_with("class,rank,item"));
+        assert!(content.lines().count() > 1);
+    }
+
+    #[test]
+    fn freq_rejects_bad_options() {
+        assert!(run_cli(&["freq", "--eps", "2.0"]).is_err(), "missing input");
+        assert!(
+            run_cli(&["freq", "--input", "x.csv", "--eps", "-1"]).is_err(),
+            "bad eps"
+        );
+        assert!(
+            run_cli(&["freq", "--input", "x.csv", "--eps", "1", "--typo", "1"]).is_err(),
+            "unknown option"
+        );
+    }
+
+    #[test]
+    fn parser_round_trips_methods_and_frameworks() {
+        for name in ["hec", "ptj", "pts", "pts-cp"] {
+            assert!(parse_framework(name).is_ok());
+        }
+        assert!(parse_framework("nope").is_err());
+        for name in ["hec", "ptj", "ptj-opt", "pts", "pts-opt"] {
+            assert!(parse_method(name).is_ok());
+        }
+        assert!(parse_method("nope").is_err());
+    }
+}

@@ -1,0 +1,255 @@
+//! Label/item domains and label-item pairs.
+//!
+//! The problem setting (§II-C): `N` users, `c` classes, `d` items; each user
+//! holds one label-item pair `(C, I)`. [`Domains`] carries the two domain
+//! sizes and the bijection between pairs and *joint* indices used by the PTJ
+//! framework (perturbation domain `P = C × I`, §III-B).
+
+use mcim_oracles::{Error, Result};
+
+/// A user's private label-item pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LabelItem {
+    /// Class label in `[0, c)`.
+    pub label: u32,
+    /// Item in `[0, d)`.
+    pub item: u32,
+}
+
+impl LabelItem {
+    /// Convenience constructor.
+    #[inline]
+    pub fn new(label: u32, item: u32) -> Self {
+        LabelItem { label, item }
+    }
+}
+
+/// The class and item domain sizes of a mining task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Domains {
+    classes: u32,
+    items: u32,
+}
+
+impl Domains {
+    /// Creates domains with `classes ≥ 1` and `items ≥ 1`.
+    pub fn new(classes: u32, items: u32) -> Result<Self> {
+        if classes == 0 || items == 0 {
+            return Err(Error::EmptyDomain);
+        }
+        // The joint domain must fit in u32 for PTJ.
+        if (classes as u64) * (items as u64) > u32::MAX as u64 {
+            return Err(Error::InvalidParameter {
+                name: "classes * items",
+                constraint: "joint domain must fit in u32",
+            });
+        }
+        Ok(Domains { classes, items })
+    }
+
+    /// Number of classes `c`.
+    #[inline]
+    pub fn classes(&self) -> u32 {
+        self.classes
+    }
+
+    /// Number of items `d`.
+    #[inline]
+    pub fn items(&self) -> u32 {
+        self.items
+    }
+
+    /// Size of the joint perturbation domain `c·d` (PTJ).
+    #[inline]
+    pub fn joint_size(&self) -> u32 {
+        self.classes * self.items
+    }
+
+    /// Validates that a pair lies inside the domains.
+    pub fn check(&self, pair: LabelItem) -> Result<()> {
+        if pair.label >= self.classes {
+            return Err(Error::ValueOutOfDomain {
+                value: pair.label as u64,
+                domain: self.classes as u64,
+            });
+        }
+        if pair.item >= self.items {
+            return Err(Error::ValueOutOfDomain {
+                value: pair.item as u64,
+                domain: self.items as u64,
+            });
+        }
+        Ok(())
+    }
+
+    /// Maps a pair to its joint index `label·d + item`.
+    #[inline]
+    pub fn joint_index(&self, pair: LabelItem) -> u32 {
+        pair.label * self.items + pair.item
+    }
+
+    /// Inverse of [`Domains::joint_index`].
+    #[inline]
+    pub fn pair_of_joint(&self, joint: u32) -> LabelItem {
+        LabelItem {
+            label: joint / self.items,
+            item: joint % self.items,
+        }
+    }
+}
+
+/// A `c × d` matrix of per-class item frequency estimates.
+///
+/// Row `C` holds the estimates `f̂(C, ·)`; values may be negative (unbiased
+/// estimators are not clamped — ranking tasks need the raw values).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrequencyTable {
+    domains: Domains,
+    values: Vec<f64>,
+}
+
+impl FrequencyTable {
+    /// Creates an all-zero table.
+    pub fn zeros(domains: Domains) -> Self {
+        FrequencyTable {
+            domains,
+            values: vec![0.0; domains.joint_size() as usize],
+        }
+    }
+
+    /// Builds a table of *true* counts from raw data (ground truth).
+    pub fn ground_truth(domains: Domains, data: &[LabelItem]) -> Result<Self> {
+        let mut t = Self::zeros(domains);
+        for &pair in data {
+            domains.check(pair)?;
+            *t.get_mut(pair.label, pair.item) += 1.0;
+        }
+        Ok(t)
+    }
+
+    /// The domains this table covers.
+    #[inline]
+    pub fn domains(&self) -> Domains {
+        self.domains
+    }
+
+    /// Reads `f̂(C, I)`.
+    #[inline]
+    pub fn get(&self, label: u32, item: u32) -> f64 {
+        self.values[(label * self.domains.items + item) as usize]
+    }
+
+    /// Mutable access to `f̂(C, I)`.
+    #[inline]
+    pub fn get_mut(&mut self, label: u32, item: u32) -> &mut f64 {
+        &mut self.values[(label * self.domains.items + item) as usize]
+    }
+
+    /// Row `C` as a slice of length `d`.
+    pub fn class_row(&self, label: u32) -> &[f64] {
+        let d = self.domains.items as usize;
+        let start = label as usize * d;
+        &self.values[start..start + d]
+    }
+
+    /// All values, row-major (`[class][item]`).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Total estimated count for class `C` (sum of its row).
+    pub fn class_total(&self, label: u32) -> f64 {
+        self.class_row(label).iter().sum()
+    }
+
+    /// Global estimate for item `I` (sum over classes).
+    pub fn item_total(&self, item: u32) -> f64 {
+        (0..self.domains.classes).map(|c| self.get(c, item)).sum()
+    }
+
+    /// The `k` items with the largest estimates within class `C`
+    /// (descending; ties broken by item id for determinism).
+    pub fn top_k(&self, label: u32, k: usize) -> Vec<u32> {
+        let row = self.class_row(label);
+        let mut idx: Vec<u32> = (0..row.len() as u32).collect();
+        idx.sort_unstable_by(|&a, &b| {
+            row[b as usize]
+                .partial_cmp(&row[a as usize])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        idx.truncate(k);
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domains_validate() {
+        assert!(Domains::new(0, 5).is_err());
+        assert!(Domains::new(5, 0).is_err());
+        assert!(Domains::new(3, 7).is_ok());
+        assert!(Domains::new(70_000, 70_000).is_err(), "joint overflow");
+    }
+
+    #[test]
+    fn joint_index_round_trip() {
+        let dom = Domains::new(3, 10).unwrap();
+        for label in 0..3 {
+            for item in 0..10 {
+                let pair = LabelItem::new(label, item);
+                assert_eq!(dom.pair_of_joint(dom.joint_index(pair)), pair);
+            }
+        }
+        assert_eq!(dom.joint_size(), 30);
+    }
+
+    #[test]
+    fn check_rejects_out_of_domain() {
+        let dom = Domains::new(2, 4).unwrap();
+        assert!(dom.check(LabelItem::new(2, 0)).is_err());
+        assert!(dom.check(LabelItem::new(0, 4)).is_err());
+        assert!(dom.check(LabelItem::new(1, 3)).is_ok());
+    }
+
+    #[test]
+    fn ground_truth_counts() {
+        let dom = Domains::new(2, 3).unwrap();
+        let data = vec![
+            LabelItem::new(0, 1),
+            LabelItem::new(0, 1),
+            LabelItem::new(1, 2),
+        ];
+        let t = FrequencyTable::ground_truth(dom, &data).unwrap();
+        assert_eq!(t.get(0, 1), 2.0);
+        assert_eq!(t.get(1, 2), 1.0);
+        assert_eq!(t.get(0, 0), 0.0);
+        assert_eq!(t.class_total(0), 2.0);
+        assert_eq!(t.item_total(1), 2.0);
+    }
+
+    #[test]
+    fn top_k_orders_descending_with_deterministic_ties() {
+        let dom = Domains::new(1, 5).unwrap();
+        let mut t = FrequencyTable::zeros(dom);
+        *t.get_mut(0, 0) = 3.0;
+        *t.get_mut(0, 1) = 9.0;
+        *t.get_mut(0, 2) = 3.0;
+        *t.get_mut(0, 3) = -1.0;
+        *t.get_mut(0, 4) = 9.0;
+        assert_eq!(t.top_k(0, 3), vec![1, 4, 0]);
+        assert_eq!(t.top_k(0, 10), vec![1, 4, 0, 2, 3], "k larger than d");
+    }
+
+    #[test]
+    fn class_row_is_contiguous() {
+        let dom = Domains::new(2, 3).unwrap();
+        let mut t = FrequencyTable::zeros(dom);
+        *t.get_mut(1, 0) = 5.0;
+        assert_eq!(t.class_row(1), &[5.0, 0.0, 0.0]);
+        assert_eq!(t.class_row(0), &[0.0, 0.0, 0.0]);
+    }
+}

@@ -1,0 +1,279 @@
+//! The three multi-class frequency-estimation frameworks (§III, §VI-A).
+//!
+//! * [`Hec`] — *Handle Each Class independently*: the strawman; users are
+//!   partitioned by class assignment and mismatched users submit random
+//!   items (§II-D).
+//! * [`Ptj`] — *Perturb The pair Jointly* over the Cartesian domain `C × I`
+//!   (§III-B).
+//! * [`Pts`] — *Perturb The pair Separately*: GRR on the label, OUE on the
+//!   item, estimator Eq. (6).
+//! * `PtsCp` ([`Framework::PtsCp`]) — PTS with the paper's **correlated perturbation**,
+//!   estimator Eq. (4).
+//!
+//! Each framework exposes the same two-phase API: a client-side
+//! `privatize`-style step and a streaming server-side aggregator, plus a
+//! convenience [`run`](Framework::run) that processes a whole dataset and
+//! returns the estimated [`FrequencyTable`] with communication statistics.
+
+mod hec;
+mod ptj;
+mod pts;
+
+pub use hec::{Hec, HecAggregator, HecReport};
+pub use ptj::{Ptj, PtjAggregator};
+pub use pts::{Pts, PtsAggregator, PtsReport};
+
+use mcim_oracles::{Eps, Result};
+use rand::Rng;
+
+use crate::correlated::{CorrelatedPerturbation, CpAggregator};
+use crate::{Domains, FrequencyTable, LabelItem};
+
+/// Communication accounting for one pipeline run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CommStats {
+    /// Total uplink bits across all users.
+    pub total_report_bits: u64,
+    /// Number of reporting users.
+    pub users: u64,
+}
+
+impl CommStats {
+    /// Adds one report of `bits` bits.
+    #[inline]
+    pub fn record(&mut self, bits: usize) {
+        self.total_report_bits += bits as u64;
+        self.users += 1;
+    }
+
+    /// Mean uplink bits per user.
+    pub fn bits_per_user(&self) -> f64 {
+        if self.users == 0 {
+            0.0
+        } else {
+            self.total_report_bits as f64 / self.users as f64
+        }
+    }
+
+    /// Merges another accounting record.
+    pub fn merge(&mut self, other: CommStats) {
+        self.total_report_bits += other.total_report_bits;
+        self.users += other.users;
+    }
+}
+
+/// Result of a full frequency-estimation run.
+#[derive(Debug, Clone)]
+pub struct EstimationResult {
+    /// Estimated classwise frequencies `f̂(C, I)`.
+    pub table: FrequencyTable,
+    /// Communication statistics.
+    pub comm: CommStats,
+}
+
+/// A framework selector for experiment harnesses (Fig. 6 sweeps these).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Framework {
+    /// Handle-each-class strawman.
+    Hec,
+    /// Joint perturbation over `C × I`.
+    Ptj,
+    /// Separate label/item perturbation; `label_frac` is ε₁/ε.
+    Pts {
+        /// Fraction of the budget spent on the label (paper default 0.5).
+        label_frac: f64,
+    },
+    /// PTS with correlated perturbation; `label_frac` is ε₁/ε.
+    PtsCp {
+        /// Fraction of the budget spent on the label (paper default 0.5).
+        label_frac: f64,
+    },
+}
+
+impl Framework {
+    /// Display name used in benchmark tables (paper's labels).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Framework::Hec => "HEC",
+            Framework::Ptj => "PTJ",
+            Framework::Pts { .. } => "PTS",
+            Framework::PtsCp { .. } => "PTS-CP",
+        }
+    }
+
+    /// The paper's default framework set for Fig. 6.
+    pub fn fig6_set() -> [Framework; 4] {
+        [
+            Framework::Hec,
+            Framework::Ptj,
+            Framework::Pts { label_frac: 0.5 },
+            Framework::PtsCp { label_frac: 0.5 },
+        ]
+    }
+
+    /// Runs the framework end-to-end over a dataset.
+    pub fn run<R: Rng + ?Sized>(
+        &self,
+        eps: Eps,
+        domains: Domains,
+        data: &[LabelItem],
+        rng: &mut R,
+    ) -> Result<EstimationResult> {
+        match *self {
+            Framework::Hec => {
+                let mech = Hec::new(eps, domains)?;
+                let mut agg = HecAggregator::new(&mech);
+                let mut comm = CommStats::default();
+                for (u, &pair) in data.iter().enumerate() {
+                    let report = mech.privatize(u as u64, pair, rng)?;
+                    comm.record(report.report.size_bits());
+                    agg.absorb(&report)?;
+                }
+                Ok(EstimationResult {
+                    table: agg.estimate()?,
+                    comm,
+                })
+            }
+            Framework::Ptj => {
+                let mech = Ptj::new(eps, domains)?;
+                let mut agg = PtjAggregator::new(&mech);
+                let mut comm = CommStats::default();
+                for &pair in data {
+                    let report = mech.privatize(pair, rng)?;
+                    comm.record(report.size_bits());
+                    agg.absorb(&report)?;
+                }
+                Ok(EstimationResult {
+                    table: agg.estimate(),
+                    comm,
+                })
+            }
+            Framework::Pts { label_frac } => {
+                let (e1, e2) = eps.split(label_frac)?;
+                let mech = Pts::new(e1, e2, domains)?;
+                let mut agg = PtsAggregator::new(&mech);
+                let mut comm = CommStats::default();
+                for &pair in data {
+                    let report = mech.privatize(pair, rng)?;
+                    comm.record(report.size_bits());
+                    agg.absorb(&report)?;
+                }
+                Ok(EstimationResult {
+                    table: agg.estimate(),
+                    comm,
+                })
+            }
+            Framework::PtsCp { label_frac } => {
+                let (e1, e2) = eps.split(label_frac)?;
+                let mech = CorrelatedPerturbation::new(e1, e2, domains)?;
+                let mut agg = CpAggregator::new(&mech);
+                let mut comm = CommStats::default();
+                for &pair in data {
+                    let report = mech.privatize(pair, rng)?;
+                    comm.record(report.size_bits());
+                    agg.absorb(&report)?;
+                }
+                Ok(EstimationResult {
+                    table: agg.estimate(),
+                    comm,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn eps(v: f64) -> Eps {
+        Eps::new(v).unwrap()
+    }
+
+    /// A skewed 3-class, 8-item dataset with known counts.
+    fn dataset(n: usize) -> (Domains, Vec<LabelItem>) {
+        let domains = Domains::new(3, 8).unwrap();
+        let data: Vec<LabelItem> = (0..n)
+            .map(|u| match u % 10 {
+                0..=3 => LabelItem::new(0, 0),
+                4..=6 => LabelItem::new(1, 1),
+                7 | 8 => LabelItem::new(2, 2),
+                _ => LabelItem::new(2, 7),
+            })
+            .collect();
+        (domains, data)
+    }
+
+    #[test]
+    fn all_frameworks_recover_skewed_truth() {
+        let n = 120_000;
+        let (domains, data) = dataset(n);
+        let truth = FrequencyTable::ground_truth(domains, &data).unwrap();
+        let mut rng = StdRng::seed_from_u64(101);
+        for fw in Framework::fig6_set() {
+            let res = fw.run(eps(4.0), domains, &data, &mut rng).unwrap();
+            for label in 0..3u32 {
+                for item in 0..8 {
+                    let t = truth.get(label, item);
+                    let e = res.table.get(label, item);
+                    // HEC carries Theorem 4's invalid-data bias of
+                    // (N − n_C)/d per cell; the unbiased frameworks do not.
+                    let expectation = if fw.name() == "HEC" {
+                        let n_c = truth.class_total(label);
+                        t + (n as f64 - n_c) / 8.0
+                    } else {
+                        t
+                    };
+                    assert!(
+                        (e - expectation).abs() < 0.04 * n as f64,
+                        "{}: ({label},{item}) est {e} expected {expectation}",
+                        fw.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ptj_communication_exceeds_pts_for_large_domains() {
+        // §V-C / Table II: PTJ pays O(c·d) bits per user, PTS pays O(d).
+        let domains = Domains::new(5, 256).unwrap();
+        let data: Vec<LabelItem> = (0..200).map(|u| LabelItem::new(u % 5, u % 256)).collect();
+        let mut rng = StdRng::seed_from_u64(7);
+        let ptj = Framework::Ptj
+            .run(eps(1.0), domains, &data, &mut rng)
+            .unwrap();
+        let pts = Framework::Pts { label_frac: 0.5 }
+            .run(eps(1.0), domains, &data, &mut rng)
+            .unwrap();
+        assert!(
+            ptj.comm.bits_per_user() > 4.0 * pts.comm.bits_per_user(),
+            "ptj {} vs pts {}",
+            ptj.comm.bits_per_user(),
+            pts.comm.bits_per_user()
+        );
+    }
+
+    #[test]
+    fn comm_stats_merge() {
+        let mut a = CommStats::default();
+        a.record(10);
+        let mut b = CommStats::default();
+        b.record(20);
+        b.record(30);
+        a.merge(b);
+        assert_eq!(a.users, 3);
+        assert_eq!(a.total_report_bits, 60);
+        assert_eq!(a.bits_per_user(), 20.0);
+    }
+
+    #[test]
+    fn names_match_paper_labels() {
+        assert_eq!(Framework::Hec.name(), "HEC");
+        assert_eq!(Framework::Ptj.name(), "PTJ");
+        assert_eq!(Framework::Pts { label_frac: 0.5 }.name(), "PTS");
+        assert_eq!(Framework::PtsCp { label_frac: 0.5 }.name(), "PTS-CP");
+    }
+}

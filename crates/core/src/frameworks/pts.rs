@@ -1,0 +1,276 @@
+//! PTS — *Perturb The pair Separately* (§III-B), with the Eq. (6) estimator.
+//!
+//! The label is perturbed with GRR(ε₁) and the item with OUE(ε₂),
+//! independently (no correlation — that is [`crate::CorrelatedPerturbation`]'s
+//! job). The server buckets item reports under the *perturbed* label and
+//! de-biases with Eq. (6), which corrects for three noise sources:
+//!
+//! 1. items of same-class users flipping on/off (`p₂`, `q₂`),
+//! 2. users of *other* classes whose labels flipped into `C` and whose item
+//!    bits leak in (`q₁` terms, weighted by the item's global frequency),
+//! 3. the uncertainty in the class-size estimate `n̂`.
+
+use rand::Rng;
+
+use mcim_oracles::{calibrate::unbiased_count, BitVec, Eps, Error, Grr, Result, UnaryEncoding};
+
+use crate::{Domains, FrequencyTable, LabelItem};
+
+/// One PTS report: perturbed label + independently perturbed item bits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PtsReport {
+    /// GRR-perturbed label.
+    pub label: u32,
+    /// OUE-perturbed item bits (`d` bits — no validity flag in plain PTS).
+    pub bits: BitVec,
+}
+
+impl PtsReport {
+    /// Communication cost in bits.
+    pub fn size_bits(&self) -> usize {
+        32 + self.bits.len()
+    }
+}
+
+/// The PTS framework (client side).
+#[derive(Debug, Clone)]
+pub struct Pts {
+    domains: Domains,
+    label_mech: Grr,
+    item_mech: UnaryEncoding,
+}
+
+impl Pts {
+    /// Creates the framework with explicit per-phase budgets.
+    pub fn new(eps1: Eps, eps2: Eps, domains: Domains) -> Result<Self> {
+        Ok(Pts {
+            domains,
+            label_mech: Grr::new(eps1, domains.classes())?,
+            item_mech: UnaryEncoding::optimized(eps2, domains.items())?,
+        })
+    }
+
+    /// Creates the framework with the paper's even split ε₁ = ε₂ = ε/2.
+    pub fn with_total(eps: Eps, domains: Domains) -> Result<Self> {
+        let (e1, e2) = eps.halve();
+        Self::new(e1, e2, domains)
+    }
+
+    /// The domains.
+    #[inline]
+    pub fn domains(&self) -> Domains {
+        self.domains
+    }
+
+    /// Label-side probabilities `(p₁, q₁)`.
+    pub fn label_probs(&self) -> (f64, f64) {
+        (self.label_mech.p(), self.label_mech.q())
+    }
+
+    /// Item-side probabilities `(p₂, q₂)`.
+    pub fn item_probs(&self) -> (f64, f64) {
+        (self.item_mech.p(), self.item_mech.q())
+    }
+
+    /// Privatizes one pair: label and item perturbed independently.
+    pub fn privatize<R: Rng + ?Sized>(&self, pair: LabelItem, rng: &mut R) -> Result<PtsReport> {
+        self.domains.check(pair)?;
+        Ok(PtsReport {
+            label: self.label_mech.perturb(pair.label, rng)?,
+            bits: self.item_mech.privatize(pair.item, rng)?,
+        })
+    }
+}
+
+/// Server-side aggregation with the Eq. (6) estimator.
+#[derive(Debug, Clone)]
+pub struct PtsAggregator {
+    domains: Domains,
+    p1: f64,
+    q1: f64,
+    p2: f64,
+    q2: f64,
+    /// `f̃(C, I)`, row-major.
+    pair_counts: Vec<u64>,
+    /// `ñ(C)`.
+    label_counts: Vec<u64>,
+    n: u64,
+}
+
+impl PtsAggregator {
+    /// Creates an empty aggregator matching the framework.
+    pub fn new(framework: &Pts) -> Self {
+        let (p1, q1) = framework.label_probs();
+        let (p2, q2) = framework.item_probs();
+        PtsAggregator {
+            domains: framework.domains,
+            p1,
+            q1,
+            p2,
+            q2,
+            pair_counts: vec![0; framework.domains.joint_size() as usize],
+            label_counts: vec![0; framework.domains.classes() as usize],
+            n: 0,
+        }
+    }
+
+    /// Absorbs one report.
+    pub fn absorb(&mut self, report: &PtsReport) -> Result<()> {
+        let d = self.domains.items() as usize;
+        if report.label >= self.domains.classes() {
+            return Err(Error::ValueOutOfDomain {
+                value: report.label as u64,
+                domain: self.domains.classes() as u64,
+            });
+        }
+        if report.bits.len() != d {
+            return Err(Error::ReportMismatch {
+                expected: "PTS item bits of length d",
+            });
+        }
+        self.n += 1;
+        self.label_counts[report.label as usize] += 1;
+        let base = report.label as usize * d;
+        for i in report.bits.iter_ones() {
+            self.pair_counts[base + i] += 1;
+        }
+        Ok(())
+    }
+
+    /// Number of absorbed reports `N`.
+    #[inline]
+    pub fn report_count(&self) -> u64 {
+        self.n
+    }
+
+    /// Raw collected pair count `f̃(C, I)`.
+    pub fn raw_pair_count(&self, label: u32, item: u32) -> u64 {
+        self.pair_counts[(label * self.domains.items() + item) as usize]
+    }
+
+    /// Unbiased class-size estimate `n̂(C)`.
+    pub fn estimate_class_size(&self, label: u32) -> f64 {
+        unbiased_count(
+            self.label_counts[label as usize] as f64,
+            self.n as f64,
+            self.p1,
+            self.q1,
+        )
+    }
+
+    /// Unbiased *global* item estimate `Σ_C f̂(C, I)` from the column sums
+    /// (Eq. (6)'s helper term).
+    pub fn estimate_item_total(&self, item: u32) -> f64 {
+        let d = self.domains.items();
+        let col_sum: u64 = (0..self.domains.classes())
+            .map(|c| self.pair_counts[(c * d + item) as usize])
+            .sum();
+        unbiased_count(col_sum as f64, self.n as f64, self.p2, self.q2)
+    }
+
+    /// Unbiased frequency estimates — Eq. (6):
+    ///
+    /// ```text
+    ///           f̃(C,I) − n̂·q₂(p₁−q₁)     Σ_C f̂(C,I)·q₁(p₂−q₂) + N·q₁q₂
+    /// f̂(C,I) = ──────────────────────  −  ──────────────────────────────
+    ///             (p₁−q₁)(p₂−q₂)               (p₁−q₁)(p₂−q₂)
+    /// ```
+    pub fn estimate(&self) -> FrequencyTable {
+        let (p1, q1, p2, q2) = (self.p1, self.q1, self.p2, self.q2);
+        let denom = (p1 - q1) * (p2 - q2);
+        let n_total = self.n as f64;
+        let mut table = FrequencyTable::zeros(self.domains);
+        for item in 0..self.domains.items() {
+            let item_total = self.estimate_item_total(item);
+            for label in 0..self.domains.classes() {
+                let n_hat = self.estimate_class_size(label);
+                let collected = self.raw_pair_count(label, item) as f64;
+                *table.get_mut(label, item) = (collected
+                    - n_hat * q2 * (p1 - q1)
+                    - item_total * q1 * (p2 - q2)
+                    - n_total * q1 * q2)
+                    / denom;
+            }
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn eps(v: f64) -> Eps {
+        Eps::new(v).unwrap()
+    }
+
+    #[test]
+    fn even_split_matches_manual() {
+        let domains = Domains::new(4, 16).unwrap();
+        let a = Pts::with_total(eps(2.0), domains).unwrap();
+        let b = Pts::new(eps(1.0), eps(1.0), domains).unwrap();
+        assert_eq!(a.label_probs(), b.label_probs());
+        assert_eq!(a.item_probs(), b.item_probs());
+    }
+
+    #[test]
+    fn eq6_estimator_is_unbiased_monte_carlo() {
+        // Item 0 is globally frequent (shared by classes 0 and 1), so the
+        // cross-class correction in Eq. (6) matters here.
+        let domains = Domains::new(3, 6).unwrap();
+        let fw = Pts::with_total(eps(2.0), domains).unwrap();
+        let mut agg = PtsAggregator::new(&fw);
+        let mut rng = StdRng::seed_from_u64(19);
+        let n = 150_000;
+        for u in 0..n {
+            let pair = match u % 10 {
+                0..=3 => LabelItem::new(0, 0), // 40%
+                4..=6 => LabelItem::new(1, 0), // 30% — same item, other class
+                7 | 8 => LabelItem::new(1, 3), // 20%
+                _ => LabelItem::new(2, 5),     // 10%
+            };
+            agg.absorb(&fw.privatize(pair, &mut rng).unwrap()).unwrap();
+        }
+        let est = agg.estimate();
+        let n = n as f64;
+        assert!((est.get(0, 0) - 0.4 * n).abs() < 0.03 * n, "got {}", est.get(0, 0));
+        assert!((est.get(1, 0) - 0.3 * n).abs() < 0.03 * n, "got {}", est.get(1, 0));
+        assert!((est.get(1, 3) - 0.2 * n).abs() < 0.03 * n, "got {}", est.get(1, 3));
+        assert!((est.get(2, 5) - 0.1 * n).abs() < 0.03 * n, "got {}", est.get(2, 5));
+        assert!(est.get(2, 0).abs() < 0.03 * n, "empty cell {}", est.get(2, 0));
+    }
+
+    #[test]
+    fn item_total_estimate_is_unbiased() {
+        let domains = Domains::new(2, 4).unwrap();
+        let fw = Pts::with_total(eps(2.0), domains).unwrap();
+        let mut agg = PtsAggregator::new(&fw);
+        let mut rng = StdRng::seed_from_u64(20);
+        let n = 50_000;
+        for u in 0..n {
+            let pair = if u % 2 == 0 {
+                LabelItem::new(0, 2)
+            } else {
+                LabelItem::new(1, 2)
+            };
+            agg.absorb(&fw.privatize(pair, &mut rng).unwrap()).unwrap();
+        }
+        let total = agg.estimate_item_total(2);
+        assert!((total - n as f64).abs() < 0.03 * n as f64, "total {total}");
+    }
+
+    #[test]
+    fn absorb_validates_shapes() {
+        let domains = Domains::new(2, 4).unwrap();
+        let fw = Pts::with_total(eps(1.0), domains).unwrap();
+        let mut agg = PtsAggregator::new(&fw);
+        assert!(agg
+            .absorb(&PtsReport { label: 2, bits: BitVec::zeros(4) })
+            .is_err());
+        assert!(agg
+            .absorb(&PtsReport { label: 0, bits: BitVec::zeros(5) })
+            .is_err());
+    }
+}

@@ -1,0 +1,461 @@
+//! Multi-class **mean** estimation over numerical items — the extension the
+//! paper names as future work ("we aim to study multi-class item mining on
+//! more data types, such as numerical items", §IX), built from the same two
+//! ideas as the categorical pipeline:
+//!
+//! * [`MeanPts`] — the PTS recipe: GRR(ε₁) on the label, a numerical
+//!   mechanism (stochastic rounding or piecewise) on the value, and an
+//!   Eq. (6)-style cross-class correction:
+//!   `Ŝ_C = (sum_C − q₁·Ŝ_total)/(p₁ − q₁)`, `mean̂_C = Ŝ_C / n̂_C`.
+//! * [`MeanCp`] — the correlated-perturbation recipe: the value's
+//!   *validity* is tied to the label surviving perturbation. A validity
+//!   flag is randomized-response-perturbed with ε_f; invalid users submit
+//!   the privatized value of **0** (whose calibrated expectation is 0), so
+//!   label-flip arrivals cancel instead of polluting:
+//!   `Ŝ_C = filtered_sum_C/(p₁·p_f)` — no global correction term needed.
+//!
+//! Both estimators are unbiased; the tests verify it by Monte-Carlo.
+
+use rand::Rng;
+
+use mcim_oracles::{calibrate::unbiased_count, Eps, Error, Grr, Piecewise, Result,
+    StochasticRounding};
+
+/// A user's private label and numerical value in `[-1, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LabelValue {
+    /// Class label in `[0, c)`.
+    pub label: u32,
+    /// Value in `[-1, 1]`.
+    pub value: f64,
+}
+
+impl LabelValue {
+    /// Convenience constructor.
+    pub fn new(label: u32, value: f64) -> Self {
+        LabelValue { label, value }
+    }
+}
+
+/// Which numerical primitive perturbs the value.
+#[derive(Debug, Clone)]
+enum ValueMech {
+    Sr(StochasticRounding),
+    Pm(Piecewise),
+}
+
+impl ValueMech {
+    fn privatize<R: Rng + ?Sized>(&self, v: f64, rng: &mut R) -> Result<f64> {
+        match self {
+            // SR needs explicit calibration; PM is already unbiased.
+            ValueMech::Sr(m) => Ok(m.calibrate(m.privatize(v, rng)?)),
+            ValueMech::Pm(m) => m.privatize(v, rng),
+        }
+    }
+
+    fn report_bits(&self) -> usize {
+        match self {
+            ValueMech::Sr(m) => m.report_bits(),
+            ValueMech::Pm(m) => m.report_bits(),
+        }
+    }
+}
+
+/// Numerical-mechanism selector for the mean estimators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NumericMechanism {
+    /// One-bit stochastic rounding (best for small ε).
+    StochasticRounding,
+    /// The piecewise mechanism (best for ε ≳ 1.3).
+    Piecewise,
+}
+
+impl NumericMechanism {
+    fn build(self, eps: Eps) -> ValueMech {
+        match self {
+            NumericMechanism::StochasticRounding => ValueMech::Sr(StochasticRounding::new(eps)),
+            NumericMechanism::Piecewise => ValueMech::Pm(Piecewise::new(eps)),
+        }
+    }
+}
+
+// ------------------------------------------------------------- MeanPts --
+
+/// PTS-style classwise mean estimation (label and value perturbed
+/// independently).
+#[derive(Debug, Clone)]
+pub struct MeanPts {
+    classes: u32,
+    label_mech: Grr,
+    value_mech: ValueMech,
+}
+
+/// One report: perturbed label + calibrated value estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeanReport {
+    /// GRR-perturbed label.
+    pub label: u32,
+    /// Calibrated (unbiased) per-user value estimate.
+    pub value: f64,
+    /// Perturbed validity flag ([`MeanCp`] only; always `true` for PTS).
+    pub claims_valid: bool,
+}
+
+impl MeanPts {
+    /// Creates the estimator with explicit budgets (total = ε₁ + ε₂).
+    pub fn new(eps1: Eps, eps2: Eps, classes: u32, mech: NumericMechanism) -> Result<Self> {
+        Ok(MeanPts {
+            classes,
+            label_mech: Grr::new(eps1, classes)?,
+            value_mech: mech.build(eps2),
+        })
+    }
+
+    /// Even ε split, mirroring the categorical default.
+    pub fn with_total(eps: Eps, classes: u32, mech: NumericMechanism) -> Result<Self> {
+        let (e1, e2) = eps.halve();
+        Self::new(e1, e2, classes, mech)
+    }
+
+    /// Per-user report size in bits.
+    pub fn report_bits(&self) -> usize {
+        self.label_mech.report_bits() + self.value_mech.report_bits()
+    }
+
+    /// Privatizes one user's pair.
+    pub fn privatize<R: Rng + ?Sized>(&self, lv: LabelValue, rng: &mut R) -> Result<MeanReport> {
+        if lv.label >= self.classes {
+            return Err(Error::ValueOutOfDomain {
+                value: lv.label as u64,
+                domain: self.classes as u64,
+            });
+        }
+        Ok(MeanReport {
+            label: self.label_mech.perturb(lv.label, rng)?,
+            value: self.value_mech.privatize(lv.value, rng)?,
+            claims_valid: true,
+        })
+    }
+}
+
+// -------------------------------------------------------------- MeanCp --
+
+/// Correlated-perturbation classwise mean estimation: value validity is
+/// tied to the label surviving its perturbation, and the flag spends part
+/// of the item budget (unlike the categorical VP, a numerical report has no
+/// spare one-hot position to carry it for free).
+#[derive(Debug, Clone)]
+pub struct MeanCp {
+    classes: u32,
+    label_mech: Grr,
+    /// Flag keep-probability (randomized response with ε_f).
+    flag_keep: f64,
+    value_mech: ValueMech,
+}
+
+impl MeanCp {
+    /// Creates the estimator with explicit budgets
+    /// (total = ε₁ + ε_f + ε_v).
+    pub fn new(
+        eps1: Eps,
+        eps_flag: Eps,
+        eps_value: Eps,
+        classes: u32,
+        mech: NumericMechanism,
+    ) -> Result<Self> {
+        Ok(MeanCp {
+            classes,
+            label_mech: Grr::new(eps1, classes)?,
+            flag_keep: eps_flag.exp() / (eps_flag.exp() + 1.0),
+            value_mech: mech.build(eps_value),
+        })
+    }
+
+    /// Default split: half the budget on the label, a quarter each on the
+    /// validity flag and the value.
+    pub fn with_total(eps: Eps, classes: u32, mech: NumericMechanism) -> Result<Self> {
+        let (e1, item) = eps.halve();
+        let (ef, ev) = item.halve();
+        Self::new(e1, ef, ev, classes, mech)
+    }
+
+    /// Per-user report size in bits (label + flag bit + value).
+    pub fn report_bits(&self) -> usize {
+        self.label_mech.report_bits() + 1 + self.value_mech.report_bits()
+    }
+
+    /// Label keep/flip probabilities `(p₁, q₁)`.
+    pub fn label_probs(&self) -> (f64, f64) {
+        (self.label_mech.p(), self.label_mech.q())
+    }
+
+    /// Flag keep probability `p_f`.
+    pub fn flag_keep(&self) -> f64 {
+        self.flag_keep
+    }
+
+    /// Privatizes one user's pair. If the label flips, the true value is
+    /// replaced by 0 (a pure-noise report whose calibrated expectation is
+    /// zero) and the validity flag is encoded as "invalid".
+    pub fn privatize<R: Rng + ?Sized>(&self, lv: LabelValue, rng: &mut R) -> Result<MeanReport> {
+        if lv.label >= self.classes {
+            return Err(Error::ValueOutOfDomain {
+                value: lv.label as u64,
+                domain: self.classes as u64,
+            });
+        }
+        let perturbed = self.label_mech.perturb(lv.label, rng)?;
+        let valid = perturbed == lv.label;
+        let flag_true = valid; // encoded flag: "I am valid"
+        let claims_valid = if rng.random_bool(self.flag_keep) {
+            flag_true
+        } else {
+            !flag_true
+        };
+        let value_in = if valid { lv.value } else { 0.0 };
+        Ok(MeanReport {
+            label: perturbed,
+            value: self.value_mech.privatize(value_in, rng)?,
+            claims_valid,
+        })
+    }
+}
+
+// ---------------------------------------------------------- aggregation --
+
+/// Streaming aggregation for both mean estimators.
+#[derive(Debug, Clone)]
+pub struct MeanAggregator {
+    classes: u32,
+    p1: f64,
+    q1: f64,
+    /// `p_f` for CP (1.0 for PTS — every report claims validity).
+    flag_keep: f64,
+    /// Whether the CP filtered-sum estimator applies.
+    correlated: bool,
+    sums: Vec<f64>,
+    label_counts: Vec<u64>,
+    total_sum: f64,
+    n: u64,
+}
+
+impl MeanAggregator {
+    /// Aggregator for [`MeanPts`].
+    pub fn for_pts(mech: &MeanPts) -> Self {
+        MeanAggregator {
+            classes: mech.classes,
+            p1: mech.label_mech.p(),
+            q1: mech.label_mech.q(),
+            flag_keep: 1.0,
+            correlated: false,
+            sums: vec![0.0; mech.classes as usize],
+            label_counts: vec![0; mech.classes as usize],
+            total_sum: 0.0,
+            n: 0,
+        }
+    }
+
+    /// Aggregator for [`MeanCp`].
+    pub fn for_cp(mech: &MeanCp) -> Self {
+        MeanAggregator {
+            classes: mech.classes,
+            p1: mech.label_mech.p(),
+            q1: mech.label_mech.q(),
+            flag_keep: mech.flag_keep,
+            correlated: true,
+            sums: vec![0.0; mech.classes as usize],
+            label_counts: vec![0; mech.classes as usize],
+            total_sum: 0.0,
+            n: 0,
+        }
+    }
+
+    /// Absorbs one report.
+    pub fn absorb(&mut self, report: &MeanReport) -> Result<()> {
+        if report.label >= self.classes {
+            return Err(Error::ValueOutOfDomain {
+                value: report.label as u64,
+                domain: self.classes as u64,
+            });
+        }
+        self.n += 1;
+        self.label_counts[report.label as usize] += 1;
+        self.total_sum += report.value;
+        if report.claims_valid {
+            self.sums[report.label as usize] += report.value;
+        }
+        Ok(())
+    }
+
+    /// Number of absorbed reports.
+    pub fn report_count(&self) -> u64 {
+        self.n
+    }
+
+    /// Unbiased class-size estimate `n̂_C`.
+    pub fn estimate_class_size(&self, label: u32) -> f64 {
+        unbiased_count(
+            self.label_counts[label as usize] as f64,
+            self.n as f64,
+            self.p1,
+            self.q1,
+        )
+    }
+
+    /// Unbiased estimate of the class's value **sum** `S_C`.
+    pub fn estimate_class_sum(&self, label: u32) -> f64 {
+        let idx = label as usize;
+        if self.correlated {
+            // CP: label-flip arrivals have zero-mean values; valid users
+            // survive the (label, flag) pipeline with probability p₁·p_f.
+            // Flag noise from invalid arrivals also has zero-mean values.
+            self.sums[idx] / (self.p1 * self.flag_keep)
+        } else {
+            // PTS: E[sum_C] = p₁·S_C + q₁·(S_total − S_C).
+            (self.sums[idx] - self.q1 * self.total_sum) / (self.p1 - self.q1)
+        }
+    }
+
+    /// Classwise mean estimate `Ŝ_C / n̂_C`; `None` when the class-size
+    /// estimate is too small to divide by meaningfully (< 1 user).
+    pub fn estimate_mean(&self, label: u32) -> Option<f64> {
+        let n_hat = self.estimate_class_size(label);
+        if n_hat < 1.0 {
+            return None;
+        }
+        Some(self.estimate_class_sum(label) / n_hat)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn eps(v: f64) -> Eps {
+        Eps::new(v).unwrap()
+    }
+
+    /// Three classes with distinct true means (0.6, -0.4, 0.1) and skewed
+    /// sizes.
+    fn population(n: usize, rng: &mut StdRng) -> Vec<LabelValue> {
+        (0..n)
+            .map(|u| {
+                let label = match u % 10 {
+                    0..=5 => 0,
+                    6..=8 => 1,
+                    _ => 2,
+                };
+                let center = [0.6, -0.4, 0.1][label as usize];
+                let jitter: f64 = rng.random_range(-0.3..0.3);
+                LabelValue::new(label, (center + jitter).clamp(-1.0, 1.0))
+            })
+            .collect()
+    }
+
+    fn true_means(data: &[LabelValue]) -> Vec<f64> {
+        let mut sums = [0.0; 3];
+        let mut counts = [0.0; 3];
+        for lv in data {
+            sums[lv.label as usize] += lv.value;
+            counts[lv.label as usize] += 1.0;
+        }
+        sums.iter().zip(&counts).map(|(s, c)| s / c).collect()
+    }
+
+    #[test]
+    fn pts_means_are_unbiased() {
+        let mut rng = StdRng::seed_from_u64(61);
+        let data = population(200_000, &mut rng);
+        let truth = true_means(&data);
+        for mech_kind in [NumericMechanism::StochasticRounding, NumericMechanism::Piecewise] {
+            let mech = MeanPts::with_total(eps(4.0), 3, mech_kind).unwrap();
+            let mut agg = MeanAggregator::for_pts(&mech);
+            for lv in &data {
+                agg.absorb(&mech.privatize(*lv, &mut rng).unwrap()).unwrap();
+            }
+            for c in 0..3u32 {
+                let est = agg.estimate_mean(c).expect("enough users");
+                assert!(
+                    (est - truth[c as usize]).abs() < 0.08,
+                    "{mech_kind:?} class {c}: est {est} vs {}",
+                    truth[c as usize]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cp_means_are_unbiased() {
+        let mut rng = StdRng::seed_from_u64(62);
+        let data = population(300_000, &mut rng);
+        let truth = true_means(&data);
+        let mech = MeanCp::with_total(eps(4.0), 3, NumericMechanism::Piecewise).unwrap();
+        let mut agg = MeanAggregator::for_cp(&mech);
+        for lv in &data {
+            agg.absorb(&mech.privatize(*lv, &mut rng).unwrap()).unwrap();
+        }
+        for c in 0..3u32 {
+            let est = agg.estimate_mean(c).expect("enough users");
+            assert!(
+                (est - truth[c as usize]).abs() < 0.1,
+                "class {c}: est {est} vs {}",
+                truth[c as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn cp_sum_estimate_ignores_cross_class_pollution() {
+        // Class 1 has strongly negative values; class 0 positive. Under CP
+        // the class-0 sum estimate must not drift toward class 1's sign
+        // even at a small label budget (heavy mixing).
+        let mut rng = StdRng::seed_from_u64(63);
+        let n = 200_000;
+        let data: Vec<LabelValue> = (0..n)
+            .map(|u| {
+                if u % 2 == 0 {
+                    LabelValue::new(0, 0.8)
+                } else {
+                    LabelValue::new(1, -0.8)
+                }
+            })
+            .collect();
+        let mech = MeanCp::new(eps(0.5), eps(1.0), eps(1.0), 2, NumericMechanism::Piecewise)
+            .unwrap();
+        let mut agg = MeanAggregator::for_cp(&mech);
+        for lv in &data {
+            agg.absorb(&mech.privatize(*lv, &mut rng).unwrap()).unwrap();
+        }
+        let s0 = agg.estimate_class_sum(0);
+        let expected = 0.8 * (n / 2) as f64;
+        assert!(
+            (s0 - expected).abs() < 0.15 * expected,
+            "S_0 estimate {s0} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let mech = MeanPts::with_total(eps(1.0), 2, NumericMechanism::StochasticRounding).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(mech.privatize(LabelValue::new(2, 0.0), &mut rng).is_err());
+        assert!(mech.privatize(LabelValue::new(0, 1.5), &mut rng).is_err());
+    }
+
+    #[test]
+    fn empty_class_yields_none() {
+        let mech = MeanPts::with_total(eps(1.0), 4, NumericMechanism::StochasticRounding).unwrap();
+        let agg = MeanAggregator::for_pts(&mech);
+        assert!(agg.estimate_mean(3).is_none());
+    }
+
+    #[test]
+    fn report_bits_accounting() {
+        let pts = MeanPts::with_total(eps(2.0), 4, NumericMechanism::StochasticRounding).unwrap();
+        assert_eq!(pts.report_bits(), 2 + 1);
+        let cp = MeanCp::with_total(eps(2.0), 4, NumericMechanism::Piecewise).unwrap();
+        assert_eq!(cp.report_bits(), 2 + 1 + 64);
+    }
+}

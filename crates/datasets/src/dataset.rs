@@ -1,0 +1,176 @@
+//! The dataset container and its exact ground-truth statistics.
+
+use mcim_core::{Domains, FrequencyTable, LabelItem};
+use rand::Rng;
+
+/// A multi-class item-mining dataset: one label-item pair per user.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Human-readable name (appears in benchmark output).
+    pub name: String,
+    /// Class / item domain sizes.
+    pub domains: Domains,
+    /// One pair per user.
+    pub pairs: Vec<LabelItem>,
+}
+
+impl Dataset {
+    /// Creates a dataset, validating every pair against the domains.
+    pub fn new(
+        name: impl Into<String>,
+        domains: Domains,
+        pairs: Vec<LabelItem>,
+    ) -> mcim_oracles::Result<Self> {
+        for &p in &pairs {
+            domains.check(p)?;
+        }
+        Ok(Dataset {
+            name: name.into(),
+            domains,
+            pairs,
+        })
+    }
+
+    /// Number of users.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the dataset has no users.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Exact classwise counts `f(C, I)`.
+    pub fn ground_truth(&self) -> FrequencyTable {
+        FrequencyTable::ground_truth(self.domains, &self.pairs)
+            .expect("pairs were validated at construction")
+    }
+
+    /// Exact class sizes `n(C)`.
+    pub fn class_sizes(&self) -> Vec<u64> {
+        let mut sizes = vec![0u64; self.domains.classes() as usize];
+        for p in &self.pairs {
+            sizes[p.label as usize] += 1;
+        }
+        sizes
+    }
+
+    /// The true top-`k` items of every class (descending frequency, ties by
+    /// item id). Index = class.
+    pub fn true_top_k(&self, k: usize) -> Vec<Vec<u32>> {
+        let truth = self.ground_truth();
+        (0..self.domains.classes())
+            .map(|c| truth.top_k(c, k))
+            .collect()
+    }
+
+    /// Shuffles user order in place (deterministic given the RNG); useful
+    /// because group assignments in HEC/PEM partition users by position.
+    pub fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        // Fisher–Yates over the pair vector.
+        for i in (1..self.pairs.len()).rev() {
+            let j = rng.random_range(0..=i);
+            self.pairs.swap(i, j);
+        }
+    }
+
+    /// Splits off the first `⌈frac·N⌉` users (Algorithm 1's candidate
+    /// sample) and returns `(sample, remainder)` as borrowed slices.
+    pub fn split_frac(&self, frac: f64) -> (&[LabelItem], &[LabelItem]) {
+        let cut = ((self.pairs.len() as f64 * frac).ceil() as usize).min(self.pairs.len());
+        self.pairs.split_at(cut)
+    }
+}
+
+/// A dataset partitioned into per-feature groups (the paper's Diabetes /
+/// Heart-Disease setup: users are divided into groups, each mining the
+/// label-value pairs of a single feature).
+#[derive(Debug, Clone)]
+pub struct GroupedDataset {
+    /// Human-readable name.
+    pub name: String,
+    /// One independent mining task per feature.
+    pub groups: Vec<Dataset>,
+}
+
+impl GroupedDataset {
+    /// Total user count across groups.
+    pub fn len(&self) -> usize {
+        self.groups.iter().map(Dataset::len).sum()
+    }
+
+    /// Whether all groups are empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny() -> Dataset {
+        let domains = Domains::new(2, 4).unwrap();
+        Dataset::new(
+            "tiny",
+            domains,
+            vec![
+                LabelItem::new(0, 0),
+                LabelItem::new(0, 0),
+                LabelItem::new(0, 1),
+                LabelItem::new(1, 3),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates_pairs() {
+        let domains = Domains::new(2, 4).unwrap();
+        assert!(Dataset::new("bad", domains, vec![LabelItem::new(2, 0)]).is_err());
+    }
+
+    #[test]
+    fn ground_truth_and_class_sizes() {
+        let ds = tiny();
+        let t = ds.ground_truth();
+        assert_eq!(t.get(0, 0), 2.0);
+        assert_eq!(t.get(1, 3), 1.0);
+        assert_eq!(ds.class_sizes(), vec![3, 1]);
+        assert_eq!(ds.len(), 4);
+    }
+
+    #[test]
+    fn true_top_k_per_class() {
+        let ds = tiny();
+        let tops = ds.true_top_k(2);
+        assert_eq!(tops[0], vec![0, 1]);
+        assert_eq!(tops[1][0], 3);
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset() {
+        let mut ds = tiny();
+        let mut before = ds.pairs.clone();
+        let mut rng = StdRng::seed_from_u64(1);
+        ds.shuffle(&mut rng);
+        let mut after = ds.pairs.clone();
+        before.sort_by_key(|p| (p.label, p.item));
+        after.sort_by_key(|p| (p.label, p.item));
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn split_frac_covers_all_users() {
+        let ds = tiny();
+        let (a, b) = ds.split_frac(0.3);
+        assert_eq!(a.len() + b.len(), 4);
+        assert_eq!(a.len(), 2, "ceil(0.3·4) = 2");
+        let (a, b) = ds.split_frac(1.0);
+        assert_eq!(a.len(), 4);
+        assert!(b.is_empty());
+    }
+}

@@ -1,0 +1,237 @@
+//! Sampling distributions used by the dataset generators.
+//!
+//! All samplers are seed-deterministic and implemented from scratch (no
+//! `rand_distr`): a truncated exponential-rank sampler (the paper's SYN3/4
+//! item model), a Zipf power law (simulated real-world popularity), a
+//! general categorical sampler, and Box–Muller normals (SYN3/4 class sizes).
+
+use rand::Rng;
+
+/// Truncated exponential distribution over ranks `0..d`:
+/// `P(r) ∝ exp(−β·r)` — the paper's "items are drawn from the exponential
+/// distribution with the scale from 0.01 to 0.1" (§VII-A).
+#[derive(Debug, Clone)]
+pub struct ExpRank {
+    beta: f64,
+    d: u32,
+    /// `1 − e^{−β·d}`, the truncation mass.
+    total_mass: f64,
+}
+
+impl ExpRank {
+    /// Creates the sampler. `beta > 0`, `d ≥ 1`.
+    ///
+    /// # Panics
+    /// Panics on non-positive `beta` or zero `d` (generator-internal misuse).
+    pub fn new(beta: f64, d: u32) -> Self {
+        assert!(beta > 0.0 && beta.is_finite(), "beta must be positive");
+        assert!(d >= 1, "domain must be non-empty");
+        ExpRank {
+            beta,
+            d,
+            total_mass: -(-beta * d as f64).exp_m1(),
+        }
+    }
+
+    /// Probability of rank `r`.
+    pub fn pmf(&self, r: u32) -> f64 {
+        if r >= self.d {
+            return 0.0;
+        }
+        let cell = -(-self.beta).exp_m1(); // 1 − e^{−β}
+        (-self.beta * r as f64).exp() * cell / self.total_mass
+    }
+
+    /// Samples a rank by inverse CDF (O(1)).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        let u: f64 = rng.random::<f64>() * self.total_mass;
+        // CDF(r) = (1 − e^{−β(r+1)}) / total_mass  ⇒ invert for r.
+        let r = (-(-u).ln_1p() / self.beta).floor() as i64;
+        r.clamp(0, self.d as i64 - 1) as u32
+    }
+}
+
+/// Zipf power-law over ranks `0..d`: `P(r) ∝ 1/(r+1)^s`.
+///
+/// Sampled through a precomputed CDF (binary search, O(log d)); the
+/// real-world-like datasets use it for item popularity.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates the sampler with exponent `s > 0` over `d` ranks.
+    ///
+    /// # Panics
+    /// Panics on invalid parameters (generator-internal misuse).
+    pub fn new(s: f64, d: u32) -> Self {
+        assert!(s > 0.0 && s.is_finite(), "exponent must be positive");
+        assert!(d >= 1, "domain must be non-empty");
+        let mut cdf = Vec::with_capacity(d as usize);
+        let mut acc = 0.0;
+        for r in 0..d {
+            acc += 1.0 / ((r + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Probability of rank `r`.
+    pub fn pmf(&self, r: u32) -> f64 {
+        let r = r as usize;
+        if r >= self.cdf.len() {
+            return 0.0;
+        }
+        if r == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[r] - self.cdf[r - 1]
+        }
+    }
+
+    /// Samples a rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        let u: f64 = rng.random();
+        self.cdf.partition_point(|&c| c < u) as u32
+    }
+}
+
+/// Categorical distribution over arbitrary non-negative weights.
+#[derive(Debug, Clone)]
+pub struct Categorical {
+    cdf: Vec<f64>,
+}
+
+impl Categorical {
+    /// Creates the sampler from weights (at least one must be positive).
+    ///
+    /// # Panics
+    /// Panics if all weights are zero/negative (generator-internal misuse).
+    pub fn new(weights: &[f64]) -> Self {
+        let mut cdf = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            assert!(w >= 0.0 && w.is_finite(), "weights must be non-negative");
+            acc += w;
+            cdf.push(acc);
+        }
+        assert!(acc > 0.0, "total weight must be positive");
+        for v in &mut cdf {
+            *v /= acc;
+        }
+        Categorical { cdf }
+    }
+
+    /// Samples an index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        let u: f64 = rng.random();
+        (self.cdf.partition_point(|&c| c < u)).min(self.cdf.len() - 1) as u32
+    }
+}
+
+/// One standard-normal draw via Box–Muller.
+pub fn normal<R: Rng + ?Sized>(mean: f64, std: f64, rng: &mut R) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.random();
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    mean + std * z
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exp_rank_pmf_normalizes_and_decays() {
+        let e = ExpRank::new(0.05, 100);
+        let total: f64 = (0..100).map(|r| e.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(e.pmf(0) > e.pmf(1));
+        assert!(e.pmf(10) > e.pmf(50));
+        assert_eq!(e.pmf(100), 0.0);
+    }
+
+    #[test]
+    fn exp_rank_samples_match_pmf() {
+        let e = ExpRank::new(0.1, 50);
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 200_000;
+        let mut counts = [0u32; 50];
+        for _ in 0..n {
+            counts[e.sample(&mut rng) as usize] += 1;
+        }
+        for r in [0u32, 1, 5, 10, 20] {
+            let emp = counts[r as usize] as f64 / n as f64;
+            let exp = e.pmf(r);
+            assert!((emp - exp).abs() < 0.01, "r={r}: emp {emp} vs pmf {exp}");
+        }
+        assert_eq!(counts.iter().map(|&c| c as usize).sum::<usize>(), n);
+    }
+
+    #[test]
+    fn zipf_pmf_normalizes_and_is_heavy_headed() {
+        let z = Zipf::new(1.2, 1000);
+        let total: f64 = (0..1000).map(|r| z.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(z.pmf(0) > 10.0 * z.pmf(100));
+    }
+
+    #[test]
+    fn zipf_samples_match_pmf() {
+        let z = Zipf::new(1.0, 64);
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 100_000;
+        let mut counts = vec![0u32; 64];
+        for _ in 0..n {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        for r in [0u32, 1, 7, 31] {
+            let emp = counts[r as usize] as f64 / n as f64;
+            assert!((emp - z.pmf(r)).abs() < 0.01, "r={r}");
+        }
+    }
+
+    #[test]
+    fn categorical_respects_weights() {
+        let c = Categorical::new(&[1.0, 0.0, 3.0]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let mut counts = [0u32; 3];
+        for _ in 0..n {
+            counts[c.sample(&mut rng) as usize] += 1;
+        }
+        assert_eq!(counts[1], 0, "zero-weight bucket never sampled");
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.2, "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "total weight")]
+    fn categorical_rejects_all_zero() {
+        Categorical::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn normal_mean_and_std() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 100_000;
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        for _ in 0..n {
+            let x = normal(10.0, 3.0, &mut rng);
+            sum += x;
+            sum_sq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sum_sq / n as f64 - mean * mean;
+        assert!((mean - 10.0).abs() < 0.05, "mean {mean}");
+        assert!((var.sqrt() - 3.0).abs() < 0.05, "std {}", var.sqrt());
+    }
+}

@@ -1,0 +1,211 @@
+//! # mcim-metrics
+//!
+//! The paper's evaluation metrics (§VII-B) plus the statistical helpers the
+//! variance analysis needs:
+//!
+//! * [`rmse`] — root mean square error over estimated vs true frequencies,
+//! * [`f1_at_k`] — F1 score of a mined top-k set (precision = recall here,
+//!   so F1 is the true-positive ratio),
+//! * [`ncr_at_k`] — Normalized Cumulative Rank with weights `k, k−1, …, 1`,
+//! * [`pmi`] — pointwise mutual information of a label-item pair (§V-C),
+//! * [`RunningMoments`] — numerically stable mean/variance accumulation
+//!   (Welford) for the empirical variance study of Fig. 5.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Root mean square error between two equally long slices:
+/// `sqrt(mean((est − truth)²))` — Fig. 6's metric over all `(C, I)` cells.
+///
+/// # Panics
+/// Panics if the slices differ in length or are empty.
+pub fn rmse(estimated: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(estimated.len(), truth.len(), "length mismatch");
+    assert!(!truth.is_empty(), "empty input");
+    let sum_sq: f64 = estimated
+        .iter()
+        .zip(truth)
+        .map(|(e, t)| (e - t) * (e - t))
+        .sum();
+    (sum_sq / truth.len() as f64).sqrt()
+}
+
+/// F1 score of mined vs true top-k items. Since `|mined| = |truth| = k`,
+/// precision equals recall and F1 reduces to `|mined ∩ truth| / k`
+/// (§VII-B). Extra or missing mined items are tolerated (miners may return
+/// fewer than k candidates); the denominator stays `k = |truth|`.
+pub fn f1_at_k(mined: &[u32], truth: &[u32]) -> f64 {
+    if truth.is_empty() {
+        return if mined.is_empty() { 1.0 } else { 0.0 };
+    }
+    let truth_set: std::collections::HashSet<u32> = truth.iter().copied().collect();
+    let hits = mined.iter().filter(|i| truth_set.contains(i)).count();
+    hits as f64 / truth.len() as f64
+}
+
+/// Normalized Cumulative Rank (§VII-B):
+/// `NCR = 2·Σ_{I ∈ mined} q(I) / (k(k+1))` where the true top-1 item has
+/// quality `q = k`, the second `k−1`, …, the k-th `1`, and items outside
+/// the true top-k have quality 0. `truth` must be ordered by rank.
+pub fn ncr_at_k(mined: &[u32], truth: &[u32]) -> f64 {
+    let k = truth.len();
+    if k == 0 {
+        return if mined.is_empty() { 1.0 } else { 0.0 };
+    }
+    let quality: std::collections::HashMap<u32, usize> = truth
+        .iter()
+        .enumerate()
+        .map(|(rank, &item)| (item, k - rank))
+        .collect();
+    let score: usize = mined.iter().filter_map(|i| quality.get(i)).sum();
+    2.0 * score as f64 / (k * (k + 1)) as f64
+}
+
+/// Pointwise mutual information of a label-item pair (§V-C):
+/// `PMI(C; I) = log₂[p(C, I) / (p(C)·p(I))]` with probabilities from counts
+/// over a population of `n_total`.
+///
+/// Returns `-inf` when the pair never occurs; panics on zero marginals.
+pub fn pmi(f_pair: f64, n_class: f64, f_item: f64, n_total: f64) -> f64 {
+    assert!(n_class > 0.0 && f_item > 0.0 && n_total > 0.0, "zero marginal");
+    let p_pair = f_pair / n_total;
+    let p_class = n_class / n_total;
+    let p_item = f_item / n_total;
+    (p_pair / (p_class * p_item)).log2()
+}
+
+/// Streaming mean/variance (Welford's algorithm) — used to measure the
+/// empirical estimator variance across trials (Fig. 5 computes
+/// `Var[f̂] = (1/t)·Σ (f̂ − f)²`; [`RunningMoments::mse_about`] provides
+/// exactly that form, and `variance()` the centered one).
+#[derive(Debug, Clone, Default)]
+pub struct RunningMoments {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    sum_sq: f64,
+}
+
+impl RunningMoments {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.sum_sq += x * x;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance about the mean (0 when fewer than 2 samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Mean squared deviation about a *known* reference value — the paper's
+    /// variance estimator `1/t·Σ(f̂ − f)²` with `f` the ground truth.
+    pub fn mse_about(&self, reference: f64) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        // E[(x − r)²] = E[x²] − 2r·E[x] + r².
+        self.sum_sq / self.n as f64 - 2.0 * reference * self.mean + reference * reference
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmse_basic() {
+        assert_eq!(rmse(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert!((rmse(&[0.0, 0.0], &[3.0, 4.0]) - (12.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rmse_checks_lengths() {
+        rmse(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn f1_counts_hits() {
+        assert_eq!(f1_at_k(&[1, 2, 3], &[1, 2, 3]), 1.0);
+        assert_eq!(f1_at_k(&[1, 2, 9], &[1, 2, 3]), 2.0 / 3.0);
+        assert_eq!(f1_at_k(&[7, 8, 9], &[1, 2, 3]), 0.0);
+        assert_eq!(f1_at_k(&[1], &[1, 2, 3]), 1.0 / 3.0, "short mined list");
+        assert_eq!(f1_at_k(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn ncr_weights_by_rank() {
+        // Perfect mining: 2·(3+2+1)/(3·4) = 1.
+        assert_eq!(ncr_at_k(&[10, 20, 30], &[10, 20, 30]), 1.0);
+        // Order of `mined` does not matter.
+        assert_eq!(ncr_at_k(&[30, 10, 20], &[10, 20, 30]), 1.0);
+        // Only the true top-1 found: 2·3/12 = 0.5.
+        assert_eq!(ncr_at_k(&[10], &[10, 20, 30]), 0.5);
+        // Only the true 3rd found: 2·1/12.
+        assert!((ncr_at_k(&[30], &[10, 20, 30]) - 1.0 / 6.0).abs() < 1e-12);
+        // Mining the top item is worth more than mining the tail item.
+        assert!(ncr_at_k(&[10], &[10, 20, 30]) > ncr_at_k(&[30], &[10, 20, 30]));
+    }
+
+    #[test]
+    fn pmi_signs() {
+        // Independent: PMI = 0.
+        assert!((pmi(25.0, 50.0, 50.0, 100.0)).abs() < 1e-12);
+        // Positively correlated pair.
+        assert!(pmi(50.0, 50.0, 50.0, 100.0) > 0.0);
+        // Anti-correlated.
+        assert!(pmi(1.0, 50.0, 50.0, 100.0) < 0.0);
+        // Monotone in f_pair.
+        assert!(pmi(40.0, 50.0, 50.0, 100.0) > pmi(30.0, 50.0, 50.0, 100.0));
+    }
+
+    #[test]
+    fn running_moments_match_closed_form() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut rm = RunningMoments::new();
+        for &x in &xs {
+            rm.push(x);
+        }
+        assert_eq!(rm.count(), 8);
+        assert!((rm.mean() - 5.0).abs() < 1e-12);
+        assert!((rm.variance() - 4.0).abs() < 1e-12);
+        // MSE about the mean equals the variance.
+        assert!((rm.mse_about(5.0) - 4.0).abs() < 1e-9);
+        // MSE about 0 equals E[x²].
+        let ex2: f64 = xs.iter().map(|x| x * x).sum::<f64>() / 8.0;
+        assert!((rm.mse_about(0.0) - ex2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn running_moments_empty_and_single() {
+        let mut rm = RunningMoments::new();
+        assert_eq!(rm.variance(), 0.0);
+        assert_eq!(rm.mse_about(3.0), 0.0);
+        rm.push(3.0);
+        assert_eq!(rm.variance(), 0.0);
+        assert!((rm.mse_about(0.0) - 9.0).abs() < 1e-12);
+    }
+}

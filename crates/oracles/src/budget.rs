@@ -1,0 +1,116 @@
+//! Validated privacy budgets.
+//!
+//! The paper splits a total budget ε into ε₁ (label perturbation) and ε₂
+//! (item perturbation) with ε = ε₁ + ε₂ (sequential composition, §IV-B).
+//! [`Eps`] makes that explicit and keeps "budget is finite and positive" a
+//! type-level invariant so mechanisms never have to re-validate.
+
+use crate::{Error, Result};
+
+/// A validated ε-LDP privacy budget (finite, strictly positive).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Eps(f64);
+
+impl Eps {
+    /// Creates a budget, rejecting non-finite or non-positive values.
+    pub fn new(eps: f64) -> Result<Self> {
+        if eps.is_finite() && eps > 0.0 {
+            Ok(Eps(eps))
+        } else {
+            Err(Error::InvalidBudget(eps))
+        }
+    }
+
+    /// The raw ε value.
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// `e^ε`, used pervasively in perturbation probabilities.
+    #[inline]
+    pub fn exp(self) -> f64 {
+        self.0.exp()
+    }
+
+    /// Splits the budget into `(frac·ε, (1−frac)·ε)` for sequential
+    /// composition. `frac` must lie strictly inside `(0, 1)`.
+    ///
+    /// This is the paper's ε = ε₁ + ε₂ split; Fig. 11 sweeps `frac`.
+    pub fn split(self, frac: f64) -> Result<(Eps, Eps)> {
+        if !(frac.is_finite() && frac > 0.0 && frac < 1.0) {
+            return Err(Error::InvalidParameter {
+                name: "frac",
+                constraint: "0 < frac < 1",
+            });
+        }
+        Ok((Eps(self.0 * frac), Eps(self.0 * (1.0 - frac))))
+    }
+
+    /// Splits the budget evenly, the paper's default (ε₁ = ε₂ = ε/2).
+    pub fn halve(self) -> (Eps, Eps) {
+        // 0.5 is always a valid fraction.
+        self.split(0.5).expect("0.5 is a valid split fraction")
+    }
+
+    /// Sum of two budgets (sequential composition in reverse).
+    pub fn compose(self, other: Eps) -> Eps {
+        Eps(self.0 + other.0)
+    }
+}
+
+impl std::fmt::Display for Eps {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ε={}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_budgets() {
+        assert!(Eps::new(0.0).is_err());
+        assert!(Eps::new(-1.0).is_err());
+        assert!(Eps::new(f64::NAN).is_err());
+        assert!(Eps::new(f64::INFINITY).is_err());
+        assert!(Eps::new(1e-9).is_ok());
+    }
+
+    #[test]
+    fn split_sums_to_total() {
+        let eps = Eps::new(3.0).unwrap();
+        let (a, b) = eps.split(0.3).unwrap();
+        assert!((a.value() + b.value() - 3.0).abs() < 1e-12);
+        assert!((a.value() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_rejects_degenerate_fractions() {
+        let eps = Eps::new(1.0).unwrap();
+        assert!(eps.split(0.0).is_err());
+        assert!(eps.split(1.0).is_err());
+        assert!(eps.split(-0.5).is_err());
+        assert!(eps.split(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn halve_is_even() {
+        let (a, b) = Eps::new(4.0).unwrap().halve();
+        assert_eq!(a.value(), 2.0);
+        assert_eq!(b.value(), 2.0);
+    }
+
+    #[test]
+    fn compose_adds() {
+        let a = Eps::new(1.5).unwrap();
+        let b = Eps::new(0.5).unwrap();
+        assert_eq!(a.compose(b).value(), 2.0);
+    }
+
+    #[test]
+    fn display_shows_value() {
+        assert_eq!(Eps::new(2.0).unwrap().to_string(), "ε=2");
+    }
+}

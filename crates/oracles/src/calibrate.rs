@@ -1,0 +1,102 @@
+//! Unbiased count calibration and analytic variances.
+//!
+//! Every LDP frequency oracle in this workspace reports with two
+//! probabilities: `p` — the probability the *true* signal survives — and `q`
+//! — the probability any *other* value is reported (GRR) or any other bit is
+//! set (UE). The observed count of value `v` over `n` users then has
+//! expectation `f(v)·p + (n − f(v))·q`, and the standard unbiased estimator
+//! inverts that affine map (Wang et al., USENIX Security '17):
+//!
+//! ```text
+//! f̂(v) = (c̃(v) − n·q) / (p − q)
+//! ```
+//!
+//! The multi-class estimators of the paper (Eqs. 4 and 6) are built from
+//! repeated applications of this primitive; they live in `mcim-core`.
+
+/// Unbiased frequency estimate from an observed count.
+///
+/// `count` is the raw aggregated count of the value, `n` the number of
+/// reports, `p`/`q` the mechanism's keep/flip probabilities.
+///
+/// Returns `NaN` if `p == q` (a degenerate mechanism that carries no
+/// signal); callers constructing mechanisms through this crate can never
+/// trigger that.
+#[inline]
+pub fn unbiased_count(count: f64, n: f64, p: f64, q: f64) -> f64 {
+    (count - n * q) / (p - q)
+}
+
+/// Variance of the unbiased estimator for a value with true frequency `f`
+/// among `n` reports (exact, from the Binomial mixture):
+///
+/// ```text
+/// Var[f̂] = [f·p(1−p) + (n−f)·q(1−q)] / (p−q)²
+/// ```
+#[inline]
+pub fn estimator_variance(f: f64, n: f64, p: f64, q: f64) -> f64 {
+    (f * p * (1.0 - p) + (n - f) * q * (1.0 - q)) / ((p - q) * (p - q))
+}
+
+/// Approximate variance for a rare value (`f ≈ 0`), the form usually quoted
+/// when comparing mechanisms (e.g. OUE's `4e^ε/(e^ε−1)²·n`).
+#[inline]
+pub fn estimator_variance_rare(n: f64, p: f64, q: f64) -> f64 {
+    estimator_variance(0.0, n, p, q)
+}
+
+/// Clamps estimated frequencies to the feasible range `[0, n]`.
+///
+/// The unbiased estimator can go negative (or exceed `n`) through noise;
+/// ranking tasks keep the raw value, but user-facing frequency tables
+/// usually want the projection.
+#[inline]
+pub fn clamp_frequency(est: f64, n: f64) -> f64 {
+    est.clamp(0.0, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_inverts_expectation() {
+        let (p, q) = (0.75, 0.25);
+        let n = 1000.0;
+        for f in [0.0, 100.0, 999.0] {
+            let expected_count = f * p + (n - f) * q;
+            let est = unbiased_count(expected_count, n, p, q);
+            assert!((est - f).abs() < 1e-9, "f={f} est={est}");
+        }
+    }
+
+    #[test]
+    fn variance_is_positive_and_scales_with_n() {
+        let v1 = estimator_variance(10.0, 1000.0, 0.5, 0.2);
+        let v2 = estimator_variance(10.0, 2000.0, 0.5, 0.2);
+        assert!(v1 > 0.0);
+        assert!(v2 > v1);
+    }
+
+    #[test]
+    fn rare_variance_matches_oue_closed_form() {
+        // For OUE: p = 1/2, q = 1/(e^ε+1) ⇒ Var ≈ n·4e^ε/(e^ε−1)².
+        let eps: f64 = 1.0;
+        let e = eps.exp();
+        let (p, q) = (0.5, 1.0 / (e + 1.0));
+        let n = 10_000.0;
+        let closed = n * 4.0 * e / ((e - 1.0) * (e - 1.0));
+        let ours = estimator_variance_rare(n, p, q);
+        assert!(
+            (ours - closed).abs() / closed < 1e-12,
+            "ours={ours} closed={closed}"
+        );
+    }
+
+    #[test]
+    fn clamp_restricts_range() {
+        assert_eq!(clamp_frequency(-5.0, 100.0), 0.0);
+        assert_eq!(clamp_frequency(42.0, 100.0), 42.0);
+        assert_eq!(clamp_frequency(142.0, 100.0), 100.0);
+    }
+}

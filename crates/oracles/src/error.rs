@@ -1,0 +1,81 @@
+//! Error type shared by the oracle substrate and the layers above it.
+
+use std::fmt;
+
+/// Errors produced while constructing or running LDP mechanisms.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A privacy budget was not a finite positive number.
+    InvalidBudget(f64),
+    /// A domain was empty or otherwise unusable.
+    EmptyDomain,
+    /// An input value fell outside the mechanism's domain.
+    ValueOutOfDomain {
+        /// The offending value.
+        value: u64,
+        /// The (exclusive) domain size.
+        domain: u64,
+    },
+    /// A report was fed to an aggregator built for a different mechanism or
+    /// domain size.
+    ReportMismatch {
+        /// What the aggregator expected (mechanism / length description).
+        expected: &'static str,
+    },
+    /// A configuration parameter was out of range.
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// Human-readable constraint that was violated.
+        constraint: &'static str,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidBudget(eps) => {
+                write!(f, "privacy budget must be a finite positive number, got {eps}")
+            }
+            Error::EmptyDomain => write!(f, "domain must contain at least one value"),
+            Error::ValueOutOfDomain { value, domain } => {
+                write!(f, "value {value} outside domain [0, {domain})")
+            }
+            Error::ReportMismatch { expected } => {
+                write!(f, "report does not match aggregator (expected {expected})")
+            }
+            Error::InvalidParameter { name, constraint } => {
+                write!(f, "parameter `{name}` violates constraint: {constraint}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let msgs = [
+            Error::InvalidBudget(-1.0).to_string(),
+            Error::EmptyDomain.to_string(),
+            Error::ValueOutOfDomain { value: 9, domain: 4 }.to_string(),
+            Error::ReportMismatch { expected: "OUE bits of length 5" }.to_string(),
+            Error::InvalidParameter { name: "k", constraint: "k >= 1" }.to_string(),
+        ];
+        assert!(msgs[0].contains("-1"));
+        assert!(msgs[2].contains("9") && msgs[2].contains("4"));
+        assert!(msgs[3].contains("OUE"));
+        assert!(msgs[4].contains("k"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&Error::EmptyDomain);
+    }
+}

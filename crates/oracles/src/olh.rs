@@ -1,0 +1,188 @@
+//! Optimal Local Hashing (OLH).
+//!
+//! Each user hashes their item into a small domain `g = ⌊e^ε⌋ + 1` with a
+//! per-user seed, then runs GRR(ε) over the hashed domain and reports
+//! `(seed, perturbed hash)`. Server-side, value `v` is *supported* by a
+//! report whenever `hash(seed, v) == reported`, which happens with
+//! probability `p* = p` for the true value and `q* = 1/g` for others (the
+//! flipped-hash mass collapses to `1/g` in expectation).
+//!
+//! OLH matches OUE's variance with `O(log d)`-bit reports; the paper cites
+//! it as the other state-of-the-art oracle (§VIII). The paper's experiments
+//! use OUE/GRR, so OLH here serves the related-work comparison benches.
+
+use rand::Rng;
+
+use crate::hash::seeded_hash;
+use crate::{Eps, Error, Grr, Result};
+
+/// A single OLH report: the user's hash seed and the GRR-perturbed hash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OlhReport {
+    /// Per-user hash seed (public).
+    pub seed: u64,
+    /// GRR-perturbed hash value in `[0, g)`.
+    pub value: u32,
+}
+
+/// The Optimal Local Hashing mechanism over the domain `[0, d)`.
+#[derive(Debug, Clone)]
+pub struct Olh {
+    d: u32,
+    g: u32,
+    inner: Grr,
+}
+
+impl Olh {
+    /// Creates an OLH mechanism with the optimal hash range `g = ⌊e^ε⌋+1`.
+    pub fn new(eps: Eps, d: u32) -> Result<Self> {
+        if d == 0 {
+            return Err(Error::EmptyDomain);
+        }
+        // Guard the cast: beyond ~2^31, g stops mattering and GRR would be
+        // chosen by the adaptive rule anyway.
+        let g = (eps.exp().floor() as u64 + 1).min(u32::MAX as u64) as u32;
+        let g = g.max(2);
+        Ok(Olh {
+            d,
+            g,
+            inner: Grr::new(eps, g)?,
+        })
+    }
+
+    /// Item domain size.
+    #[inline]
+    pub fn domain_size(&self) -> u32 {
+        self.d
+    }
+
+    /// Hash range `g`.
+    #[inline]
+    pub fn g(&self) -> u32 {
+        self.g
+    }
+
+    /// Probability a report supports its own true value.
+    #[inline]
+    pub fn support_p(&self) -> f64 {
+        self.inner.p()
+    }
+
+    /// Probability a report supports an unrelated value.
+    #[inline]
+    pub fn support_q(&self) -> f64 {
+        1.0 / self.g as f64
+    }
+
+    /// Report size in bits: 64-bit seed + hashed value.
+    #[inline]
+    pub fn report_bits(&self) -> usize {
+        64 + (32 - (self.g - 1).leading_zeros()).max(1) as usize
+    }
+
+    /// Privatizes item `v` with a fresh random seed.
+    pub fn privatize<R: Rng + ?Sized>(&self, v: u32, rng: &mut R) -> Result<OlhReport> {
+        if v >= self.d {
+            return Err(Error::ValueOutOfDomain {
+                value: v as u64,
+                domain: self.d as u64,
+            });
+        }
+        let seed: u64 = rng.random();
+        let hashed = seeded_hash(seed, v as u64, self.g as u64) as u32;
+        Ok(OlhReport {
+            seed,
+            value: self.inner.perturb(hashed, rng)?,
+        })
+    }
+
+    /// Whether `report` supports domain value `v`.
+    #[inline]
+    pub fn supports(&self, report: &OlhReport, v: u32) -> bool {
+        seeded_hash(report.seed, v as u64, self.g as u64) as u32 == report.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn eps(v: f64) -> Eps {
+        Eps::new(v).unwrap()
+    }
+
+    #[test]
+    fn g_matches_formula() {
+        assert_eq!(Olh::new(eps(1.0), 100).unwrap().g(), 3); // floor(e)+1
+        assert_eq!(Olh::new(eps(2.0), 100).unwrap().g(), 8); // floor(e²)+1
+    }
+
+    #[test]
+    fn support_probabilities_empirical() {
+        let m = Olh::new(eps(1.0), 50).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 50_000;
+        let mut own = 0usize;
+        let mut other = 0usize;
+        for _ in 0..n {
+            let r = m.privatize(7, &mut rng).unwrap();
+            if m.supports(&r, 7) {
+                own += 1;
+            }
+            if m.supports(&r, 8) {
+                other += 1;
+            }
+        }
+        let own_rate = own as f64 / n as f64;
+        let other_rate = other as f64 / n as f64;
+        assert!(
+            (own_rate - m.support_p()).abs() < 0.01,
+            "own {own_rate} vs p* {}",
+            m.support_p()
+        );
+        assert!(
+            (other_rate - m.support_q()).abs() < 0.01,
+            "other {other_rate} vs q* {}",
+            m.support_q()
+        );
+    }
+
+    #[test]
+    fn unbiased_estimate_end_to_end() {
+        use crate::calibrate::unbiased_count;
+        let d = 20u32;
+        let m = Olh::new(eps(2.0), d).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 40_000usize;
+        // 70% hold item 2, 30% item 9.
+        let mut support = vec![0f64; d as usize];
+        for u in 0..n {
+            let item = if u % 10 < 7 { 2 } else { 9 };
+            let r = m.privatize(item, &mut rng).unwrap();
+            for v in 0..d {
+                if m.supports(&r, v) {
+                    support[v as usize] += 1.0;
+                }
+            }
+        }
+        let est2 = unbiased_count(support[2], n as f64, m.support_p(), m.support_q());
+        let est9 = unbiased_count(support[9], n as f64, m.support_p(), m.support_q());
+        assert!((est2 - 0.7 * n as f64).abs() < 0.05 * n as f64, "est2={est2}");
+        assert!((est9 - 0.3 * n as f64).abs() < 0.05 * n as f64, "est9={est9}");
+    }
+
+    #[test]
+    fn rejects_out_of_domain() {
+        let m = Olh::new(eps(1.0), 4).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(m.privatize(4, &mut rng).is_err());
+    }
+
+    #[test]
+    fn report_bits_accounting() {
+        let m = Olh::new(eps(1.0), 1000).unwrap(); // g = 3 → 2 bits + 64 seed
+        assert_eq!(m.report_bits(), 66);
+    }
+}

@@ -1,0 +1,326 @@
+//! The unified oracle interface and server-side aggregation.
+//!
+//! The paper's frameworks are generic over "an LDP mechanism" chosen
+//! adaptively by domain size (GRR for small domains, OUE for large — Wang et
+//! al.'s rule `d < 3e^ε + 2`, quoted verbatim in §VII-D). [`Oracle`] is that
+//! closed sum of mechanisms, and [`Aggregator`] is the matching streaming
+//! server state: reports are absorbed one by one so the server never holds
+//! all raw reports in memory.
+
+use rand::Rng;
+
+use crate::calibrate::unbiased_count;
+use crate::{BitVec, Eps, Error, Grr, Olh, OlhReport, Result, UnaryEncoding};
+
+/// A frequency oracle: one of the concrete LDP mechanisms.
+#[derive(Debug, Clone)]
+pub enum Oracle {
+    /// Generalized random response.
+    Grr(Grr),
+    /// Unary encoding (SUE or OUE).
+    Ue(UnaryEncoding),
+    /// Optimal local hashing.
+    Olh(Olh),
+}
+
+/// A single privatized report, matching the oracle that produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Report {
+    /// GRR output value.
+    Value(u32),
+    /// Unary-encoded perturbed bits.
+    Bits(BitVec),
+    /// OLH seed + perturbed hash.
+    Hashed(OlhReport),
+}
+
+impl Report {
+    /// Communication cost of this report in bits.
+    pub fn size_bits(&self) -> usize {
+        match self {
+            Report::Value(_) => 32,
+            Report::Bits(b) => b.len(),
+            Report::Hashed(_) => 64 + 32,
+        }
+    }
+}
+
+impl Oracle {
+    /// The adaptive mechanism of Wang et al.: GRR iff `d < 3e^ε + 2`,
+    /// otherwise OUE. This is the oracle the paper plugs into HEC and PTJ.
+    pub fn adaptive(eps: Eps, d: u32) -> Result<Self> {
+        if (d as f64) < 3.0 * eps.exp() + 2.0 {
+            Ok(Oracle::Grr(Grr::new(eps, d)?))
+        } else {
+            Ok(Oracle::Ue(UnaryEncoding::optimized(eps, d)?))
+        }
+    }
+
+    /// Forces GRR.
+    pub fn grr(eps: Eps, d: u32) -> Result<Self> {
+        Ok(Oracle::Grr(Grr::new(eps, d)?))
+    }
+
+    /// Forces OUE.
+    pub fn oue(eps: Eps, d: u32) -> Result<Self> {
+        Ok(Oracle::Ue(UnaryEncoding::optimized(eps, d)?))
+    }
+
+    /// Forces OLH.
+    pub fn olh(eps: Eps, d: u32) -> Result<Self> {
+        Ok(Oracle::Olh(Olh::new(eps, d)?))
+    }
+
+    /// Domain size `d`.
+    pub fn domain_size(&self) -> u32 {
+        match self {
+            Oracle::Grr(m) => m.domain_size(),
+            Oracle::Ue(m) => m.domain_size(),
+            Oracle::Olh(m) => m.domain_size(),
+        }
+    }
+
+    /// Probability the true signal survives ("support p").
+    pub fn p(&self) -> f64 {
+        match self {
+            Oracle::Grr(m) => m.p(),
+            Oracle::Ue(m) => m.p(),
+            Oracle::Olh(m) => m.support_p(),
+        }
+    }
+
+    /// Probability an unrelated value is supported ("support q").
+    pub fn q(&self) -> f64 {
+        match self {
+            Oracle::Grr(m) => m.q(),
+            Oracle::Ue(m) => m.q(),
+            Oracle::Olh(m) => m.support_q(),
+        }
+    }
+
+    /// Per-user report size in bits.
+    pub fn report_bits(&self) -> usize {
+        match self {
+            Oracle::Grr(m) => m.report_bits(),
+            Oracle::Ue(m) => m.report_bits(),
+            Oracle::Olh(m) => m.report_bits(),
+        }
+    }
+
+    /// Privatizes a single value.
+    pub fn privatize<R: Rng + ?Sized>(&self, v: u32, rng: &mut R) -> Result<Report> {
+        match self {
+            Oracle::Grr(m) => Ok(Report::Value(m.perturb(v, rng)?)),
+            Oracle::Ue(m) => Ok(Report::Bits(m.privatize(v, rng)?)),
+            Oracle::Olh(m) => Ok(Report::Hashed(m.privatize(v, rng)?)),
+        }
+    }
+
+    /// Short name for logs and benchmark tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Oracle::Grr(_) => "GRR",
+            Oracle::Ue(m) => match m.kind() {
+                crate::ue::UeKind::Optimized => "OUE",
+                crate::ue::UeKind::Symmetric => "SUE",
+            },
+            Oracle::Olh(_) => "OLH",
+        }
+    }
+}
+
+/// Streaming server-side aggregation for one oracle.
+///
+/// Counts supports per domain value; [`Aggregator::estimate`] applies the
+/// unbiased calibration `(c − n·q)/(p − q)`.
+#[derive(Debug, Clone)]
+pub struct Aggregator {
+    oracle: Oracle,
+    counts: Vec<u64>,
+    n: u64,
+}
+
+impl Aggregator {
+    /// Creates an empty aggregator for `oracle`.
+    pub fn new(oracle: &Oracle) -> Self {
+        Aggregator {
+            oracle: oracle.clone(),
+            counts: vec![0; oracle.domain_size() as usize],
+            n: 0,
+        }
+    }
+
+    /// Absorbs one report.
+    pub fn absorb(&mut self, report: &Report) -> Result<()> {
+        match (&self.oracle, report) {
+            (Oracle::Grr(_), Report::Value(v)) => {
+                let idx = *v as usize;
+                if idx >= self.counts.len() {
+                    return Err(Error::ValueOutOfDomain {
+                        value: *v as u64,
+                        domain: self.counts.len() as u64,
+                    });
+                }
+                self.counts[idx] += 1;
+            }
+            (Oracle::Ue(m), Report::Bits(bits)) => {
+                if bits.len() != m.domain_size() as usize {
+                    return Err(Error::ReportMismatch {
+                        expected: "UE bits of the aggregator's domain length",
+                    });
+                }
+                for i in bits.iter_ones() {
+                    self.counts[i] += 1;
+                }
+            }
+            (Oracle::Olh(m), Report::Hashed(r)) => {
+                // O(d) per report: OLH's documented server cost.
+                for v in 0..m.domain_size() {
+                    if m.supports(r, v) {
+                        self.counts[v as usize] += 1;
+                    }
+                }
+            }
+            _ => {
+                return Err(Error::ReportMismatch {
+                    expected: "report variant matching the aggregator's oracle",
+                })
+            }
+        }
+        self.n += 1;
+        Ok(())
+    }
+
+    /// Number of absorbed reports.
+    #[inline]
+    pub fn report_count(&self) -> u64 {
+        self.n
+    }
+
+    /// Raw (uncalibrated) support counts.
+    pub fn raw_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Unbiased frequency estimates for every domain value.
+    pub fn estimate(&self) -> Vec<f64> {
+        let n = self.n as f64;
+        let (p, q) = (self.oracle.p(), self.oracle.q());
+        self.counts
+            .iter()
+            .map(|&c| unbiased_count(c as f64, n, p, q))
+            .collect()
+    }
+
+    /// Merges another aggregator over the same oracle (for sharded
+    /// aggregation across threads).
+    pub fn merge(&mut self, other: &Aggregator) -> Result<()> {
+        if self.counts.len() != other.counts.len() {
+            return Err(Error::ReportMismatch {
+                expected: "aggregator with identical domain",
+            });
+        }
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.n += other.n;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn eps(v: f64) -> Eps {
+        Eps::new(v).unwrap()
+    }
+
+    #[test]
+    fn adaptive_rule_matches_paper() {
+        // d < 3e^ε + 2 → GRR, else OUE.
+        let e = 1.0f64;
+        let threshold = 3.0 * e.exp() + 2.0; // ≈ 10.15
+        let small = Oracle::adaptive(eps(e), 10).unwrap();
+        let large = Oracle::adaptive(eps(e), 11).unwrap();
+        assert_eq!(small.name(), "GRR", "d=10 < {threshold}");
+        assert_eq!(large.name(), "OUE", "d=11 > {threshold}");
+    }
+
+    #[test]
+    fn grr_roundtrip_estimation() {
+        let oracle = Oracle::grr(eps(2.0), 6).unwrap();
+        let mut agg = Aggregator::new(&oracle);
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 30_000;
+        for u in 0..n {
+            let item = (u % 3) as u32; // uniform over {0,1,2}
+            agg.absorb(&oracle.privatize(item, &mut rng).unwrap()).unwrap();
+        }
+        let est = agg.estimate();
+        for (v, e) in est.iter().enumerate() {
+            let expected = if v < 3 { n as f64 / 3.0 } else { 0.0 };
+            assert!((e - expected).abs() < 0.05 * n as f64, "v={v} est={e}");
+        }
+    }
+
+    #[test]
+    fn oue_roundtrip_estimation() {
+        let oracle = Oracle::oue(eps(1.0), 128).unwrap();
+        let mut agg = Aggregator::new(&oracle);
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 30_000;
+        for _ in 0..n {
+            agg.absorb(&oracle.privatize(100, &mut rng).unwrap()).unwrap();
+        }
+        let est = agg.estimate();
+        assert!((est[100] - n as f64).abs() < 0.05 * n as f64);
+        assert!(est[0].abs() < 0.05 * n as f64);
+    }
+
+    #[test]
+    fn olh_roundtrip_estimation() {
+        let oracle = Oracle::olh(eps(2.0), 32).unwrap();
+        let mut agg = Aggregator::new(&oracle);
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 30_000;
+        for _ in 0..n {
+            agg.absorb(&oracle.privatize(9, &mut rng).unwrap()).unwrap();
+        }
+        let est = agg.estimate();
+        assert!((est[9] - n as f64).abs() < 0.06 * n as f64, "est={}", est[9]);
+    }
+
+    #[test]
+    fn mismatched_report_rejected() {
+        let oracle = Oracle::grr(eps(1.0), 4).unwrap();
+        let mut agg = Aggregator::new(&oracle);
+        let err = agg.absorb(&Report::Bits(BitVec::zeros(4))).unwrap_err();
+        assert!(matches!(err, Error::ReportMismatch { .. }));
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let oracle = Oracle::grr(eps(1.0), 4).unwrap();
+        let mut a = Aggregator::new(&oracle);
+        let mut b = Aggregator::new(&oracle);
+        a.absorb(&Report::Value(1)).unwrap();
+        b.absorb(&Report::Value(1)).unwrap();
+        b.absorb(&Report::Value(2)).unwrap();
+        a.merge(&b).unwrap();
+        assert_eq!(a.report_count(), 3);
+        assert_eq!(a.raw_counts(), &[0, 2, 1, 0]);
+    }
+
+    #[test]
+    fn report_sizes() {
+        assert_eq!(
+            Oracle::oue(eps(1.0), 100).unwrap().report_bits(),
+            100,
+            "OUE sends one bit per item"
+        );
+        assert!(Oracle::grr(eps(1.0), 100).unwrap().report_bits() <= 7 + 1);
+    }
+}

@@ -1,0 +1,293 @@
+//! Unary encoding (one-hot) mechanisms: SUE and OUE.
+//!
+//! An item `v ∈ [0, d)` is encoded as a `d`-bit one-hot vector; each bit is
+//! flipped independently (§II-B):
+//!
+//! ```text
+//! Pr[B′[i] = 1] = p  if B[i] = 1
+//! Pr[B′[i] = 1] = q  if B[i] = 0
+//! ```
+//!
+//! * **Symmetric UE (SUE / basic RAPPOR)**: `p = e^{ε/2}/(e^{ε/2}+1)`,
+//!   `q = 1 − p`.
+//! * **Optimized UE (OUE)**: `p = 1/2`, `q = 1/(e^ε+1)` — minimizes the
+//!   estimator variance for rare values (Wang et al.).
+//!
+//! Both satisfy ε-LDP with `ε = ln[p(1−q) / ((1−p)q)]` (Theorem 1 of the
+//! paper, which re-uses this bound for validity perturbation).
+
+use rand::Rng;
+
+use crate::{BitVec, Eps, Error, Result};
+
+/// Which UE parameterization to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UeKind {
+    /// Symmetric flip probabilities (`p + q = 1`).
+    Symmetric,
+    /// Optimized-for-variance probabilities (`p = 1/2`).
+    Optimized,
+}
+
+/// A unary-encoding mechanism over the domain `[0, d)`.
+#[derive(Debug, Clone)]
+pub struct UnaryEncoding {
+    d: u32,
+    eps: Eps,
+    kind: UeKind,
+    p: f64,
+    q: f64,
+}
+
+impl UnaryEncoding {
+    /// Creates an **OUE** mechanism (`p = 1/2`, `q = 1/(e^ε+1)`).
+    pub fn optimized(eps: Eps, d: u32) -> Result<Self> {
+        if d == 0 {
+            return Err(Error::EmptyDomain);
+        }
+        Ok(UnaryEncoding {
+            d,
+            eps,
+            kind: UeKind::Optimized,
+            p: 0.5,
+            q: 1.0 / (eps.exp() + 1.0),
+        })
+    }
+
+    /// Creates a **SUE** mechanism (`p = e^{ε/2}/(e^{ε/2}+1)`, `q = 1 − p`).
+    pub fn symmetric(eps: Eps, d: u32) -> Result<Self> {
+        if d == 0 {
+            return Err(Error::EmptyDomain);
+        }
+        let half = (eps.value() / 2.0).exp();
+        let p = half / (half + 1.0);
+        Ok(UnaryEncoding {
+            d,
+            eps,
+            kind: UeKind::Symmetric,
+            p,
+            q: 1.0 - p,
+        })
+    }
+
+    /// Domain size.
+    #[inline]
+    pub fn domain_size(&self) -> u32 {
+        self.d
+    }
+
+    /// Probability a set bit stays set.
+    #[inline]
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Probability a clear bit becomes set.
+    #[inline]
+    pub fn q(&self) -> f64 {
+        self.q
+    }
+
+    /// The nominal privacy budget.
+    #[inline]
+    pub fn eps(&self) -> Eps {
+        self.eps
+    }
+
+    /// Which parameterization this mechanism uses.
+    #[inline]
+    pub fn kind(&self) -> UeKind {
+        self.kind
+    }
+
+    /// The exact ε this mechanism satisfies: `ln[p(1−q)/((1−p)q)]`.
+    pub fn effective_eps(&self) -> f64 {
+        ((self.p * (1.0 - self.q)) / ((1.0 - self.p) * self.q)).ln()
+    }
+
+    /// Report size in bits.
+    #[inline]
+    pub fn report_bits(&self) -> usize {
+        self.d as usize
+    }
+
+    /// Encodes and perturbs item `v`.
+    pub fn privatize<R: Rng + ?Sized>(&self, v: u32, rng: &mut R) -> Result<BitVec> {
+        if v >= self.d {
+            return Err(Error::ValueOutOfDomain {
+                value: v as u64,
+                domain: self.d as u64,
+            });
+        }
+        let mut bits = BitVec::zeros(self.d as usize);
+        bits.fill_bernoulli(self.q, rng);
+        bits.set(v as usize, rng.random_bool(self.p));
+        Ok(bits)
+    }
+
+    /// Perturbs an *already encoded* bit vector of length `d`.
+    ///
+    /// Needed by layers that encode specially (the paper's validity
+    /// perturbation encodes invalid items on an extra flag bit and then
+    /// applies exactly this bit-flipping step).
+    pub fn perturb_bits<R: Rng + ?Sized>(&self, encoded: &BitVec, rng: &mut R) -> Result<BitVec> {
+        if encoded.len() != self.d as usize {
+            return Err(Error::ReportMismatch {
+                expected: "bit vector of the mechanism's domain length",
+            });
+        }
+        let mut out = BitVec::zeros(encoded.len());
+        out.fill_bernoulli(self.q, rng);
+        for i in encoded.iter_ones() {
+            out.set(i, rng.random_bool(self.p));
+        }
+        Ok(out)
+    }
+
+    /// Exact probability of producing output vector `out` from input item
+    /// `v` — for privacy-enumeration tests (small `d` only: O(d) here, the
+    /// caller enumerates `2^d` outputs).
+    pub fn response_probability(&self, v: u32, out: &BitVec) -> f64 {
+        assert_eq!(out.len(), self.d as usize);
+        let mut prob = 1.0;
+        for i in 0..self.d as usize {
+            let bit = out.get(i);
+            let keep_prob = if i == v as usize { self.p } else { self.q };
+            prob *= if bit { keep_prob } else { 1.0 - keep_prob };
+        }
+        prob
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn eps(v: f64) -> Eps {
+        Eps::new(v).unwrap()
+    }
+
+    #[test]
+    fn oue_parameters() {
+        let m = UnaryEncoding::optimized(eps(1.0), 10).unwrap();
+        assert_eq!(m.p(), 0.5);
+        assert!((m.q() - 1.0 / (1f64.exp() + 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sue_parameters_are_symmetric() {
+        let m = UnaryEncoding::symmetric(eps(2.0), 10).unwrap();
+        assert!((m.p() + m.q() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn effective_eps_matches_nominal() {
+        for e in [0.5, 1.0, 2.0, 4.0] {
+            for m in [
+                UnaryEncoding::optimized(eps(e), 5).unwrap(),
+                UnaryEncoding::symmetric(eps(e), 5).unwrap(),
+            ] {
+                assert!(
+                    (m.effective_eps() - e).abs() < 1e-9,
+                    "kind {:?} e={e} got {}",
+                    m.kind(),
+                    m.effective_eps()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn privatize_rejects_out_of_domain() {
+        let m = UnaryEncoding::optimized(eps(1.0), 4).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(m.privatize(4, &mut rng).is_err());
+    }
+
+    #[test]
+    fn privatize_bit_rates() {
+        let m = UnaryEncoding::optimized(eps(1.0), 64).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let mut set_true = 0usize;
+        let mut set_false = 0usize;
+        for _ in 0..n {
+            let bits = m.privatize(7, &mut rng).unwrap();
+            if bits.get(7) {
+                set_true += 1;
+            }
+            set_false += bits.count_ones() - usize::from(bits.get(7));
+        }
+        let p_hat = set_true as f64 / n as f64;
+        let q_hat = set_false as f64 / (n * 63) as f64;
+        assert!((p_hat - m.p()).abs() < 0.02, "p_hat={p_hat}");
+        assert!((q_hat - m.q()).abs() < 0.005, "q_hat={q_hat}");
+    }
+
+    #[test]
+    fn perturb_bits_matches_privatize_distribution() {
+        let m = UnaryEncoding::optimized(eps(1.0), 16).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let encoded = BitVec::one_hot(16, 3);
+        let n = 20_000;
+        let mut kept = 0;
+        for _ in 0..n {
+            if m.perturb_bits(&encoded, &mut rng).unwrap().get(3) {
+                kept += 1;
+            }
+        }
+        assert!((kept as f64 / n as f64 - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn perturb_bits_length_checked() {
+        let m = UnaryEncoding::optimized(eps(1.0), 16).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(m.perturb_bits(&BitVec::zeros(8), &mut rng).is_err());
+    }
+
+    #[test]
+    fn response_probabilities_sum_to_one_small_domain() {
+        // Enumerate all 2^4 outputs for d = 4.
+        let m = UnaryEncoding::optimized(eps(1.0), 4).unwrap();
+        for v in 0..4u32 {
+            let mut total = 0.0;
+            for mask in 0..16u32 {
+                let mut out = BitVec::zeros(4);
+                for i in 0..4 {
+                    if (mask >> i) & 1 == 1 {
+                        out.set(i, true);
+                    }
+                }
+                total += m.response_probability(v, &out);
+            }
+            assert!((total - 1.0).abs() < 1e-12, "v={v} total={total}");
+        }
+    }
+
+    #[test]
+    fn ldp_bound_by_enumeration() {
+        // max over outputs of P(out|v)/P(out|v') must be ≤ e^ε.
+        let e = 1.2;
+        let m = UnaryEncoding::optimized(eps(e), 4).unwrap();
+        let mut worst: f64 = 0.0;
+        for v1 in 0..4u32 {
+            for v2 in 0..4u32 {
+                for mask in 0..16u32 {
+                    let mut out = BitVec::zeros(4);
+                    for i in 0..4 {
+                        if (mask >> i) & 1 == 1 {
+                            out.set(i, true);
+                        }
+                    }
+                    let r = m.response_probability(v1, &out) / m.response_probability(v2, &out);
+                    worst = worst.max(r);
+                }
+            }
+        }
+        assert!(worst <= e.exp() * (1.0 + 1e-9), "worst ratio {worst}");
+        assert!(worst >= e.exp() * (1.0 - 1e-9), "bound should be tight");
+    }
+}

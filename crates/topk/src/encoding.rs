@@ -1,0 +1,132 @@
+//! Bit-prefix encoding of items for trie-based mining (§VI-B).
+//!
+//! PEM converts top-k mining into frequent-sequence mining: items become
+//! `ℓ = ⌈log₂ d⌉`-bit strings and the trie expands from short prefixes to
+//! full-length codes. A prefix of length `s` is stored as the integer formed
+//! by the top `s` bits.
+
+/// Fixed-width binary code for a domain of `d` items.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefixCode {
+    bits: u32,
+    domain: u32,
+}
+
+impl PrefixCode {
+    /// Creates the code for domain `[0, d)`; `ℓ = ⌈log₂ d⌉` (min 1).
+    ///
+    /// # Panics
+    /// Panics if `d == 0`.
+    pub fn for_domain(d: u32) -> Self {
+        assert!(d > 0, "domain must be non-empty");
+        let bits = if d <= 1 { 1 } else { 32 - (d - 1).leading_zeros() };
+        PrefixCode { bits, domain: d }
+    }
+
+    /// Code length `ℓ` in bits.
+    #[inline]
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// The item domain size.
+    #[inline]
+    pub fn domain(&self) -> u32 {
+        self.domain
+    }
+
+    /// The length-`len` prefix of `item` (top `len` bits of its ℓ-bit code).
+    ///
+    /// # Panics
+    /// Panics if `len > ℓ`.
+    #[inline]
+    pub fn prefix(&self, item: u32, len: u32) -> u32 {
+        assert!(len <= self.bits, "prefix length {len} exceeds code length");
+        if len == 0 {
+            0
+        } else {
+            item >> (self.bits - len)
+        }
+    }
+
+    /// Extends `prefix` (length `len`) by `extend` bits: returns the range
+    /// of child prefixes of length `len + extend`.
+    #[inline]
+    pub fn children(&self, prefix: u32, extend: u32) -> std::ops::Range<u32> {
+        let base = prefix << extend;
+        base..base + (1 << extend)
+    }
+
+    /// Whether a full-length code corresponds to a real item (< d).
+    #[inline]
+    pub fn is_real_item(&self, code: u32) -> bool {
+        code < self.domain
+    }
+
+    /// All prefixes of length `len` that have at least one real item
+    /// beneath them.
+    pub fn live_prefixes(&self, len: u32) -> Vec<u32> {
+        assert!(len <= self.bits);
+        let last = self.prefix(self.domain - 1, len);
+        (0..=last).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_lengths() {
+        assert_eq!(PrefixCode::for_domain(1).bits(), 1);
+        assert_eq!(PrefixCode::for_domain(2).bits(), 1);
+        assert_eq!(PrefixCode::for_domain(3).bits(), 2);
+        assert_eq!(PrefixCode::for_domain(1024).bits(), 10);
+        assert_eq!(PrefixCode::for_domain(1025).bits(), 11);
+    }
+
+    #[test]
+    fn prefixes_nest() {
+        let code = PrefixCode::for_domain(256); // ℓ = 8
+        let item = 0b1011_0110u32;
+        assert_eq!(code.prefix(item, 0), 0);
+        assert_eq!(code.prefix(item, 1), 0b1);
+        assert_eq!(code.prefix(item, 4), 0b1011);
+        assert_eq!(code.prefix(item, 8), item);
+        // A longer prefix extends the shorter one.
+        for len in 1..8 {
+            assert_eq!(code.prefix(item, len), code.prefix(item, len + 1) >> 1);
+        }
+    }
+
+    #[test]
+    fn children_cover_exactly_the_subtree() {
+        let code = PrefixCode::for_domain(256);
+        let kids: Vec<u32> = code.children(0b101, 2).collect();
+        assert_eq!(kids, vec![0b10100, 0b10101, 0b10110, 0b10111]);
+        // Every item whose 5-bit prefix is a child has 3-bit prefix 0b101.
+        for &kid in &kids {
+            assert_eq!(kid >> 2, 0b101);
+        }
+    }
+
+    #[test]
+    fn live_prefixes_trim_empty_subtrees() {
+        // d = 5 → ℓ = 3; codes 0..=4. Length-2 prefixes: 0b00, 0b01, 0b10
+        // (items 0-1, 2-3, 4) — 0b11 has no item.
+        let code = PrefixCode::for_domain(5);
+        assert_eq!(code.live_prefixes(2), vec![0, 1, 2]);
+        assert_eq!(code.live_prefixes(3), vec![0, 1, 2, 3, 4]);
+        assert!(code.is_real_item(4));
+        assert!(!code.is_real_item(5));
+    }
+
+    #[test]
+    fn non_power_of_two_round_trip() {
+        let code = PrefixCode::for_domain(1000); // ℓ = 10
+        for item in [0u32, 1, 511, 999] {
+            assert_eq!(code.prefix(item, 10), item);
+            assert!(code.is_real_item(item));
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! # mcim-topk
+//!
+//! Multi-class top-k item mining under LDP (§VI-B of *Multi-class Item
+//! Mining under Local Differential Privacy*, ICDE 2025).
+//!
+//! Substrate and contribution in one crate:
+//!
+//! * [`encoding`] — bit-prefix codes for trie mining,
+//! * [`pem`] — the PEM prefix-extension baseline (Wang et al. TDSC 2021),
+//!   with optional validity perturbation,
+//! * [`shuffle`] — the paper's seeded bucket-shuffling scheme with
+//!   user-side candidate reconstruction (Fig. 4),
+//! * [`multiclass`] — HEC / PTJ / PTS top-k methods, including the full
+//!   Algorithms 1 & 2 pipeline (`PTS-Shuffling+VP+CP`) and every Table III
+//!   ablation.
+//!
+//! ```
+//! use mcim_core::{Domains, LabelItem};
+//! use mcim_oracles::Eps;
+//! use mcim_topk::{mine, TopKConfig, TopKMethod};
+//! use rand::SeedableRng;
+//!
+//! // Two classes with distinct favourite items.
+//! let domains = Domains::new(2, 32).unwrap();
+//! let data: Vec<LabelItem> = (0..40_000)
+//!     .map(|u| {
+//!         let label = (u % 2) as u32;
+//!         let item = if u % 3 == 0 { label * 16 + 1 } else { label * 16 };
+//!         LabelItem::new(label, item)
+//!     })
+//!     .collect();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+//! let result = mine(
+//!     TopKMethod::PtsShuffled { validity: true, global: true, correlated: true },
+//!     TopKConfig::new(2, Eps::new(8.0).unwrap()),
+//!     domains,
+//!     &data,
+//!     &mut rng,
+//! )
+//! .unwrap();
+//! assert!(result.per_class[0].contains(&0));
+//! assert!(result.per_class[1].contains(&16));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod encoding;
+pub mod multiclass;
+pub mod pem;
+pub mod shuffle;
+
+pub use multiclass::{mine, NoiseTest, TopKConfig, TopKMethod, TopKResult};
+pub use pem::{Pem, PemConfig, PemEngine, PemOutcome};
+pub use shuffle::{replay, CompletedRound, ShuffleEngine};

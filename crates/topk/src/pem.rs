@@ -1,0 +1,509 @@
+//! PEM — the Prefix Extending Method baseline (Wang et al., TDSC 2021),
+//! the state-of-the-art trie-based heavy-hitter miner the paper builds on
+//! and compares against (§VI-B).
+//!
+//! Items are `ℓ`-bit codes; mining proceeds over rounds. Round `r` estimates
+//! the frequencies of the current candidate prefixes using a fresh group of
+//! users and the adaptive frequency oracle, keeps the heaviest `2k`, and
+//! extends them by `m` bits. The last round works on full-length codes and
+//! keeps `k`.
+//!
+//! Two paper-relevant details are configurable:
+//!
+//! * **invalid handling** — a user whose prefix was pruned (or whose item
+//!   is invalid for the class being mined) substitutes a uniformly random
+//!   candidate in vanilla PEM; with `validity = true` the engine instead
+//!   uses the paper's validity perturbation (§IV-A).
+//! * the engine can start from an externally supplied candidate set (the
+//!   "globally frequent candidates" optimization of Algorithm 1).
+
+use std::collections::HashMap;
+
+use rand::Rng;
+
+use mcim_core::{CommStats, ValidityInput, ValidityPerturbation, VpAggregator};
+use mcim_oracles::{Aggregator, Eps, Error, Oracle, Result};
+
+use crate::encoding::PrefixCode;
+
+/// PEM tuning parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct PemConfig {
+    /// Number of items to mine.
+    pub k: usize,
+    /// Bits added to surviving prefixes per round (`m`, default 1).
+    pub extend_bits: u32,
+    /// Candidates kept per intermediate round, as a multiple of `k`
+    /// (default 2 — the paper's "top 2·k buckets").
+    pub keep_factor: usize,
+    /// Use validity perturbation instead of random-candidate substitution.
+    pub validity: bool,
+}
+
+impl PemConfig {
+    /// Vanilla PEM with the paper's defaults.
+    pub fn new(k: usize) -> Self {
+        PemConfig {
+            k,
+            extend_bits: 1,
+            keep_factor: 2,
+            validity: false,
+        }
+    }
+
+    /// Enables validity perturbation for invalid users.
+    pub fn with_validity(mut self) -> Self {
+        self.validity = true;
+        self
+    }
+}
+
+/// The incremental PEM state machine. Feed each round a fresh user group.
+#[derive(Debug, Clone)]
+pub struct PemEngine {
+    code: PrefixCode,
+    config: PemConfig,
+    /// Current candidate prefixes (sorted, deduplicated).
+    candidates: Vec<u32>,
+    prefix_len: u32,
+    /// Scores of `candidates` from the most recent round.
+    last_scores: Vec<f64>,
+    finished: bool,
+}
+
+impl PemEngine {
+    /// Creates an engine over item domain `[0, d)` starting from all
+    /// prefixes of length `γ₀ = min(⌈log₂ 4k⌉, ℓ)`.
+    pub fn new(d: u32, config: PemConfig) -> Result<Self> {
+        if config.k == 0 {
+            return Err(Error::InvalidParameter {
+                name: "k",
+                constraint: "k >= 1",
+            });
+        }
+        if d == 0 {
+            return Err(Error::EmptyDomain);
+        }
+        let code = PrefixCode::for_domain(d);
+        let gamma0 = PrefixCode::for_domain((4 * config.k as u64).min(u32::MAX as u64) as u32)
+            .bits()
+            .min(code.bits());
+        let candidates = code.live_prefixes(gamma0);
+        Ok(PemEngine {
+            code,
+            config,
+            candidates,
+            prefix_len: gamma0,
+            last_scores: Vec::new(),
+            finished: false,
+        })
+    }
+
+    /// Creates an engine that *resumes* from externally mined candidates of
+    /// length `prefix_len` (Algorithm 1's global candidates).
+    pub fn resume(
+        d: u32,
+        config: PemConfig,
+        candidates: Vec<u32>,
+        prefix_len: u32,
+    ) -> Result<Self> {
+        let code = PrefixCode::for_domain(d);
+        if prefix_len > code.bits() || candidates.is_empty() {
+            return Err(Error::InvalidParameter {
+                name: "candidates",
+                constraint: "non-empty candidate set with prefix_len <= code length",
+            });
+        }
+        Ok(PemEngine {
+            code,
+            config,
+            candidates,
+            prefix_len,
+            last_scores: Vec::new(),
+            finished: false,
+        })
+    }
+
+    /// Remaining rounds, counting the final full-length round.
+    pub fn remaining_rounds(&self) -> usize {
+        if self.finished {
+            return 0;
+        }
+        let gap = self.code.bits() - self.prefix_len;
+        1 + gap.div_ceil(self.config.extend_bits) as usize
+    }
+
+    /// Whether the next round is the final (full-length) one.
+    pub fn is_final_round(&self) -> bool {
+        !self.finished && self.prefix_len == self.code.bits()
+    }
+
+    /// Current candidate prefixes.
+    pub fn candidates(&self) -> &[u32] {
+        &self.candidates
+    }
+
+    /// Current prefix length.
+    pub fn prefix_len(&self) -> u32 {
+        self.prefix_len
+    }
+
+    /// Runs one round. `items` yields each participating user's item
+    /// (`None` = the user is invalid for this mining task, e.g. her label
+    /// does not match the class being mined). Returns uplink statistics.
+    pub fn run_round<R, I>(&mut self, eps: Eps, items: I, rng: &mut R) -> Result<CommStats>
+    where
+        R: Rng + ?Sized,
+        I: IntoIterator<Item = Option<u32>>,
+    {
+        if self.finished {
+            return Err(Error::InvalidParameter {
+                name: "round",
+                constraint: "engine already finished",
+            });
+        }
+        let index: HashMap<u32, u32> = self
+            .candidates
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, i as u32))
+            .collect();
+        let n_cands = self.candidates.len() as u32;
+        let mut comm = CommStats::default();
+
+        let scores: Vec<f64> = if self.config.validity {
+            let vp = ValidityPerturbation::new(eps, n_cands)?;
+            let mut agg = VpAggregator::new(&vp);
+            for item in items {
+                let input = match item {
+                    Some(it) => match index.get(&self.code.prefix(it, self.prefix_len)) {
+                        Some(&idx) => ValidityInput::Valid(idx),
+                        None => ValidityInput::Invalid,
+                    },
+                    None => ValidityInput::Invalid,
+                };
+                let report = vp.privatize(input, rng)?;
+                comm.record(report.len());
+                agg.absorb(&report)?;
+            }
+            agg.raw_counts().iter().map(|&c| c as f64).collect()
+        } else {
+            let oracle = Oracle::adaptive(eps, n_cands)?;
+            let mut agg = Aggregator::new(&oracle);
+            for item in items {
+                let value = match item {
+                    Some(it) => match index.get(&self.code.prefix(it, self.prefix_len)) {
+                        Some(&idx) => idx,
+                        // Vanilla PEM: pruned/invalid users substitute a
+                        // uniformly random candidate for deniability.
+                        None => rng.random_range(0..n_cands),
+                    },
+                    None => rng.random_range(0..n_cands),
+                };
+                let report = oracle.privatize(value, rng)?;
+                comm.record(report.size_bits());
+                agg.absorb(&report)?;
+            }
+            agg.estimate()
+        };
+
+        self.prune_and_extend(scores);
+        Ok(comm)
+    }
+
+    /// Applies external scores (one per candidate) — used by callers that
+    /// aggregate reports themselves (the multi-class PTS pipeline).
+    pub fn apply_scores(&mut self, scores: Vec<f64>) -> Result<()> {
+        if scores.len() != self.candidates.len() {
+            return Err(Error::ReportMismatch {
+                expected: "one score per candidate",
+            });
+        }
+        if self.finished {
+            return Err(Error::InvalidParameter {
+                name: "round",
+                constraint: "engine already finished",
+            });
+        }
+        self.prune_and_extend(scores);
+        Ok(())
+    }
+
+    fn prune_and_extend(&mut self, scores: Vec<f64>) {
+        let is_final = self.prefix_len == self.code.bits();
+        let keep = if is_final {
+            self.config.k
+        } else {
+            self.config.keep_factor * self.config.k
+        };
+        let mut order: Vec<usize> = (0..self.candidates.len()).collect();
+        order.sort_unstable_by(|&a, &b| {
+            scores[b]
+                .partial_cmp(&scores[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        order.truncate(keep);
+
+        if is_final {
+            // Record the surviving items (full codes) with their scores.
+            self.last_scores = order.iter().map(|&i| scores[i]).collect();
+            self.candidates = order.iter().map(|&i| self.candidates[i]).collect();
+            self.finished = true;
+            return;
+        }
+
+        let survivors: Vec<u32> = order.iter().map(|&i| self.candidates[i]).collect();
+        let extend = self.config.extend_bits.min(self.code.bits() - self.prefix_len);
+        let new_len = self.prefix_len + extend;
+        let mut next: Vec<u32> = Vec::with_capacity(survivors.len() << extend);
+        // Only keep children that still have a real item beneath them.
+        let max_prefix = self.code.prefix(self.code.domain() - 1, new_len);
+        for &s in &survivors {
+            for child in self.code.children(s, extend) {
+                if child <= max_prefix {
+                    next.push(child);
+                }
+            }
+        }
+        next.sort_unstable();
+        next.dedup();
+        self.candidates = next;
+        self.prefix_len = new_len;
+        self.last_scores.clear();
+    }
+
+    /// The mined top items (descending score). Only valid after the final
+    /// round; items are full codes and always real domain values.
+    pub fn top_items(&self) -> Result<Vec<u32>> {
+        if !self.finished {
+            return Err(Error::InvalidParameter {
+                name: "round",
+                constraint: "final round not yet run",
+            });
+        }
+        Ok(self
+            .candidates
+            .iter()
+            .copied()
+            .filter(|&c| self.code.is_real_item(c))
+            .collect())
+    }
+
+    /// Scores aligned with [`PemEngine::top_items`]' pre-filter candidate
+    /// list (descending).
+    pub fn final_scores(&self) -> &[f64] {
+        &self.last_scores
+    }
+}
+
+/// Convenience single-population miner: splits `items` evenly across the
+/// required rounds and returns the mined top-k.
+#[derive(Debug, Clone)]
+pub struct Pem {
+    d: u32,
+    config: PemConfig,
+}
+
+/// Outcome of a [`Pem::mine`] run.
+#[derive(Debug, Clone)]
+pub struct PemOutcome {
+    /// Mined items, descending estimated frequency.
+    pub top: Vec<u32>,
+    /// Uplink communication statistics.
+    pub comm: CommStats,
+}
+
+impl Pem {
+    /// Creates a miner over domain `[0, d)`.
+    pub fn new(d: u32, config: PemConfig) -> Result<Self> {
+        PemEngine::new(d, config)?; // validate early
+        Ok(Pem { d, config })
+    }
+
+    /// Mines the top-k from one user group per round. `None` entries are
+    /// invalid users.
+    pub fn mine<R: Rng + ?Sized>(
+        &self,
+        eps: Eps,
+        items: &[Option<u32>],
+        rng: &mut R,
+    ) -> Result<PemOutcome> {
+        let mut engine = PemEngine::new(self.d, self.config)?;
+        let rounds = engine.remaining_rounds();
+        let mut comm = CommStats::default();
+        let chunk = items.len().div_ceil(rounds).max(1);
+        let mut groups = items.chunks(chunk);
+        for _ in 0..rounds {
+            let group = groups.next().unwrap_or(&[]);
+            let stats = engine.run_round(eps, group.iter().copied(), rng)?;
+            comm.merge(stats);
+        }
+        Ok(PemOutcome {
+            top: engine.top_items()?,
+            comm,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn eps(v: f64) -> Eps {
+        Eps::new(v).unwrap()
+    }
+
+    /// A Zipf-ish population over d items: item i has weight ∝ 1/(i+1)².
+    /// Users are shuffled so every PEM round group sees the same mixture.
+    fn population(d: u32, n: usize) -> Vec<Option<u32>> {
+        let weights: Vec<f64> = (0..d).map(|i| 1.0 / ((i + 1) as f64).powi(2)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut items = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        let mut cum = vec![0.0; d as usize];
+        for (i, w) in weights.iter().enumerate() {
+            acc += w / total;
+            cum[i] = acc;
+        }
+        for u in 0..n {
+            let x = (u as f64 + 0.5) / n as f64;
+            let item = cum.partition_point(|&c| c < x) as u32;
+            items.push(Some(item.min(d - 1)));
+        }
+        let mut rng = StdRng::seed_from_u64(1234);
+        for i in (1..items.len()).rev() {
+            let j = rng.random_range(0..=i);
+            items.swap(i, j);
+        }
+        items
+    }
+
+    #[test]
+    fn engine_round_count() {
+        // d = 256 (ℓ=8), k = 4 → γ0 = 4, rounds = 1 + (8−4)/1 = 5.
+        let e = PemEngine::new(256, PemConfig::new(4)).unwrap();
+        assert_eq!(e.remaining_rounds(), 5);
+        assert_eq!(e.candidates().len(), 16);
+        // Tiny domain: single direct round.
+        let e = PemEngine::new(8, PemConfig::new(4)).unwrap();
+        assert_eq!(e.remaining_rounds(), 1);
+        assert!(e.is_final_round());
+    }
+
+    #[test]
+    fn mines_true_heavy_hitters_at_high_eps() {
+        let d = 256u32;
+        let k = 5;
+        let items = population(d, 60_000);
+        let pem = Pem::new(d, PemConfig::new(k)).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let out = pem.mine(eps(6.0), &items, &mut rng).unwrap();
+        assert!(out.top.len() <= k);
+        // With ε=6 and 12k users per round, the true top-3 {0,1,2} must be found.
+        for expected in 0..3u32 {
+            assert!(
+                out.top.contains(&expected),
+                "missing item {expected} in {:?}",
+                out.top
+            );
+        }
+    }
+
+    #[test]
+    fn validity_variant_also_mines() {
+        let d = 128u32;
+        let k = 4;
+        let mut items = population(d, 40_000);
+        // A third of users are invalid.
+        for (i, it) in items.iter_mut().enumerate() {
+            if i % 3 == 0 {
+                *it = None;
+            }
+        }
+        let pem = Pem::new(d, PemConfig::new(k).with_validity()).unwrap();
+        let mut rng = StdRng::seed_from_u64(43);
+        let out = pem.mine(eps(6.0), &items, &mut rng).unwrap();
+        for expected in 0..2u32 {
+            assert!(out.top.contains(&expected), "missing {expected}: {:?}", out.top);
+        }
+    }
+
+    #[test]
+    fn extension_respects_domain_bound() {
+        // d = 5 (ℓ=3): candidates never include codes ≥ 5.
+        let mut engine = PemEngine::new(5, PemConfig::new(1)).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        while engine.remaining_rounds() > 0 {
+            let inputs: Vec<Option<u32>> = vec![Some(0); 200];
+            engine.run_round(eps(2.0), inputs, &mut rng).unwrap();
+        }
+        for &item in engine.top_items().unwrap().iter() {
+            assert!(item < 5, "item {item} outside domain");
+        }
+    }
+
+    #[test]
+    fn resume_from_external_candidates() {
+        let engine = PemEngine::resume(256, PemConfig::new(4), vec![0b0000, 0b0001], 4).unwrap();
+        assert_eq!(engine.remaining_rounds(), 5);
+        assert_eq!(engine.candidates(), &[0, 1]);
+        assert!(PemEngine::resume(256, PemConfig::new(4), vec![], 4).is_err());
+        assert!(PemEngine::resume(256, PemConfig::new(4), vec![0], 99).is_err());
+    }
+
+    #[test]
+    fn top_items_requires_finish() {
+        let engine = PemEngine::new(256, PemConfig::new(4)).unwrap();
+        assert!(engine.top_items().is_err());
+    }
+
+    #[test]
+    fn apply_scores_validates_length() {
+        let mut engine = PemEngine::new(256, PemConfig::new(4)).unwrap();
+        assert!(engine.apply_scores(vec![0.0; 3]).is_err());
+        let n = engine.candidates().len();
+        assert!(engine.apply_scores(vec![1.0; n]).is_ok());
+    }
+
+    #[test]
+    fn false_positive_prefix_failure_mode() {
+        // Fig. 3's pathology: the most frequent item's prefix is light.
+        // Item 0b000 has count 30, but the '0' subtree totals 61 < 63 of
+        // the '1' subtree, so prefix pruning at high keep-pressure (k=1,
+        // keep_factor=1) drops it. This documents the baseline's weakness
+        // that shuffling fixes.
+        let counts: [(u32, usize); 8] = [
+            (0b000, 30),
+            (0b001, 0),
+            (0b010, 19),
+            (0b011, 12),
+            (0b100, 18),
+            (0b101, 13),
+            (0b110, 15),
+            (0b111, 17),
+        ];
+        let mut items: Vec<Option<u32>> = Vec::new();
+        for &(item, c) in &counts {
+            items.extend(std::iter::repeat_n(Some(item), c * 200));
+        }
+        // Deterministic interleave so each round group sees the same mix.
+        items.sort_by_key(|x| (x.unwrap() as usize * 2654435761) % 997);
+        let config = PemConfig {
+            k: 1,
+            extend_bits: 1,
+            keep_factor: 1,
+            validity: false,
+        };
+        let pem = Pem::new(8, config).unwrap();
+        let mut rng = StdRng::seed_from_u64(44);
+        let out = pem.mine(eps(8.0), &items, &mut rng).unwrap();
+        assert_ne!(
+            out.top,
+            vec![0b000],
+            "prefix expansion should miss the true top-1 here (Fig. 3)"
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! Patients' data for disease diagnosis — the paper's second motivating
+//! application (§I): collect classwise feature statistics (healthy vs
+//! diabetic) for model training without a trusted aggregator.
+//!
+//! Users are partitioned into feature groups (the paper's Diabetes setup);
+//! each group estimates its feature's label-value histogram under LDP. We
+//! then inspect how well the private statistics separate the two classes —
+//! the signal a decision-tree trainer would consume.
+//!
+//! Run: `cargo run --release --example medical_diagnosis`
+
+use mcim_datasets::{diabetes_like, RealConfig};
+use multiclass_ldp::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<()> {
+    let ds = diabetes_like(RealConfig {
+        users: 120_000,
+        items: 0,
+        seed: 11,
+    });
+    let eps = Eps::new(2.0)?;
+    let mut rng = StdRng::seed_from_u64(13);
+
+    println!(
+        "Diabetes-like workload: {} users over {} feature groups, ε = {}\n",
+        ds.len(),
+        ds.groups.len(),
+        eps.value()
+    );
+    println!("feature (domain) | RMSE PTS-CP | healthy mean | diabetic mean (private est.)");
+    println!("-----------------+-------------+--------------+-----------------------------");
+    for group in &ds.groups {
+        let truth = group.ground_truth();
+        let result =
+            Framework::PtsCp { label_frac: 0.5 }.run(eps, group.domains, &group.pairs, &mut rng)?;
+        let err = rmse(result.table.values(), truth.values());
+
+        // Classwise mean feature value from the *private* histogram — the
+        // statistic a diagnosis model would train on.
+        let private_mean = |label: u32| -> f64 {
+            let row = result.table.class_row(label);
+            let total: f64 = row.iter().map(|v| v.max(0.0)).sum();
+            if total <= 0.0 {
+                return f64::NAN;
+            }
+            row.iter()
+                .enumerate()
+                .map(|(v, c)| v as f64 * c.max(0.0))
+                .sum::<f64>()
+                / total
+        };
+        println!(
+            "{:>16} | {err:>11.1} | {:>12.2} | {:>12.2}",
+            group.name.split('/').next_back().unwrap_or(&group.name),
+            private_mean(0),
+            private_mean(1),
+        );
+    }
+    println!(
+        "\nThe generator shifts diabetic feature values upward; at ε = 2 the\n\
+         private classwise means recover that shift where the per-class\n\
+         signal is strong (binary and large-domain features) and drown it\n\
+         in noise elsewhere — the fine-grained signal classwise statistics\n\
+         buy, and the utility ceiling LDP imposes on it. Raise ε or N to\n\
+         watch the remaining features separate."
+    );
+    Ok(())
+}

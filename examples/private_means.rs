@@ -1,0 +1,71 @@
+//! Classwise **numerical** statistics under LDP — the paper's stated future
+//! work (§IX), implemented with the same correlated-perturbation idea as
+//! the categorical pipeline.
+//!
+//! Scenario: users report a satisfaction score in [-1, 1] together with a
+//! sensitive segment label. The server wants each segment's mean score.
+//! We compare the PTS recipe (independent label/value perturbation with a
+//! cross-class correction) against the CP recipe (value validity tied to
+//! the label's survival), at two budgets.
+//!
+//! Run: `cargo run --release --example private_means`
+
+use multiclass_ldp::core::{LabelValue, MeanAggregator, MeanCp, MeanPts, NumericMechanism};
+use multiclass_ldp::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SEGMENTS: [&str; 4] = ["new users", "regulars", "power users", "churning"];
+const TRUE_CENTERS: [f64; 4] = [0.15, 0.45, 0.70, -0.55];
+
+fn main() -> Result<()> {
+    let mut rng = StdRng::seed_from_u64(77);
+    let n = 400_000;
+    let data: Vec<LabelValue> = (0..n)
+        .map(|_| {
+            let label = rng.random_range(0..4u32);
+            let value: f64 =
+                (TRUE_CENTERS[label as usize] + rng.random_range(-0.3..0.3)).clamp(-1.0, 1.0);
+            LabelValue::new(label, value)
+        })
+        .collect();
+
+    // Ground truth for comparison.
+    let mut sums = [0.0f64; 4];
+    let mut counts = [0.0f64; 4];
+    for lv in &data {
+        sums[lv.label as usize] += lv.value;
+        counts[lv.label as usize] += 1.0;
+    }
+
+    for eps_v in [1.0, 4.0] {
+        let eps = Eps::new(eps_v)?;
+        let pts = MeanPts::with_total(eps, 4, NumericMechanism::Piecewise)?;
+        let cp = MeanCp::with_total(eps, 4, NumericMechanism::Piecewise)?;
+        let mut pts_agg = MeanAggregator::for_pts(&pts);
+        let mut cp_agg = MeanAggregator::for_cp(&cp);
+        for lv in &data {
+            pts_agg.absorb(&pts.privatize(*lv, &mut rng)?)?;
+            cp_agg.absorb(&cp.privatize(*lv, &mut rng)?)?;
+        }
+        println!("=== ε = {eps_v}, N = {n} ===");
+        println!("segment      | true mean | PTS est | CP est");
+        println!("-------------+-----------+---------+-------");
+        for (c, name) in SEGMENTS.iter().enumerate() {
+            let truth = sums[c] / counts[c];
+            println!(
+                "{name:<12} | {truth:>9.3} | {:>7.3} | {:>6.3}",
+                pts_agg.estimate_mean(c as u32).unwrap_or(f64::NAN),
+                cp_agg.estimate_mean(c as u32).unwrap_or(f64::NAN),
+            );
+        }
+        println!();
+    }
+    println!(
+        "Both estimators are unbiased; CP spends part of its budget on a\n\
+         validity flag but needs no cross-class correction term, which pays\n\
+         off when segments have strongly opposed values (the churning\n\
+         segment stays clearly negative even at ε = 1)."
+    );
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! Quickstart: multi-class frequency estimation under LDP in ~50 lines.
+//!
+//! Scenario: 100,000 users each hold one (class, item) pair. We estimate
+//! every class's item histogram with the paper's best-utility low-cost
+//! method — PTS with correlated perturbation (Eq. 4 calibration) — and
+//! compare against the ground truth.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use multiclass_ldp::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() -> Result<()> {
+    let mut rng = StdRng::seed_from_u64(2025);
+
+    // 3 classes, 50 items. Each class prefers a different item region.
+    let domains = Domains::new(3, 50)?;
+    let data: Vec<LabelItem> = (0..100_000)
+        .map(|_| {
+            let label = rng.random_range(0..3);
+            let item = (label * 15 + rng.random_range(0..8) + rng.random_range(0..8)) % 50;
+            LabelItem::new(label, item)
+        })
+        .collect();
+    let truth = FrequencyTable::ground_truth(domains, &data)?;
+
+    // Privacy budget ε = 2, split evenly between label and item (the
+    // paper's default).
+    let eps = Eps::new(2.0)?;
+    let result = Framework::PtsCp { label_frac: 0.5 }.run(eps, domains, &data, &mut rng)?;
+
+    println!("PTS-CP frequency estimation, ε = 2, N = {}", data.len());
+    println!(
+        "uplink: {:.0} bits/user\n",
+        result.comm.bits_per_user()
+    );
+    println!("class | top item (true) | est. count | true count");
+    println!("------+-----------------+------------+-----------");
+    for class in 0..3 {
+        let top = truth.top_k(class, 1)[0];
+        println!(
+            "{class:>5} | {top:>15} | {est:>10.0} | {tru:>10.0}",
+            est = result.table.get(class, top),
+            tru = truth.get(class, top),
+        );
+    }
+
+    let err = rmse(result.table.values(), truth.values());
+    println!("\nRMSE over all {} cells: {err:.1}", truth.values().len());
+    Ok(())
+}

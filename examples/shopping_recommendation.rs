@@ -1,0 +1,83 @@
+//! Shopping preference across user groups — the paper's first motivating
+//! application (§I): a recommendation system wants each **age group's** top
+//! products, but purchase records are sensitive, so everything is collected
+//! under ε-LDP.
+//!
+//! We simulate a JD-style sales workload (5 age groups with heavily
+//! imbalanced sizes, shared global bestsellers plus group-specific
+//! preferences) and mine the per-group top-10 with the paper's optimized
+//! pipeline (Algorithms 1 & 2: global candidates → shuffled pruning →
+//! validity/correlated perturbation), comparing it with the HEC strawman.
+//!
+//! Run: `cargo run --release --example shopping_recommendation`
+
+use mcim_datasets::{jd_like, RealConfig};
+use multiclass_ldp::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const AGE_GROUPS: [&str; 5] = ["<25", "26-35", "36-45", "46-55", "56+"];
+
+fn main() -> Result<()> {
+    let ds = jd_like(RealConfig {
+        users: 250_000,
+        items: 2048,
+        seed: 7,
+    });
+    let k = 10;
+    let truth = ds.true_top_k(k);
+    let eps = Eps::new(4.0)?;
+    let config = TopKConfig::new(k, eps);
+    let mut rng = StdRng::seed_from_u64(99);
+
+    println!(
+        "JD-like workload: N = {}, {} products, 5 age groups, ε = {}",
+        ds.len(),
+        ds.domains.items(),
+        eps.value()
+    );
+    let sizes = ds.class_sizes();
+
+    for (name, method) in [
+        ("HEC strawman", TopKMethod::Hec),
+        (
+            "PTS-Shuffling+VP+CP (paper)",
+            TopKMethod::PtsShuffled {
+                validity: true,
+                global: true,
+                correlated: true,
+            },
+        ),
+    ] {
+        let result = mine(method, config, ds.domains, &ds.pairs, &mut rng)?;
+        println!("\n=== {name} ===");
+        println!("group | users   | F1@10 | NCR@10 | top-3 mined products");
+        println!("------+---------+-------+--------+---------------------");
+        for g in 0..5usize {
+            let f1 = f1_at_k(&result.per_class[g], &truth[g]);
+            let ncr = ncr_at_k(&result.per_class[g], &truth[g]);
+            let top3: Vec<String> = result.per_class[g]
+                .iter()
+                .take(3)
+                .map(|i| format!("#{i}"))
+                .collect();
+            println!(
+                "{:>5} | {:>7} | {f1:>5.2} | {ncr:>6.2} | {}",
+                AGE_GROUPS[g],
+                sizes[g],
+                top3.join(", ")
+            );
+        }
+        println!(
+            "uplink {:.0} bits/user, downlink {:.0} bits/user",
+            result.comm.bits_per_user(),
+            result.broadcast_bits_per_user
+        );
+    }
+    println!(
+        "\nNote the small 46-55 and 56+ groups: the optimized pipeline keeps\n\
+         mining them (global candidates + validity flags), where the\n\
+         strawman mostly returns noise — the paper's Fig. 8 phenomenon."
+    );
+    Ok(())
+}

@@ -1,0 +1,200 @@
+//! Failure injection and edge-case robustness across the public API: a
+//! production deployment sees malformed reports, degenerate domains and
+//! pathological populations; none of them may panic or silently corrupt
+//! estimates.
+
+use multiclass_ldp::core::{
+    CorrelatedPerturbation, CpAggregator, CpReport, ValidityInput, ValidityPerturbation,
+    VpAggregator,
+};
+use multiclass_ldp::oracles::BitVec;
+use multiclass_ldp::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+// ---------------------------------------------------------------- reports
+
+#[test]
+fn aggregators_reject_malformed_reports_without_state_damage() {
+    let domains = Domains::new(3, 8).unwrap();
+    let mech = CorrelatedPerturbation::with_total(Eps::new(2.0).unwrap(), domains).unwrap();
+    let mut agg = CpAggregator::new(&mech);
+    let mut rng = StdRng::seed_from_u64(1);
+
+    // Wrong label domain.
+    let bad_label = CpReport {
+        label: 99,
+        bits: BitVec::zeros(9),
+    };
+    assert!(agg.absorb(&bad_label).is_err());
+    // Wrong bit length.
+    let bad_bits = CpReport {
+        label: 0,
+        bits: BitVec::zeros(4),
+    };
+    assert!(agg.absorb(&bad_bits).is_err());
+    // State unchanged: rejected reports must not count.
+    assert_eq!(agg.report_count(), 0);
+
+    // A valid report still works afterwards.
+    let ok = mech.privatize(LabelItem::new(0, 0), &mut rng).unwrap();
+    agg.absorb(&ok).unwrap();
+    assert_eq!(agg.report_count(), 1);
+}
+
+#[test]
+fn vp_aggregator_handles_adversarial_all_ones_reports() {
+    // A malicious client sends all-ones vectors (a poisoning attempt, cf.
+    // the related-work discussion). The aggregator must accept it (it is a
+    // syntactically valid report) but the flag bit routes it to the
+    // invalid bucket, limiting the damage — exactly VP's design.
+    let vp = ValidityPerturbation::new(Eps::new(1.0).unwrap(), 8).unwrap();
+    let mut agg = VpAggregator::new(&vp);
+    let mut ones = BitVec::zeros(9);
+    for i in 0..9 {
+        ones.set(i, true);
+    }
+    for _ in 0..100 {
+        agg.absorb(&ones).unwrap();
+    }
+    assert_eq!(agg.raw_flag_count(), 100, "flag set ⇒ item bits ignored");
+    assert!(agg.raw_counts().iter().all(|&c| c == 0));
+}
+
+// ---------------------------------------------------------------- domains
+
+#[test]
+fn degenerate_domains_work_end_to_end() {
+    // One class, one item: everything should run and estimate ~N.
+    let domains = Domains::new(1, 1).unwrap();
+    let data = vec![LabelItem::new(0, 0); 1_000];
+    let mut rng = StdRng::seed_from_u64(2);
+    for fw in Framework::fig6_set() {
+        let result = fw
+            .run(Eps::new(1.0).unwrap(), domains, &data, &mut rng)
+            .unwrap();
+        let est = result.table.get(0, 0);
+        assert!(
+            (est - 1_000.0).abs() < 500.0,
+            "{}: degenerate estimate {est}",
+            fw.name()
+        );
+    }
+}
+
+#[test]
+fn single_user_dataset_does_not_panic() {
+    let domains = Domains::new(2, 16).unwrap();
+    let data = vec![LabelItem::new(1, 7)];
+    let mut rng = StdRng::seed_from_u64(3);
+    // HEC requires a user per class group and must error cleanly.
+    assert!(Framework::Hec
+        .run(Eps::new(1.0).unwrap(), domains, &data, &mut rng)
+        .is_err());
+    // The others must produce finite estimates.
+    for fw in [
+        Framework::Ptj,
+        Framework::Pts { label_frac: 0.5 },
+        Framework::PtsCp { label_frac: 0.5 },
+    ] {
+        let result = fw
+            .run(Eps::new(1.0).unwrap(), domains, &data, &mut rng)
+            .unwrap();
+        assert!(result.table.values().iter().all(|v| v.is_finite()), "{}", fw.name());
+    }
+}
+
+// ----------------------------------------------------------------- top-k
+
+#[test]
+fn k_larger_than_domain_is_served_gracefully() {
+    let domains = Domains::new(2, 8).unwrap();
+    let data: Vec<LabelItem> = (0..20_000)
+        .map(|u| LabelItem::new((u % 2) as u32, (u % 8) as u32))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(4);
+    let config = TopKConfig::new(20, Eps::new(4.0).unwrap()); // k = 20 > d = 8
+    for method in TopKMethod::fig7_set() {
+        let result = mine(method, config, domains, &data, &mut rng).unwrap();
+        for (c, items) in result.per_class.iter().enumerate() {
+            assert!(items.len() <= 8, "{} class {c}: {}", method.name(), items.len());
+            let unique: std::collections::HashSet<_> = items.iter().collect();
+            assert_eq!(unique.len(), items.len(), "{}", method.name());
+        }
+    }
+}
+
+#[test]
+fn all_users_in_one_class_leaves_other_classes_quiet() {
+    let domains = Domains::new(4, 64).unwrap();
+    let data: Vec<LabelItem> = (0..40_000).map(|u| LabelItem::new(0, (u % 5) as u32)).collect();
+    let mut rng = StdRng::seed_from_u64(5);
+    let config = TopKConfig::new(3, Eps::new(6.0).unwrap());
+    let result = mine(
+        TopKMethod::PtsShuffled {
+            validity: true,
+            global: true,
+            correlated: true,
+        },
+        config,
+        domains,
+        &data,
+        &mut rng,
+    )
+    .unwrap();
+    // The populated class finds its heavy items.
+    assert!(
+        result.per_class[0].iter().any(|&i| i < 5),
+        "class 0 should find a true item: {:?}",
+        result.per_class[0]
+    );
+    // Empty classes return at most k arbitrary candidates, never panic.
+    for c in 1..4 {
+        assert!(result.per_class[c].len() <= 3);
+    }
+}
+
+#[test]
+fn extreme_budgets_behave() {
+    let domains = Domains::new(2, 16).unwrap();
+    let data: Vec<LabelItem> = (0..10_000)
+        .map(|u| LabelItem::new((u % 2) as u32, (u % 4) as u32))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(6);
+    // Tiny ε: results are noise but finite and well-formed.
+    let tiny = Framework::PtsCp { label_frac: 0.5 }
+        .run(Eps::new(0.01).unwrap(), domains, &data, &mut rng)
+        .unwrap();
+    assert!(tiny.table.values().iter().all(|v| v.is_finite()));
+    // Huge ε: estimates are near-exact.
+    let huge = Framework::PtsCp { label_frac: 0.5 }
+        .run(Eps::new(20.0).unwrap(), domains, &data, &mut rng)
+        .unwrap();
+    let truth = FrequencyTable::ground_truth(domains, &data).unwrap();
+    for label in 0..2 {
+        for item in 0..4 {
+            assert!(
+                (huge.table.get(label, item) - truth.get(label, item)).abs() < 200.0,
+                "({label},{item})"
+            );
+        }
+    }
+}
+
+#[test]
+fn validity_input_extremes() {
+    // All users invalid: estimates must be ≈ 0 for all items, and the
+    // invalid-count estimate ≈ N.
+    let vp = ValidityPerturbation::new(Eps::new(2.0).unwrap(), 8).unwrap();
+    let mut agg = VpAggregator::new(&vp);
+    let mut rng = StdRng::seed_from_u64(7);
+    let n = 20_000;
+    for _ in 0..n {
+        agg.absorb(&vp.privatize(ValidityInput::Invalid, &mut rng).unwrap())
+            .unwrap();
+    }
+    assert!((agg.estimate_invalid() - n as f64).abs() < 0.05 * n as f64);
+    for est in agg.estimate() {
+        assert!(est.abs() < 0.05 * n as f64);
+    }
+}

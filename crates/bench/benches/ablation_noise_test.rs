@@ -30,7 +30,12 @@ fn main() {
     };
     let mut table = Table::new(
         "ablation_noise_test_f1",
-        &["classes", "PTS baseline", "CP w/ paper ratio test", "CP w/ noise-to-valid test"],
+        &[
+            "classes",
+            "PTS baseline",
+            "CP w/ paper ratio test",
+            "CP w/ noise-to-valid test",
+        ],
     );
     for classes in [5u32, 10, 20, 50] {
         let ds = syn3(syn_config(env.scale, classes));

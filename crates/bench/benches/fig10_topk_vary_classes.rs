@@ -23,11 +23,25 @@ fn main() {
     ] {
         let mut f1_table = Table::new(
             format!("{name}_f1"),
-            &["classes", "HEC", "PTJ", "PTJ-Shuffling+VP", "PTS", "PTS-Shuffling+VP+CP"],
+            &[
+                "classes",
+                "HEC",
+                "PTJ",
+                "PTJ-Shuffling+VP",
+                "PTS",
+                "PTS-Shuffling+VP+CP",
+            ],
         );
         let mut ncr_table = Table::new(
             format!("{name}_ncr"),
-            &["classes", "HEC", "PTJ", "PTJ-Shuffling+VP", "PTS", "PTS-Shuffling+VP+CP"],
+            &[
+                "classes",
+                "HEC",
+                "PTJ",
+                "PTJ-Shuffling+VP",
+                "PTS",
+                "PTS-Shuffling+VP+CP",
+            ],
         );
         for &classes in &class_counts {
             let ds = generator(syn_config(env.scale, classes));

@@ -28,8 +28,14 @@ fn main() {
             let truth = ds.true_top_k(k);
             let mut config = TopKConfig::new(k, Eps::new(4.0).unwrap());
             config.sample_frac = a;
-            let scores =
-                evaluate_topk(method, config, ds, &truth, env.trials, 0xF1612 ^ (a * 100.0) as u64);
+            let scores = evaluate_topk(
+                method,
+                config,
+                ds,
+                &truth,
+                env.trials,
+                0xF1612 ^ (a * 100.0) as u64,
+            );
             row.push(fmt(scores.f1));
         }
         a_table.push(row);

@@ -76,7 +76,10 @@ fn main() {
         &targets,
         env.trials,
     );
-    let mut table = Table::new("fig5a_variance_vs_pmi", &["f(C,I)", "PMI", "Var PTS", "Var PTS-CP"]);
+    let mut table = Table::new(
+        "fig5a_variance_vs_pmi",
+        &["f(C,I)", "PMI", "Var PTS", "Var PTS-CP"],
+    );
     let mut order: Vec<usize> = (0..targets.len()).collect();
     order.sort_by(|&a, &b| {
         truth
@@ -91,9 +94,7 @@ fn main() {
         table.push(vec![fmt(f), fmt(p), fmt(pts[idx]), fmt(cp[idx])]);
     }
     table.print_and_save().expect("write results");
-    println!(
-        "Expected shape: variance roughly flat in PMI (class size and N dominate).\n"
-    );
+    println!("Expected shape: variance roughly flat in PMI (class size and N dominate).\n");
 
     // ---- Fig. 5(b): SYN2, varying class size n at fixed f(C,I). ---------
     let ds = syn2(scale, 0x52);

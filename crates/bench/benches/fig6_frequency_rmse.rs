@@ -63,22 +63,29 @@ fn main() {
     ];
     let frameworks = Framework::fig6_set();
     for (name, ds) in &datasets {
-        let mut table = Table::new(
-            *name,
-            &["eps", "HEC", "PTJ", "PTS", "PTS-CP"],
-        );
+        let mut table = Table::new(*name, &["eps", "HEC", "PTJ", "PTS", "PTS-CP"]);
         for eps_v in [0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0] {
             let eps = Eps::new(eps_v).unwrap();
             let mut row = vec![format!("{eps_v}")];
             for fw in frameworks {
                 let rmses = run_trials(env.trials, |trial| {
-                    pooled_rmse(fw, eps, ds, 0xF166 ^ (trial * 7919) ^ (eps_v * 100.0) as u64)
+                    pooled_rmse(
+                        fw,
+                        eps,
+                        ds,
+                        0xF166 ^ (trial * 7919) ^ (eps_v * 100.0) as u64,
+                    )
                 });
                 row.push(fmt(mean(&rmses)));
             }
             table.push(row);
         }
-        println!("dataset: {} ({} users over {} feature groups)", ds.name, ds.len(), ds.groups.len());
+        println!(
+            "dataset: {} ({} users over {} feature groups)",
+            ds.name,
+            ds.len(),
+            ds.groups.len()
+        );
         table.print_and_save().expect("write results");
     }
     println!(

@@ -14,16 +14,33 @@ fn main() {
     env.announce("Fig. 7: top-k mining vs eps (Anime-like, JD-like, k = 20)");
     let k = 20;
     let methods = TopKMethod::fig7_set();
-    let datasets = [("fig7ab_anime", anime(env.scale)), ("fig7cd_jd", jd(env.scale))];
+    let datasets = [
+        ("fig7ab_anime", anime(env.scale)),
+        ("fig7cd_jd", jd(env.scale)),
+    ];
     for (name, ds) in &datasets {
         let truth = ds.true_top_k(k);
         let mut f1_table = Table::new(
             format!("{name}_f1"),
-            &["eps", "HEC", "PTJ", "PTJ-Shuffling+VP", "PTS", "PTS-Shuffling+VP+CP"],
+            &[
+                "eps",
+                "HEC",
+                "PTJ",
+                "PTJ-Shuffling+VP",
+                "PTS",
+                "PTS-Shuffling+VP+CP",
+            ],
         );
         let mut ncr_table = Table::new(
             format!("{name}_ncr"),
-            &["eps", "HEC", "PTJ", "PTJ-Shuffling+VP", "PTS", "PTS-Shuffling+VP+CP"],
+            &[
+                "eps",
+                "HEC",
+                "PTJ",
+                "PTJ-Shuffling+VP",
+                "PTS",
+                "PTS-Shuffling+VP+CP",
+            ],
         );
         for eps_v in [2.0, 4.0, 6.0, 8.0] {
             let config = TopKConfig::new(k, Eps::new(eps_v).unwrap());
@@ -44,7 +61,12 @@ fn main() {
             f1_table.push(f1_row);
             ncr_table.push(ncr_row);
         }
-        println!("dataset: {} (N = {}, d = {})", ds.name, ds.len(), ds.domains.items());
+        println!(
+            "dataset: {} (N = {}, d = {})",
+            ds.name,
+            ds.len(),
+            ds.domains.items()
+        );
         f1_table.print_and_save().expect("write results");
         ncr_table.print_and_save().expect("write results");
     }

@@ -29,7 +29,15 @@ fn main() {
 
     let mut table = Table::new(
         "fig8_jd_per_class_f1",
-        &["class", "size", "HEC", "PTJ", "PTJ-Shuffling+VP", "PTS", "PTS-Shuffling+VP+CP"],
+        &[
+            "class",
+            "size",
+            "HEC",
+            "PTJ",
+            "PTJ-Shuffling+VP",
+            "PTS",
+            "PTS-Shuffling+VP+CP",
+        ],
     );
     let methods = TopKMethod::fig7_set();
     // per_class_scores[method][class]
@@ -43,8 +51,7 @@ fn main() {
                 .collect::<Vec<f64>>()
         });
         for c in 0..5 {
-            per_class_scores[mi][c] =
-                mean(&trial_scores.iter().map(|t| t[c]).collect::<Vec<_>>());
+            per_class_scores[mi][c] = mean(&trial_scores.iter().map(|t| t[c]).collect::<Vec<_>>());
         }
     }
     for c in 0..5usize {

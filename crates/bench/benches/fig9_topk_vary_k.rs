@@ -15,11 +15,25 @@ fn main() {
     let methods = TopKMethod::fig7_set();
     let mut f1_table = Table::new(
         "fig9_jd_f1_vs_k",
-        &["k", "HEC", "PTJ", "PTJ-Shuffling+VP", "PTS", "PTS-Shuffling+VP+CP"],
+        &[
+            "k",
+            "HEC",
+            "PTJ",
+            "PTJ-Shuffling+VP",
+            "PTS",
+            "PTS-Shuffling+VP+CP",
+        ],
     );
     let mut ncr_table = Table::new(
         "fig9_jd_ncr_vs_k",
-        &["k", "HEC", "PTJ", "PTJ-Shuffling+VP", "PTS", "PTS-Shuffling+VP+CP"],
+        &[
+            "k",
+            "HEC",
+            "PTJ",
+            "PTJ-Shuffling+VP",
+            "PTS",
+            "PTS-Shuffling+VP+CP",
+        ],
     );
     for k in [10usize, 20, 30, 40, 50] {
         let truth = ds.true_top_k(k);

@@ -64,8 +64,9 @@ fn bench_aggregate(c: &mut Criterion) {
             BatchSize::SmallInput,
         )
     });
-    let cp = CorrelatedPerturbation::with_total(Eps::new(2.0).unwrap(), Domains::new(8, d).unwrap())
-        .unwrap();
+    let cp =
+        CorrelatedPerturbation::with_total(Eps::new(2.0).unwrap(), Domains::new(8, d).unwrap())
+            .unwrap();
     let cp_report = cp.privatize(LabelItem::new(3, 512), &mut rng).unwrap();
     group.bench_function("cp", |b| {
         b.iter_batched(

@@ -19,7 +19,13 @@ fn main() {
 
     let mut ptj_table = Table::new(
         "table3_ablation_ptj",
-        &["metric", "PTJ (Baseline)", "VP", "Shuffling", "All optimizations"],
+        &[
+            "metric",
+            "PTJ (Baseline)",
+            "VP",
+            "Shuffling",
+            "All optimizations",
+        ],
     );
     let ptj_scores: Vec<_> = TopKMethod::table3_ptj_set()
         .iter()

@@ -119,12 +119,31 @@ impl Table {
         out
     }
 
-    /// Prints the table and writes `results/<name>.csv`.
+    /// Prints the table and writes `results/<name>.csv` (see
+    /// [`results_dir`]), creating the directory on first run.
     pub fn print_and_save(&self) -> io::Result<PathBuf> {
         println!("{}", self.render());
-        let dir = results_dir();
-        fs::create_dir_all(&dir)?;
+        let path = self.save_csv(&results_dir())?;
+        println!("[saved {}]\n", path.display());
+        Ok(path)
+    }
+
+    /// Writes `<dir>/<name>.csv`, creating `dir` (and parents) if absent.
+    pub fn save_csv(&self, dir: &std::path::Path) -> io::Result<PathBuf> {
+        fs::create_dir_all(dir).map_err(|e| {
+            io::Error::new(
+                e.kind(),
+                format!("creating results dir {}: {e}", dir.display()),
+            )
+        })?;
         let path = dir.join(format!("{}.csv", self.name));
+        fs::write(&path, self.to_csv())
+            .map_err(|e| io::Error::new(e.kind(), format!("writing {}: {e}", path.display())))?;
+        Ok(path)
+    }
+
+    /// Renders the table as RFC-4180-style CSV.
+    pub fn to_csv(&self) -> String {
         let mut csv = String::new();
         let esc = |s: &str| {
             if s.contains([',', '"', '\n']) {
@@ -136,7 +155,11 @@ impl Table {
         let _ = writeln!(
             csv,
             "{}",
-            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+            self.headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(
@@ -145,15 +168,31 @@ impl Table {
                 row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
             );
         }
-        fs::write(&path, csv)?;
-        println!("[saved {}]\n", path.display());
-        Ok(path)
+        csv
     }
 }
 
-/// Where CSVs land: the repo root's `results/` directory.
-fn results_dir() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results")
+/// Where CSVs land: `MCIM_RESULTS` if set, otherwise the repo root's
+/// `results/` directory (resolved lexically from this crate's location so
+/// the path is identical no matter which directory the target is run from).
+pub fn results_dir() -> PathBuf {
+    results_dir_from(std::env::var_os("MCIM_RESULTS"))
+}
+
+/// [`results_dir`] with the override injected — testable without mutating
+/// process-global environment.
+fn results_dir_from(env_override: Option<std::ffi::OsString>) -> PathBuf {
+    if let Some(dir) = env_override {
+        return PathBuf::from(dir);
+    }
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    // crates/bench -> repo root, without leaving ".." components in the
+    // path benches print and error messages show.
+    manifest
+        .parent()
+        .and_then(std::path::Path::parent)
+        .map(|root| root.join("results"))
+        .unwrap_or_else(|| manifest.join("results"))
 }
 
 /// Runs `trials` independent jobs (seeded 0..trials) across threads and
@@ -183,7 +222,11 @@ where
         }
     });
     done.into_iter()
-        .map(|m| m.into_inner().expect("lock").expect("every trial slot filled"))
+        .map(|m| {
+            m.into_inner()
+                .expect("lock")
+                .expect("every trial slot filled")
+        })
         .collect()
 }
 
@@ -238,6 +281,52 @@ mod tests {
     fn run_trials_returns_in_order() {
         let out = run_trials(16, |seed| seed * 2);
         assert_eq!(out, (0..16).map(|i| i * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn save_csv_creates_missing_directory() {
+        let dir = std::env::temp_dir().join(format!(
+            "mcim_bench_save_csv_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let nested = dir.join("results");
+        let _ = fs::remove_dir_all(&dir);
+        assert!(!nested.exists(), "fresh temp dir");
+
+        let mut t = Table::new("first_run", &["a", "b"]);
+        t.push(vec!["1".into(), "x,y".into()]);
+        let path = t.save_csv(&nested).expect("first run must create the dir");
+        let written = fs::read_to_string(&path).unwrap();
+        assert_eq!(written, "a,b\n1,\"x,y\"\n", "quoted CSV cell");
+
+        // Second run overwrites without error.
+        t.save_csv(&nested).expect("existing dir is fine too");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn to_csv_escapes_quotes() {
+        let mut t = Table::new("esc", &["h"]);
+        t.push(vec!["say \"hi\"".into()]);
+        assert_eq!(t.to_csv(), "h\n\"say \"\"hi\"\"\"\n");
+    }
+
+    #[test]
+    fn results_dir_has_no_dotdot_components() {
+        let dir = results_dir_from(None);
+        assert!(
+            dir.components()
+                .all(|c| c != std::path::Component::ParentDir),
+            "normalized: {}",
+            dir.display()
+        );
+        assert!(dir.ends_with("results"));
+        assert_eq!(
+            results_dir_from(Some("/tmp/override".into())),
+            PathBuf::from("/tmp/override"),
+            "env override wins"
+        );
     }
 
     #[test]

@@ -80,8 +80,7 @@ pub fn evaluate_topk(
     let per_trial = run_trials(trials, |trial| {
         use rand::SeedableRng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed_base ^ (trial.wrapping_mul(0x9E37)));
-        let result =
-            mine(method, config, ds.domains, &ds.pairs, &mut rng).expect("mining failed");
+        let result = mine(method, config, ds.domains, &ds.pairs, &mut rng).expect("mining failed");
         let classes = ds.domains.classes() as usize;
         let f1 = (0..classes)
             .map(|c| mcim_metrics::f1_at_k(&result.per_class[c], &truth[c]))

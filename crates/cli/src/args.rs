@@ -116,7 +116,10 @@ mod tests {
         assert!(parse(&[]).is_err());
         assert!(parse(&["freq", "eps", "2.0"]).is_err(), "missing --");
         assert!(parse(&["freq", "--eps"]).is_err(), "missing value");
-        assert!(parse(&["freq", "--eps", "1", "--eps", "2"]).is_err(), "duplicate");
+        assert!(
+            parse(&["freq", "--eps", "1", "--eps", "2"]).is_err(),
+            "duplicate"
+        );
     }
 
     #[test]

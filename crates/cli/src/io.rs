@@ -23,8 +23,8 @@ pub fn read_pairs(
     classes: u32,
     items: u32,
 ) -> Result<LoadedData, Box<dyn std::error::Error>> {
-    let content = fs::read_to_string(path)
-        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let content =
+        fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
     let mut pairs = Vec::new();
     let (mut max_label, mut max_item) = (0u32, 0u32);
     for (lineno, line) in content.lines().enumerate() {
@@ -65,6 +65,17 @@ pub fn read_pairs(
     Ok(LoadedData { pairs, domains })
 }
 
+/// Writes `content` to `path`, creating parent directories and naming the
+/// path in any error (a bare `fs::write` error omits it).
+fn write_with_context(path: &Path, content: &str) -> Result<(), Box<dyn std::error::Error>> {
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        fs::create_dir_all(parent)
+            .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+    }
+    fs::write(path, content).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    Ok(())
+}
+
 /// Writes an estimated frequency table as `class,item,estimate` CSV.
 pub fn write_frequency_csv(
     path: &Path,
@@ -76,8 +87,7 @@ pub fn write_frequency_csv(
             out.push_str(&format!("{class},{item},{}\n", table.get(class, item)));
         }
     }
-    fs::write(path, out)?;
-    Ok(())
+    write_with_context(path, &out)
 }
 
 /// Writes per-class top-k results as `class,rank,item` CSV.
@@ -91,21 +101,16 @@ pub fn write_topk_csv(
             out.push_str(&format!("{class},{},{item}\n", rank + 1));
         }
     }
-    fs::write(path, out)?;
-    Ok(())
+    write_with_context(path, &out)
 }
 
 /// Writes a dataset as `label,item` CSV.
-pub fn write_pairs_csv(
-    path: &Path,
-    pairs: &[LabelItem],
-) -> Result<(), Box<dyn std::error::Error>> {
+pub fn write_pairs_csv(path: &Path, pairs: &[LabelItem]) -> Result<(), Box<dyn std::error::Error>> {
     let mut out = String::from("label,item\n");
     for p in pairs {
         out.push_str(&format!("{},{}\n", p.label, p.item));
     }
-    fs::write(path, out)?;
-    Ok(())
+    write_with_context(path, &out)
 }
 
 #[cfg(test)]
@@ -147,7 +152,32 @@ mod tests {
         assert!(read_pairs(&path, 0, 0).is_err(), "non-numeric");
         fs::write(&path, "").unwrap();
         assert!(read_pairs(&path, 0, 0).is_err(), "empty");
-        assert!(read_pairs(&tmp("missing.csv"), 0, 0).is_err(), "missing file");
+        assert!(
+            read_pairs(&tmp("missing.csv"), 0, 0).is_err(),
+            "missing file"
+        );
+    }
+
+    #[test]
+    fn output_creates_missing_parent_dirs() {
+        let dir = tmp("nested").join("deep");
+        let _ = fs::remove_dir_all(tmp("nested"));
+        let path = dir.join("out.csv");
+        write_pairs_csv(&path, &[LabelItem::new(0, 0)]).expect("parents created on demand");
+        assert!(path.exists());
+        let _ = fs::remove_dir_all(tmp("nested"));
+    }
+
+    #[test]
+    fn write_errors_name_the_path() {
+        // A directory path is unwritable as a file; the error must say which.
+        let dir = tmp("is_a_dir");
+        fs::create_dir_all(&dir).unwrap();
+        let err = write_pairs_csv(&dir, &[LabelItem::new(0, 0)]).unwrap_err();
+        assert!(
+            err.to_string().contains("is_a_dir"),
+            "error should name the path: {err}"
+        );
     }
 
     #[test]
@@ -160,11 +190,9 @@ mod tests {
     #[test]
     fn frequency_and_topk_outputs() {
         let domains = Domains::new(2, 2).unwrap();
-        let table = FrequencyTable::ground_truth(
-            domains,
-            &[LabelItem::new(0, 1), LabelItem::new(1, 0)],
-        )
-        .unwrap();
+        let table =
+            FrequencyTable::ground_truth(domains, &[LabelItem::new(0, 1), LabelItem::new(1, 0)])
+                .unwrap();
         let fpath = tmp("freq_out.csv");
         write_frequency_csv(&fpath, &table).unwrap();
         let content = fs::read_to_string(&fpath).unwrap();

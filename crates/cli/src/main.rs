@@ -48,6 +48,16 @@ gen OPTIONS:
   --items <n>     item-domain size (default 2048)
 ";
 
+/// Best-effort stdout line: results piped into `head` (or any reader that
+/// closes early) must end the program quietly, not panic like `println!`
+/// does on a broken pipe.
+macro_rules! out {
+    ($($arg:tt)*) => {{
+        use std::io::Write;
+        let _ = writeln!(std::io::stdout(), $($arg)*);
+    }};
+}
+
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     match run(&raw) {
@@ -64,7 +74,7 @@ fn run(raw: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let args = Args::parse(raw)?;
     match args.command.as_str() {
         "help" | "--help" | "-h" => {
-            println!("{HELP}");
+            out!("{HELP}");
             Ok(())
         }
         "freq" => cmd_freq(&args),
@@ -108,7 +118,14 @@ fn parse_method(name: &str) -> Result<TopKMethod, ArgError> {
 
 fn cmd_freq(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     args.expect_only(&[
-        "input", "eps", "classes", "items", "seed", "output", "framework", "label-frac",
+        "input",
+        "eps",
+        "classes",
+        "items",
+        "seed",
+        "output",
+        "framework",
+        "label-frac",
     ])?;
     let input = args.required("input")?;
     let eps = mcim_oracles::Eps::new(args.required_num::<f64>("eps")?)?;
@@ -140,14 +157,14 @@ fn cmd_freq(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             eprintln!("wrote {path}");
         }
         None => {
-            println!("class | top-5 items by estimated frequency");
+            out!("class | top-5 items by estimated frequency");
             for class in 0..data.domains.classes() {
                 let top = result.table.top_k(class, 5);
                 let cells: Vec<String> = top
                     .iter()
                     .map(|&i| format!("#{i} ({:.0})", result.table.get(class, i)))
                     .collect();
-                println!("{class:>5} | {}", cells.join(", "));
+                out!("{class:>5} | {}", cells.join(", "));
             }
         }
     }
@@ -156,8 +173,17 @@ fn cmd_freq(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 
 fn cmd_topk(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     args.expect_only(&[
-        "input", "eps", "k", "classes", "items", "seed", "output", "method", "label-frac",
-        "sample-frac", "noise-b",
+        "input",
+        "eps",
+        "k",
+        "classes",
+        "items",
+        "seed",
+        "output",
+        "method",
+        "label-frac",
+        "sample-frac",
+        "noise-b",
     ])?;
     let input = args.required("input")?;
     let eps = mcim_oracles::Eps::new(args.required_num::<f64>("eps")?)?;
@@ -190,7 +216,7 @@ fn cmd_topk(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         }
         None => {
             for (class, items) in result.per_class.iter().enumerate() {
-                println!("class {class}: {items:?}");
+                out!("class {class}: {items:?}");
             }
         }
     }
@@ -220,10 +246,7 @@ fn cmd_gen(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             seed,
         }),
         other => {
-            return Err(ArgError(format!(
-                "unknown dataset `{other}` (anime|jd|syn3|syn4)"
-            ))
-            .into())
+            return Err(ArgError(format!("unknown dataset `{other}` (anime|jd|syn3|syn4)")).into())
         }
     };
     let output = args.optional("output").unwrap_or("pairs.csv");
@@ -263,14 +286,30 @@ mod tests {
     fn gen_then_freq_then_topk() {
         let pairs = tmp("e2e_pairs.csv");
         run_cli(&[
-            "gen", "--dataset", "syn4", "--users", "20000", "--items", "256", "--classes", "4",
-            "--output", &pairs,
+            "gen",
+            "--dataset",
+            "syn4",
+            "--users",
+            "20000",
+            "--items",
+            "256",
+            "--classes",
+            "4",
+            "--output",
+            &pairs,
         ])
         .unwrap();
 
         let freq_out = tmp("e2e_freq.csv");
         run_cli(&[
-            "freq", "--input", &pairs, "--eps", "4.0", "--framework", "pts-cp", "--output",
+            "freq",
+            "--input",
+            &pairs,
+            "--eps",
+            "4.0",
+            "--framework",
+            "pts-cp",
+            "--output",
             &freq_out,
         ])
         .unwrap();

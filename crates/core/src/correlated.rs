@@ -419,9 +419,15 @@ mod tests {
                 }
             }
         }
-        assert!(flipped > trials * 9 / 10, "labels should almost always flip");
+        assert!(
+            flipped > trials * 9 / 10,
+            "labels should almost always flip"
+        );
         let rate = flagged as f64 / flipped as f64;
-        assert!((rate - 0.5).abs() < 0.02, "flag rate {rate} should be p₂ = 1/2");
+        assert!(
+            (rate - 0.5).abs() < 0.02,
+            "flag rate {rate} should be p₂ = 1/2"
+        );
     }
 
     #[test]

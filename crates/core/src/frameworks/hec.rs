@@ -190,7 +190,8 @@ mod tests {
             } else {
                 LabelItem::new(1, 2)
             };
-            agg.absorb(&fw.privatize(u, pair, &mut rng).unwrap()).unwrap();
+            agg.absorb(&fw.privatize(u, pair, &mut rng).unwrap())
+                .unwrap();
         }
         let est = agg.estimate().unwrap();
         let n = n as f64;

@@ -235,11 +235,31 @@ mod tests {
         }
         let est = agg.estimate();
         let n = n as f64;
-        assert!((est.get(0, 0) - 0.4 * n).abs() < 0.03 * n, "got {}", est.get(0, 0));
-        assert!((est.get(1, 0) - 0.3 * n).abs() < 0.03 * n, "got {}", est.get(1, 0));
-        assert!((est.get(1, 3) - 0.2 * n).abs() < 0.03 * n, "got {}", est.get(1, 3));
-        assert!((est.get(2, 5) - 0.1 * n).abs() < 0.03 * n, "got {}", est.get(2, 5));
-        assert!(est.get(2, 0).abs() < 0.03 * n, "empty cell {}", est.get(2, 0));
+        assert!(
+            (est.get(0, 0) - 0.4 * n).abs() < 0.03 * n,
+            "got {}",
+            est.get(0, 0)
+        );
+        assert!(
+            (est.get(1, 0) - 0.3 * n).abs() < 0.03 * n,
+            "got {}",
+            est.get(1, 0)
+        );
+        assert!(
+            (est.get(1, 3) - 0.2 * n).abs() < 0.03 * n,
+            "got {}",
+            est.get(1, 3)
+        );
+        assert!(
+            (est.get(2, 5) - 0.1 * n).abs() < 0.03 * n,
+            "got {}",
+            est.get(2, 5)
+        );
+        assert!(
+            est.get(2, 0).abs() < 0.03 * n,
+            "empty cell {}",
+            est.get(2, 0)
+        );
     }
 
     #[test]
@@ -267,10 +287,16 @@ mod tests {
         let fw = Pts::with_total(eps(1.0), domains).unwrap();
         let mut agg = PtsAggregator::new(&fw);
         assert!(agg
-            .absorb(&PtsReport { label: 2, bits: BitVec::zeros(4) })
+            .absorb(&PtsReport {
+                label: 2,
+                bits: BitVec::zeros(4)
+            })
             .is_err());
         assert!(agg
-            .absorb(&PtsReport { label: 0, bits: BitVec::zeros(5) })
+            .absorb(&PtsReport {
+                label: 0,
+                bits: BitVec::zeros(5)
+            })
             .is_err());
     }
 }

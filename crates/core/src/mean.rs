@@ -18,8 +18,9 @@
 
 use rand::Rng;
 
-use mcim_oracles::{calibrate::unbiased_count, Eps, Error, Grr, Piecewise, Result,
-    StochasticRounding};
+use mcim_oracles::{
+    calibrate::unbiased_count, Eps, Error, Grr, Piecewise, Result, StochasticRounding,
+};
 
 /// A user's private label and numerical value in `[-1, 1]`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -369,7 +370,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(61);
         let data = population(200_000, &mut rng);
         let truth = true_means(&data);
-        for mech_kind in [NumericMechanism::StochasticRounding, NumericMechanism::Piecewise] {
+        for mech_kind in [
+            NumericMechanism::StochasticRounding,
+            NumericMechanism::Piecewise,
+        ] {
             let mech = MeanPts::with_total(eps(4.0), 3, mech_kind).unwrap();
             let mut agg = MeanAggregator::for_pts(&mech);
             for lv in &data {
@@ -422,8 +426,8 @@ mod tests {
                 }
             })
             .collect();
-        let mech = MeanCp::new(eps(0.5), eps(1.0), eps(1.0), 2, NumericMechanism::Piecewise)
-            .unwrap();
+        let mech =
+            MeanCp::new(eps(0.5), eps(1.0), eps(1.0), 2, NumericMechanism::Piecewise).unwrap();
         let mut agg = MeanAggregator::for_cp(&mech);
         for lv in &data {
             agg.absorb(&mech.privatize(*lv, &mut rng).unwrap()).unwrap();

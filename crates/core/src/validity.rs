@@ -216,8 +216,7 @@ impl VpAggregator {
         self.counts
             .iter()
             .map(|&c| {
-                (c as f64 - (1.0 - q) * valid * q - m * q * (1.0 - p))
-                    / ((1.0 - q) * (p - q))
+                (c as f64 - (1.0 - q) * valid * q - m * q * (1.0 - p)) / ((1.0 - q) * (p - q))
             })
             .collect()
     }
@@ -342,10 +341,21 @@ mod tests {
             agg.absorb(&vp.privatize(input, &mut rng).unwrap()).unwrap();
         }
         let m_hat = agg.estimate_invalid();
-        assert!((m_hat - 0.3 * n as f64).abs() < 0.05 * n as f64, "m̂={m_hat}");
+        assert!(
+            (m_hat - 0.3 * n as f64).abs() < 0.05 * n as f64,
+            "m̂={m_hat}"
+        );
         let est = agg.estimate();
-        assert!((est[3] - 0.5 * n as f64).abs() < 0.05 * n as f64, "est3={}", est[3]);
-        assert!((est[7] - 0.2 * n as f64).abs() < 0.05 * n as f64, "est7={}", est[7]);
+        assert!(
+            (est[3] - 0.5 * n as f64).abs() < 0.05 * n as f64,
+            "est3={}",
+            est[3]
+        );
+        assert!(
+            (est[7] - 0.2 * n as f64).abs() < 0.05 * n as f64,
+            "est7={}",
+            est[7]
+        );
         assert!(est[0].abs() < 0.05 * n as f64, "est0={}", est[0]);
     }
 
@@ -374,15 +384,22 @@ mod tests {
         let vp = ValidityPerturbation::new(e, d).unwrap();
         let mut agg = VpAggregator::new(&vp);
         for _ in 0..n {
-            agg.absorb(&vp.privatize(ValidityInput::Invalid, &mut rng).unwrap()).unwrap();
+            agg.absorb(&vp.privatize(ValidityInput::Invalid, &mut rng).unwrap())
+                .unwrap();
         }
 
         let oue_noise = oue_counts[0] as f64;
         let vp_noise = agg.raw_counts()[0] as f64;
         let thm4 = n as f64 * (oue.q() + (oue.p() - oue.q()) / d as f64);
         let thm5 = n as f64 * vp.q() * (1.0 - vp.p());
-        assert!((oue_noise - thm4).abs() < 0.05 * thm4, "oue {oue_noise} vs thm4 {thm4}");
-        assert!((vp_noise - thm5).abs() < 0.08 * thm5, "vp {vp_noise} vs thm5 {thm5}");
+        assert!(
+            (oue_noise - thm4).abs() < 0.05 * thm4,
+            "oue {oue_noise} vs thm4 {thm4}"
+        );
+        assert!(
+            (vp_noise - thm5).abs() < 0.08 * thm5,
+            "vp {vp_noise} vs thm5 {thm5}"
+        );
         assert!(vp_noise < oue_noise, "VP must reduce invalid-user noise");
     }
 }

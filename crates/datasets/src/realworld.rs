@@ -106,7 +106,9 @@ fn feature_dataset(
         for _ in 0..per_group {
             let label = u32::from(rng.random_bool(positive_rate));
             let mean = if label == 1 { mean_pos } else { mean_neg };
-            let value = normal(mean, std, &mut rng).round().clamp(0.0, d as f64 - 1.0) as u32;
+            let value = normal(mean, std, &mut rng)
+                .round()
+                .clamp(0.0, d as f64 - 1.0) as u32;
             pairs.push(LabelItem::new(label, value));
         }
         groups.push(
@@ -150,7 +152,10 @@ pub fn anime_like(config: RealConfig) -> Dataset {
     for _ in 0..users {
         let label = u32::from(!rng.random_bool(0.58));
         let rank = zipf.sample(&mut rng);
-        pairs.push(LabelItem::new(label, mappings[label as usize][rank as usize]));
+        pairs.push(LabelItem::new(
+            label,
+            mappings[label as usize][rank as usize],
+        ));
     }
     let mut ds = Dataset::new("Anime", domains, pairs).expect("generated pairs in domain");
     ds.shuffle(&mut rng);
@@ -191,7 +196,10 @@ pub fn jd_like(config: RealConfig) -> Dataset {
     for _ in 0..users {
         let label = class_dist.sample(&mut rng);
         let rank = zipf.sample(&mut rng);
-        pairs.push(LabelItem::new(label, mappings[label as usize][rank as usize]));
+        pairs.push(LabelItem::new(
+            label,
+            mappings[label as usize][rank as usize],
+        ));
     }
     let mut ds = Dataset::new("JD", domains, pairs).expect("generated pairs in domain");
     ds.shuffle(&mut rng);
@@ -264,7 +272,10 @@ mod tests {
         let tops = ds.true_top_k(20);
         let a: HashSet<u32> = tops[0].iter().copied().collect();
         let overlap = tops[1].iter().filter(|i| a.contains(i)).count();
-        assert!(overlap >= 12, "genders should share top titles, got {overlap}");
+        assert!(
+            overlap >= 12,
+            "genders should share top titles, got {overlap}"
+        );
         let sizes = ds.class_sizes();
         let rate = sizes[0] as f64 / ds.len() as f64;
         assert!((rate - 0.58).abs() < 0.02, "gender split {rate}");

@@ -119,7 +119,10 @@ fn generate_large(name: &str, config: SynLargeConfig, global_pool: bool) -> Data
         users,
         seed,
     } = config;
-    assert!(classes >= 1 && items as usize > GLOBAL_POOL * 2, "domain too small");
+    assert!(
+        classes >= 1 && items as usize > GLOBAL_POOL * 2,
+        "domain too small"
+    );
     let domains = Domains::new(classes, items).expect("config domains");
     let mut rng = StdRng::seed_from_u64(seed);
 

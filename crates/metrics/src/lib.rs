@@ -67,7 +67,10 @@ pub fn ncr_at_k(mined: &[u32], truth: &[u32]) -> f64 {
 ///
 /// Returns `-inf` when the pair never occurs; panics on zero marginals.
 pub fn pmi(f_pair: f64, n_class: f64, f_item: f64, n_total: f64) -> f64 {
-    assert!(n_class > 0.0 && f_item > 0.0 && n_total > 0.0, "zero marginal");
+    assert!(
+        n_class > 0.0 && f_item > 0.0 && n_total > 0.0,
+        "zero marginal"
+    );
     let p_pair = f_pair / n_total;
     let p_class = n_class / n_total;
     let p_item = f_item / n_total;

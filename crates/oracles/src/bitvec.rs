@@ -59,7 +59,11 @@ impl BitVec {
     /// Panics if `i >= len`.
     #[inline]
     pub fn get(&self, i: usize) -> bool {
-        assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range (len {})",
+            self.len
+        );
         (self.words[i / 64] >> (i % 64)) & 1 == 1
     }
 
@@ -69,7 +73,11 @@ impl BitVec {
     /// Panics if `i >= len`.
     #[inline]
     pub fn set(&mut self, i: usize, value: bool) {
-        assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range (len {})",
+            self.len
+        );
         let mask = 1u64 << (i % 64);
         if value {
             self.words[i / 64] |= mask;
@@ -112,7 +120,11 @@ impl BitVec {
         if q >= 1.0 {
             for (idx, w) in self.words.iter_mut().enumerate() {
                 let remaining = self.len - idx * 64;
-                *w = if remaining >= 64 { u64::MAX } else { (1u64 << remaining) - 1 };
+                *w = if remaining >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << remaining) - 1
+                };
             }
             return;
         }
@@ -127,7 +139,11 @@ impl BitVec {
                 self.len // effectively "no more ones"
             } else {
                 let g = (u.ln() / log1mq).floor();
-                if g >= self.len as f64 { self.len } else { g as usize }
+                if g >= self.len as f64 {
+                    self.len
+                } else {
+                    g as usize
+                }
             };
             i = match i.checked_add(gap) {
                 Some(next) if next < self.len => next,
@@ -263,7 +279,11 @@ mod tests {
             }
         }
         let rate = pairs as f64 / (trials * (len - 1)) as f64;
-        assert!((rate - q * q).abs() < 0.01, "pair rate {rate} vs q²={}", q * q);
+        assert!(
+            (rate - q * q).abs() < 0.01,
+            "pair rate {rate} vs q²={}",
+            q * q
+        );
     }
 
     #[test]

@@ -36,7 +36,10 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::InvalidBudget(eps) => {
-                write!(f, "privacy budget must be a finite positive number, got {eps}")
+                write!(
+                    f,
+                    "privacy budget must be a finite positive number, got {eps}"
+                )
             }
             Error::EmptyDomain => write!(f, "domain must contain at least one value"),
             Error::ValueOutOfDomain { value, domain } => {
@@ -63,9 +66,20 @@ mod tests {
         let msgs = [
             Error::InvalidBudget(-1.0).to_string(),
             Error::EmptyDomain.to_string(),
-            Error::ValueOutOfDomain { value: 9, domain: 4 }.to_string(),
-            Error::ReportMismatch { expected: "OUE bits of length 5" }.to_string(),
-            Error::InvalidParameter { name: "k", constraint: "k >= 1" }.to_string(),
+            Error::ValueOutOfDomain {
+                value: 9,
+                domain: 4,
+            }
+            .to_string(),
+            Error::ReportMismatch {
+                expected: "OUE bits of length 5",
+            }
+            .to_string(),
+            Error::InvalidParameter {
+                name: "k",
+                constraint: "k >= 1",
+            }
+            .to_string(),
         ];
         assert!(msgs[0].contains("-1"));
         assert!(msgs[2].contains("9") && msgs[2].contains("4"));

@@ -130,7 +130,10 @@ mod tests {
             let g = Grr::new(eps(e), d).unwrap();
             // Worst case ratio over outputs for any pair of inputs is p/q.
             assert!(g.p() / g.q() <= e.exp() * (1.0 + 1e-12));
-            assert!((g.p() / g.q() - e.exp()).abs() < 1e-9, "GRR should be tight");
+            assert!(
+                (g.p() / g.q() - e.exp()).abs() < 1e-9,
+                "GRR should be tight"
+            );
         }
     }
 
@@ -164,7 +167,11 @@ mod tests {
         for (v, &c) in counts.iter().enumerate() {
             if v != 3 {
                 let rate = c as f64 / n as f64;
-                assert!((rate - g.q()).abs() < 0.005, "v={v} rate={rate} q={}", g.q());
+                assert!(
+                    (rate - g.q()).abs() < 0.005,
+                    "v={v} rate={rate} q={}",
+                    g.q()
+                );
             }
         }
     }

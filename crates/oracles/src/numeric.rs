@@ -54,8 +54,16 @@ impl StochasticRounding {
                 constraint: "value must lie in [-1, 1]",
             });
         }
-        let rounded = if rng.random_bool((1.0 + v) / 2.0) { 1.0 } else { -1.0 };
-        let kept = if rng.random_bool(self.keep) { rounded } else { -rounded };
+        let rounded = if rng.random_bool((1.0 + v) / 2.0) {
+            1.0
+        } else {
+            -1.0
+        };
+        let kept = if rng.random_bool(self.keep) {
+            rounded
+        } else {
+            -rounded
+        };
         Ok(kept)
     }
 

@@ -169,8 +169,14 @@ mod tests {
         }
         let est2 = unbiased_count(support[2], n as f64, m.support_p(), m.support_q());
         let est9 = unbiased_count(support[9], n as f64, m.support_p(), m.support_q());
-        assert!((est2 - 0.7 * n as f64).abs() < 0.05 * n as f64, "est2={est2}");
-        assert!((est9 - 0.3 * n as f64).abs() < 0.05 * n as f64, "est9={est9}");
+        assert!(
+            (est2 - 0.7 * n as f64).abs() < 0.05 * n as f64,
+            "est2={est2}"
+        );
+        assert!(
+            (est9 - 0.3 * n as f64).abs() < 0.05 * n as f64,
+            "est9={est9}"
+        );
     }
 
     #[test]

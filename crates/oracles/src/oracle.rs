@@ -257,7 +257,8 @@ mod tests {
         let n = 30_000;
         for u in 0..n {
             let item = (u % 3) as u32; // uniform over {0,1,2}
-            agg.absorb(&oracle.privatize(item, &mut rng).unwrap()).unwrap();
+            agg.absorb(&oracle.privatize(item, &mut rng).unwrap())
+                .unwrap();
         }
         let est = agg.estimate();
         for (v, e) in est.iter().enumerate() {
@@ -273,7 +274,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let n = 30_000;
         for _ in 0..n {
-            agg.absorb(&oracle.privatize(100, &mut rng).unwrap()).unwrap();
+            agg.absorb(&oracle.privatize(100, &mut rng).unwrap())
+                .unwrap();
         }
         let est = agg.estimate();
         assert!((est[100] - n as f64).abs() < 0.05 * n as f64);
@@ -290,7 +292,11 @@ mod tests {
             agg.absorb(&oracle.privatize(9, &mut rng).unwrap()).unwrap();
         }
         let est = agg.estimate();
-        assert!((est[9] - n as f64).abs() < 0.06 * n as f64, "est={}", est[9]);
+        assert!(
+            (est[9] - n as f64).abs() < 0.06 * n as f64,
+            "est={}",
+            est[9]
+        );
     }
 
     #[test]

@@ -60,7 +60,9 @@ impl CountMeanSketch {
             d,
             width,
             rows,
-            seeds: (0..rows as u64).map(|r| seed ^ (r.wrapping_mul(0x9E37_79B9))).collect(),
+            seeds: (0..rows as u64)
+                .map(|r| seed ^ (r.wrapping_mul(0x9E37_79B9)))
+                .collect(),
             ue: UnaryEncoding::symmetric(eps, width)?,
         })
     }
@@ -239,7 +241,8 @@ mod tests {
                 4..=6 => 3,
                 _ => 1_000 + (u % 5_000) as u32,
             };
-            agg.absorb(&sketch.privatize(item, &mut rng).unwrap()).unwrap();
+            agg.absorb(&sketch.privatize(item, &mut rng).unwrap())
+                .unwrap();
         }
         let est_hot = agg.estimate(77_777).unwrap();
         let est_warm = agg.estimate(3).unwrap();
@@ -248,7 +251,10 @@ mod tests {
         assert!((est_hot - 0.4 * n).abs() < 0.06 * n, "hot {est_hot}");
         assert!((est_warm - 0.3 * n).abs() < 0.06 * n, "warm {est_warm}");
         assert!(est_cold.abs() < 0.06 * n, "cold {est_cold}");
-        assert!(est_hot > est_warm && est_warm > est_cold, "ordering preserved");
+        assert!(
+            est_hot > est_warm && est_warm > est_cold,
+            "ordering preserved"
+        );
     }
 
     #[test]
@@ -256,10 +262,16 @@ mod tests {
         let sketch = CountMeanSketch::new(eps(1.0), 100, 4, 64, 1).unwrap();
         let mut agg = CmsAggregator::new(&sketch);
         assert!(agg
-            .absorb(&CmsReport { row: 4, bits: BitVec::zeros(64) })
+            .absorb(&CmsReport {
+                row: 4,
+                bits: BitVec::zeros(64)
+            })
             .is_err());
         assert!(agg
-            .absorb(&CmsReport { row: 0, bits: BitVec::zeros(63) })
+            .absorb(&CmsReport {
+                row: 0,
+                bits: BitVec::zeros(63)
+            })
             .is_err());
     }
 

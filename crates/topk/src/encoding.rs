@@ -19,7 +19,11 @@ impl PrefixCode {
     /// Panics if `d == 0`.
     pub fn for_domain(d: u32) -> Self {
         assert!(d > 0, "domain must be non-empty");
-        let bits = if d <= 1 { 1 } else { 32 - (d - 1).leading_zeros() };
+        let bits = if d <= 1 {
+            1
+        } else {
+            32 - (d - 1).leading_zeros()
+        };
         PrefixCode { bits, domain: d }
     }
 

@@ -19,9 +19,7 @@ use std::collections::HashMap;
 
 use rand::Rng;
 
-use mcim_core::{
-    CommStats, Domains, LabelItem, ValidityInput, ValidityPerturbation, VpAggregator,
-};
+use mcim_core::{CommStats, Domains, LabelItem, ValidityInput, ValidityPerturbation, VpAggregator};
 use mcim_oracles::{calibrate::unbiased_count, Aggregator, Eps, Error, Grr, Oracle, Result};
 
 use crate::pem::{Pem, PemConfig, PemEngine};
@@ -355,7 +353,9 @@ fn ptj_shuffled<R: Rng + ?Sized>(
         let scores = score_round(
             config.eps,
             view.buckets(),
-            chunk.iter().map(|p| view.bucket_of_item(domains.joint_index(*p))),
+            chunk
+                .iter()
+                .map(|p| view.bucket_of_item(domains.joint_index(*p))),
             validity,
             &mut comm,
             rng,
@@ -366,7 +366,11 @@ fn ptj_shuffled<R: Rng + ?Sized>(
     // Final round: direct estimation over the surviving pairs.
     let final_chunk = chunks.next().unwrap_or(&[]);
     let cands = engine.candidates().to_vec();
-    let index: HashMap<u32, u32> = cands.iter().enumerate().map(|(i, &p)| (p, i as u32)).collect();
+    let index: HashMap<u32, u32> = cands
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (p, i as u32))
+        .collect();
     let scores = score_round(
         config.eps,
         cands.len(),
@@ -431,8 +435,7 @@ fn pts_pem<R: Rng + ?Sized>(
                 for _ in chunk {
                     comm.record(grr.report_bits());
                 }
-                let stats =
-                    g_engine.run_round(e2, chunk.iter().map(|p| Some(p.item)), rng)?;
+                let stats = g_engine.run_round(e2, chunk.iter().map(|p| Some(p.item)), rng)?;
                 comm.merge(stats);
             }
         }
@@ -616,8 +619,7 @@ fn pts_shuffled<R: Rng + ?Sized>(
         // from the printed formula).
         let cp_feasible = match config.noise_test {
             NoiseTest::PaperRatio => {
-                (group.len() as f64)
-                    <= config.noise_factor * estimated_class_sizes[class].max(1.0)
+                (group.len() as f64) <= config.noise_factor * estimated_class_sizes[class].max(1.0)
             }
             NoiseTest::NoiseToValid => {
                 let valid = (grr.p() * estimated_class_sizes[class]).max(1.0);
@@ -643,8 +645,11 @@ fn pts_shuffled<R: Rng + ?Sized>(
             continue;
         }
         let cands = &fg.candidates;
-        let index: HashMap<u32, u32> =
-            cands.iter().enumerate().map(|(i, &it)| (it, i as u32)).collect();
+        let index: HashMap<u32, u32> = cands
+            .iter()
+            .enumerate()
+            .map(|(i, &it)| (it, i as u32))
+            .collect();
         let scores: Vec<f64> = if fg.use_cp {
             // Correlated perturbation: validity requires the routed label to
             // match the true label AND the item to have survived pruning.
@@ -807,11 +812,20 @@ mod tests {
             "PTJ-Shuffling+VP"
         );
         assert_eq!(
-            TopKMethod::PtsPem { validity: false, global: false }.name(),
+            TopKMethod::PtsPem {
+                validity: false,
+                global: false
+            }
+            .name(),
             "PTS"
         );
         assert_eq!(
-            TopKMethod::PtsShuffled { validity: true, global: true, correlated: true }.name(),
+            TopKMethod::PtsShuffled {
+                validity: true,
+                global: true,
+                correlated: true
+            }
+            .name(),
             "PTS-Shuffling+VP+CP"
         );
     }
@@ -849,7 +863,11 @@ mod tests {
         let config = TopKConfig::new(3, eps(8.0));
         let mut rng = StdRng::seed_from_u64(11);
         let result = mine(
-            TopKMethod::PtsShuffled { validity: true, global: true, correlated: true },
+            TopKMethod::PtsShuffled {
+                validity: true,
+                global: true,
+                correlated: true,
+            },
             config,
             domains,
             &data,
@@ -885,7 +903,11 @@ mod tests {
         )
         .unwrap();
         for (c, (mined, tru)) in result.per_class.iter().zip(&truth).enumerate() {
-            assert!(mined.contains(&tru[0]), "class {c}: {mined:?} missing {}", tru[0]);
+            assert!(
+                mined.contains(&tru[0]),
+                "class {c}: {mined:?} missing {}",
+                tru[0]
+            );
         }
     }
 
@@ -946,7 +968,11 @@ mod tests {
         let config = TopKConfig::new(4, eps(4.0));
         let mut rng = StdRng::seed_from_u64(31);
         let pts = mine(
-            TopKMethod::PtsShuffled { validity: true, global: true, correlated: true },
+            TopKMethod::PtsShuffled {
+                validity: true,
+                global: true,
+                correlated: true,
+            },
             config,
             domains,
             &data,

@@ -254,7 +254,10 @@ impl PemEngine {
         }
 
         let survivors: Vec<u32> = order.iter().map(|&i| self.candidates[i]).collect();
-        let extend = self.config.extend_bits.min(self.code.bits() - self.prefix_len);
+        let extend = self
+            .config
+            .extend_bits
+            .min(self.code.bits() - self.prefix_len);
         let new_len = self.prefix_len + extend;
         let mut next: Vec<u32> = Vec::with_capacity(survivors.len() << extend);
         // Only keep children that still have a real item beneath them.
@@ -427,7 +430,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(43);
         let out = pem.mine(eps(6.0), &items, &mut rng).unwrap();
         for expected in 0..2u32 {
-            assert!(out.top.contains(&expected), "missing {expected}: {:?}", out.top);
+            assert!(
+                out.top.contains(&expected),
+                "missing {expected}: {:?}",
+                out.top
+            );
         }
     }
 

@@ -240,7 +240,10 @@ mod tests {
         // Three halvings: 200 → ~100 → ~50 → ~25 (±bucket granularity,
         // since surviving buckets differ in size by at most one).
         let len = engine.candidates().len();
-        assert!((22..=28).contains(&len), "candidate count {len} after 3 halvings");
+        assert!(
+            (22..=28).contains(&len),
+            "candidate count {len} after 3 halvings"
+        );
     }
 
     #[test]
@@ -292,7 +295,11 @@ mod tests {
     fn buckets_capped_at_candidate_count() {
         let mut engine = ShuffleEngine::new((0..4).collect());
         let view = engine.begin_round(9, 100);
-        assert_eq!(view.buckets(), 4, "cannot have more buckets than candidates");
+        assert_eq!(
+            view.buckets(),
+            4,
+            "cannot have more buckets than candidates"
+        );
         assert_eq!(view.candidate_count(), 4);
     }
 }

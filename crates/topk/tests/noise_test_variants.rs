@@ -43,7 +43,9 @@ fn both_noise_tests_mine_successfully() {
         // The dominant class must be mined well under either test.
         let truth_top = 0u32; // class 0's head items live at 0..8
         assert!(
-            result.per_class[0].iter().any(|&i| (truth_top..8).contains(&i)),
+            result.per_class[0]
+                .iter()
+                .any(|&i| (truth_top..8).contains(&i)),
             "{test:?}: class 0 results {:?}",
             result.per_class[0]
         );
@@ -70,7 +72,9 @@ fn tests_agree_at_few_balanced_classes() {
         let mut config = TopKConfig::new(3, Eps::new(6.0).unwrap());
         config.noise_test = test;
         let mut rng = StdRng::seed_from_u64(99);
-        mine(method, config, domains, &data, &mut rng).unwrap().per_class
+        mine(method, config, domains, &data, &mut rng)
+            .unwrap()
+            .per_class
     };
     assert_eq!(run(NoiseTest::PaperRatio), run(NoiseTest::NoiseToValid));
 }

@@ -40,10 +40,20 @@ fn optimized_methods_beat_their_baselines_on_anime() {
     let trials = 3;
     let mut scores = std::collections::HashMap::new();
     for (label, method) in [
-        ("pts_base", TopKMethod::PtsPem { validity: false, global: false }),
+        (
+            "pts_base",
+            TopKMethod::PtsPem {
+                validity: false,
+                global: false,
+            },
+        ),
         (
             "pts_opt",
-            TopKMethod::PtsShuffled { validity: true, global: true, correlated: true },
+            TopKMethod::PtsShuffled {
+                validity: true,
+                global: true,
+                correlated: true,
+            },
         ),
         ("ptj_base", TopKMethod::PtjPem { validity: false }),
         ("ptj_opt", TopKMethod::PtjShuffled { validity: true }),
@@ -146,8 +156,16 @@ fn tiny_classes_favor_pts_over_ptj() {
     // pairs globally, so the tiny classes get few candidates; PTS routes
     // every user and benefits from the global item pool.
     let tiny = [3usize, 4];
-    let pts_f1: f64 = tiny.iter().map(|&c| f1_at_k(&pts.per_class[c], &truth[c])).sum::<f64>() / 2.0;
-    let ptj_f1: f64 = tiny.iter().map(|&c| f1_at_k(&ptj.per_class[c], &truth[c])).sum::<f64>() / 2.0;
+    let pts_f1: f64 = tiny
+        .iter()
+        .map(|&c| f1_at_k(&pts.per_class[c], &truth[c]))
+        .sum::<f64>()
+        / 2.0;
+    let ptj_f1: f64 = tiny
+        .iter()
+        .map(|&c| f1_at_k(&ptj.per_class[c], &truth[c]))
+        .sum::<f64>()
+        / 2.0;
     assert!(
         pts_f1 > ptj_f1,
         "tiny classes: PTS {pts_f1} should beat PTJ {ptj_f1}"

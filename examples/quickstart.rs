@@ -31,10 +31,7 @@ fn main() -> Result<()> {
     let result = Framework::PtsCp { label_frac: 0.5 }.run(eps, domains, &data, &mut rng)?;
 
     println!("PTS-CP frequency estimation, ε = 2, N = {}", data.len());
-    println!(
-        "uplink: {:.0} bits/user\n",
-        result.comm.bits_per_user()
-    );
+    println!("uplink: {:.0} bits/user\n", result.comm.bits_per_user());
     println!("class | top item (true) | est. count | true count");
     println!("------+-----------------+------------+-----------");
     for class in 0..3 {

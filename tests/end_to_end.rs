@@ -14,7 +14,11 @@ fn frequency_pipeline_on_syn1() {
     let truth = ds.ground_truth();
     let mut rng = StdRng::seed_from_u64(41);
     let eps = Eps::new(4.0).unwrap();
-    for fw in [Framework::Ptj, Framework::Pts { label_frac: 0.5 }, Framework::PtsCp { label_frac: 0.5 }] {
+    for fw in [
+        Framework::Ptj,
+        Framework::Pts { label_frac: 0.5 },
+        Framework::PtsCp { label_frac: 0.5 },
+    ] {
         let result = fw.run(eps, ds.domains, &ds.pairs, &mut rng).unwrap();
         let err = rmse(result.table.values(), truth.values());
         // Largest cell is 5000; a calibrated estimator at ε=4 with ~55k
@@ -87,7 +91,8 @@ fn oracle_facade_round_trip() {
     let mut agg = Aggregator::new(&oracle);
     let mut rng = StdRng::seed_from_u64(44);
     for _ in 0..20_000 {
-        agg.absorb(&oracle.privatize(42, &mut rng).unwrap()).unwrap();
+        agg.absorb(&oracle.privatize(42, &mut rng).unwrap())
+            .unwrap();
     }
     let est = agg.estimate();
     assert!((est[42] - 20_000.0).abs() < 1_500.0, "est {}", est[42]);

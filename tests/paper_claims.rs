@@ -33,9 +33,7 @@ fn claim_cp_variance_dominates_pts() {
             let cp = analysis::thm8_cp_variance(f, n, n_total, pr);
             let pts = analysis::pts_variance(f, n, f_item, n_total, pr);
             assert!(cp < pts, "ε={eps_v} c={classes}: {cp} !< {pts}");
-            assert!(
-                analysis::thm10_variance_gap_lower_bound(f, n, f_item, n_total, pr) > 0.0
-            );
+            assert!(analysis::thm10_variance_gap_lower_bound(f, n, f_item, n_total, pr) > 0.0);
         }
     }
 }
@@ -86,7 +84,11 @@ fn claim_global_candidates_rescue_tiny_classes() {
     for t in 0..trials {
         let mut rng = StdRng::seed_from_u64(2000 + t);
         let pts = mine(
-            TopKMethod::PtsShuffled { validity: true, global: true, correlated: true },
+            TopKMethod::PtsShuffled {
+                validity: true,
+                global: true,
+                correlated: true,
+            },
             config,
             ds.domains,
             &ds.pairs,
@@ -144,7 +146,11 @@ fn claim_noise_test_keeps_all_classes_functional() {
     let config = TopKConfig::new(5, Eps::new(4.0).unwrap());
     let mut rng = StdRng::seed_from_u64(4000);
     let result = mine(
-        TopKMethod::PtsShuffled { validity: true, global: true, correlated: true },
+        TopKMethod::PtsShuffled {
+            validity: true,
+            global: true,
+            correlated: true,
+        },
         config,
         ds.domains,
         &ds.pairs,

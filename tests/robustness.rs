@@ -100,7 +100,11 @@ fn single_user_dataset_does_not_panic() {
         let result = fw
             .run(Eps::new(1.0).unwrap(), domains, &data, &mut rng)
             .unwrap();
-        assert!(result.table.values().iter().all(|v| v.is_finite()), "{}", fw.name());
+        assert!(
+            result.table.values().iter().all(|v| v.is_finite()),
+            "{}",
+            fw.name()
+        );
     }
 }
 
@@ -117,7 +121,12 @@ fn k_larger_than_domain_is_served_gracefully() {
     for method in TopKMethod::fig7_set() {
         let result = mine(method, config, domains, &data, &mut rng).unwrap();
         for (c, items) in result.per_class.iter().enumerate() {
-            assert!(items.len() <= 8, "{} class {c}: {}", method.name(), items.len());
+            assert!(
+                items.len() <= 8,
+                "{} class {c}: {}",
+                method.name(),
+                items.len()
+            );
             let unique: std::collections::HashSet<_> = items.iter().collect();
             assert_eq!(unique.len(), items.len(), "{}", method.name());
         }
@@ -127,7 +136,9 @@ fn k_larger_than_domain_is_served_gracefully() {
 #[test]
 fn all_users_in_one_class_leaves_other_classes_quiet() {
     let domains = Domains::new(4, 64).unwrap();
-    let data: Vec<LabelItem> = (0..40_000).map(|u| LabelItem::new(0, (u % 5) as u32)).collect();
+    let data: Vec<LabelItem> = (0..40_000)
+        .map(|u| LabelItem::new(0, (u % 5) as u32))
+        .collect();
     let mut rng = StdRng::seed_from_u64(5);
     let config = TopKConfig::new(3, Eps::new(6.0).unwrap());
     let result = mine(

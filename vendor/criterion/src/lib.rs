@@ -1,0 +1,236 @@
+//! Offline shim for the subset of the `criterion` API used by this
+//! workspace's micro-benchmarks.
+//!
+//! It measures wall-clock time over `sample_size` samples after a short
+//! warm-up and prints mean ± spread per benchmark. There is no statistical
+//! machinery, no plots, and no baseline comparison — just honest timing
+//! with the upstream call-site API, so the benches compile and run without
+//! registry access.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost (accepted for API parity; the
+/// shim re-runs setup per iteration regardless, excluding it from timing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_benchmark(&name.into(), self.sample_size, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_benchmark(&format!("{}/{}", self.name, id.into()), self.sample_size, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to every benchmark closure; drives the timed iterations.
+pub struct Bencher {
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `f` in a loop.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warm up and estimate a per-sample iteration count targeting
+        // ~1 ms so cheap routines still get a stable reading.
+        let warmup = Instant::now();
+        let mut warm_iters = 0u64;
+        while warmup.elapsed() < Duration::from_millis(20) {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warmup.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let iters = ((1e-3 / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.samples_ns
+                .push(start.elapsed().as_secs_f64() * 1e9 / iters as f64);
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is excluded
+    /// from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples_ns.push(start.elapsed().as_secs_f64() * 1e9);
+        }
+    }
+}
+
+fn run_benchmark(label: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        sample_size,
+        samples_ns: Vec::new(),
+    };
+    f(&mut bencher);
+    let samples = &bencher.samples_ns;
+    if samples.is_empty() {
+        println!("{label:<48} (no samples)");
+        return;
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    println!(
+        "{label:<48} time: [{} {} {}]",
+        format_ns(min),
+        format_ns(mean),
+        format_ns(max)
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// Bundles benchmark functions into a named runner, in both upstream
+/// syntaxes.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(2);
+        group.bench_function("iter", |b| b.iter(|| black_box(1u64 + 1)));
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    criterion_group!(shim_benches, quick);
+
+    #[test]
+    fn group_and_bench_run() {
+        shim_benches();
+    }
+
+    #[test]
+    fn format_ns_scales() {
+        assert!(format_ns(12.0).contains("ns"));
+        assert!(format_ns(12_000.0).contains("µs"));
+        assert!(format_ns(12_000_000.0).contains("ms"));
+        assert!(format_ns(2e9).contains(" s"));
+    }
+}

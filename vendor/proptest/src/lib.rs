@@ -1,0 +1,192 @@
+//! Offline shim for the subset of the `proptest` API used by this workspace.
+//!
+//! The [`proptest!`] macro runs each property for a fixed number of
+//! deterministic cases (default 64, override with `PROPTEST_CASES`) instead
+//! of upstream's adaptive search, and there is no shrinking: a failing case
+//! panics immediately, reporting the case index so the run can be replayed
+//! with the same deterministic stream.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{distr::SampleUniform, Rng, RngCore, SeedableRng};
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// A source of random test inputs of type `Value`.
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample_value(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<T: SampleUniform + Copy> Strategy for Range<T> {
+    type Value = T;
+
+    fn sample_value(&self, rng: &mut StdRng) -> T {
+        rng.random_range(self.clone())
+    }
+}
+
+/// Strategy producing any value of a primitive type (see [`any`]).
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+/// Returns a strategy over the full domain of `T`.
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy<Value = T>,
+{
+    Any(PhantomData)
+}
+
+macro_rules! any_prim {
+    ($($ty:ty),+) => {$(
+        impl Strategy for Any<$ty> {
+            type Value = $ty;
+            fn sample_value(&self, rng: &mut StdRng) -> $ty {
+                rng.next_u64() as $ty
+            }
+        }
+    )+};
+}
+any_prim!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn sample_value(&self, rng: &mut StdRng) -> bool {
+        rng.random()
+    }
+}
+
+/// Collection strategies (mirrors `proptest::collection`).
+pub mod collection {
+    use super::{Rng, StdRng, Strategy};
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Produces vectors whose elements come from `element` and whose length
+    /// is uniform in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(!size.is_empty(), "empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample_value(&self, rng: &mut StdRng) -> Self::Value {
+            let len = rng.random_range(self.size.clone());
+            (0..len).map(|_| self.element.sample_value(rng)).collect()
+        }
+    }
+}
+
+/// Namespace re-exports so call sites can write `prop::collection::vec`.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::{any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Strategy};
+}
+
+/// Number of cases each property runs (`PROPTEST_CASES`, default 64).
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Deterministic per-case RNG: the stream depends only on the case index.
+pub fn case_rng(case: u32) -> StdRng {
+    StdRng::seed_from_u64(0xC0FF_EE00_0000_0000 ^ u64::from(case))
+}
+
+/// Defines property tests: each `fn name(arg in strategy, …) { body }` item
+/// becomes a `#[test]` that runs the body for [`cases`] deterministic draws.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                for __case in 0..$crate::cases() {
+                    let mut __rng = $crate::case_rng(__case);
+                    $(let $arg = $crate::Strategy::sample_value(&($strategy), &mut __rng);)+
+                    let __result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| $body));
+                    if let Err(panic) = __result {
+                        eprintln!(
+                            "proptest case {}/{} failed in {}",
+                            __case,
+                            $crate::cases(),
+                            stringify!($name),
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// Asserts a condition inside a property (no shrinking; panics like
+/// `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { ::std::assert!($($tokens)*) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { ::std::assert_eq!($($tokens)*) };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { ::std::assert_ne!($($tokens)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// The harness delivers in-range values and runs multiple cases.
+        #[test]
+        fn ranges_are_respected(x in 3u32..17, f in 0.25f64..0.75, n in 1usize..9) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0.25..0.75).contains(&f));
+            prop_assert!((1..9).contains(&n));
+        }
+
+        /// `any` and collection strategies compose.
+        #[test]
+        fn vec_lengths_in_range(v in prop::collection::vec(any::<u64>(), 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+        }
+    }
+
+    #[test]
+    fn cases_is_positive() {
+        assert!(super::cases() >= 1);
+    }
+
+    #[test]
+    fn case_rng_is_deterministic() {
+        use rand::RngCore;
+        assert_eq!(super::case_rng(5).next_u64(), super::case_rng(5).next_u64());
+    }
+}

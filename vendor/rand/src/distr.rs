@@ -1,0 +1,125 @@
+//! Distributions and uniform-range sampling (mirrors `rand::distr`).
+
+use crate::RngCore;
+use std::ops::{Range, RangeInclusive};
+
+/// A type that can produce values of `T` given an RNG.
+pub trait Distribution<T> {
+    /// Samples one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" uniform distribution per type: floats in `[0, 1)`,
+/// integers over their full range, `bool` fair.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StandardUniform;
+
+impl Distribution<f64> for StandardUniform {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 random mantissa bits → uniform on [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for StandardUniform {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<bool> for StandardUniform {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($ty:ty),+) => {$(
+        impl Distribution<$ty> for StandardUniform {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $ty {
+                rng.next_u64() as $ty
+            }
+        }
+    )+};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types that support uniform sampling over a caller-supplied range.
+pub trait SampleUniform: Sized + PartialOrd {
+    /// Uniform sample from `[low, high)` (`inclusive = false`) or
+    /// `[low, high]` (`inclusive = true`). The caller guarantees the range
+    /// is non-empty.
+    fn sample_range<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        inclusive: bool,
+    ) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($ty:ty),+) => {$(
+        impl SampleUniform for $ty {
+            fn sample_range<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self {
+                let span = (high as i128 - low as i128 + if inclusive { 1 } else { 0 }) as u128;
+                debug_assert!(span > 0);
+                // `span == 2^64` only for a full-width 64-bit inclusive
+                // range, where the multiply-shift below is exact anyway.
+                let offset = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (low as i128 + offset) as $ty
+            }
+        }
+    )+};
+}
+uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! uniform_float {
+    ($($ty:ty),+) => {$(
+        impl SampleUniform for $ty {
+            fn sample_range<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                _inclusive: bool,
+            ) -> Self {
+                let unit: $ty = StandardUniform.sample(rng);
+                low + unit * (high - low)
+            }
+        }
+    )+};
+}
+uniform_float!(f32, f64);
+
+/// Range forms accepted by `Rng::random_range`.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        T::sample_range(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (start, end) = self.into_inner();
+        assert!(start <= end, "cannot sample from empty range");
+        T::sample_range(rng, start, end, true)
+    }
+}
+
+/// Uniform-range helpers namespace, mirroring `rand::distr::uniform`.
+pub mod uniform {
+    pub use super::{SampleRange, SampleUniform};
+}

@@ -1,0 +1,207 @@
+//! Offline shim for the subset of the `rand` 0.9 API used by this workspace.
+//!
+//! See `vendor/README.md` for scope and caveats. The headline difference
+//! from upstream: [`rngs::StdRng`] is xoshiro256++ (seeded via SplitMix64)
+//! rather than ChaCha12, so its byte stream differs from the real crate's.
+//! Every consumer in this workspace relies only on seed-determinism and
+//! statistical quality, both of which hold.
+
+#![forbid(unsafe_code)]
+
+pub mod distr;
+pub mod rngs;
+
+pub use distr::{Distribution, StandardUniform};
+use distr::{SampleRange, SampleUniform};
+
+/// The core of a random number generator: a source of `u32`/`u64` words.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let word = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// User-facing sampling methods, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value with the standard-uniform distribution for its type
+    /// (floats uniform in `[0, 1)`, integers uniform over the full range).
+    fn random<T>(&mut self) -> T
+    where
+        StandardUniform: Distribution<T>,
+    {
+        StandardUniform.sample(self)
+    }
+
+    /// Samples uniformly from a range (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} is not a probability");
+        self.random::<f64>() < p
+    }
+
+    /// Samples from an explicit distribution object.
+    fn sample<T, D: Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A generator that can be constructed from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// Seed type (a byte array).
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Constructs the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Constructs the generator from a `u64`, expanded with SplitMix64
+    /// exactly as upstream `rand_core` does.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            // SplitMix64 (Steele, Lea & Flood 2014), upstream's expansion.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn unit_floats_in_range_and_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn random_range_hits_every_value() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[rng.random_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "exclusive range missed a value");
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[rng.random_range(0usize..=9)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "inclusive range missed a value");
+    }
+
+    #[test]
+    fn random_range_signed_and_float() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1_000 {
+            let v: i64 = rng.random_range(-5i64..5);
+            assert!((-5..5).contains(&v));
+            let f: f64 = rng.random_range(-1.0f64..=1.0);
+            assert!((-1.0..=1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn random_bool_respects_extremes_and_rate() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+        assert!((0..100).all(|_| !rng.random_bool(0.0)));
+        let hits = (0..100_000).filter(|_| rng.random_bool(0.3)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.3).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "not a probability")]
+    fn random_bool_rejects_invalid_p() {
+        StdRng::seed_from_u64(0).random_bool(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn random_range_rejects_empty() {
+        StdRng::seed_from_u64(0).random_range(5u32..5);
+    }
+
+    #[test]
+    fn works_through_unsized_references() {
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> u32 {
+            rng.random_range(0..100u32)
+        }
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(draw(&mut rng) < 100);
+    }
+
+    #[test]
+    fn full_range_u64_inclusive() {
+        let mut rng = StdRng::seed_from_u64(11);
+        // span == 2^64 must not overflow or panic.
+        let _: u64 = rng.random_range(0u64..=u64::MAX);
+    }
+}

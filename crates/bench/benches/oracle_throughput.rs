@@ -1,86 +1,316 @@
-//! Criterion micro-benchmarks: privatize/aggregate throughput of the
-//! frequency oracles and the paper's two perturbation mechanisms.
+//! Oracle privatize/aggregate throughput: the batch runtime versus the
+//! seed's per-report paths, at the acceptance workload `d = 1024`,
+//! `n = 100_000`, ε = 1.
+//!
+//! Three aggregation implementations are raced for OUE-style bit reports:
+//!
+//! * `per_bit` — the naive loop (`get(i)` over the whole domain),
+//! * `iter_ones` — the seed's per-set-bit counter increments,
+//! * `colsum` — the word-parallel bit-sliced column sums, single-threaded
+//!   and sharded across `MCIM_THREADS` workers.
+//!
+//! Prints a table, saves `results/oracle_throughput.csv`, and emits the
+//! machine-readable baseline `results/BENCH_oracle_throughput.json` that
+//! the CI uploads so later PRs can track the perf trajectory.
 //!
 //! Run: `cargo bench -p mcim-bench --bench oracle_throughput`
+//! (`MCIM_BENCH_N` shrinks the workload for smoke tests.)
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use mcim_bench::{results_dir, Table};
 use mcim_core::{
     CorrelatedPerturbation, CpAggregator, Domains, LabelItem, ValidityInput, ValidityPerturbation,
     VpAggregator,
 };
-use mcim_oracles::{Aggregator, Eps, Oracle};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use mcim_oracles::{parallel, Aggregator, Eps, Oracle, Report};
 
-fn bench_privatize(c: &mut Criterion) {
-    let eps = Eps::new(1.0).unwrap();
-    let d = 1024u32;
-    let mut group = c.benchmark_group("privatize_d1024_eps1");
-    for (name, oracle) in [
-        ("grr", Oracle::grr(eps, d).unwrap()),
-        ("oue", Oracle::oue(eps, d).unwrap()),
-        ("olh", Oracle::olh(eps, d).unwrap()),
-    ] {
-        group.bench_function(name, |b| {
-            let mut rng = StdRng::seed_from_u64(1);
-            b.iter(|| oracle.privatize(512, &mut rng).unwrap())
-        });
+const D: u32 = 1024;
+const EPS: f64 = 1.0;
+
+struct Scenario {
+    name: &'static str,
+    /// Best-of-trials wall time in milliseconds.
+    ms: f64,
+    /// Reports per second implied by `ms`.
+    reports_per_sec: f64,
+}
+
+/// Best-of-`trials` wall time of `f`, in milliseconds. `f` must return
+/// something data-dependent so the work cannot be optimized away.
+fn time<T: std::fmt::Debug>(trials: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..trials.max(1) {
+        let start = Instant::now();
+        let out = f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+        last = Some(out);
     }
-    group.bench_function("vp", |b| {
-        let vp = ValidityPerturbation::new(eps, d).unwrap();
-        let mut rng = StdRng::seed_from_u64(2);
-        b.iter(|| vp.privatize(ValidityInput::Valid(512), &mut rng).unwrap())
-    });
-    group.bench_function("cp", |b| {
-        let cp =
-            CorrelatedPerturbation::with_total(Eps::new(2.0).unwrap(), Domains::new(8, d).unwrap())
-                .unwrap();
-        let mut rng = StdRng::seed_from_u64(3);
-        b.iter(|| cp.privatize(LabelItem::new(3, 512), &mut rng).unwrap())
-    });
-    group.finish();
+    (best, last.expect("at least one trial"))
 }
 
-fn bench_aggregate(c: &mut Criterion) {
-    let eps = Eps::new(1.0).unwrap();
-    let d = 1024u32;
-    let mut group = c.benchmark_group("absorb_d1024_eps1");
-    let oue = Oracle::oue(eps, d).unwrap();
-    let mut rng = StdRng::seed_from_u64(4);
-    let oue_report = oue.privatize(512, &mut rng).unwrap();
-    group.bench_function("oue", |b| {
-        b.iter_batched(
-            || Aggregator::new(&oue),
-            |mut agg| agg.absorb(&oue_report).unwrap(),
-            BatchSize::SmallInput,
-        )
-    });
-    let vp = ValidityPerturbation::new(eps, d).unwrap();
-    let vp_report = vp.privatize(ValidityInput::Valid(512), &mut rng).unwrap();
-    group.bench_function("vp", |b| {
-        b.iter_batched(
-            || VpAggregator::new(&vp),
-            |mut agg| agg.absorb(&vp_report).unwrap(),
-            BatchSize::SmallInput,
-        )
-    });
-    let cp =
-        CorrelatedPerturbation::with_total(Eps::new(2.0).unwrap(), Domains::new(8, d).unwrap())
-            .unwrap();
-    let cp_report = cp.privatize(LabelItem::new(3, 512), &mut rng).unwrap();
-    group.bench_function("cp", |b| {
-        b.iter_batched(
-            || CpAggregator::new(&cp),
-            |mut agg| agg.absorb(&cp_report).unwrap(),
-            BatchSize::SmallInput,
-        )
-    });
-    group.finish();
+fn scenario(name: &'static str, n: usize, trials: usize, f: impl FnMut() -> u64) -> Scenario {
+    let mut f = f;
+    let (ms, checksum) = time(trials, &mut f);
+    // Keep the checksum alive (and visible when scenarios disagree).
+    std::hint::black_box(checksum);
+    Scenario {
+        name,
+        ms,
+        reports_per_sec: n as f64 / (ms / 1e3),
+    }
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_privatize, bench_aggregate
+fn main() {
+    let n: usize = std::env::var("MCIM_BENCH_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100_000);
+    let trials: usize = std::env::var("MCIM_TRIALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let threads = parallel::configured_threads();
+    let eps = Eps::new(EPS).unwrap();
+    println!("== oracle_throughput | d={D} n={n} eps={EPS} threads={threads} trials={trials} ==");
+
+    let mut scenarios: Vec<Scenario> = Vec::new();
+
+    // ---------------------------------------------------------- OUE ----
+    let oue = Oracle::oue(eps, D).unwrap();
+    let values: Vec<u32> = (0..n as u32).map(|u| u % D).collect();
+    scenarios.push(scenario("oue_privatize_seq", n, trials, || {
+        // The seed path: one report at a time from a single RNG stream.
+        let mut rng = parallel::shard_rng(1, 0);
+        let mut acc = 0u64;
+        for &v in &values {
+            if let Report::Bits(b) = oue.privatize(v, &mut rng).unwrap() {
+                acc = acc.wrapping_add(b.count_ones() as u64);
+            }
+        }
+        acc
+    }));
+    scenarios.push(scenario("oue_privatize_batch_t1", n, trials, || {
+        oue.privatize_batch(&values, 1, 1).unwrap().len() as u64
+    }));
+    scenarios.push(scenario("oue_privatize_batch_tn", n, trials, || {
+        oue.privatize_batch(&values, 1, threads).unwrap().len() as u64
+    }));
+
+    let reports = oue.privatize_batch(&values, 2, threads).unwrap();
+    let bit_reports: Vec<&mcim_oracles::BitVec> = reports
+        .iter()
+        .map(|r| match r {
+            Report::Bits(b) => b,
+            _ => unreachable!("OUE emits bit reports"),
+        })
+        .collect();
+
+    scenarios.push(scenario("oue_aggregate_per_bit", n, trials, || {
+        // Naive per-bit scan: the path the column sums replace.
+        let mut counts = vec![0u64; D as usize];
+        for bits in &bit_reports {
+            for (i, c) in counts.iter_mut().enumerate() {
+                *c += u64::from(bits.get(i));
+            }
+        }
+        counts.iter().sum()
+    }));
+    scenarios.push(scenario("oue_aggregate_iter_ones", n, trials, || {
+        // The seed's absorb loop: per-set-bit scattered increments.
+        let mut counts = vec![0u64; D as usize];
+        for bits in &bit_reports {
+            for i in bits.iter_ones() {
+                counts[i] += 1;
+            }
+        }
+        counts.iter().sum()
+    }));
+    scenarios.push(scenario("oue_aggregate_colsum_t1", n, trials, || {
+        let mut agg = Aggregator::new(&oue);
+        agg.absorb_batch(&reports, 1).unwrap();
+        agg.raw_counts().iter().sum()
+    }));
+    scenarios.push(scenario("oue_aggregate_colsum_tn", n, trials, || {
+        let mut agg = Aggregator::new(&oue);
+        agg.absorb_batch(&reports, threads).unwrap();
+        agg.raw_counts().iter().sum()
+    }));
+
+    // ----------------------------------------------------------- VP ----
+    let vp = ValidityPerturbation::new(eps, D).unwrap();
+    let vp_inputs: Vec<ValidityInput> = (0..n as u32)
+        .map(|u| {
+            if u % 5 == 0 {
+                ValidityInput::Invalid
+            } else {
+                ValidityInput::Valid(u % D)
+            }
+        })
+        .collect();
+    let vp_reports = vp.privatize_batch(&vp_inputs, 3, threads).unwrap();
+    scenarios.push(scenario("vp_aggregate_absorb", n, trials, || {
+        let mut agg = VpAggregator::new(&vp);
+        for r in &vp_reports {
+            agg.absorb(r).unwrap();
+        }
+        agg.raw_counts().iter().sum()
+    }));
+    scenarios.push(scenario("vp_aggregate_colsum_tn", n, trials, || {
+        let mut agg = VpAggregator::new(&vp);
+        agg.absorb_batch(&vp_reports, threads).unwrap();
+        agg.raw_counts().iter().sum()
+    }));
+
+    // ----------------------------------------------------------- CP ----
+    let domains = Domains::new(8, D).unwrap();
+    let cp = CorrelatedPerturbation::with_total(Eps::new(2.0).unwrap(), domains).unwrap();
+    let cp_pairs: Vec<LabelItem> = (0..n as u32)
+        .map(|u| LabelItem::new(u % 8, (u * 13) % D))
+        .collect();
+    let cp_reports = cp.privatize_batch(&cp_pairs, 4, threads).unwrap();
+    scenarios.push(scenario("cp_aggregate_absorb", n, trials, || {
+        let mut agg = CpAggregator::new(&cp);
+        for r in &cp_reports {
+            agg.absorb(r).unwrap();
+        }
+        agg.report_count()
+    }));
+    scenarios.push(scenario("cp_aggregate_colsum_tn", n, trials, || {
+        let mut agg = CpAggregator::new(&cp);
+        agg.absorb_batch(&cp_reports, threads).unwrap();
+        agg.report_count()
+    }));
+
+    // ---------------------------------------------------------- OLH ----
+    // O(n·d) hashing dominates; keep the report count in check.
+    let olh_n = (n / 10).max(1);
+    let olh = Oracle::olh(Eps::new(2.0).unwrap(), D).unwrap();
+    let olh_values: Vec<u32> = (0..olh_n as u32).map(|u| u % D).collect();
+    let olh_reports = olh.privatize_batch(&olh_values, 5, threads).unwrap();
+    let olh_mech = match &olh {
+        Oracle::Olh(m) => m.clone(),
+        _ => unreachable!(),
+    };
+    scenarios.push(scenario("olh_aggregate_per_pair", olh_n, trials, || {
+        // The seed path: re-derive the seed state for every (report, value).
+        let mut counts = vec![0u64; D as usize];
+        for r in &olh_reports {
+            if let Report::Hashed(h) = r {
+                for v in 0..D {
+                    if olh_mech.supports(h, v) {
+                        counts[v as usize] += 1;
+                    }
+                }
+            }
+        }
+        counts.iter().sum()
+    }));
+    scenarios.push(scenario("olh_aggregate_blocked_tn", olh_n, trials, || {
+        let mut agg = Aggregator::new(&olh);
+        agg.absorb_batch(&olh_reports, threads).unwrap();
+        agg.raw_counts().iter().sum()
+    }));
+    // The candidate-set entry point (PEM-style aggregation over an explicit
+    // candidate list, here the full domain).
+    let hashed: Vec<mcim_oracles::OlhReport> = olh_reports
+        .iter()
+        .map(|r| match r {
+            Report::Hashed(h) => *h,
+            _ => unreachable!("OLH emits hashed reports"),
+        })
+        .collect();
+    let candidates: Vec<u32> = (0..D).collect();
+    scenarios.push(scenario(
+        "olh_aggregate_candidate_set",
+        olh_n,
+        trials,
+        || olh_mech.support_counts(&hashed, &candidates).iter().sum(),
+    ));
+
+    // ------------------------------------------------------- results ----
+    let mut table = Table::new("oracle_throughput", &["scenario", "ms", "reports_per_sec"]);
+    for s in &scenarios {
+        table.push(vec![
+            s.name.to_string(),
+            format!("{:.2}", s.ms),
+            format!("{:.0}", s.reports_per_sec),
+        ]);
+    }
+    table.print_and_save().expect("saving CSV");
+
+    let ms_of = |name: &str| {
+        scenarios
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.ms)
+            .expect("scenario present")
+    };
+    let speedups = [
+        (
+            "oue_colsum_t1_vs_per_bit",
+            ms_of("oue_aggregate_per_bit") / ms_of("oue_aggregate_colsum_t1"),
+        ),
+        (
+            "oue_colsum_t1_vs_iter_ones",
+            ms_of("oue_aggregate_iter_ones") / ms_of("oue_aggregate_colsum_t1"),
+        ),
+        (
+            "oue_colsum_tn_vs_per_bit",
+            ms_of("oue_aggregate_per_bit") / ms_of("oue_aggregate_colsum_tn"),
+        ),
+        (
+            "vp_colsum_tn_vs_absorb",
+            ms_of("vp_aggregate_absorb") / ms_of("vp_aggregate_colsum_tn"),
+        ),
+        (
+            "cp_colsum_tn_vs_absorb",
+            ms_of("cp_aggregate_absorb") / ms_of("cp_aggregate_colsum_tn"),
+        ),
+        (
+            "olh_blocked_tn_vs_per_pair",
+            ms_of("olh_aggregate_per_pair") / ms_of("olh_aggregate_blocked_tn"),
+        ),
+        (
+            "oue_privatize_batch_tn_vs_seq",
+            ms_of("oue_privatize_seq") / ms_of("oue_privatize_batch_tn"),
+        ),
+    ];
+    println!("speedups:");
+    for (name, x) in &speedups {
+        println!("  {name:>32}  {x:.2}x");
+    }
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"oracle_throughput\",");
+    let _ = writeln!(
+        json,
+        "  \"config\": {{ \"d\": {D}, \"n\": {n}, \"eps\": {EPS}, \"threads\": {threads}, \"trials\": {trials} }},"
+    );
+    let _ = writeln!(json, "  \"scenarios\": [");
+    for (i, s) in scenarios.iter().enumerate() {
+        let comma = if i + 1 < scenarios.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{ \"name\": \"{}\", \"ms\": {:.3}, \"reports_per_sec\": {:.0} }}{comma}",
+            s.name, s.ms, s.reports_per_sec
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"speedups\": {{");
+    for (i, (name, x)) in speedups.iter().enumerate() {
+        let comma = if i + 1 < speedups.len() { "," } else { "" };
+        let _ = writeln!(json, "    \"{name}\": {x:.2}{comma}");
+    }
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("results dir");
+    let path = dir.join("BENCH_oracle_throughput.json");
+    std::fs::write(&path, json).expect("writing JSON baseline");
+    println!("[saved {}]", path.display());
 }
-criterion_main!(benches);

@@ -13,12 +13,9 @@ mod io;
 use std::path::Path;
 use std::process::ExitCode;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
 use args::{ArgError, Args};
 use mcim_core::Framework;
-use mcim_topk::{mine, TopKConfig, TopKMethod};
+use mcim_topk::{mine_batch, TopKConfig, TopKMethod};
 
 const HELP: &str = "\
 mcim — multi-class item mining under local differential privacy
@@ -33,6 +30,9 @@ COMMON OPTIONS:
   --classes <n>   class-domain size (default: inferred as max label + 1)
   --items <n>     item-domain size (default: inferred as max item + 1)
   --seed <n>      RNG seed (default 0)
+  --threads <n>   worker threads for freq/topk (default: MCIM_THREADS env,
+                  then the machine's parallelism; results are identical for
+                  every thread count under a fixed --seed)
   --output <file> write results as CSV (default: print a summary)
 
 freq OPTIONS:
@@ -116,6 +116,15 @@ fn parse_method(name: &str) -> Result<TopKMethod, ArgError> {
     }
 }
 
+/// Worker-thread count: `--threads` wins, then `MCIM_THREADS`, then the
+/// machine's available parallelism. Estimates never depend on the choice —
+/// the batch runtime is bit-deterministic in `(data, seed)` alone.
+fn thread_count(args: &Args) -> Result<usize, ArgError> {
+    Ok(args
+        .num_or("threads", mcim_oracles::parallel::configured_threads())?
+        .max(1))
+}
+
 fn cmd_freq(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     args.expect_only(&[
         "input",
@@ -123,6 +132,7 @@ fn cmd_freq(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         "classes",
         "items",
         "seed",
+        "threads",
         "output",
         "framework",
         "label-frac",
@@ -140,10 +150,11 @@ fn cmd_freq(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         Framework::PtsCp { .. } => Framework::PtsCp { label_frac },
         other => other,
     };
-    let mut rng = StdRng::seed_from_u64(args.num_or("seed", 0u64)?);
-    let result = framework.run(eps, data.domains, &data.pairs, &mut rng)?;
+    let seed = args.num_or("seed", 0u64)?;
+    let threads = thread_count(args)?;
+    let result = framework.run_batch(eps, data.domains, &data.pairs, seed, threads)?;
     eprintln!(
-        "{}: N = {}, c = {}, d = {}, {} — {:.0} uplink bits/user",
+        "{}: N = {}, c = {}, d = {}, {}, threads = {threads} — {:.0} uplink bits/user",
         framework.name(),
         data.pairs.len(),
         data.domains.classes(),
@@ -179,6 +190,7 @@ fn cmd_topk(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         "classes",
         "items",
         "seed",
+        "threads",
         "output",
         "method",
         "label-frac",
@@ -198,10 +210,11 @@ fn cmd_topk(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     config.label_frac = args.num_or("label-frac", config.label_frac)?;
     config.sample_frac = args.num_or("sample-frac", config.sample_frac)?;
     config.noise_factor = args.num_or("noise-b", config.noise_factor)?;
-    let mut rng = StdRng::seed_from_u64(args.num_or("seed", 0u64)?);
-    let result = mine(method, config, data.domains, &data.pairs, &mut rng)?;
+    let seed = args.num_or("seed", 0u64)?;
+    let threads = thread_count(args)?;
+    let result = mine_batch(method, config, data.domains, &data.pairs, seed, threads)?;
     eprintln!(
-        "{}: N = {}, c = {}, d = {}, {}, k = {k} — {:.0} uplink bits/user",
+        "{}: N = {}, c = {}, d = {}, {}, k = {k}, threads = {threads} — {:.0} uplink bits/user",
         method.name(),
         data.pairs.len(),
         data.domains.classes(),
@@ -325,6 +338,48 @@ mod tests {
         let content = std::fs::read_to_string(&topk_out).unwrap();
         assert!(content.starts_with("class,rank,item"));
         assert!(content.lines().count() > 1);
+    }
+
+    #[test]
+    fn freq_output_is_identical_for_every_thread_count() {
+        let pairs = tmp("threads_pairs.csv");
+        run_cli(&[
+            "gen",
+            "--dataset",
+            "syn3",
+            "--users",
+            "9000",
+            "--items",
+            "64",
+            "--classes",
+            "3",
+            "--output",
+            &pairs,
+        ])
+        .unwrap();
+        let mut outputs = Vec::new();
+        for threads in ["1", "3"] {
+            let out = tmp(&format!("threads_freq_{threads}.csv"));
+            run_cli(&[
+                "freq",
+                "--input",
+                &pairs,
+                "--eps",
+                "2.0",
+                "--seed",
+                "7",
+                "--threads",
+                threads,
+                "--output",
+                &out,
+            ])
+            .unwrap();
+            outputs.push(std::fs::read_to_string(&out).unwrap());
+        }
+        assert_eq!(
+            outputs[0], outputs[1],
+            "estimates must not depend on --threads"
+        );
     }
 
     #[test]

@@ -29,7 +29,7 @@
 
 use rand::Rng;
 
-use mcim_oracles::{BitVec, Eps, Error, Grr, Result};
+use mcim_oracles::{parallel, BitVec, ColumnCounter, Eps, Error, Grr, Result};
 
 use crate::validity::{ValidityInput, ValidityPerturbation};
 use crate::{Domains, FrequencyTable, LabelItem};
@@ -111,6 +111,24 @@ impl CorrelatedPerturbation {
         })
     }
 
+    /// Privatizes a batch of pairs on up to `threads` workers with the
+    /// sharded deterministic RNG scheme of [`parallel`]: output is
+    /// bit-identical for every thread count.
+    pub fn privatize_batch(
+        &self,
+        pairs: &[LabelItem],
+        base_seed: u64,
+        threads: usize,
+    ) -> Result<Vec<CpReport>> {
+        parallel::try_flat_map_shards(pairs, threads, |shard, chunk| {
+            let mut rng = parallel::shard_rng(base_seed, shard);
+            chunk
+                .iter()
+                .map(|&pair| self.privatize(pair, &mut rng))
+                .collect::<Result<Vec<CpReport>>>()
+        })
+    }
+
     /// Privatizes a pair whose item may already be invalid (pruned), as in
     /// Algorithm 2's final iteration: validity requires *both* the label to
     /// survive and the item to be valid.
@@ -176,29 +194,131 @@ impl CpAggregator {
         }
     }
 
-    /// Absorbs one report.
-    pub fn absorb(&mut self, report: &CpReport) -> Result<()> {
-        let d = self.domains.items() as usize;
+    /// Validates one report's shape.
+    #[inline]
+    fn check_report(&self, report: &CpReport) -> Result<()> {
         if report.label >= self.domains.classes() {
             return Err(Error::ValueOutOfDomain {
                 value: report.label as u64,
                 domain: self.domains.classes() as u64,
             });
         }
-        if report.bits.len() != d + 1 {
+        if report.bits.len() != self.domains.items() as usize + 1 {
             return Err(Error::ReportMismatch {
                 expected: "CP item bits of length d+1",
             });
         }
+        Ok(())
+    }
+
+    /// Whether a (length-checked) report's flag bit is set.
+    #[inline]
+    fn flag_set(&self, bits: &BitVec) -> bool {
+        bits.bit(self.domains.items() as usize)
+    }
+
+    /// Absorbs one report.
+    pub fn absorb(&mut self, report: &CpReport) -> Result<()> {
+        self.check_report(report)?;
+        let d = self.domains.items() as usize;
         self.n += 1;
         self.label_counts[report.label as usize] += 1;
-        if report.bits.get(d) {
+        if self.flag_set(&report.bits) {
             return Ok(()); // flagged invalid: item bits excluded (counting rule)
         }
         let base = report.label as usize * d;
-        for i in report.bits.iter_ones() {
-            self.pair_counts[base + i] += 1;
+        // Flag bit is 0, so a d-wide row slice holds every set column.
+        report
+            .bits
+            .count_ones_into(&mut self.pair_counts[base..base + d]);
+        Ok(())
+    }
+
+    /// Absorbs a block of reports through the word-parallel column-sum
+    /// runtime: reports are bucketed by perturbed label, each class's
+    /// unflagged rows are summed bit-sliced into its `pair_counts` row.
+    /// Counts equal sequential [`CpAggregator::absorb`].
+    pub fn absorb_all<'a, I>(&mut self, reports: I) -> Result<()>
+    where
+        I: IntoIterator<Item = &'a CpReport>,
+    {
+        let d = self.domains.items() as usize;
+        let c = self.domains.classes() as usize;
+        let mut buckets: Vec<Vec<&BitVec>> = vec![Vec::new(); c];
+        let mut outcome = Ok(());
+        for report in reports {
+            if let Err(e) = self.check_report(report) {
+                outcome = Err(e);
+                break;
+            }
+            self.n += 1;
+            self.label_counts[report.label as usize] += 1;
+            if !self.flag_set(&report.bits) {
+                buckets[report.label as usize].push(&report.bits);
+            }
         }
+        let mut cc = ColumnCounter::new(d + 1);
+        for (label, bucket) in buckets.iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            for bits in bucket {
+                cc.add(bits.words());
+            }
+            // d-column prefix: the flag column is dropped.
+            cc.drain_into(&mut self.pair_counts[label * d..(label + 1) * d]);
+        }
+        outcome
+    }
+
+    /// [`CpAggregator::absorb_all`] sharded across up to `threads` workers;
+    /// per-shard counter sums merge associatively, so results are
+    /// bit-identical for every thread count.
+    pub fn absorb_batch(&mut self, reports: &[CpReport], threads: usize) -> Result<()> {
+        if threads.max(1) == 1 || reports.len() <= parallel::SHARD_SIZE {
+            return self.absorb_all(reports);
+        }
+        let template = self.fresh();
+        let shards = parallel::map_shards(reports, threads, |_, chunk| {
+            let mut local = template.clone();
+            local.absorb_all(chunk).map(|()| local)
+        });
+        for shard in shards {
+            self.merge(&shard?)?;
+        }
+        Ok(())
+    }
+
+    /// An empty aggregator with this one's mechanism parameters (the
+    /// per-shard accumulator of [`CpAggregator::absorb_batch`]).
+    fn fresh(&self) -> Self {
+        CpAggregator {
+            domains: self.domains,
+            p1: self.p1,
+            q1: self.q1,
+            p2: self.p2,
+            q2: self.q2,
+            pair_counts: vec![0; self.pair_counts.len()],
+            label_counts: vec![0; self.label_counts.len()],
+            n: 0,
+        }
+    }
+
+    /// Merges another aggregator over the same domains (sharded aggregation
+    /// across threads).
+    pub fn merge(&mut self, other: &CpAggregator) -> Result<()> {
+        if self.domains != other.domains {
+            return Err(Error::ReportMismatch {
+                expected: "CP aggregator with identical domains",
+            });
+        }
+        for (a, b) in self.pair_counts.iter_mut().zip(&other.pair_counts) {
+            *a += b;
+        }
+        for (a, b) in self.label_counts.iter_mut().zip(&other.label_counts) {
+            *a += b;
+        }
+        self.n += other.n;
         Ok(())
     }
 
@@ -374,6 +494,51 @@ mod tests {
                     (e - t).abs() < 0.02 * n as f64,
                     "({label},{item}): est {e} vs truth {t}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_paths_match_sequential() {
+        let domains = Domains::new(4, 70).unwrap();
+        let m = CorrelatedPerturbation::with_total(eps(2.0), domains).unwrap();
+        let pairs: Vec<LabelItem> = (0..9000)
+            .map(|u| LabelItem::new((u % 4) as u32, ((u * 13) % 70) as u32))
+            .collect();
+        let base = 77;
+        let reports = m.privatize_batch(&pairs, base, 1).unwrap();
+        assert_eq!(
+            m.privatize_batch(&pairs, base, 4).unwrap(),
+            reports,
+            "privatize_batch must be thread-count invariant"
+        );
+        let mut seq = CpAggregator::new(&m);
+        for r in &reports {
+            seq.absorb(r).unwrap();
+        }
+        for threads in [1, 2, 8] {
+            let mut batch = CpAggregator::new(&m);
+            batch.absorb_batch(&reports, threads).unwrap();
+            assert_eq!(
+                batch.report_count(),
+                seq.report_count(),
+                "threads={threads}"
+            );
+            for label in 0..4u32 {
+                assert_eq!(batch.raw_label_count(label), seq.raw_label_count(label));
+                for item in 0..70u32 {
+                    assert_eq!(
+                        batch.raw_pair_count(label, item),
+                        seq.raw_pair_count(label, item),
+                        "({label},{item}) threads={threads}"
+                    );
+                }
+            }
+            let (a, b) = (batch.estimate(), seq.estimate());
+            for label in 0..4u32 {
+                for item in 0..70u32 {
+                    assert!(a.get(label, item) == b.get(label, item));
+                }
             }
         }
     }

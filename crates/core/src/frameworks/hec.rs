@@ -12,7 +12,7 @@
 
 use rand::Rng;
 
-use mcim_oracles::{Aggregator, Eps, Error, Oracle, Report, Result};
+use mcim_oracles::{parallel, Aggregator, Eps, Error, Oracle, Report, Result};
 
 use crate::{Domains, FrequencyTable, LabelItem};
 
@@ -80,6 +80,28 @@ impl Hec {
             report: self.oracle.privatize(value, rng)?,
         })
     }
+
+    /// Privatizes a batch of pairs on up to `threads` workers; user
+    /// `pairs[i]` gets the global index `first_user_index + i` (group
+    /// assignment is positional in HEC). Sharded deterministic RNG streams
+    /// make the output bit-identical for every thread count.
+    pub fn privatize_batch(
+        &self,
+        first_user_index: u64,
+        pairs: &[LabelItem],
+        base_seed: u64,
+        threads: usize,
+    ) -> Result<Vec<HecReport>> {
+        parallel::try_flat_map_shards(pairs, threads, |shard, chunk| {
+            let mut rng = parallel::shard_rng(base_seed, shard);
+            let start = first_user_index + shard * parallel::SHARD_SIZE as u64;
+            chunk
+                .iter()
+                .enumerate()
+                .map(|(i, &pair)| self.privatize(start + i as u64, pair, &mut rng))
+                .collect::<Result<Vec<HecReport>>>()
+        })
+    }
 }
 
 /// Server-side aggregation: one oracle aggregator per class group.
@@ -110,6 +132,76 @@ impl HecAggregator {
             });
         }
         self.groups[g].absorb(&report.report)
+    }
+
+    /// Absorbs a block of reports: bucketed by group, each group's block
+    /// goes through its oracle aggregator's word-parallel path
+    /// ([`Aggregator::absorb_all`]).
+    pub fn absorb_all<'a, I>(&mut self, reports: I) -> Result<()>
+    where
+        I: IntoIterator<Item = &'a HecReport>,
+    {
+        let mut buckets: Vec<Vec<&Report>> = vec![Vec::new(); self.groups.len()];
+        let mut outcome = Ok(());
+        for report in reports {
+            let g = report.group as usize;
+            if g >= buckets.len() {
+                outcome = Err(Error::ValueOutOfDomain {
+                    value: report.group as u64,
+                    domain: buckets.len() as u64,
+                });
+                break;
+            }
+            buckets[g].push(&report.report);
+        }
+        for (agg, bucket) in self.groups.iter_mut().zip(&buckets) {
+            agg.absorb_all(bucket.iter().copied())?;
+        }
+        outcome
+    }
+
+    /// [`HecAggregator::absorb_all`] sharded across up to `threads`
+    /// workers; bit-identical for every thread count.
+    pub fn absorb_batch(&mut self, reports: &[HecReport], threads: usize) -> Result<()> {
+        if threads.max(1) == 1 || reports.len() <= parallel::SHARD_SIZE {
+            return self.absorb_all(reports);
+        }
+        let template = self.fresh();
+        let shards = parallel::map_shards(reports, threads, |_, chunk| {
+            let mut local = template.clone();
+            local.absorb_all(chunk).map(|()| local)
+        });
+        for shard in shards {
+            self.merge(&shard?)?;
+        }
+        Ok(())
+    }
+
+    /// An empty aggregator with this one's group oracles (the per-shard
+    /// accumulator of [`HecAggregator::absorb_batch`]).
+    fn fresh(&self) -> Self {
+        HecAggregator {
+            domains: self.domains,
+            groups: self
+                .groups
+                .iter()
+                .map(|g| Aggregator::new(g.oracle()))
+                .collect(),
+        }
+    }
+
+    /// Merges another aggregator over the same framework (sharded
+    /// aggregation across threads).
+    pub fn merge(&mut self, other: &HecAggregator) -> Result<()> {
+        if self.domains != other.domains || self.groups.len() != other.groups.len() {
+            return Err(Error::ReportMismatch {
+                expected: "HEC aggregator with identical domains",
+            });
+        }
+        for (a, b) in self.groups.iter_mut().zip(&other.groups) {
+            a.merge(b)?;
+        }
+        Ok(())
     }
 
     /// Total reports absorbed across groups.

@@ -46,6 +46,22 @@ impl Ptj {
         self.domains.check(pair)?;
         self.oracle.privatize(self.domains.joint_index(pair), rng)
     }
+
+    /// Privatizes a batch of pairs on up to `threads` workers with the
+    /// sharded deterministic RNG scheme of [`mcim_oracles::parallel`]:
+    /// output is bit-identical for every thread count.
+    pub fn privatize_batch(
+        &self,
+        pairs: &[LabelItem],
+        base_seed: u64,
+        threads: usize,
+    ) -> Result<Vec<Report>> {
+        for &pair in pairs {
+            self.domains.check(pair)?;
+        }
+        let joint: Vec<u32> = pairs.iter().map(|&p| self.domains.joint_index(p)).collect();
+        self.oracle.privatize_batch(&joint, base_seed, threads)
+    }
 }
 
 /// Server-side aggregation over the joint domain.
@@ -67,6 +83,19 @@ impl PtjAggregator {
     /// Absorbs one report.
     pub fn absorb(&mut self, report: &Report) -> Result<()> {
         self.inner.absorb(report)
+    }
+
+    /// Absorbs a block of reports through the word-parallel column-sum
+    /// runtime (see [`Aggregator::absorb_batch`]); counts are bit-identical
+    /// for every thread count.
+    pub fn absorb_batch(&mut self, reports: &[Report], threads: usize) -> Result<()> {
+        self.inner.absorb_batch(reports, threads)
+    }
+
+    /// Merges another aggregator over the same framework (sharded
+    /// aggregation across threads).
+    pub fn merge(&mut self, other: &PtjAggregator) -> Result<()> {
+        self.inner.merge(&other.inner)
     }
 
     /// Number of absorbed reports.

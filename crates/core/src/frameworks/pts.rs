@@ -12,7 +12,10 @@
 
 use rand::Rng;
 
-use mcim_oracles::{calibrate::unbiased_count, BitVec, Eps, Error, Grr, Result, UnaryEncoding};
+use mcim_oracles::{
+    calibrate::unbiased_count, parallel, BitVec, ColumnCounter, Eps, Error, Grr, Result,
+    UnaryEncoding,
+};
 
 use crate::{Domains, FrequencyTable, LabelItem};
 
@@ -80,6 +83,24 @@ impl Pts {
             bits: self.item_mech.privatize(pair.item, rng)?,
         })
     }
+
+    /// Privatizes a batch of pairs on up to `threads` workers with the
+    /// sharded deterministic RNG scheme of [`parallel`]: output is
+    /// bit-identical for every thread count.
+    pub fn privatize_batch(
+        &self,
+        pairs: &[LabelItem],
+        base_seed: u64,
+        threads: usize,
+    ) -> Result<Vec<PtsReport>> {
+        parallel::try_flat_map_shards(pairs, threads, |shard, chunk| {
+            let mut rng = parallel::shard_rng(base_seed, shard);
+            chunk
+                .iter()
+                .map(|&pair| self.privatize(pair, &mut rng))
+                .collect::<Result<Vec<PtsReport>>>()
+        })
+    }
 }
 
 /// Server-side aggregation with the Eq. (6) estimator.
@@ -114,26 +135,118 @@ impl PtsAggregator {
         }
     }
 
-    /// Absorbs one report.
-    pub fn absorb(&mut self, report: &PtsReport) -> Result<()> {
-        let d = self.domains.items() as usize;
+    /// Validates one report's shape.
+    #[inline]
+    fn check_report(&self, report: &PtsReport) -> Result<()> {
         if report.label >= self.domains.classes() {
             return Err(Error::ValueOutOfDomain {
                 value: report.label as u64,
                 domain: self.domains.classes() as u64,
             });
         }
-        if report.bits.len() != d {
+        if report.bits.len() != self.domains.items() as usize {
             return Err(Error::ReportMismatch {
                 expected: "PTS item bits of length d",
             });
         }
+        Ok(())
+    }
+
+    /// Absorbs one report.
+    pub fn absorb(&mut self, report: &PtsReport) -> Result<()> {
+        self.check_report(report)?;
+        let d = self.domains.items() as usize;
         self.n += 1;
         self.label_counts[report.label as usize] += 1;
         let base = report.label as usize * d;
-        for i in report.bits.iter_ones() {
-            self.pair_counts[base + i] += 1;
+        report
+            .bits
+            .count_ones_into(&mut self.pair_counts[base..base + d]);
+        Ok(())
+    }
+
+    /// Absorbs a block of reports through the word-parallel column-sum
+    /// runtime: reports are bucketed by perturbed label and each class's
+    /// rows are summed bit-sliced. Counts equal sequential
+    /// [`PtsAggregator::absorb`].
+    pub fn absorb_all<'a, I>(&mut self, reports: I) -> Result<()>
+    where
+        I: IntoIterator<Item = &'a PtsReport>,
+    {
+        let d = self.domains.items() as usize;
+        let c = self.domains.classes() as usize;
+        let mut buckets: Vec<Vec<&BitVec>> = vec![Vec::new(); c];
+        let mut outcome = Ok(());
+        for report in reports {
+            if let Err(e) = self.check_report(report) {
+                outcome = Err(e);
+                break;
+            }
+            self.n += 1;
+            self.label_counts[report.label as usize] += 1;
+            buckets[report.label as usize].push(&report.bits);
         }
+        let mut cc = ColumnCounter::new(d);
+        for (label, bucket) in buckets.iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            for bits in bucket {
+                cc.add(bits.words());
+            }
+            cc.drain_into(&mut self.pair_counts[label * d..(label + 1) * d]);
+        }
+        outcome
+    }
+
+    /// [`PtsAggregator::absorb_all`] sharded across up to `threads` workers;
+    /// per-shard counter sums merge associatively, so results are
+    /// bit-identical for every thread count.
+    pub fn absorb_batch(&mut self, reports: &[PtsReport], threads: usize) -> Result<()> {
+        if threads.max(1) == 1 || reports.len() <= parallel::SHARD_SIZE {
+            return self.absorb_all(reports);
+        }
+        let template = self.fresh();
+        let shards = parallel::map_shards(reports, threads, |_, chunk| {
+            let mut local = template.clone();
+            local.absorb_all(chunk).map(|()| local)
+        });
+        for shard in shards {
+            self.merge(&shard?)?;
+        }
+        Ok(())
+    }
+
+    /// An empty aggregator with this one's mechanism parameters (the
+    /// per-shard accumulator of [`PtsAggregator::absorb_batch`]).
+    fn fresh(&self) -> Self {
+        PtsAggregator {
+            domains: self.domains,
+            p1: self.p1,
+            q1: self.q1,
+            p2: self.p2,
+            q2: self.q2,
+            pair_counts: vec![0; self.pair_counts.len()],
+            label_counts: vec![0; self.label_counts.len()],
+            n: 0,
+        }
+    }
+
+    /// Merges another aggregator over the same domains (sharded aggregation
+    /// across threads).
+    pub fn merge(&mut self, other: &PtsAggregator) -> Result<()> {
+        if self.domains != other.domains {
+            return Err(Error::ReportMismatch {
+                expected: "PTS aggregator with identical domains",
+            });
+        }
+        for (a, b) in self.pair_counts.iter_mut().zip(&other.pair_counts) {
+            *a += b;
+        }
+        for (a, b) in self.label_counts.iter_mut().zip(&other.label_counts) {
+            *a += b;
+        }
+        self.n += other.n;
         Ok(())
     }
 
@@ -279,6 +392,50 @@ mod tests {
         }
         let total = agg.estimate_item_total(2);
         assert!((total - n as f64).abs() < 0.03 * n as f64, "total {total}");
+    }
+
+    #[test]
+    fn batch_paths_match_sequential() {
+        let domains = Domains::new(3, 130).unwrap();
+        let fw = Pts::with_total(eps(2.0), domains).unwrap();
+        let pairs: Vec<LabelItem> = (0..9000)
+            .map(|u| LabelItem::new((u % 3) as u32, ((u * 11) % 130) as u32))
+            .collect();
+        let base = 3;
+        let reports = fw.privatize_batch(&pairs, base, 1).unwrap();
+        assert_eq!(
+            fw.privatize_batch(&pairs, base, 4).unwrap(),
+            reports,
+            "privatize_batch must be thread-count invariant"
+        );
+        let mut seq = PtsAggregator::new(&fw);
+        for r in &reports {
+            seq.absorb(r).unwrap();
+        }
+        for threads in [1, 2, 8] {
+            let mut batch = PtsAggregator::new(&fw);
+            batch.absorb_batch(&reports, threads).unwrap();
+            assert_eq!(
+                batch.report_count(),
+                seq.report_count(),
+                "threads={threads}"
+            );
+            for label in 0..3u32 {
+                for item in 0..130u32 {
+                    assert_eq!(
+                        batch.raw_pair_count(label, item),
+                        seq.raw_pair_count(label, item),
+                        "({label},{item})"
+                    );
+                }
+            }
+            let (a, b) = (batch.estimate(), seq.estimate());
+            for label in 0..3u32 {
+                for item in 0..130u32 {
+                    assert!(a.get(label, item) == b.get(label, item));
+                }
+            }
+        }
     }
 
     #[test]

@@ -20,7 +20,7 @@
 
 use rand::Rng;
 
-use mcim_oracles::{BitVec, Eps, Error, Result, UnaryEncoding};
+use mcim_oracles::{parallel, BitVec, ColumnCounter, Eps, Error, Result, UnaryEncoding};
 
 /// The validity perturbation mechanism over item domain `[0, d)`.
 ///
@@ -109,6 +109,24 @@ impl ValidityPerturbation {
         self.ue.perturb_bits(&encoded, rng)
     }
 
+    /// Privatizes a batch of inputs on up to `threads` workers with the
+    /// sharded deterministic RNG scheme of [`parallel`]: output is
+    /// bit-identical for every thread count.
+    pub fn privatize_batch(
+        &self,
+        inputs: &[ValidityInput],
+        base_seed: u64,
+        threads: usize,
+    ) -> Result<Vec<BitVec>> {
+        parallel::try_flat_map_shards(inputs, threads, |shard, chunk| {
+            let mut rng = parallel::shard_rng(base_seed, shard);
+            chunk
+                .iter()
+                .map(|&input| self.privatize(input, &mut rng))
+                .collect::<Result<Vec<BitVec>>>()
+        })
+    }
+
     /// Exact probability of an output vector given an input (for privacy
     /// enumeration tests; `O(d)` per call).
     pub fn response_probability(&self, input: ValidityInput, out: &BitVec) -> f64 {
@@ -153,6 +171,12 @@ impl VpAggregator {
         }
     }
 
+    /// Whether a (length-checked) report's validity flag bit is set.
+    #[inline]
+    fn flag_set(&self, report: &BitVec) -> bool {
+        report.bit(self.d as usize)
+    }
+
     /// Absorbs one report.
     pub fn absorb(&mut self, report: &BitVec) -> Result<()> {
         if report.len() != self.d as usize + 1 {
@@ -161,14 +185,91 @@ impl VpAggregator {
             });
         }
         self.n += 1;
-        if report.get(self.d as usize) {
+        if self.flag_set(report) {
             self.flag_count += 1;
             return Ok(()); // flagged invalid: item bits are excluded
         }
-        for i in report.iter_ones() {
-            // flag bit is 0 here, so every set bit is an item bit
-            self.counts[i] += 1;
+        // Flag bit is 0 here, so every set bit is an item bit; `counts` has
+        // d entries and the d-th column is known clear, so a d-wide target
+        // is safe.
+        report.count_ones_into(&mut self.counts);
+        Ok(())
+    }
+
+    /// Absorbs a block of reports through the word-parallel column-sum
+    /// runtime: unflagged reports are summed bit-sliced, flagged ones only
+    /// bump the flag counter. Counts equal sequential [`VpAggregator::absorb`].
+    pub fn absorb_all<'a, I>(&mut self, reports: I) -> Result<()>
+    where
+        I: IntoIterator<Item = &'a BitVec>,
+    {
+        let width = self.d as usize + 1;
+        let mut cc = ColumnCounter::new(width);
+        let mut outcome = Ok(());
+        let mut flagged = 0u64;
+        for report in reports {
+            if report.len() != width {
+                outcome = Err(Error::ReportMismatch {
+                    expected: "VP report of length d+1",
+                });
+                break;
+            }
+            if self.flag_set(report) {
+                flagged += 1;
+            } else {
+                cc.add(report.words());
+            }
         }
+        self.n += cc.rows() + flagged;
+        self.flag_count += flagged;
+        cc.drain_into(&mut self.counts); // d-column prefix: flag column dropped
+        outcome
+    }
+
+    /// [`VpAggregator::absorb_all`] sharded across up to `threads` workers;
+    /// per-shard counter sums merge associatively, so results are
+    /// bit-identical for every thread count.
+    pub fn absorb_batch(&mut self, reports: &[BitVec], threads: usize) -> Result<()> {
+        if threads.max(1) == 1 || reports.len() <= parallel::SHARD_SIZE {
+            return self.absorb_all(reports);
+        }
+        let template = self.fresh();
+        let shards = parallel::map_shards(reports, threads, |_, chunk| {
+            let mut local = template.clone();
+            local.absorb_all(chunk).map(|()| local)
+        });
+        for shard in shards {
+            self.merge(&shard?)?;
+        }
+        Ok(())
+    }
+
+    /// An empty aggregator with this one's mechanism parameters (the
+    /// per-shard accumulator of [`VpAggregator::absorb_batch`]).
+    fn fresh(&self) -> Self {
+        VpAggregator {
+            d: self.d,
+            p: self.p,
+            q: self.q,
+            counts: vec![0; self.d as usize],
+            flag_count: 0,
+            n: 0,
+        }
+    }
+
+    /// Merges another aggregator over the same mechanism (sharded
+    /// aggregation across threads).
+    pub fn merge(&mut self, other: &VpAggregator) -> Result<()> {
+        if self.d != other.d {
+            return Err(Error::ReportMismatch {
+                expected: "VP aggregator with identical domain",
+            });
+        }
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.flag_count += other.flag_count;
+        self.n += other.n;
         Ok(())
     }
 
@@ -315,6 +416,46 @@ mod tests {
         agg.absorb(&ok).unwrap();
         assert_eq!(agg.raw_counts(), &[1, 0, 1]);
         assert_eq!(agg.report_count(), 2);
+    }
+
+    #[test]
+    fn batch_paths_match_sequential() {
+        let vp = ValidityPerturbation::new(eps(1.0), 70).unwrap();
+        let inputs: Vec<ValidityInput> = (0..9000)
+            .map(|u| match u % 3 {
+                0 => ValidityInput::Valid(u as u32 % 70),
+                1 => ValidityInput::Valid(7),
+                _ => ValidityInput::Invalid,
+            })
+            .collect();
+        let base = 42;
+        let reports = vp.privatize_batch(&inputs, base, 1).unwrap();
+        assert_eq!(
+            vp.privatize_batch(&inputs, base, 4).unwrap(),
+            reports,
+            "privatize_batch must be thread-count invariant"
+        );
+        let mut seq = VpAggregator::new(&vp);
+        for r in &reports {
+            seq.absorb(r).unwrap();
+        }
+        for threads in [1, 2, 8] {
+            let mut batch = VpAggregator::new(&vp);
+            batch.absorb_batch(&reports, threads).unwrap();
+            assert_eq!(batch.raw_counts(), seq.raw_counts(), "threads={threads}");
+            assert_eq!(batch.raw_flag_count(), seq.raw_flag_count());
+            assert_eq!(batch.report_count(), seq.report_count());
+            assert_eq!(batch.estimate(), seq.estimate());
+        }
+    }
+
+    #[test]
+    fn absorb_all_rejects_wrong_length_mid_block() {
+        let vp = ValidityPerturbation::new(eps(1.0), 3).unwrap();
+        let mut agg = VpAggregator::new(&vp);
+        let good = BitVec::one_hot(4, 0);
+        let bad = BitVec::zeros(3);
+        assert!(agg.absorb_all([&good, &bad]).is_err());
     }
 
     #[test]

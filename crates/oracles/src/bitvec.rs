@@ -64,6 +64,16 @@ impl BitVec {
             "bit index {i} out of range (len {})",
             self.len
         );
+        self.bit(i)
+    }
+
+    /// Reads bit `i` with a single word access and no length assert — for
+    /// hot paths (e.g. validity-flag checks) that already validated the
+    /// report length. Still memory-safe: the word index is bounds-checked
+    /// by the slice.
+    #[inline]
+    pub fn bit(&self, i: usize) -> bool {
+        debug_assert!(i < self.len, "bit index {i} out of range");
         (self.words[i / 64] >> (i % 64)) & 1 == 1
     }
 
@@ -103,6 +113,76 @@ impl BitVec {
     /// Raw word view (low bit of `words[0]` is bit 0).
     pub fn words(&self) -> &[u64] {
         &self.words
+    }
+
+    /// Increments `counts[i]` for every set bit `i`, scanning word-at-a-time
+    /// so aggregation hot loops never take [`BitVec::get`]'s per-bit bounds
+    /// check.
+    ///
+    /// `counts` may be shorter than the vector when the caller knows the
+    /// tail columns are clear (e.g. a validity-perturbation report whose
+    /// flag bit was already checked).
+    ///
+    /// # Panics
+    /// Panics if any **set** bit's index is `>= counts.len()`.
+    pub fn count_ones_into(&self, counts: &mut [u64]) {
+        let mut chunks = counts.chunks_mut(64);
+        for &word in &self.words {
+            let chunk = chunks.next();
+            if word == 0 {
+                continue;
+            }
+            let Some(chunk) = chunk else {
+                panic!(
+                    "set bit beyond counts length {} (vector holds {} bits)",
+                    counts.len(),
+                    self.len
+                );
+            };
+            let mut bits = word;
+            while bits != 0 {
+                let j = bits.trailing_zeros() as usize;
+                assert!(
+                    j < chunk.len(),
+                    "set bit beyond counts length {} (vector holds {} bits)",
+                    counts.len(),
+                    self.len
+                );
+                chunk[j] += 1;
+                bits &= bits - 1; // clear lowest set bit
+            }
+        }
+    }
+
+    /// Replaces the bits selected by `mask` with the corresponding bits of
+    /// `src`: `self = (self & !mask) | (src & mask)`, word-parallel.
+    ///
+    /// # Panics
+    /// Panics if the three vectors have different lengths.
+    pub fn merge_masked(&mut self, mask: &BitVec, src: &BitVec) {
+        assert!(
+            self.len == mask.len && self.len == src.len,
+            "merge_masked length mismatch ({} / {} / {})",
+            self.len,
+            mask.len,
+            src.len
+        );
+        for ((w, &m), &s) in self.words.iter_mut().zip(&mask.words).zip(&src.words) {
+            *w = (*w & !m) | (s & m);
+        }
+    }
+
+    /// Flips every bit (padding bits beyond `len` stay clear).
+    pub fn toggle_all(&mut self) {
+        for (idx, w) in self.words.iter_mut().enumerate() {
+            let remaining = self.len - idx * 64;
+            let live = if remaining >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << remaining) - 1
+            };
+            *w = !*w & live;
+        }
     }
 
     /// Sets every bit independently to 1 with probability `q`.
@@ -284,6 +364,80 @@ mod tests {
             "pair rate {rate} vs q²={}",
             q * q
         );
+    }
+
+    #[test]
+    fn count_ones_into_matches_iter_ones() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for len in [1usize, 64, 65, 200] {
+            let mut v = BitVec::zeros(len);
+            v.fill_bernoulli(0.4, &mut rng);
+            let mut fast = vec![0u64; len + 3]; // longer slice is allowed
+            v.count_ones_into(&mut fast);
+            let mut slow = vec![0u64; len + 3];
+            for i in v.iter_ones() {
+                slow[i] += 1;
+            }
+            assert_eq!(fast, slow, "len={len}");
+        }
+    }
+
+    #[test]
+    fn count_ones_into_allows_clear_tail_columns() {
+        // Flag-style layout: 65 bits, counts only cover the first 64, and
+        // the tail bit is clear — allowed.
+        let mut v = BitVec::zeros(65);
+        v.set(63, true);
+        let mut counts = [0u64; 64];
+        v.count_ones_into(&mut counts);
+        assert_eq!(counts[63], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "set bit beyond counts length")]
+    fn count_ones_into_rejects_set_bit_past_slice() {
+        let mut v = BitVec::zeros(65);
+        v.set(64, true);
+        v.count_ones_into(&mut [0u64; 64]);
+    }
+
+    #[test]
+    #[should_panic(expected = "set bit beyond counts length")]
+    fn count_ones_into_rejects_set_bit_past_partial_chunk() {
+        // counts ends mid-word: a set bit just past it must still panic.
+        let mut v = BitVec::zeros(40);
+        v.set(39, true);
+        v.count_ones_into(&mut [0u64; 39]);
+    }
+
+    #[test]
+    fn merge_masked_selects_per_bit() {
+        let len = 130;
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut dst = BitVec::zeros(len);
+        let mut mask = BitVec::zeros(len);
+        let mut src = BitVec::zeros(len);
+        dst.fill_bernoulli(0.5, &mut rng);
+        mask.fill_bernoulli(0.5, &mut rng);
+        src.fill_bernoulli(0.5, &mut rng);
+        let expect: Vec<bool> = (0..len)
+            .map(|i| if mask.get(i) { src.get(i) } else { dst.get(i) })
+            .collect();
+        dst.merge_masked(&mask, &src);
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(dst.get(i), e, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn toggle_all_keeps_padding_clear() {
+        let mut v = BitVec::zeros(70);
+        v.set(3, true);
+        v.toggle_all();
+        assert_eq!(v.count_ones(), 69);
+        assert!(!v.get(3));
+        v.toggle_all();
+        assert_eq!(v.iter_ones().collect::<Vec<_>>(), vec![3]);
     }
 
     #[test]

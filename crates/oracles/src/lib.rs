@@ -20,7 +20,11 @@
 //! * [`BitVec`] — packed bit vectors with geometric-skipping Bernoulli fill,
 //! * [`hash`] — seeded `splitmix64`-based hashing and a deterministic
 //!   [`hash::SplitMix64`] RNG used for reproducible shuffles,
-//! * [`calibrate`] — unbiased count calibration and analytic variances.
+//! * [`calibrate`] — unbiased count calibration and analytic variances,
+//! * [`colsum`] — word-parallel (bit-sliced) column sums for batch
+//!   aggregation of unary-encoding reports,
+//! * [`parallel`] — fixed-size sharding with deterministic per-shard RNG
+//!   streams: `threads = N` is bit-identical to `threads = 1`.
 //!
 //! ## Example
 //!
@@ -58,10 +62,13 @@ mod sketch;
 mod ue;
 
 pub mod calibrate;
+pub mod colsum;
 pub mod hash;
+pub mod parallel;
 
 pub use bitvec::BitVec;
 pub use budget::Eps;
+pub use colsum::ColumnCounter;
 pub use error::Error;
 pub use grr::Grr;
 pub use numeric::{Piecewise, StochasticRounding};

@@ -13,7 +13,7 @@
 
 use rand::Rng;
 
-use crate::hash::seeded_hash;
+use crate::hash::{seeded_hash, seeded_hash_from_state, seeded_hash_state};
 use crate::{Eps, Error, Grr, Result};
 
 /// A single OLH report: the user's hash seed and the GRR-perturbed hash.
@@ -101,6 +101,45 @@ impl Olh {
     pub fn supports(&self, report: &OlhReport, v: u32) -> bool {
         seeded_hash(report.seed, v as u64, self.g as u64) as u32 == report.value
     }
+
+    /// Adds `report`'s support over the full domain into `counts[v]`,
+    /// hoisting the per-seed hash state out of the candidate scan (the
+    /// blocked aggregation path — half the mixing work of calling
+    /// [`Olh::supports`] per value).
+    ///
+    /// # Panics
+    /// Panics if `counts.len() != d`.
+    pub fn support_counts_into(&self, report: &OlhReport, counts: &mut [u64]) {
+        assert_eq!(
+            counts.len(),
+            self.d as usize,
+            "counts slice must cover the item domain"
+        );
+        let state = seeded_hash_state(report.seed);
+        let g = self.g as u64;
+        let target = report.value as u64;
+        for (v, c) in counts.iter_mut().enumerate() {
+            *c += u64::from(seeded_hash_from_state(state, v as u64, g) == target);
+        }
+    }
+
+    /// Support counts of a block of reports over an explicit candidate set:
+    /// `counts[i]` = number of reports supporting `candidates[i]`. Reports
+    /// are scanned once each with a pre-mixed seed state, so the cost is
+    /// `O(|reports|·|candidates|)` single-round hashes instead of
+    /// re-deriving the seed state per (report, candidate) pair.
+    pub fn support_counts(&self, reports: &[OlhReport], candidates: &[u32]) -> Vec<u64> {
+        let g = self.g as u64;
+        let mut counts = vec![0u64; candidates.len()];
+        for report in reports {
+            let state = seeded_hash_state(report.seed);
+            let target = report.value as u64;
+            for (&v, c) in candidates.iter().zip(counts.iter_mut()) {
+                *c += u64::from(seeded_hash_from_state(state, v as u64, g) == target);
+            }
+        }
+        counts
+    }
 }
 
 #[cfg(test)]
@@ -177,6 +216,36 @@ mod tests {
             (est9 - 0.3 * n as f64).abs() < 0.05 * n as f64,
             "est9={est9}"
         );
+    }
+
+    #[test]
+    fn blocked_support_counting_matches_supports() {
+        let m = Olh::new(eps(1.5), 40).unwrap();
+        let mut rng = StdRng::seed_from_u64(77);
+        let reports: Vec<OlhReport> = (0..200)
+            .map(|v| m.privatize(v % 40, &mut rng).unwrap())
+            .collect();
+        // Reference: the per-pair `supports` scan.
+        let mut expect = vec![0u64; 40];
+        for r in &reports {
+            for v in 0..40u32 {
+                if m.supports(r, v) {
+                    expect[v as usize] += 1;
+                }
+            }
+        }
+        // Full-domain blocked path.
+        let mut got = vec![0u64; 40];
+        for r in &reports {
+            m.support_counts_into(r, &mut got);
+        }
+        assert_eq!(got, expect);
+        // Candidate-set blocked path over a subset.
+        let cands: Vec<u32> = vec![0, 7, 13, 39];
+        let sub = m.support_counts(&reports, &cands);
+        for (i, &v) in cands.iter().enumerate() {
+            assert_eq!(sub[i], expect[v as usize], "candidate {v}");
+        }
     }
 
     #[test]

@@ -1,0 +1,190 @@
+//! Sharded, deterministic data-parallel execution.
+//!
+//! The server-side pipelines are embarrassingly parallel over user reports,
+//! but naïve multi-threading would make estimates depend on the thread
+//! count (RNG streams and merge order would shift). This module pins both
+//! down:
+//!
+//! * work is split into **fixed-size shards** ([`SHARD_SIZE`] items) that
+//!   depend only on the input, never on the worker count;
+//! * every shard derives its own RNG stream from `(base_seed, shard
+//!   index)` via the protocol-stable [`splitmix64`] mixer ([`shard_rng`]);
+//! * shard results are returned **in shard order** and all aggregation
+//!   state merged from shards is additive (`u64` counter sums), which is
+//!   associative.
+//!
+//! Consequently `threads = N` produces bit-identical output to
+//! `threads = 1` for every batch API built on [`map_shards`] — the
+//! property the `MCIM_THREADS` CI matrix locks in.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::hash::splitmix64;
+
+/// Items per shard. Fixed so that shard boundaries — and therefore every
+/// per-shard RNG stream — are independent of the worker count.
+pub const SHARD_SIZE: usize = 4096;
+
+/// Domain-separation salt for shard seed derivation.
+const SHARD_SALT: u64 = 0x5AAD_C0DE_0B5E_55ED;
+
+/// Number of worker threads to use when the caller does not specify:
+/// the `MCIM_THREADS` environment variable if set (values `< 1` clamp to
+/// 1), otherwise [`std::thread::available_parallelism`].
+pub fn configured_threads() -> usize {
+    if let Ok(v) = std::env::var("MCIM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// The seed of shard `shard`'s RNG stream under `base_seed`.
+///
+/// Mixed through [`splitmix64`] twice with a salt so that consecutive base
+/// seeds and consecutive shard indices both land on decorrelated streams.
+#[inline]
+pub fn shard_seed(base_seed: u64, shard: u64) -> u64 {
+    splitmix64(base_seed.wrapping_add(splitmix64(shard ^ SHARD_SALT)))
+}
+
+/// The deterministic RNG for shard `shard` under `base_seed`.
+#[inline]
+pub fn shard_rng(base_seed: u64, shard: u64) -> StdRng {
+    StdRng::seed_from_u64(shard_seed(base_seed, shard))
+}
+
+/// Splits `items` into [`SHARD_SIZE`]-sized shards and maps `f` over them
+/// on up to `threads` workers, returning per-shard results in shard order.
+///
+/// `f` receives `(shard_index, shard_items)`. Scheduling is work-stealing
+/// (an atomic cursor), but because shard boundaries and shard indices are
+/// fixed, the result vector — and anything deterministically derived from
+/// it, like merged counter sums — does not depend on `threads`.
+pub fn map_shards<I, T, F>(items: &[I], threads: usize, f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(u64, &[I]) -> T + Sync,
+{
+    let shards: Vec<&[I]> = items.chunks(SHARD_SIZE).collect();
+    let workers = threads.max(1).min(shards.len());
+    if workers <= 1 {
+        return shards
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| f(i as u64, s))
+            .collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<Option<T>>> =
+        shards.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= shards.len() {
+                    break;
+                }
+                let value = f(i as u64, shards[i]);
+                *slots[i].lock().expect("shard slot lock") = Some(value);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("shard slot lock")
+                .expect("every shard slot filled")
+        })
+        .collect()
+}
+
+/// [`map_shards`] for the ubiquitous fallible batch shape: each shard
+/// produces a `Result<Vec<T>>` (e.g. privatized reports) and the per-shard
+/// batches are flattened in shard order, failing on the first shard error.
+pub fn try_flat_map_shards<I, T, E, F>(
+    items: &[I],
+    threads: usize,
+    f: F,
+) -> std::result::Result<Vec<T>, E>
+where
+    I: Sync,
+    T: Send,
+    E: Send,
+    F: Fn(u64, &[I]) -> std::result::Result<Vec<T>, E> + Sync,
+{
+    let shards = map_shards(items, threads, f);
+    let mut out = Vec::with_capacity(items.len());
+    for shard in shards {
+        out.extend(shard?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn shard_results_are_thread_count_invariant() {
+        let items: Vec<u32> = (0..3 * SHARD_SIZE as u32 + 17).collect();
+        let run = |threads| {
+            map_shards(&items, threads, |shard, chunk| {
+                let mut rng = shard_rng(99, shard);
+                chunk
+                    .iter()
+                    .fold(0u64, |acc, &x| acc.wrapping_add(x as u64 ^ rng.next_u64()))
+            })
+        };
+        let seq = run(1);
+        assert_eq!(seq.len(), 4, "fixed shard size decides the shard count");
+        for threads in [2, 3, 8] {
+            assert_eq!(run(threads), seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn shards_cover_items_in_order() {
+        let items: Vec<usize> = (0..SHARD_SIZE + 5).collect();
+        let spans = map_shards(&items, 4, |shard, chunk| {
+            (shard, chunk[0], chunk[chunk.len() - 1])
+        });
+        assert_eq!(
+            spans,
+            vec![(0, 0, SHARD_SIZE - 1), (1, SHARD_SIZE, SHARD_SIZE + 4)]
+        );
+    }
+
+    #[test]
+    fn empty_input_yields_no_shards() {
+        let out: Vec<u64> = map_shards(&[] as &[u32], 8, |_, _| 1);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn shard_seeds_are_decorrelated() {
+        // Adjacent shards and adjacent base seeds must not collide.
+        let mut seen = std::collections::HashSet::new();
+        for base in 0..8u64 {
+            for shard in 0..64u64 {
+                assert!(seen.insert(shard_seed(base, shard)), "collision");
+            }
+        }
+        // And the streams actually differ.
+        let a = shard_rng(1, 0).next_u64();
+        let b = shard_rng(1, 1).next_u64();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn configured_threads_is_positive() {
+        assert!(configured_threads() >= 1);
+    }
+}

@@ -130,6 +130,13 @@ impl UnaryEncoding {
     /// Needed by layers that encode specially (the paper's validity
     /// perturbation encodes invalid items on an extra flag bit and then
     /// applies exactly this bit-flipping step).
+    ///
+    /// Clear bits always go through [`BitVec::fill_bernoulli`]'s geometric
+    /// skipping. Set bits get one draw each while the encoding is sparse
+    /// (the one-hot case), and a word-parallel Bernoulli(`p`) mask once the
+    /// per-bit draws would cost more than sampling the mask — so the RNG
+    /// cost is `O(d·min(q + p, q + 1 − p))` draws even for dense inputs,
+    /// never a per-bit loop over the whole domain.
     pub fn perturb_bits<R: Rng + ?Sized>(&self, encoded: &BitVec, rng: &mut R) -> Result<BitVec> {
         if encoded.len() != self.d as usize {
             return Err(Error::ReportMismatch {
@@ -138,8 +145,24 @@ impl UnaryEncoding {
         }
         let mut out = BitVec::zeros(encoded.len());
         out.fill_bernoulli(self.q, rng);
-        for i in encoded.iter_ones() {
-            out.set(i, rng.random_bool(self.p));
+        let ones = encoded.count_ones();
+        // Geometric skipping draws ~len·min(p, 1−p) gaps for the mask;
+        // the per-bit path draws exactly `ones`.
+        let mask_cost = encoded.len() as f64 * self.p.min(1.0 - self.p);
+        if (ones as f64) <= mask_cost {
+            for i in encoded.iter_ones() {
+                out.set(i, rng.random_bool(self.p));
+            }
+        } else {
+            let mut keep = BitVec::zeros(encoded.len());
+            if self.p <= 0.5 {
+                keep.fill_bernoulli(self.p, rng);
+            } else {
+                // Sample the (rarer) drops and complement.
+                keep.fill_bernoulli(1.0 - self.p, rng);
+                keep.toggle_all();
+            }
+            out.merge_masked(encoded, &keep);
         }
         Ok(out)
     }
@@ -239,6 +262,37 @@ mod tests {
             }
         }
         assert!((kept as f64 / n as f64 - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn perturb_bits_dense_encoding_matches_rates() {
+        // An all-ones encoding forces the word-parallel mask path; bit-set
+        // rates must still be exactly p.
+        for e in [0.5, 4.0] {
+            // SUE: p > 1/2 exercises the complement branch; OUE: p = 1/2.
+            for m in [
+                UnaryEncoding::symmetric(eps(e), 256).unwrap(),
+                UnaryEncoding::optimized(eps(e), 256).unwrap(),
+            ] {
+                let mut rng = StdRng::seed_from_u64(31);
+                let mut encoded = BitVec::zeros(256);
+                for i in 0..256 {
+                    encoded.set(i, true);
+                }
+                let trials = 400;
+                let mut set = 0usize;
+                for _ in 0..trials {
+                    set += m.perturb_bits(&encoded, &mut rng).unwrap().count_ones();
+                }
+                let rate = set as f64 / (trials * 256) as f64;
+                assert!(
+                    (rate - m.p()).abs() < 0.01,
+                    "kind {:?} ε={e}: rate {rate} vs p {}",
+                    m.kind(),
+                    m.p()
+                );
+            }
+        }
     }
 
     #[test]

@@ -50,6 +50,6 @@ pub mod multiclass;
 pub mod pem;
 pub mod shuffle;
 
-pub use multiclass::{mine, NoiseTest, TopKConfig, TopKMethod, TopKResult};
+pub use multiclass::{mine, mine_batch, NoiseTest, TopKConfig, TopKMethod, TopKResult};
 pub use pem::{Pem, PemConfig, PemEngine, PemOutcome};
 pub use shuffle::{replay, CompletedRound, ShuffleEngine};

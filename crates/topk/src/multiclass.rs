@@ -20,9 +20,12 @@ use std::collections::HashMap;
 use rand::Rng;
 
 use mcim_core::{CommStats, Domains, LabelItem, ValidityInput, ValidityPerturbation, VpAggregator};
-use mcim_oracles::{calibrate::unbiased_count, Aggregator, Eps, Error, Grr, Oracle, Result};
+use mcim_oracles::hash::SplitMix64;
+use mcim_oracles::{
+    calibrate::unbiased_count, parallel, Aggregator, Eps, Error, Grr, Oracle, Result,
+};
 
-use crate::pem::{Pem, PemConfig, PemEngine};
+use crate::pem::{Pem, PemConfig, PemEngine, PemOutcome};
 use crate::shuffle::ShuffleEngine;
 
 /// Which form of Algorithm 2's noise test gates the final CP round.
@@ -224,6 +227,124 @@ pub struct TopKResult {
     pub broadcast_bits_per_user: f64,
 }
 
+/// Execution pacing for the bulk privatize+aggregate stages.
+///
+/// `Seq` drives every stage with the caller's RNG, drawing in user order —
+/// the classic [`mine`] behavior. `Par` replaces each bulk stage with the
+/// sharded deterministic runtime of [`parallel`]: stage `i` takes the
+/// `i`-th seed of a [`SplitMix64`] stream and fans out over fixed-size
+/// shards with derived per-shard RNGs, so the mined result is bit-identical
+/// for every thread count.
+enum Pace<'r, R: Rng + ?Sized> {
+    /// Sequential execution with the caller's RNG.
+    Seq(&'r mut R),
+    /// Sharded deterministic execution.
+    Par {
+        /// Per-stage seed stream.
+        stream: SplitMix64,
+        /// Worker thread cap.
+        threads: usize,
+    },
+}
+
+impl<R: Rng + ?Sized> Pace<'_, R> {
+    /// A fresh 64-bit seed (shuffle-round seeds, sharded-stage base seeds).
+    fn next_seed(&mut self) -> u64 {
+        match self {
+            Pace::Seq(rng) => rng.random(),
+            Pace::Par { stream, .. } => stream.next_u64(),
+        }
+    }
+
+    /// GRR-routes a block of labels, recording uplink per user.
+    fn route(&mut self, grr: &Grr, labels: &[u32], comm: &mut CommStats) -> Result<Vec<u32>> {
+        for _ in labels {
+            comm.record(grr.report_bits());
+        }
+        match self {
+            Pace::Seq(rng) => labels.iter().map(|&l| grr.perturb(l, rng)).collect(),
+            Pace::Par { stream, threads } => {
+                let base = stream.next_u64();
+                parallel::try_flat_map_shards(labels, *threads, |shard, chunk| {
+                    let mut rng = parallel::shard_rng(base, shard);
+                    chunk
+                        .iter()
+                        .map(|&l| grr.perturb(l, &mut rng))
+                        .collect::<Result<Vec<u32>>>()
+                })
+            }
+        }
+    }
+
+    /// Privatizes and aggregates a block of validity-perturbation inputs.
+    fn vp_aggregate(
+        &mut self,
+        vp: &ValidityPerturbation,
+        inputs: &[ValidityInput],
+        comm: &mut CommStats,
+    ) -> Result<VpAggregator> {
+        let mut agg = VpAggregator::new(vp);
+        match self {
+            Pace::Seq(rng) => {
+                for &input in inputs {
+                    let report = vp.privatize(input, rng)?;
+                    comm.record(report.len());
+                    agg.absorb(&report)?;
+                }
+            }
+            Pace::Par { stream, threads } => {
+                let base = stream.next_u64();
+                let shards = parallel::map_shards(inputs, *threads, |shard, chunk| {
+                    let mut rng = parallel::shard_rng(base, shard);
+                    let mut shard_comm = CommStats::default();
+                    let mut reports = Vec::with_capacity(chunk.len());
+                    for &input in chunk {
+                        let report = vp.privatize(input, &mut rng)?;
+                        shard_comm.record(report.len());
+                        reports.push(report);
+                    }
+                    let mut local = VpAggregator::new(vp);
+                    local.absorb_all(&reports)?;
+                    Ok::<_, Error>((local, shard_comm))
+                });
+                for shard in shards {
+                    let (partial, partial_comm) = shard?;
+                    agg.merge(&partial)?;
+                    comm.merge(partial_comm);
+                }
+            }
+        }
+        Ok(agg)
+    }
+
+    /// Runs one PEM round on a prepared item group.
+    fn pem_round(
+        &mut self,
+        engine: &mut PemEngine,
+        eps: Eps,
+        items: &[Option<u32>],
+    ) -> Result<CommStats> {
+        match self {
+            Pace::Seq(rng) => engine.run_round(eps, items.iter().copied(), rng),
+            Pace::Par { stream, threads } => {
+                let base = stream.next_u64();
+                engine.run_round_batch(eps, items, base, *threads)
+            }
+        }
+    }
+
+    /// Runs a full single-population PEM mine.
+    fn pem_mine(&mut self, pem: &Pem, eps: Eps, items: &[Option<u32>]) -> Result<PemOutcome> {
+        match self {
+            Pace::Seq(rng) => pem.mine(eps, items, rng),
+            Pace::Par { stream, threads } => {
+                let base = stream.next_u64();
+                pem.mine_batch(eps, items, base, *threads)
+            }
+        }
+    }
+}
+
 /// Runs `method` over the dataset and returns per-class top-k items.
 pub fn mine<R: Rng + ?Sized>(
     method: TopKMethod,
@@ -231,6 +352,37 @@ pub fn mine<R: Rng + ?Sized>(
     domains: Domains,
     data: &[LabelItem],
     rng: &mut R,
+) -> Result<TopKResult> {
+    mine_with(method, config, domains, data, &mut Pace::Seq(rng))
+}
+
+/// Runs `method` on the batched, sharded runtime with up to `threads`
+/// workers. Every bulk privatize+aggregate stage fans out over fixed-size
+/// shards with RNG streams derived from `base_seed`, so the mined result is
+/// a pure function of `(method, config, domains, data, base_seed)` —
+/// bit-identical for every `threads` value (the `MCIM_THREADS` CI matrix
+/// locks this in).
+pub fn mine_batch(
+    method: TopKMethod,
+    config: TopKConfig,
+    domains: Domains,
+    data: &[LabelItem],
+    base_seed: u64,
+    threads: usize,
+) -> Result<TopKResult> {
+    let mut pace: Pace<'_, rand::rngs::StdRng> = Pace::Par {
+        stream: SplitMix64::new(base_seed),
+        threads: threads.max(1),
+    };
+    mine_with(method, config, domains, data, &mut pace)
+}
+
+fn mine_with<R: Rng + ?Sized>(
+    method: TopKMethod,
+    config: TopKConfig,
+    domains: Domains,
+    data: &[LabelItem],
+    pace: &mut Pace<'_, R>,
 ) -> Result<TopKResult> {
     if config.k == 0 {
         return Err(Error::InvalidParameter {
@@ -245,17 +397,17 @@ pub fn mine<R: Rng + ?Sized>(
         });
     }
     match method {
-        TopKMethod::Hec => hec(config, domains, data, rng),
-        TopKMethod::PtjPem { validity } => ptj_pem(config, domains, data, validity, rng),
-        TopKMethod::PtjShuffled { validity } => ptj_shuffled(config, domains, data, validity, rng),
+        TopKMethod::Hec => hec(config, domains, data, pace),
+        TopKMethod::PtjPem { validity } => ptj_pem(config, domains, data, validity, pace),
+        TopKMethod::PtjShuffled { validity } => ptj_shuffled(config, domains, data, validity, pace),
         TopKMethod::PtsPem { validity, global } => {
-            pts_pem(config, domains, data, validity, global, rng)
+            pts_pem(config, domains, data, validity, global, pace)
         }
         TopKMethod::PtsShuffled {
             validity,
             global,
             correlated,
-        } => pts_shuffled(config, domains, data, validity, global, correlated, rng),
+        } => pts_shuffled(config, domains, data, validity, global, correlated, pace),
     }
 }
 
@@ -265,7 +417,7 @@ fn hec<R: Rng + ?Sized>(
     config: TopKConfig,
     domains: Domains,
     data: &[LabelItem],
-    rng: &mut R,
+    pace: &mut Pace<'_, R>,
 ) -> Result<TopKResult> {
     let c = domains.classes();
     let pem = Pem::new(
@@ -291,7 +443,7 @@ fn hec<R: Rng + ?Sized>(
             per_class.push(Vec::new());
             continue;
         }
-        let out = pem.mine(config.eps, &items, rng)?;
+        let out = pace.pem_mine(&pem, config.eps, &items)?;
         comm.merge(out.comm);
         per_class.push(out.top);
     }
@@ -310,7 +462,7 @@ fn ptj_pem<R: Rng + ?Sized>(
     domains: Domains,
     data: &[LabelItem],
     validity: bool,
-    rng: &mut R,
+    pace: &mut Pace<'_, R>,
 ) -> Result<TopKResult> {
     let kk = config.k * domains.classes() as usize;
     let pem = Pem::new(
@@ -323,7 +475,7 @@ fn ptj_pem<R: Rng + ?Sized>(
         },
     )?;
     let items: Vec<Option<u32>> = data.iter().map(|p| Some(domains.joint_index(*p))).collect();
-    let out = pem.mine(config.eps, &items, rng)?;
+    let out = pace.pem_mine(&pem, config.eps, &items)?;
     Ok(TopKResult {
         per_class: split_joint_ranking(&out.top, domains, config.k),
         comm: out.comm,
@@ -336,7 +488,7 @@ fn ptj_shuffled<R: Rng + ?Sized>(
     domains: Domains,
     data: &[LabelItem],
     validity: bool,
-    rng: &mut R,
+    pace: &mut Pace<'_, R>,
 ) -> Result<TopKResult> {
     let kk = config.k * domains.classes() as usize;
     let buckets = 4 * kk;
@@ -349,16 +501,18 @@ fn ptj_shuffled<R: Rng + ?Sized>(
 
     for _ in 0..rounds.saturating_sub(1) {
         let chunk = chunks.next().unwrap_or(&[]);
-        let view = engine.begin_round(rng.random(), buckets);
+        let view = engine.begin_round(pace.next_seed(), buckets);
+        let inputs: Vec<Option<u32>> = chunk
+            .iter()
+            .map(|p| view.bucket_of_item(domains.joint_index(*p)))
+            .collect();
         let scores = score_round(
+            pace,
             config.eps,
             view.buckets(),
-            chunk
-                .iter()
-                .map(|p| view.bucket_of_item(domains.joint_index(*p))),
+            &inputs,
             validity,
             &mut comm,
-            rng,
         )?;
         engine.complete_round(&view, &scores, 2 * kk);
     }
@@ -371,16 +525,11 @@ fn ptj_shuffled<R: Rng + ?Sized>(
         .enumerate()
         .map(|(i, &p)| (p, i as u32))
         .collect();
-    let scores = score_round(
-        config.eps,
-        cands.len(),
-        final_chunk
-            .iter()
-            .map(|p| index.get(&domains.joint_index(*p)).copied()),
-        validity,
-        &mut comm,
-        rng,
-    )?;
+    let inputs: Vec<Option<u32>> = final_chunk
+        .iter()
+        .map(|p| index.get(&domains.joint_index(*p)).copied())
+        .collect();
+    let scores = score_round(pace, config.eps, cands.len(), &inputs, validity, &mut comm)?;
 
     let mut ranked: Vec<(u32, f64)> = cands.iter().copied().zip(scores).collect();
     ranked.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
@@ -400,7 +549,7 @@ fn pts_pem<R: Rng + ?Sized>(
     data: &[LabelItem],
     validity: bool,
     global: bool,
-    rng: &mut R,
+    pace: &mut Pace<'_, R>,
 ) -> Result<TopKResult> {
     let (e1, e2) = config.eps.split(config.label_frac)?;
     let grr = Grr::new(e1, domains.classes())?;
@@ -435,7 +584,8 @@ fn pts_pem<R: Rng + ?Sized>(
                 for _ in chunk {
                     comm.record(grr.report_bits());
                 }
-                let stats = g_engine.run_round(e2, chunk.iter().map(|p| Some(p.item)), rng)?;
+                let items: Vec<Option<u32>> = chunk.iter().map(|p| Some(p.item)).collect();
+                let stats = pace.pem_round(&mut g_engine, e2, &items)?;
                 comm.merge(stats);
             }
         }
@@ -452,11 +602,11 @@ fn pts_pem<R: Rng + ?Sized>(
     };
 
     // Route the remaining users by GRR-perturbed label.
+    let labels: Vec<u32> = rest.iter().map(|p| p.label).collect();
+    let routed = pace.route(&grr, &labels, &mut comm)?;
     let mut groups: Vec<Vec<u32>> = vec![Vec::new(); domains.classes() as usize];
-    for p in rest {
-        let routed = grr.perturb(p.label, rng)?;
-        comm.record(grr.report_bits());
-        groups[routed as usize].push(p.item);
+    for (p, r) in rest.iter().zip(routed) {
+        groups[r as usize].push(p.item);
     }
 
     let mut per_class = Vec::with_capacity(domains.classes() as usize);
@@ -471,7 +621,8 @@ fn pts_pem<R: Rng + ?Sized>(
         let mut chunks = items.chunks(chunk_size);
         for _ in 0..rounds {
             let chunk = chunks.next().unwrap_or(&[]);
-            let stats = engine.run_round(e2, chunk.iter().map(|&i| Some(i)), rng)?;
+            let round_items: Vec<Option<u32>> = chunk.iter().map(|&i| Some(i)).collect();
+            let stats = pace.pem_round(&mut engine, e2, &round_items)?;
             comm.merge(stats);
         }
         per_class.push(engine.top_items()?);
@@ -492,7 +643,7 @@ fn pts_shuffled<R: Rng + ?Sized>(
     validity: bool,
     global: bool,
     correlated: bool,
-    rng: &mut R,
+    pace: &mut Pace<'_, R>,
 ) -> Result<TopKResult> {
     // CP is built on VP; `correlated` therefore implies validity reports.
     let validity = validity || correlated;
@@ -523,22 +674,14 @@ fn pts_shuffled<R: Rng + ?Sized>(
         let mut chunks = sample.chunks(chunk_size);
         for _ in 0..it_f {
             let chunk = chunks.next().unwrap_or(&[]);
-            let view = engine_global.begin_round(rng.random(), buckets);
-            let mut inputs = Vec::with_capacity(chunk.len());
-            for p in chunk {
-                let routed = grr.perturb(p.label, rng)?;
-                comm.record(grr.report_bits());
-                label_tally[routed as usize] += 1;
-                inputs.push(view.bucket_of_item(p.item));
+            let view = engine_global.begin_round(pace.next_seed(), buckets);
+            let labels: Vec<u32> = chunk.iter().map(|p| p.label).collect();
+            for &r in &pace.route(&grr, &labels, &mut comm)? {
+                label_tally[r as usize] += 1;
             }
-            let scores = score_round(
-                e2,
-                view.buckets(),
-                inputs.into_iter(),
-                validity,
-                &mut comm,
-                rng,
-            )?;
+            let inputs: Vec<Option<u32>> =
+                chunk.iter().map(|p| view.bucket_of_item(p.item)).collect();
+            let scores = score_round(pace, e2, view.buckets(), &inputs, validity, &mut comm)?;
             engine_global.complete_round(&view, &scores, 2 * k * c);
         }
         // Estimated class fractions from the phase-1 perturbed labels
@@ -555,11 +698,11 @@ fn pts_shuffled<R: Rng + ?Sized>(
 
     // ---------------- Phase 2: Algorithm 2 (classwise mining) -----------
     // Route users by perturbed label.
+    let labels: Vec<u32> = rest.iter().map(|p| p.label).collect();
+    let routed = pace.route(&grr, &labels, &mut comm)?;
     let mut groups: Vec<Vec<&LabelItem>> = vec![Vec::new(); c];
-    for p in rest {
-        let routed = grr.perturb(p.label, rng)?;
-        comm.record(grr.report_bits());
-        groups[routed as usize].push(p);
+    for (p, r) in rest.iter().zip(routed) {
+        groups[r as usize].push(p);
     }
     let n2: usize = groups.iter().map(Vec::len).sum();
 
@@ -600,18 +743,13 @@ fn pts_shuffled<R: Rng + ?Sized>(
         let mut chunks = group.chunks(chunk_size);
         for _ in 0..it_r - 1 {
             let chunk = chunks.next().unwrap_or(&[]);
-            let view = engine.begin_round(rng.random(), 4 * k);
+            let view = engine.begin_round(pace.next_seed(), 4 * k);
             // Validity here is label-free: pruning is the only invalidity,
             // so globally frequent items from mislabeled users still count
             // (§VII-E's "benefit from globally frequent items").
-            let scores = score_round(
-                e2,
-                view.buckets(),
-                chunk.iter().map(|p| view.bucket_of_item(p.item)),
-                validity,
-                &mut comm,
-                rng,
-            )?;
+            let inputs: Vec<Option<u32>> =
+                chunk.iter().map(|p| view.bucket_of_item(p.item)).collect();
+            let scores = score_round(pace, e2, view.buckets(), &inputs, validity, &mut comm)?;
             engine.complete_round(&view, &scores, 2 * k);
         }
         // Algorithm 2 line 8: the `b` noise test, in the configured form
@@ -655,16 +793,15 @@ fn pts_shuffled<R: Rng + ?Sized>(
             // match the true label AND the item to have survived pruning.
             let vp = ValidityPerturbation::new(e2, cands.len() as u32)?;
             let (p2, q2) = (vp.p(), vp.q());
-            let mut agg = VpAggregator::new(&vp);
-            for p in &fg.users {
-                let input = match index.get(&p.item) {
+            let inputs: Vec<ValidityInput> = fg
+                .users
+                .iter()
+                .map(|p| match index.get(&p.item) {
                     Some(&idx) if p.label == fg.class => ValidityInput::Valid(idx),
                     _ => ValidityInput::Invalid,
-                };
-                let report = vp.privatize(input, rng)?;
-                comm.record(report.len());
-                agg.absorb(&report)?;
-            }
+                })
+                .collect();
+            let agg = pace.vp_aggregate(&vp, &inputs, &mut comm)?;
             // Eq. (4) with N = final cohort size and ñ_C = |F_C| (every
             // member of this group was routed to this class).
             let n_f = n_final as f64;
@@ -676,14 +813,12 @@ fn pts_shuffled<R: Rng + ?Sized>(
                 .map(|&cnt| (cnt as f64 - n_f * q1 * q2 * (1.0 - p2) - correction) / denom)
                 .collect()
         } else {
-            score_round(
-                e2,
-                cands.len(),
-                fg.users.iter().map(|p| index.get(&p.item).copied()),
-                validity,
-                &mut comm,
-                rng,
-            )?
+            let inputs: Vec<Option<u32>> = fg
+                .users
+                .iter()
+                .map(|p| index.get(&p.item).copied())
+                .collect();
+            score_round(pace, e2, cands.len(), &inputs, validity, &mut comm)?
         };
         let mut ranked: Vec<(u32, f64)> = cands.iter().copied().zip(scores).collect();
         ranked.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
@@ -700,41 +835,67 @@ fn pts_shuffled<R: Rng + ?Sized>(
 // ------------------------------------------------------------ helpers --
 
 /// Aggregates one round of bucket/candidate reports and returns raw scores.
-/// `inputs` yields each user's bucket (`None` = invalid). With `validity`
+/// `inputs` holds each user's bucket (`None` = invalid). With `validity`
 /// the VP mechanism is used; otherwise invalid users substitute a uniform
 /// random bucket (vanilla PEM deniability) under the adaptive oracle.
+/// Bulk work follows `pace`: sequential with the caller's RNG, or sharded
+/// across threads with derived deterministic streams.
 fn score_round<R: Rng + ?Sized>(
+    pace: &mut Pace<'_, R>,
     eps: Eps,
     buckets: usize,
-    inputs: impl Iterator<Item = Option<u32>>,
+    inputs: &[Option<u32>],
     validity: bool,
     comm: &mut CommStats,
-    rng: &mut R,
 ) -> Result<Vec<f64>> {
     if buckets == 0 {
         return Ok(Vec::new());
     }
     if validity {
         let vp = ValidityPerturbation::new(eps, buckets as u32)?;
-        let mut agg = VpAggregator::new(&vp);
-        for b in inputs {
-            let input = match b {
-                Some(idx) => ValidityInput::Valid(idx),
+        let vp_inputs: Vec<ValidityInput> = inputs
+            .iter()
+            .map(|b| match b {
+                Some(idx) => ValidityInput::Valid(*idx),
                 None => ValidityInput::Invalid,
-            };
-            let report = vp.privatize(input, rng)?;
-            comm.record(report.len());
-            agg.absorb(&report)?;
-        }
+            })
+            .collect();
+        let agg = pace.vp_aggregate(&vp, &vp_inputs, comm)?;
         Ok(agg.raw_counts().iter().map(|&c| c as f64).collect())
     } else {
         let oracle = Oracle::adaptive(eps, buckets as u32)?;
         let mut agg = Aggregator::new(&oracle);
-        for b in inputs {
-            let value = b.unwrap_or_else(|| rng.random_range(0..buckets as u32));
-            let report = oracle.privatize(value, rng)?;
-            comm.record(report.size_bits());
-            agg.absorb(&report)?;
+        match pace {
+            Pace::Seq(rng) => {
+                for &b in inputs {
+                    let value = b.unwrap_or_else(|| rng.random_range(0..buckets as u32));
+                    let report = oracle.privatize(value, rng)?;
+                    comm.record(report.size_bits());
+                    agg.absorb(&report)?;
+                }
+            }
+            Pace::Par { stream, threads } => {
+                let base = stream.next_u64();
+                let shards = parallel::map_shards(inputs, *threads, |shard, chunk| {
+                    let mut rng = parallel::shard_rng(base, shard);
+                    let mut shard_comm = CommStats::default();
+                    let mut reports = Vec::with_capacity(chunk.len());
+                    for &b in chunk {
+                        let value = b.unwrap_or_else(|| rng.random_range(0..buckets as u32));
+                        let report = oracle.privatize(value, &mut rng)?;
+                        shard_comm.record(report.size_bits());
+                        reports.push(report);
+                    }
+                    let mut local = Aggregator::new(&oracle);
+                    local.absorb_all(&reports)?;
+                    Ok::<_, Error>((local, shard_comm))
+                });
+                for shard in shards {
+                    let (partial, partial_comm) = shard?;
+                    agg.merge(&partial)?;
+                    comm.merge(partial_comm);
+                }
+            }
         }
         Ok(agg.estimate())
     }
@@ -906,6 +1067,60 @@ mod tests {
             assert!(
                 mined.contains(&tru[0]),
                 "class {c}: {mined:?} missing {}",
+                tru[0]
+            );
+        }
+    }
+
+    #[test]
+    fn mine_batch_is_thread_count_invariant_for_every_method() {
+        let (domains, data) = skewed_dataset(30_000, 64);
+        let config = TopKConfig::new(3, eps(6.0));
+        for method in TopKMethod::fig7_set() {
+            let seq = mine_batch(method, config, domains, &data, 13, 1).unwrap();
+            for threads in [2, 8] {
+                let par = mine_batch(method, config, domains, &data, 13, threads).unwrap();
+                assert_eq!(
+                    par.per_class,
+                    seq.per_class,
+                    "{} diverged at threads={threads}",
+                    method.name()
+                );
+                assert_eq!(par.comm, seq.comm, "{}", method.name());
+                assert!(
+                    (par.broadcast_bits_per_user - seq.broadcast_bits_per_user).abs() == 0.0,
+                    "{}",
+                    method.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mine_batch_finds_true_tops_at_high_eps() {
+        let (domains, data) = skewed_dataset(150_000, 64);
+        let truth: Vec<Vec<u32>> = {
+            let t = mcim_core::FrequencyTable::ground_truth(domains, &data).unwrap();
+            (0..3).map(|c| t.top_k(c, 3)).collect()
+        };
+        let config = TopKConfig::new(3, eps(8.0));
+        let result = mine_batch(
+            TopKMethod::PtsShuffled {
+                validity: true,
+                global: true,
+                correlated: true,
+            },
+            config,
+            domains,
+            &data,
+            23,
+            2,
+        )
+        .unwrap();
+        for (c, (mined, tru)) in result.per_class.iter().zip(&truth).enumerate() {
+            assert!(
+                mined.contains(&tru[0]),
+                "class {c}: top-1 {} missing from {mined:?}",
                 tru[0]
             );
         }

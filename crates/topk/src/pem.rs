@@ -22,7 +22,8 @@ use std::collections::HashMap;
 use rand::Rng;
 
 use mcim_core::{CommStats, ValidityInput, ValidityPerturbation, VpAggregator};
-use mcim_oracles::{Aggregator, Eps, Error, Oracle, Result};
+use mcim_oracles::hash::SplitMix64;
+use mcim_oracles::{parallel, Aggregator, Eps, Error, Oracle, Result};
 
 use crate::encoding::PrefixCode;
 
@@ -211,6 +212,101 @@ impl PemEngine {
         Ok(comm)
     }
 
+    /// Runs one round on the batched, sharded runtime: the user group is
+    /// split into fixed [`parallel::SHARD_SIZE`] shards, each privatized
+    /// and aggregated with the deterministic per-shard RNG
+    /// [`parallel::shard_rng`]`(base_seed, shard)` through the
+    /// word-parallel column-sum aggregators. The surviving candidate set is
+    /// a pure function of `(engine state, eps, items, base_seed)` —
+    /// bit-identical for every `threads` value.
+    pub fn run_round_batch(
+        &mut self,
+        eps: Eps,
+        items: &[Option<u32>],
+        base_seed: u64,
+        threads: usize,
+    ) -> Result<CommStats> {
+        if self.finished {
+            return Err(Error::InvalidParameter {
+                name: "round",
+                constraint: "engine already finished",
+            });
+        }
+        let index: HashMap<u32, u32> = self
+            .candidates
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, i as u32))
+            .collect();
+        let n_cands = self.candidates.len() as u32;
+        let mut comm = CommStats::default();
+
+        let scores: Vec<f64> = if self.config.validity {
+            let vp = ValidityPerturbation::new(eps, n_cands)?;
+            let shards = parallel::map_shards(items, threads, |shard, chunk| {
+                let mut rng = parallel::shard_rng(base_seed, shard);
+                let mut comm = CommStats::default();
+                let mut reports = Vec::with_capacity(chunk.len());
+                for &item in chunk {
+                    let input = match item {
+                        Some(it) => match index.get(&self.code.prefix(it, self.prefix_len)) {
+                            Some(&idx) => ValidityInput::Valid(idx),
+                            None => ValidityInput::Invalid,
+                        },
+                        None => ValidityInput::Invalid,
+                    };
+                    let report = vp.privatize(input, &mut rng)?;
+                    comm.record(report.len());
+                    reports.push(report);
+                }
+                let mut agg = VpAggregator::new(&vp);
+                agg.absorb_all(&reports)?;
+                Ok::<_, Error>((agg, comm))
+            });
+            let mut agg = VpAggregator::new(&vp);
+            for shard in shards {
+                let (partial, partial_comm) = shard?;
+                agg.merge(&partial)?;
+                comm.merge(partial_comm);
+            }
+            agg.raw_counts().iter().map(|&c| c as f64).collect()
+        } else {
+            let oracle = Oracle::adaptive(eps, n_cands)?;
+            let shards = parallel::map_shards(items, threads, |shard, chunk| {
+                let mut rng = parallel::shard_rng(base_seed, shard);
+                let mut comm = CommStats::default();
+                let mut reports = Vec::with_capacity(chunk.len());
+                for &item in chunk {
+                    let value = match item {
+                        Some(it) => match index.get(&self.code.prefix(it, self.prefix_len)) {
+                            Some(&idx) => idx,
+                            // Vanilla PEM: pruned/invalid users substitute a
+                            // uniformly random candidate for deniability.
+                            None => rng.random_range(0..n_cands),
+                        },
+                        None => rng.random_range(0..n_cands),
+                    };
+                    let report = oracle.privatize(value, &mut rng)?;
+                    comm.record(report.size_bits());
+                    reports.push(report);
+                }
+                let mut agg = Aggregator::new(&oracle);
+                agg.absorb_all(&reports)?;
+                Ok::<_, Error>((agg, comm))
+            });
+            let mut agg = Aggregator::new(&oracle);
+            for shard in shards {
+                let (partial, partial_comm) = shard?;
+                agg.merge(&partial)?;
+                comm.merge(partial_comm);
+            }
+            agg.estimate()
+        };
+
+        self.prune_and_extend(scores);
+        Ok(comm)
+    }
+
     /// Applies external scores (one per candidate) — used by callers that
     /// aggregate reports themselves (the multi-class PTS pipeline).
     pub fn apply_scores(&mut self, scores: Vec<f64>) -> Result<()> {
@@ -347,6 +443,34 @@ impl Pem {
             comm,
         })
     }
+
+    /// [`Pem::mine`] on the batched, sharded runtime: round `r` runs
+    /// [`PemEngine::run_round_batch`] with the `r`-th seed of the
+    /// [`SplitMix64`] stream over `base_seed`. The mined set is
+    /// bit-identical for every `threads` value.
+    pub fn mine_batch(
+        &self,
+        eps: Eps,
+        items: &[Option<u32>],
+        base_seed: u64,
+        threads: usize,
+    ) -> Result<PemOutcome> {
+        let mut engine = PemEngine::new(self.d, self.config)?;
+        let rounds = engine.remaining_rounds();
+        let mut comm = CommStats::default();
+        let chunk = items.len().div_ceil(rounds).max(1);
+        let mut groups = items.chunks(chunk);
+        let mut stream = SplitMix64::new(base_seed);
+        for _ in 0..rounds {
+            let group = groups.next().unwrap_or(&[]);
+            let stats = engine.run_round_batch(eps, group, stream.next_u64(), threads)?;
+            comm.merge(stats);
+        }
+        Ok(PemOutcome {
+            top: engine.top_items()?,
+            comm,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -435,6 +559,40 @@ mod tests {
                 "missing {expected}: {:?}",
                 out.top
             );
+        }
+    }
+
+    #[test]
+    fn batch_rounds_are_thread_count_invariant_and_mine_tops() {
+        let d = 128u32;
+        let k = 4;
+        let mut items = population(d, 40_000);
+        for (i, it) in items.iter_mut().enumerate() {
+            if i % 5 == 0 {
+                *it = None;
+            }
+        }
+        for config in [PemConfig::new(k), PemConfig::new(k).with_validity()] {
+            let pem = Pem::new(d, config).unwrap();
+            let seq = pem.mine_batch(eps(6.0), &items, 11, 1).unwrap();
+            for threads in [2, 8] {
+                let par = pem.mine_batch(eps(6.0), &items, 11, threads).unwrap();
+                assert_eq!(
+                    par.top, seq.top,
+                    "validity={} threads={threads}",
+                    config.validity
+                );
+                assert_eq!(par.comm, seq.comm);
+            }
+            // The batched runtime still mines the heavy head.
+            for expected in 0..2u32 {
+                assert!(
+                    seq.top.contains(&expected),
+                    "validity={}: missing {expected} in {:?}",
+                    config.validity,
+                    seq.top
+                );
+            }
         }
     }
 

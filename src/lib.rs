@@ -56,6 +56,6 @@ pub mod prelude {
         ValidityInput, ValidityPerturbation, VpAggregator,
     };
     pub use mcim_metrics::{f1_at_k, ncr_at_k, rmse};
-    pub use mcim_oracles::{Aggregator, Eps, Error, Oracle, Result};
-    pub use mcim_topk::{mine, TopKConfig, TopKMethod, TopKResult};
+    pub use mcim_oracles::{parallel, Aggregator, ColumnCounter, Eps, Error, Oracle, Result};
+    pub use mcim_topk::{mine, mine_batch, TopKConfig, TopKMethod, TopKResult};
 }

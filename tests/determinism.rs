@@ -74,3 +74,104 @@ fn topk_mining_identical_for_identical_seeds() {
         "seed-identical top-k runs diverged"
     );
 }
+
+/// The batch runtime's headline guarantee: `threads = N` produces
+/// bit-identical estimates to `threads = 1` for every framework. The CI
+/// thread matrix runs this file under `MCIM_THREADS=1` and `MCIM_THREADS=4`,
+/// so `configured_threads()` exercises a genuinely different worker count
+/// against the sequential reference.
+#[test]
+fn run_batch_thread_matrix_is_bit_identical_for_every_framework() {
+    let domains = Domains::new(3, 48).unwrap();
+    let data = sample_data(domains, 25_000);
+    let eps = Eps::new(2.0).unwrap();
+    let threads = parallel::configured_threads();
+    for fw in Framework::fig6_set() {
+        let seq = fw.run_batch(eps, domains, &data, 2024, 1).unwrap();
+        for t in [2, threads] {
+            let par = fw.run_batch(eps, domains, &data, 2024, t).unwrap();
+            for label in 0..domains.classes() {
+                for item in 0..domains.items() {
+                    assert!(
+                        par.table.get(label, item) == seq.table.get(label, item),
+                        "{} threads={t} diverged at ({label},{item})",
+                        fw.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Same guarantee for the standalone validity-perturbation pipeline (the
+/// "VP" row of the acceptance matrix): batched privatization equals N
+/// sequential per-shard privatize calls, and sharded aggregation equals
+/// sequential absorption bit-for-bit.
+#[test]
+fn vp_batch_thread_matrix_is_bit_identical() {
+    let vp = ValidityPerturbation::new(Eps::new(1.5).unwrap(), 96).unwrap();
+    let inputs: Vec<ValidityInput> = (0..20_000)
+        .map(|u| {
+            if u % 4 == 0 {
+                ValidityInput::Invalid
+            } else {
+                ValidityInput::Valid(u as u32 % 96)
+            }
+        })
+        .collect();
+    let reports = vp.privatize_batch(&inputs, 9, 1).unwrap();
+
+    // Batched privatization == sequential privatize calls, shard by shard.
+    let mut reference = Vec::new();
+    for (s, chunk) in inputs.chunks(parallel::SHARD_SIZE).enumerate() {
+        let mut rng = parallel::shard_rng(9, s as u64);
+        for &input in chunk {
+            reference.push(vp.privatize(input, &mut rng).unwrap());
+        }
+    }
+    assert_eq!(reports, reference);
+
+    let mut seq = VpAggregator::new(&vp);
+    for r in &reports {
+        seq.absorb(r).unwrap();
+    }
+    for t in [1, 2, parallel::configured_threads()] {
+        assert_eq!(vp.privatize_batch(&inputs, 9, t).unwrap(), reports);
+        let mut par = VpAggregator::new(&vp);
+        par.absorb_batch(&reports, t).unwrap();
+        assert_eq!(par.raw_counts(), seq.raw_counts(), "threads={t}");
+        assert_eq!(par.raw_flag_count(), seq.raw_flag_count());
+        assert_eq!(par.estimate(), seq.estimate());
+    }
+}
+
+/// Top-k mining on the batch runtime is a pure function of the base seed —
+/// the thread count never changes the mined sets.
+#[test]
+fn topk_mine_batch_thread_matrix_is_bit_identical() {
+    let domains = Domains::new(2, 64).unwrap();
+    let data = sample_data(domains, 24_000);
+    let config = TopKConfig::new(4, Eps::new(4.0).unwrap());
+    let threads = parallel::configured_threads();
+    for method in [
+        TopKMethod::Hec,
+        TopKMethod::PtjShuffled { validity: true },
+        TopKMethod::PtsShuffled {
+            validity: true,
+            global: true,
+            correlated: true,
+        },
+    ] {
+        let seq = mine_batch(method, config, domains, &data, 77, 1).unwrap();
+        for t in [2, threads] {
+            let par = mine_batch(method, config, domains, &data, 77, t).unwrap();
+            assert_eq!(
+                par.per_class,
+                seq.per_class,
+                "{} threads={t}",
+                method.name()
+            );
+            assert_eq!(par.comm, seq.comm, "{}", method.name());
+        }
+    }
+}

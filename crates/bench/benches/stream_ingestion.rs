@@ -1,0 +1,219 @@
+//! Streaming ingestion: a paper-scale (default 5M-user) run under a fixed
+//! RSS budget, against the materialized batch path.
+//!
+//! Three phases, run low-memory-first so the `VmHWM` high-water mark
+//! cleanly attributes the RSS jump to materialization:
+//!
+//! 1. `absorb_stream` — 5M OUE reports (`d = 1024`, ~136 B each ≈ 680 MB
+//!    if materialized) privatized on the fly and absorbed through the
+//!    bounded-memory chunked runtime: memory stays `O(chunk)`.
+//! 2. `run_stream` — the PTS-CP pipeline end-to-end from a synthetic pair
+//!    generator (no input `Vec` at all).
+//! 3. `absorb_batch` — the PR-2 path at `min(n, 500k)` reports, fully
+//!    materialized, to show the per-report RSS cost streaming avoids.
+//!
+//! Prints a table, saves `results/stream_ingestion.csv` and the
+//! machine-readable `results/BENCH_stream_ingestion.json` the CI uploads.
+//!
+//! Run: `cargo bench -p mcim-bench --bench stream_ingestion`
+//! (`MCIM_BENCH_N` shrinks the workload; CI uses a small N.)
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use mcim_bench::{results_dir, Table};
+use mcim_core::{Domains, Framework};
+use mcim_datasets::{SyntheticPairSource, SyntheticSourceConfig};
+use mcim_oracles::stream::{ReportSource, StreamConfig};
+use mcim_oracles::{parallel, Aggregator, Eps, Oracle, Report, Result};
+
+const D: u32 = 1024;
+
+/// Peak resident set size (VmHWM) in MiB, from `/proc/self/status`.
+/// Returns 0.0 where procfs is unavailable.
+fn peak_rss_mib() -> f64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0.0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            if let Some(kb) = rest
+                .split_whitespace()
+                .next()
+                .and_then(|v| v.parse::<f64>().ok())
+            {
+                return kb / 1024.0;
+            }
+        }
+    }
+    0.0
+}
+
+/// Privatizes OUE reports on the fly through the bulk sampler — the
+/// "reports arriving from the network" simulation. Memory cost: none
+/// beyond the pull buffer.
+struct OueReportSource {
+    oracle: Oracle,
+    next_seed: u64,
+    emitted: u64,
+    remaining: u64,
+}
+
+impl ReportSource for OueReportSource {
+    type Item = Report;
+    fn fill(&mut self, buf: &mut Vec<Report>, max: usize) -> Result<usize> {
+        let take = (self.remaining).min(max as u64) as usize;
+        if take == 0 {
+            return Ok(0);
+        }
+        let values: Vec<u32> = (0..take)
+            .map(|i| (self.emitted + i as u64) as u32 % D)
+            .collect();
+        buf.extend(self.oracle.privatize_batch(&values, self.next_seed, 1)?);
+        self.next_seed = self.next_seed.wrapping_add(1);
+        self.emitted += take as u64;
+        self.remaining -= take as u64;
+        Ok(take)
+    }
+    fn size_hint(&self) -> Option<u64> {
+        Some(self.remaining)
+    }
+}
+
+struct Phase {
+    name: &'static str,
+    users: u64,
+    ms: f64,
+    reports_per_sec: f64,
+    peak_rss_mib_after: f64,
+}
+
+fn main() {
+    let n: u64 = std::env::var("MCIM_BENCH_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5_000_000);
+    let chunk: usize = std::env::var("MCIM_CHUNK")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16 * parallel::SHARD_SIZE);
+    let threads = parallel::configured_threads();
+    let eps = Eps::new(1.0).unwrap();
+    let config = StreamConfig::new(threads).with_chunk_items(chunk);
+    let rss_baseline = peak_rss_mib();
+    println!(
+        "== stream_ingestion | n={n} d={D} chunk={chunk} threads={threads} baseline_rss={rss_baseline:.0}MiB =="
+    );
+
+    let mut phases: Vec<Phase> = Vec::new();
+    let mut record = |name: &'static str, users: u64, start: Instant| {
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        phases.push(Phase {
+            name,
+            users,
+            ms,
+            reports_per_sec: users as f64 / (ms / 1e3),
+            peak_rss_mib_after: peak_rss_mib(),
+        });
+    };
+
+    // Phase 1: stream-absorb n OUE reports with bounded memory.
+    let oracle = Oracle::oue(eps, D).unwrap();
+    let mut agg = Aggregator::new(&oracle);
+    let mut source = OueReportSource {
+        oracle: oracle.clone(),
+        next_seed: 1,
+        emitted: 0,
+        remaining: n,
+    };
+    let start = Instant::now();
+    agg.absorb_stream(&mut source, config).unwrap();
+    record("oue_absorb_stream", n, start);
+    assert_eq!(agg.report_count(), n);
+    std::hint::black_box(agg.raw_counts().iter().sum::<u64>());
+
+    // Phase 2: the PTS-CP pipeline end-to-end from a generator source.
+    let n_freq = n.min(1_000_000);
+    let domains = Domains::new(8, D).unwrap();
+    let mut pairs = SyntheticPairSource::new(SyntheticSourceConfig {
+        classes: 8,
+        items: D,
+        users: n_freq,
+        zipf_s: 1.5,
+        seed: 2,
+    });
+    let start = Instant::now();
+    let result = Framework::PtsCp { label_frac: 0.5 }
+        .run_stream(eps, domains, &mut pairs, 3, config)
+        .unwrap();
+    record("pts_cp_run_stream", n_freq, start);
+    std::hint::black_box(result.table.get(0, 0));
+
+    // Phase 3: the materialized batch path (the memory cost streaming
+    // avoids) at a size that still fits CI.
+    let n_batch = n.min(500_000);
+    let values: Vec<u32> = (0..n_batch).map(|u| u as u32 % D).collect();
+    let start = Instant::now();
+    let reports = oracle.privatize_batch(&values, 4, threads).unwrap();
+    let mut agg = Aggregator::new(&oracle);
+    agg.absorb_batch(&reports, threads).unwrap();
+    record("oue_materialized_batch", n_batch, start);
+    std::hint::black_box(agg.raw_counts().iter().sum::<u64>());
+    let report_bytes: usize = reports.iter().map(|r| r.size_bits() / 8 + 56).sum();
+    drop(reports);
+
+    // ------------------------------------------------------- results ----
+    let mut table = Table::new(
+        "stream_ingestion",
+        &["phase", "users", "ms", "reports_per_sec", "peak_rss_mib"],
+    );
+    for p in &phases {
+        table.push(vec![
+            p.name.to_string(),
+            p.users.to_string(),
+            format!("{:.0}", p.ms),
+            format!("{:.0}", p.reports_per_sec),
+            format!("{:.0}", p.peak_rss_mib_after),
+        ]);
+    }
+    table.print_and_save().expect("saving CSV");
+
+    let stream_delta = phases[0].peak_rss_mib_after - rss_baseline;
+    let batch_delta = phases[2].peak_rss_mib_after - phases[1].peak_rss_mib_after;
+    println!(
+        "stream absorbed {n} reports within +{stream_delta:.0} MiB of RSS; \
+         materializing {n_batch} reports (~{:.0} MiB of report heap) grew peak RSS by +{batch_delta:.0} MiB",
+        report_bytes as f64 / (1024.0 * 1024.0)
+    );
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"stream_ingestion\",");
+    let _ = writeln!(
+        json,
+        "  \"config\": {{ \"n\": {n}, \"d\": {D}, \"chunk_items\": {chunk}, \"threads\": {threads}, \"baseline_rss_mib\": {rss_baseline:.1} }},"
+    );
+    let _ = writeln!(json, "  \"phases\": [");
+    for (i, p) in phases.iter().enumerate() {
+        let comma = if i + 1 < phases.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{ \"name\": \"{}\", \"users\": {}, \"ms\": {:.1}, \"reports_per_sec\": {:.0}, \"peak_rss_mib\": {:.1} }}{comma}",
+            p.name, p.users, p.ms, p.reports_per_sec, p.peak_rss_mib_after
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"stream_rss_delta_mib\": {stream_delta:.1},");
+    let _ = writeln!(
+        json,
+        "  \"materialized_report_heap_mib\": {:.1}",
+        report_bytes as f64 / (1024.0 * 1024.0)
+    );
+    let _ = writeln!(json, "}}");
+
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("results dir");
+    let path = dir.join("BENCH_stream_ingestion.json");
+    std::fs::write(&path, json).expect("writing JSON baseline");
+    println!("[saved {}]", path.display());
+}

@@ -18,43 +18,28 @@ pub struct LoadedData {
 }
 
 /// Reads a `label,item` CSV. `classes`/`items` of 0 mean "infer from data".
+///
+/// The grammar (header skip, field split, numeric validation, line-numbered
+/// errors) lives in [`mcim_datasets::CsvPairSource`] — the same parser the
+/// streaming mode pulls from, so batch and `--chunk-size` runs can never
+/// read the same file differently.
 pub fn read_pairs(
     path: &Path,
     classes: u32,
     items: u32,
 ) -> Result<LoadedData, Box<dyn std::error::Error>> {
-    let content =
-        fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-    let mut pairs = Vec::new();
-    let (mut max_label, mut max_item) = (0u32, 0u32);
-    for (lineno, line) in content.lines().enumerate() {
-        let line = line.trim();
-        if line.is_empty() {
-            continue;
-        }
-        if lineno == 0 && line.to_ascii_lowercase().starts_with("label") {
-            continue; // header
-        }
-        let mut fields = line.split(',');
-        let (a, b) = (fields.next(), fields.next());
-        if fields.next().is_some() {
-            return Err(format!("line {}: expected `label,item`", lineno + 1).into());
-        }
-        let parse = |s: Option<&str>, what: &str| -> Result<u32, String> {
-            s.map(str::trim)
-                .filter(|s| !s.is_empty())
-                .ok_or_else(|| format!("line {}: missing {what}", lineno + 1))?
-                .parse()
-                .map_err(|_| format!("line {}: {what} is not a non-negative integer", lineno + 1))
-        };
-        let label = parse(a, "label")?;
-        let item = parse(b, "item")?;
-        max_label = max_label.max(label);
-        max_item = max_item.max(item);
-        pairs.push(LabelItem::new(label, item));
-    }
+    use mcim_oracles::stream::ReportSource as _;
+
+    let mut source = mcim_datasets::CsvPairSource::open(path)?;
+    let mut pairs: Vec<LabelItem> = Vec::new();
+    while source.fill(&mut pairs, 64 * 1024)? > 0 {}
     if pairs.is_empty() {
         return Err("input contains no pairs".into());
+    }
+    let (mut max_label, mut max_item) = (0u32, 0u32);
+    for p in &pairs {
+        max_label = max_label.max(p.label);
+        max_item = max_item.max(p.item);
     }
     let classes = if classes == 0 { max_label + 1 } else { classes };
     let items = if items == 0 { max_item + 1 } else { items };

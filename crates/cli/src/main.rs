@@ -15,7 +15,7 @@ use std::process::ExitCode;
 
 use args::{ArgError, Args};
 use mcim_core::Framework;
-use mcim_topk::{mine_batch, TopKConfig, TopKMethod};
+use mcim_topk::{mine_batch, mine_stream, TopKConfig, TopKMethod};
 
 const HELP: &str = "\
 mcim — multi-class item mining under local differential privacy
@@ -33,6 +33,15 @@ COMMON OPTIONS:
   --threads <n>   worker threads for freq/topk (default: MCIM_THREADS env,
                   then the machine's parallelism; results are identical for
                   every thread count under a fixed --seed)
+  --chunk-size <n> stream the input in n-pair chunks; requires explicit
+                  --classes and --items. `.ndjson`/`.jsonl` inputs are
+                  parsed as {\"label\": c, \"item\": i} lines, anything
+                  else as CSV. freq memory stays bounded by the chunk;
+                  topk still holds the 8-byte pairs (multi-round mining
+                  revisits them) but never the privatized reports.
+                  Values below 4096 (one shard — chunks smaller than a
+                  shard cannot parallelize) are raised to 4096.
+                  Results are bit-identical to the non-streaming run.
   --output <file> write results as CSV (default: print a summary)
 
 freq OPTIONS:
@@ -125,6 +134,84 @@ fn thread_count(args: &Args) -> Result<usize, ArgError> {
         .max(1))
 }
 
+/// Streaming-mode plumbing shared by `freq` and `topk`: explicit domains
+/// (inference would need a full pass) and a file source picked by
+/// extension (`.ndjson`/`.jsonl` → NDJSON, otherwise CSV).
+fn stream_setup(
+    args: &Args,
+    input: &str,
+) -> Result<(mcim_core::Domains, PairSource), Box<dyn std::error::Error>> {
+    let classes: u32 = args.num_or("classes", 0)?;
+    let items: u32 = args.num_or("items", 0)?;
+    if classes == 0 || items == 0 {
+        return Err(ArgError(
+            "streaming mode (--chunk-size) cannot infer domains; pass --classes and --items".into(),
+        )
+        .into());
+    }
+    let domains = mcim_core::Domains::new(classes, items)?;
+    let path = Path::new(input);
+    let ndjson = path
+        .extension()
+        .and_then(|e| e.to_str())
+        .is_some_and(|e| e.eq_ignore_ascii_case("ndjson") || e.eq_ignore_ascii_case("jsonl"));
+    let source = if ndjson {
+        PairSource::Ndjson(mcim_datasets::NdjsonPairSource::open(path)?)
+    } else {
+        PairSource::Csv(mcim_datasets::CsvPairSource::open(path)?)
+    };
+    Ok((domains, source))
+}
+
+/// Either file-backed pair source behind one type, so the streaming
+/// commands stay monomorphic.
+enum PairSource {
+    Csv(mcim_datasets::CsvPairSource),
+    Ndjson(mcim_datasets::NdjsonPairSource),
+}
+
+impl PairSource {
+    fn counted(self, domains: mcim_core::Domains) -> CountedPairSource {
+        CountedPairSource {
+            inner: self,
+            domains,
+            yielded: 0,
+        }
+    }
+}
+
+/// Validates every pair against the declared domains (the batch path's
+/// `read_pairs` does the same check up front — streaming must fail fast
+/// too, not feed out-of-domain items into the miners) and counts the
+/// pairs it yields, so the summary line can report the user count
+/// (`comm.users` counts *reports*, and PTS users submit a label report
+/// and an item report each).
+struct CountedPairSource {
+    inner: PairSource,
+    domains: mcim_core::Domains,
+    yielded: u64,
+}
+
+impl mcim_oracles::stream::ReportSource for CountedPairSource {
+    type Item = mcim_core::LabelItem;
+    fn fill(
+        &mut self,
+        buf: &mut Vec<mcim_core::LabelItem>,
+        max: usize,
+    ) -> mcim_oracles::Result<usize> {
+        let start = buf.len();
+        let got = match &mut self.inner {
+            PairSource::Csv(s) => s.fill(buf, max)?,
+            PairSource::Ndjson(s) => s.fill(buf, max)?,
+        };
+        for pair in &buf[start..] {
+            self.domains.check(*pair)?;
+        }
+        self.yielded += got as u64;
+        Ok(got)
+    }
+}
+
 fn cmd_freq(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     args.expect_only(&[
         "input",
@@ -133,17 +220,13 @@ fn cmd_freq(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         "items",
         "seed",
         "threads",
+        "chunk-size",
         "output",
         "framework",
         "label-frac",
     ])?;
     let input = args.required("input")?;
     let eps = mcim_oracles::Eps::new(args.required_num::<f64>("eps")?)?;
-    let data = io::read_pairs(
-        Path::new(input),
-        args.num_or("classes", 0u32)?,
-        args.num_or("items", 0u32)?,
-    )?;
     let label_frac: f64 = args.num_or("label-frac", 0.5)?;
     let framework = match parse_framework(args.optional("framework").unwrap_or("pts-cp"))? {
         Framework::Pts { .. } => Framework::Pts { label_frac },
@@ -152,13 +235,32 @@ fn cmd_freq(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     };
     let seed = args.num_or("seed", 0u64)?;
     let threads = thread_count(args)?;
-    let result = framework.run_batch(eps, data.domains, &data.pairs, seed, threads)?;
+    let (result, n, domains) = match args.optional("chunk-size") {
+        Some(_) => {
+            let chunk: usize = args.required_num("chunk-size")?;
+            let (domains, source) = stream_setup(args, input)?;
+            let mut source = source.counted(domains);
+            let config = mcim_oracles::stream::StreamConfig::new(threads)
+                .with_chunk_items(chunk.max(mcim_oracles::parallel::SHARD_SIZE));
+            let result = framework.run_stream(eps, domains, &mut source, seed, config)?;
+            (result, source.yielded, domains)
+        }
+        None => {
+            let data = io::read_pairs(
+                Path::new(input),
+                args.num_or("classes", 0u32)?,
+                args.num_or("items", 0u32)?,
+            )?;
+            let result = framework.run_batch(eps, data.domains, &data.pairs, seed, threads)?;
+            let n = data.pairs.len() as u64;
+            (result, n, data.domains)
+        }
+    };
     eprintln!(
-        "{}: N = {}, c = {}, d = {}, {}, threads = {threads} — {:.0} uplink bits/user",
+        "{}: N = {n}, c = {}, d = {}, {}, threads = {threads} — {:.0} uplink bits/user",
         framework.name(),
-        data.pairs.len(),
-        data.domains.classes(),
-        data.domains.items(),
+        domains.classes(),
+        domains.items(),
         eps,
         result.comm.bits_per_user()
     );
@@ -169,7 +271,7 @@ fn cmd_freq(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         }
         None => {
             out!("class | top-5 items by estimated frequency");
-            for class in 0..data.domains.classes() {
+            for class in 0..domains.classes() {
                 let top = result.table.top_k(class, 5);
                 let cells: Vec<String> = top
                     .iter()
@@ -191,6 +293,7 @@ fn cmd_topk(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         "items",
         "seed",
         "threads",
+        "chunk-size",
         "output",
         "method",
         "label-frac",
@@ -200,11 +303,6 @@ fn cmd_topk(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let input = args.required("input")?;
     let eps = mcim_oracles::Eps::new(args.required_num::<f64>("eps")?)?;
     let k: usize = args.required_num("k")?;
-    let data = io::read_pairs(
-        Path::new(input),
-        args.num_or("classes", 0u32)?,
-        args.num_or("items", 0u32)?,
-    )?;
     let method = parse_method(args.optional("method").unwrap_or("pts-opt"))?;
     let mut config = TopKConfig::new(k, eps);
     config.label_frac = args.num_or("label-frac", config.label_frac)?;
@@ -212,13 +310,32 @@ fn cmd_topk(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     config.noise_factor = args.num_or("noise-b", config.noise_factor)?;
     let seed = args.num_or("seed", 0u64)?;
     let threads = thread_count(args)?;
-    let result = mine_batch(method, config, data.domains, &data.pairs, seed, threads)?;
+    let (result, n, domains) = match args.optional("chunk-size") {
+        Some(_) => {
+            let chunk: usize = args.required_num("chunk-size")?;
+            let (domains, source) = stream_setup(args, input)?;
+            let mut source = source.counted(domains);
+            let stream_config = mcim_oracles::stream::StreamConfig::new(threads)
+                .with_chunk_items(chunk.max(mcim_oracles::parallel::SHARD_SIZE));
+            let result = mine_stream(method, config, domains, &mut source, seed, stream_config)?;
+            (result, source.yielded, domains)
+        }
+        None => {
+            let data = io::read_pairs(
+                Path::new(input),
+                args.num_or("classes", 0u32)?,
+                args.num_or("items", 0u32)?,
+            )?;
+            let result = mine_batch(method, config, data.domains, &data.pairs, seed, threads)?;
+            let n = data.pairs.len() as u64;
+            (result, n, data.domains)
+        }
+    };
     eprintln!(
-        "{}: N = {}, c = {}, d = {}, {}, k = {k}, threads = {threads} — {:.0} uplink bits/user",
+        "{}: N = {n}, c = {}, d = {}, {}, k = {k}, threads = {threads} — {:.0} uplink bits/user",
         method.name(),
-        data.pairs.len(),
-        data.domains.classes(),
-        data.domains.items(),
+        domains.classes(),
+        domains.items(),
         eps,
         result.comm.bits_per_user()
     );
@@ -380,6 +497,180 @@ mod tests {
             outputs[0], outputs[1],
             "estimates must not depend on --threads"
         );
+    }
+
+    #[test]
+    fn streaming_freq_matches_batch_bit_for_bit() {
+        let pairs = tmp("stream_pairs.csv");
+        run_cli(&[
+            "gen",
+            "--dataset",
+            "syn3",
+            "--users",
+            "12000",
+            "--items",
+            "64",
+            "--classes",
+            "3",
+            "--output",
+            &pairs,
+        ])
+        .unwrap();
+        let batch_out = tmp("stream_freq_batch.csv");
+        run_cli(&[
+            "freq", "--input", &pairs, "--eps", "2.0", "--seed", "5", "--output", &batch_out,
+        ])
+        .unwrap();
+        // Several chunk sizes, including one that splits shards mid-way.
+        for chunk in ["1000", "4096", "5000"] {
+            let stream_out = tmp(&format!("stream_freq_{chunk}.csv"));
+            run_cli(&[
+                "freq",
+                "--input",
+                &pairs,
+                "--eps",
+                "2.0",
+                "--seed",
+                "5",
+                "--chunk-size",
+                chunk,
+                "--classes",
+                "3",
+                "--items",
+                "64",
+                "--output",
+                &stream_out,
+            ])
+            .unwrap();
+            assert_eq!(
+                std::fs::read_to_string(&batch_out).unwrap(),
+                std::fs::read_to_string(&stream_out).unwrap(),
+                "chunk-size {chunk} diverged from the batch run"
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_topk_runs_and_requires_domains() {
+        let pairs = tmp("stream_topk_pairs.csv");
+        run_cli(&[
+            "gen",
+            "--dataset",
+            "syn4",
+            "--users",
+            "9000",
+            "--items",
+            "128",
+            "--classes",
+            "3",
+            "--output",
+            &pairs,
+        ])
+        .unwrap();
+        let out = tmp("stream_topk.csv");
+        run_cli(&[
+            "topk",
+            "--input",
+            &pairs,
+            "--eps",
+            "4.0",
+            "--k",
+            "3",
+            "--chunk-size",
+            "2048",
+            "--classes",
+            "3",
+            "--items",
+            "128",
+            "--output",
+            &out,
+        ])
+        .unwrap();
+        assert!(std::fs::read_to_string(&out)
+            .unwrap()
+            .starts_with("class,rank,item"));
+        // Streaming cannot infer domains.
+        assert!(run_cli(&[
+            "freq",
+            "--input",
+            &pairs,
+            "--eps",
+            "2.0",
+            "--chunk-size",
+            "1000",
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn streaming_rejects_out_of_domain_pairs() {
+        let path = tmp("stream_violation.csv");
+        std::fs::write(&path, "label,item\n0,1\n5,1\n").unwrap();
+        for cmd in [
+            vec![
+                "freq",
+                "--input",
+                path.as_str(),
+                "--eps",
+                "2.0",
+                "--chunk-size",
+                "10",
+                "--classes",
+                "2",
+                "--items",
+                "10",
+            ],
+            vec![
+                "topk",
+                "--input",
+                path.as_str(),
+                "--eps",
+                "2.0",
+                "--k",
+                "2",
+                "--chunk-size",
+                "10",
+                "--classes",
+                "2",
+                "--items",
+                "10",
+            ],
+        ] {
+            let err = run_cli(&cmd).unwrap_err();
+            assert!(err.to_string().contains("outside domain"), "{cmd:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn streaming_freq_reads_ndjson() {
+        let path = tmp("stream_pairs.ndjson");
+        let mut body = String::new();
+        for u in 0..4000u32 {
+            body.push_str(&format!(
+                "{{\"label\": {}, \"item\": {}}}\n",
+                u % 2,
+                (u * 7) % 32
+            ));
+        }
+        std::fs::write(&path, body).unwrap();
+        let out = tmp("stream_ndjson_freq.csv");
+        run_cli(&[
+            "freq",
+            "--input",
+            &path,
+            "--eps",
+            "2.0",
+            "--chunk-size",
+            "512",
+            "--classes",
+            "2",
+            "--items",
+            "32",
+            "--output",
+            &out,
+        ])
+        .unwrap();
+        assert!(std::fs::read_to_string(&out).unwrap().lines().count() > 64);
     }
 
     #[test]

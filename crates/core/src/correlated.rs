@@ -29,7 +29,7 @@
 
 use rand::Rng;
 
-use mcim_oracles::{parallel, BitVec, ColumnCounter, Eps, Error, Grr, Result};
+use mcim_oracles::{parallel, stream, BitVec, ColumnCounter, Eps, Error, Grr, Result};
 
 use crate::validity::{ValidityInput, ValidityPerturbation};
 use crate::{Domains, FrequencyTable, LabelItem};
@@ -120,12 +120,12 @@ impl CorrelatedPerturbation {
         base_seed: u64,
         threads: usize,
     ) -> Result<Vec<CpReport>> {
-        parallel::try_flat_map_shards(pairs, threads, |shard, chunk| {
+        parallel::try_fill_shards(pairs, threads, |shard, chunk, slots| {
             let mut rng = parallel::shard_rng(base_seed, shard);
-            chunk
-                .iter()
-                .map(|&pair| self.privatize(pair, &mut rng))
-                .collect::<Result<Vec<CpReport>>>()
+            for (&pair, slot) in chunk.iter().zip(slots.iter_mut()) {
+                *slot = Some(self.privatize(pair, &mut rng)?);
+            }
+            Ok(())
         })
     }
 
@@ -287,6 +287,25 @@ impl CpAggregator {
             self.merge(&shard?)?;
         }
         Ok(())
+    }
+
+    /// Absorbs every report pulled from `source` in bounded chunks —
+    /// [`CpAggregator::absorb_batch`] without the materialized slice.
+    /// Counts are bit-identical to the batch path for every chunk size and
+    /// thread count.
+    pub fn absorb_stream<S>(&mut self, source: &mut S, config: stream::StreamConfig) -> Result<()>
+    where
+        S: stream::ReportSource<Item = CpReport>,
+    {
+        let template = self.fresh();
+        let merged = stream::absorb_stream_with(
+            source,
+            config,
+            &template,
+            |agg: &mut CpAggregator, chunk| agg.absorb_all(chunk),
+            |a, b| a.merge(b),
+        )?;
+        self.merge(&merged)
     }
 
     /// An empty aggregator with this one's mechanism parameters (the

@@ -12,7 +12,7 @@
 
 use rand::Rng;
 
-use mcim_oracles::{parallel, Aggregator, Eps, Error, Oracle, Report, Result};
+use mcim_oracles::{parallel, stream, Aggregator, Eps, Error, Oracle, Report, Result};
 
 use crate::{Domains, FrequencyTable, LabelItem};
 
@@ -92,14 +92,13 @@ impl Hec {
         base_seed: u64,
         threads: usize,
     ) -> Result<Vec<HecReport>> {
-        parallel::try_flat_map_shards(pairs, threads, |shard, chunk| {
+        parallel::try_fill_shards(pairs, threads, |shard, chunk, slots| {
             let mut rng = parallel::shard_rng(base_seed, shard);
             let start = first_user_index + shard * parallel::SHARD_SIZE as u64;
-            chunk
-                .iter()
-                .enumerate()
-                .map(|(i, &pair)| self.privatize(start + i as u64, pair, &mut rng))
-                .collect::<Result<Vec<HecReport>>>()
+            for (i, (&pair, slot)) in chunk.iter().zip(slots.iter_mut()).enumerate() {
+                *slot = Some(self.privatize(start + i as u64, pair, &mut rng)?);
+            }
+            Ok(())
         })
     }
 }
@@ -175,6 +174,25 @@ impl HecAggregator {
             self.merge(&shard?)?;
         }
         Ok(())
+    }
+
+    /// Absorbs every report pulled from `source` in bounded chunks —
+    /// [`HecAggregator::absorb_batch`] without the materialized slice.
+    /// Counts are bit-identical to the batch path for every chunk size and
+    /// thread count.
+    pub fn absorb_stream<S>(&mut self, source: &mut S, config: stream::StreamConfig) -> Result<()>
+    where
+        S: stream::ReportSource<Item = HecReport>,
+    {
+        let template = self.fresh();
+        let merged = stream::absorb_stream_with(
+            source,
+            config,
+            &template,
+            |agg: &mut HecAggregator, chunk| agg.absorb_all(chunk),
+            |a, b| a.merge(b),
+        )?;
+        self.merge(&merged)
     }
 
     /// An empty aggregator with this one's group oracles (the per-shard

@@ -23,6 +23,7 @@ pub use hec::{Hec, HecAggregator, HecReport};
 pub use ptj::{Ptj, PtjAggregator};
 pub use pts::{Pts, PtsAggregator, PtsReport};
 
+use mcim_oracles::stream::{ReportSource, StreamConfig};
 use mcim_oracles::{parallel, Eps, Result};
 use rand::Rng;
 
@@ -325,6 +326,176 @@ impl Framework {
                         Ok((agg, comm))
                     },
                     |acc, partial| acc.merge(partial),
+                )?;
+                Ok(EstimationResult {
+                    table: agg.estimate(),
+                    comm,
+                })
+            }
+        }
+    }
+
+    /// Runs the framework end-to-end over a **stream** of label-item pairs
+    /// with bounded memory: [`Framework::run_batch`] without the
+    /// materialized `&[LabelItem]` slice.
+    ///
+    /// Users are pulled from `source` in `config.chunk_items`-sized chunks;
+    /// each absolute [`parallel::SHARD_SIZE`] shard privatizes with the same
+    /// deterministic per-shard RNG stream the batch runtime derives (RNG
+    /// state is carried across chunk boundaries that split a shard), and
+    /// per-worker partial aggregators merge associatively. The estimated
+    /// table is therefore **bit-identical** to
+    /// `run_batch(eps, domains, data, base_seed, threads)` over the same
+    /// pairs, for every chunk size and thread count, while memory stays
+    /// `O(chunk + threads × shard)` instead of `O(n)`.
+    pub fn run_stream<S>(
+        &self,
+        eps: Eps,
+        domains: Domains,
+        source: &mut S,
+        base_seed: u64,
+        config: StreamConfig,
+    ) -> Result<EstimationResult>
+    where
+        S: ReportSource<Item = LabelItem>,
+    {
+        use mcim_oracles::stream::fold_stream;
+
+        /// Per-worker fold state: a partial aggregator, its uplink stats,
+        /// and a reusable privatized-report scratch buffer (excluded from
+        /// merging; cloned empty from the template).
+        struct Partial<Agg, Rep> {
+            agg: Agg,
+            comm: CommStats,
+            scratch: Vec<Rep>,
+        }
+        impl<Agg: Clone, Rep> Clone for Partial<Agg, Rep> {
+            fn clone(&self) -> Self {
+                Partial {
+                    agg: self.agg.clone(),
+                    comm: self.comm,
+                    scratch: Vec::new(),
+                }
+            }
+        }
+
+        /// Drives one framework arm: `privatize(rng, abs_index, pair)`
+        /// produces the report, `absorb` consumes a scratch block, `bits`
+        /// prices it, `merge` folds partials.
+        #[allow(clippy::too_many_arguments)]
+        fn arm<S, Agg, Rep, P, B, Ab, M>(
+            source: &mut S,
+            base_seed: u64,
+            config: StreamConfig,
+            agg0: Agg,
+            privatize: P,
+            bits: B,
+            absorb: Ab,
+            merge: M,
+        ) -> Result<(Agg, CommStats)>
+        where
+            S: ReportSource<Item = LabelItem>,
+            Agg: Clone + Send,
+            Rep: Send,
+            P: Fn(&mut rand::rngs::StdRng, u64, LabelItem) -> Result<Rep> + Sync,
+            B: Fn(&Rep) -> usize + Sync,
+            Ab: Fn(&mut Agg, &[Rep]) -> Result<()> + Sync,
+            M: Fn(&mut Agg, &Agg) -> Result<()> + Sync,
+        {
+            let template = Partial {
+                agg: agg0,
+                comm: CommStats::default(),
+                scratch: Vec::new(),
+            };
+            let merged = fold_stream(
+                source,
+                config,
+                base_seed,
+                &template,
+                |rng, abs, pairs, part: &mut Partial<Agg, Rep>| {
+                    let Partial { agg, comm, scratch } = part;
+                    scratch.clear();
+                    for (i, &pair) in pairs.iter().enumerate() {
+                        let report = privatize(rng, abs + i as u64, pair)?;
+                        comm.record(bits(&report));
+                        scratch.push(report);
+                    }
+                    absorb(agg, scratch)
+                },
+                |a, b| {
+                    merge(&mut a.agg, &b.agg)?;
+                    a.comm.merge(b.comm);
+                    Ok(())
+                },
+            )?;
+            Ok((merged.agg, merged.comm))
+        }
+
+        match *self {
+            Framework::Hec => {
+                let mech = Hec::new(eps, domains)?;
+                let (agg, comm) = arm(
+                    source,
+                    base_seed,
+                    config,
+                    HecAggregator::new(&mech),
+                    |rng, abs, pair| mech.privatize(abs, pair, rng),
+                    |r: &HecReport| r.report.size_bits(),
+                    |agg, block| agg.absorb_all(block),
+                    |a, b| a.merge(b),
+                )?;
+                Ok(EstimationResult {
+                    table: agg.estimate()?,
+                    comm,
+                })
+            }
+            Framework::Ptj => {
+                let mech = Ptj::new(eps, domains)?;
+                let (agg, comm) = arm(
+                    source,
+                    base_seed,
+                    config,
+                    PtjAggregator::new(&mech),
+                    |rng, _abs, pair| mech.privatize(pair, rng),
+                    |r: &mcim_oracles::Report| r.size_bits(),
+                    |agg, block| agg.absorb_batch(block, 1),
+                    |a, b| a.merge(b),
+                )?;
+                Ok(EstimationResult {
+                    table: agg.estimate(),
+                    comm,
+                })
+            }
+            Framework::Pts { label_frac } => {
+                let (e1, e2) = eps.split(label_frac)?;
+                let mech = Pts::new(e1, e2, domains)?;
+                let (agg, comm) = arm(
+                    source,
+                    base_seed,
+                    config,
+                    PtsAggregator::new(&mech),
+                    |rng, _abs, pair| mech.privatize(pair, rng),
+                    |r: &PtsReport| r.size_bits(),
+                    |agg, block| agg.absorb_all(block),
+                    |a, b| a.merge(b),
+                )?;
+                Ok(EstimationResult {
+                    table: agg.estimate(),
+                    comm,
+                })
+            }
+            Framework::PtsCp { label_frac } => {
+                let (e1, e2) = eps.split(label_frac)?;
+                let mech = CorrelatedPerturbation::new(e1, e2, domains)?;
+                let (agg, comm) = arm(
+                    source,
+                    base_seed,
+                    config,
+                    CpAggregator::new(&mech),
+                    |rng, _abs, pair| mech.privatize(pair, rng),
+                    |r: &crate::CpReport| r.size_bits(),
+                    |agg, block| agg.absorb_all(block),
+                    |a, b| a.merge(b),
                 )?;
                 Ok(EstimationResult {
                     table: agg.estimate(),

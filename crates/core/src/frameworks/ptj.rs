@@ -92,6 +92,20 @@ impl PtjAggregator {
         self.inner.absorb_batch(reports, threads)
     }
 
+    /// Absorbs every report pulled from `source` in bounded chunks (see
+    /// [`Aggregator::absorb_stream`]); counts are bit-identical to the
+    /// batch path for every chunk size and thread count.
+    pub fn absorb_stream<S>(
+        &mut self,
+        source: &mut S,
+        config: mcim_oracles::stream::StreamConfig,
+    ) -> Result<()>
+    where
+        S: mcim_oracles::stream::ReportSource<Item = Report>,
+    {
+        self.inner.absorb_stream(source, config)
+    }
+
     /// Merges another aggregator over the same framework (sharded
     /// aggregation across threads).
     pub fn merge(&mut self, other: &PtjAggregator) -> Result<()> {

@@ -13,7 +13,7 @@
 use rand::Rng;
 
 use mcim_oracles::{
-    calibrate::unbiased_count, parallel, BitVec, ColumnCounter, Eps, Error, Grr, Result,
+    calibrate::unbiased_count, parallel, stream, BitVec, ColumnCounter, Eps, Error, Grr, Result,
     UnaryEncoding,
 };
 
@@ -93,12 +93,12 @@ impl Pts {
         base_seed: u64,
         threads: usize,
     ) -> Result<Vec<PtsReport>> {
-        parallel::try_flat_map_shards(pairs, threads, |shard, chunk| {
+        parallel::try_fill_shards(pairs, threads, |shard, chunk, slots| {
             let mut rng = parallel::shard_rng(base_seed, shard);
-            chunk
-                .iter()
-                .map(|&pair| self.privatize(pair, &mut rng))
-                .collect::<Result<Vec<PtsReport>>>()
+            for (&pair, slot) in chunk.iter().zip(slots.iter_mut()) {
+                *slot = Some(self.privatize(pair, &mut rng)?);
+            }
+            Ok(())
         })
     }
 }
@@ -215,6 +215,25 @@ impl PtsAggregator {
             self.merge(&shard?)?;
         }
         Ok(())
+    }
+
+    /// Absorbs every report pulled from `source` in bounded chunks —
+    /// [`PtsAggregator::absorb_batch`] without the materialized slice.
+    /// Counts are bit-identical to the batch path for every chunk size and
+    /// thread count.
+    pub fn absorb_stream<S>(&mut self, source: &mut S, config: stream::StreamConfig) -> Result<()>
+    where
+        S: stream::ReportSource<Item = PtsReport>,
+    {
+        let template = self.fresh();
+        let merged = stream::absorb_stream_with(
+            source,
+            config,
+            &template,
+            |agg: &mut PtsAggregator, chunk| agg.absorb_all(chunk),
+            |a, b| a.merge(b),
+        )?;
+        self.merge(&merged)
     }
 
     /// An empty aggregator with this one's mechanism parameters (the

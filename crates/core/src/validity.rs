@@ -20,7 +20,7 @@
 
 use rand::Rng;
 
-use mcim_oracles::{parallel, BitVec, ColumnCounter, Eps, Error, Result, UnaryEncoding};
+use mcim_oracles::{parallel, stream, BitVec, ColumnCounter, Eps, Error, Result, UnaryEncoding};
 
 /// The validity perturbation mechanism over item domain `[0, d)`.
 ///
@@ -118,12 +118,12 @@ impl ValidityPerturbation {
         base_seed: u64,
         threads: usize,
     ) -> Result<Vec<BitVec>> {
-        parallel::try_flat_map_shards(inputs, threads, |shard, chunk| {
+        parallel::try_fill_shards(inputs, threads, |shard, chunk, slots| {
             let mut rng = parallel::shard_rng(base_seed, shard);
-            chunk
-                .iter()
-                .map(|&input| self.privatize(input, &mut rng))
-                .collect::<Result<Vec<BitVec>>>()
+            for (&input, slot) in chunk.iter().zip(slots.iter_mut()) {
+                *slot = Some(self.privatize(input, &mut rng)?);
+            }
+            Ok(())
         })
     }
 
@@ -242,6 +242,25 @@ impl VpAggregator {
             self.merge(&shard?)?;
         }
         Ok(())
+    }
+
+    /// Absorbs every report pulled from `source` in bounded chunks —
+    /// [`VpAggregator::absorb_batch`] without the materialized slice.
+    /// Counts are bit-identical to the batch path for every chunk size and
+    /// thread count.
+    pub fn absorb_stream<S>(&mut self, source: &mut S, config: stream::StreamConfig) -> Result<()>
+    where
+        S: stream::ReportSource<Item = BitVec>,
+    {
+        let template = self.fresh();
+        let merged = stream::absorb_stream_with(
+            source,
+            config,
+            &template,
+            |agg: &mut VpAggregator, chunk| agg.absorb_all(chunk),
+            |a, b| a.merge(b),
+        )?;
+        self.merge(&merged)
     }
 
     /// An empty aggregator with this one's mechanism parameters (the

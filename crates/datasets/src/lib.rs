@@ -23,8 +23,10 @@
 mod dataset;
 pub mod distributions;
 pub mod realworld;
+pub mod sources;
 pub mod synthetic;
 
 pub use dataset::{Dataset, GroupedDataset};
 pub use realworld::{anime_like, diabetes_like, heart_like, jd_like, RealConfig};
+pub use sources::{CsvPairSource, NdjsonPairSource, SyntheticPairSource, SyntheticSourceConfig};
 pub use synthetic::{syn1, syn2, syn3, syn4, SynLargeConfig};

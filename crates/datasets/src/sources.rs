@@ -1,0 +1,341 @@
+//! Streaming [`ReportSource`] backends: files on disk and synthetic
+//! generators, so paper-scale (5–9M user) runs never materialize the whole
+//! user population in memory.
+//!
+//! * [`NdjsonPairSource`] — newline-delimited JSON, one
+//!   `{"label": c, "item": i}` object per line (field order free,
+//!   whitespace tolerated). Malformed lines fail with the 1-based line
+//!   number.
+//! * [`CsvPairSource`] — the CLI's `label,item` CSV, with an optional
+//!   header, read line-buffered instead of `read_to_string`.
+//! * [`SyntheticPairSource`] — a seeded generator producing Zipf-per-class
+//!   pairs on the fly (the stream-ingestion benchmark's 5M-user workload
+//!   costs no input memory at all).
+
+use std::io::BufRead;
+use std::path::{Path, PathBuf};
+
+use mcim_core::LabelItem;
+use mcim_oracles::stream::ReportSource;
+use mcim_oracles::{Error, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::distributions::Zipf;
+
+/// Maps an I/O error to [`Error::Source`] naming the file.
+fn io_err(path: &Path, e: std::io::Error) -> Error {
+    Error::Source {
+        message: format!("{}: {e}", path.display()),
+    }
+}
+
+/// A position-aware parse failure: [`Error::Source`] naming file and line.
+fn line_err(path: &Path, lineno: u64, what: &str) -> Error {
+    Error::Source {
+        message: format!("{} line {lineno}: {what}", path.display()),
+    }
+}
+
+/// The shared line-pulling machinery behind both file-backed pair sources:
+/// buffered reading, 1-based line counting, and I/O-error wrapping live
+/// here exactly once; the formats differ only in their line parser.
+#[derive(Debug)]
+struct PairFile {
+    path: PathBuf,
+    reader: std::io::Lines<std::io::BufReader<std::fs::File>>,
+    lineno: u64,
+}
+
+impl PairFile {
+    fn open(path: &Path) -> Result<Self> {
+        let file = std::fs::File::open(path).map_err(|e| io_err(path, e))?;
+        Ok(PairFile {
+            path: path.to_path_buf(),
+            reader: std::io::BufReader::new(file).lines(),
+            lineno: 0,
+        })
+    }
+
+    /// Pulls up to `max` pairs, parsing each line with `parse` (which
+    /// returns `Ok(None)` for skippable lines — blanks, headers).
+    fn fill_with(
+        &mut self,
+        buf: &mut Vec<LabelItem>,
+        max: usize,
+        parse: impl Fn(&Path, u64, &str) -> Result<Option<LabelItem>>,
+    ) -> Result<usize> {
+        let mut got = 0usize;
+        while got < max {
+            let Some(line) = self.reader.next() else {
+                break;
+            };
+            self.lineno += 1;
+            let line = line.map_err(|e| io_err(&self.path, e))?;
+            if let Some(pair) = parse(&self.path, self.lineno, &line)? {
+                buf.push(pair);
+                got += 1;
+            }
+        }
+        Ok(got)
+    }
+}
+
+/// Parses one `label,item` CSV line (line 1 may be a header).
+fn parse_csv_line(path: &Path, lineno: u64, line: &str) -> Result<Option<LabelItem>> {
+    let line = line.trim();
+    if line.is_empty() {
+        return Ok(None);
+    }
+    if lineno == 1 && line.to_ascii_lowercase().starts_with("label") {
+        return Ok(None); // header
+    }
+    let bad = |what: &str| line_err(path, lineno, what);
+    let mut fields = line.split(',');
+    let (a, b) = (fields.next(), fields.next());
+    if fields.next().is_some() {
+        return Err(bad("expected `label,item`"));
+    }
+    let parse = |s: Option<&str>, what: &str| -> Result<u32> {
+        s.map(str::trim)
+            .filter(|s| !s.is_empty())
+            .ok_or_else(|| bad(&format!("missing {what}")))?
+            .parse()
+            .map_err(|_| bad(&format!("{what} is not a non-negative integer")))
+    };
+    Ok(Some(LabelItem::new(parse(a, "label")?, parse(b, "item")?)))
+}
+
+/// Parses one `{"label": c, "item": i}` NDJSON line (fields in any order).
+fn parse_ndjson_line(path: &Path, lineno: u64, line: &str) -> Result<Option<LabelItem>> {
+    let line = line.trim();
+    if line.is_empty() {
+        return Ok(None);
+    }
+    let bad = |what: &str| line_err(path, lineno, what);
+    let body = line
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| bad("expected a {\"label\": …, \"item\": …} object"))?;
+    let (mut label, mut item) = (None::<u32>, None::<u32>);
+    for field in body.split(',') {
+        let (key, value) = field
+            .split_once(':')
+            .ok_or_else(|| bad("expected `\"key\": value` fields"))?;
+        let key = key.trim().trim_matches('"');
+        let value: u32 = value
+            .trim()
+            .parse()
+            .map_err(|_| bad(&format!("field `{key}` is not a non-negative integer")))?;
+        match key {
+            "label" => label = Some(value),
+            "item" => item = Some(value),
+            other => return Err(bad(&format!("unknown field `{other}`"))),
+        }
+    }
+    match (label, item) {
+        (Some(label), Some(item)) => Ok(Some(LabelItem::new(label, item))),
+        _ => Err(bad("object needs both `label` and `item`")),
+    }
+}
+
+/// A `label,item` CSV file as a stream source. Lines are pulled through a
+/// buffered reader; memory is one line plus the reader's buffer. This is
+/// the **only** CSV pair grammar in the workspace — the CLI's batch
+/// loader drains this same source, so batch and streaming runs can never
+/// parse a file differently.
+#[derive(Debug)]
+pub struct CsvPairSource {
+    file: PairFile,
+}
+
+impl CsvPairSource {
+    /// Opens `path`. An optional `label,item` header is skipped on read.
+    pub fn open(path: &Path) -> Result<Self> {
+        Ok(CsvPairSource {
+            file: PairFile::open(path)?,
+        })
+    }
+}
+
+impl ReportSource for CsvPairSource {
+    type Item = LabelItem;
+
+    fn fill(&mut self, buf: &mut Vec<LabelItem>, max: usize) -> Result<usize> {
+        self.file.fill_with(buf, max, parse_csv_line)
+    }
+}
+
+/// A newline-delimited JSON file of `{"label": c, "item": i}` objects as a
+/// stream source. The parser is deliberately minimal (two integer fields,
+/// any order); anything else fails with the offending line number.
+#[derive(Debug)]
+pub struct NdjsonPairSource {
+    file: PairFile,
+}
+
+impl NdjsonPairSource {
+    /// Opens `path`.
+    pub fn open(path: &Path) -> Result<Self> {
+        Ok(NdjsonPairSource {
+            file: PairFile::open(path)?,
+        })
+    }
+}
+
+impl ReportSource for NdjsonPairSource {
+    type Item = LabelItem;
+
+    fn fill(&mut self, buf: &mut Vec<LabelItem>, max: usize) -> Result<usize> {
+        self.file.fill_with(buf, max, parse_ndjson_line)
+    }
+}
+
+/// Configuration for [`SyntheticPairSource`].
+#[derive(Debug, Clone, Copy)]
+pub struct SyntheticSourceConfig {
+    /// Class-domain size.
+    pub classes: u32,
+    /// Item-domain size.
+    pub items: u32,
+    /// Total users the source will yield.
+    pub users: u64,
+    /// Zipf exponent of the per-class item ranking (SYN3 uses 1.5).
+    pub zipf_s: f64,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+/// A seeded on-the-fly generator of label-item pairs: labels rotate
+/// round-robin, items follow a per-class Zipf ranking (class `c`'s rank-`r`
+/// item is `(c·37 + r) mod d`, mirroring the SYN3 construction). Knows its
+/// length, so it also feeds round-splitting consumers.
+#[derive(Debug, Clone)]
+pub struct SyntheticPairSource {
+    config: SyntheticSourceConfig,
+    zipf: Zipf,
+    rng: StdRng,
+    emitted: u64,
+}
+
+impl SyntheticPairSource {
+    /// Creates the generator.
+    pub fn new(config: SyntheticSourceConfig) -> Self {
+        SyntheticPairSource {
+            config,
+            zipf: Zipf::new(config.zipf_s, config.items),
+            rng: StdRng::seed_from_u64(config.seed),
+            emitted: 0,
+        }
+    }
+}
+
+impl ReportSource for SyntheticPairSource {
+    type Item = LabelItem;
+
+    fn fill(&mut self, buf: &mut Vec<LabelItem>, max: usize) -> Result<usize> {
+        let take = (self.config.users - self.emitted).min(max as u64) as usize;
+        for _ in 0..take {
+            let label = self.rng.random_range(0..self.config.classes);
+            let rank = self.zipf.sample(&mut self.rng);
+            let item = (label.wrapping_mul(37).wrapping_add(rank)) % self.config.items;
+            buf.push(LabelItem::new(label, item));
+            self.emitted += 1;
+        }
+        Ok(take)
+    }
+
+    fn size_hint(&self) -> Option<u64> {
+        Some(self.config.users - self.emitted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("mcim-dataset-sources");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn drain<S: ReportSource<Item = LabelItem>>(mut s: S) -> Result<Vec<LabelItem>> {
+        let mut out = Vec::new();
+        while s.fill(&mut out, 3)? > 0 {}
+        Ok(out)
+    }
+
+    #[test]
+    fn ndjson_round_trip() {
+        let path = tmp("ok.ndjson");
+        let mut f = std::fs::File::create(&path).unwrap();
+        writeln!(f, "{{\"label\": 0, \"item\": 5}}").unwrap();
+        writeln!(f).unwrap(); // blank lines are skipped
+        writeln!(f, "  {{ \"item\": 2 , \"label\" : 3 }}  ").unwrap();
+        drop(f);
+        let pairs = drain(NdjsonPairSource::open(&path).unwrap()).unwrap();
+        assert_eq!(pairs, vec![LabelItem::new(0, 5), LabelItem::new(3, 2)]);
+    }
+
+    #[test]
+    fn ndjson_malformed_line_names_position() {
+        let path = tmp("bad.ndjson");
+        std::fs::write(
+            &path,
+            "{\"label\": 0, \"item\": 1}\n{\"label\": 0, \"item\": -3}\n",
+        )
+        .unwrap();
+        let err = drain(NdjsonPairSource::open(&path).unwrap()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 2"), "error should name the line: {msg}");
+
+        std::fs::write(&path, "label,item\n").unwrap();
+        assert!(drain(NdjsonPairSource::open(&path).unwrap()).is_err());
+        std::fs::write(&path, "{\"label\": 0}\n").unwrap();
+        assert!(drain(NdjsonPairSource::open(&path).unwrap()).is_err());
+        std::fs::write(&path, "{\"label\": 0, \"item\": 1, \"x\": 2}\n").unwrap();
+        assert!(drain(NdjsonPairSource::open(&path).unwrap()).is_err());
+        assert!(NdjsonPairSource::open(&tmp("missing.ndjson")).is_err());
+    }
+
+    #[test]
+    fn csv_round_trip_with_header() {
+        let path = tmp("ok.csv");
+        std::fs::write(&path, "label,item\n1,2\n0, 7\n").unwrap();
+        let pairs = drain(CsvPairSource::open(&path).unwrap()).unwrap();
+        assert_eq!(pairs, vec![LabelItem::new(1, 2), LabelItem::new(0, 7)]);
+    }
+
+    #[test]
+    fn csv_malformed_line_names_position() {
+        let path = tmp("bad.csv");
+        std::fs::write(&path, "0,1\n1,2,3\n").unwrap();
+        let err = drain(CsvPairSource::open(&path).unwrap()).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn synthetic_source_is_seed_deterministic_and_sized() {
+        let config = SyntheticSourceConfig {
+            classes: 4,
+            items: 64,
+            users: 1000,
+            zipf_s: 1.5,
+            seed: 9,
+        };
+        let a = drain(SyntheticPairSource::new(config)).unwrap();
+        let b = drain(SyntheticPairSource::new(config)).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 1000);
+        let source = SyntheticPairSource::new(config);
+        assert_eq!(source.size_hint(), Some(1000));
+        for p in &a {
+            assert!(p.label < 4 && p.item < 64);
+        }
+        // The Zipf head must dominate: rank-0 items are the per-class modes.
+        let head = a.iter().filter(|p| p.item == (p.label * 37) % 64).count();
+        assert!(head > a.len() / 4, "zipf head too light: {head}");
+    }
+}

@@ -185,6 +185,65 @@ impl BitVec {
         }
     }
 
+    /// Sets every bit independently to 1 with probability `q`, sampling
+    /// **64 lanes at a time** instead of per-set-bit geometric gaps.
+    ///
+    /// Each lane's bit is `[U < q]` for an independent uniform `U ∈ [0, 1)`.
+    /// The comparison is evaluated bit-sliced: walking `q`'s binary
+    /// expansion MSB-first with one random word per step, a lane is decided
+    /// `U < q` at the first position where `U`'s bit is 0 and `q`'s bit is
+    /// 1, decided `U ≥ q` where `U`'s bit is 1 and `q`'s bit is 0, and
+    /// stays undecided while the prefixes agree. Lanes still undecided when
+    /// `q`'s (finite, `f64`) expansion ends have matched every 1-bit of `q`
+    /// and are therefore `≥ q`. The result is **exactly** Bernoulli(`q`) —
+    /// no truncation bias — because the loop only terminates once every
+    /// lane is decided or `q`'s expansion is exhausted.
+    ///
+    /// The undecided mask halves in expectation every step, so the expected
+    /// RNG cost is ~`log₂ 64 + 2 ≈ 8` words per output word *independent of
+    /// `q`*, with no `ln` evaluations. Geometric skipping
+    /// ([`BitVec::fill_bernoulli`]) costs one `f64` draw **and one `ln`**
+    /// per set bit, i.e. `O(64·q)` per word — cheaper only for sparse fills
+    /// (small `q`). Batch privatization picks between the two by `q`; both
+    /// are exact, they only consume the RNG stream differently.
+    pub fn fill_bernoulli_wordwise<R: Rng + ?Sized>(&mut self, q: f64, rng: &mut R) {
+        if self.len == 0 || q <= 0.0 || q >= 1.0 {
+            // Degenerate probabilities: delegate for the constant fills.
+            self.fill_bernoulli(q.clamp(0.0, 1.0), rng);
+            return;
+        }
+        let n_words = self.words.len();
+        for (idx, w) in self.words.iter_mut().enumerate() {
+            let live = if idx + 1 < n_words || self.len % 64 == 0 {
+                u64::MAX
+            } else {
+                (1u64 << (self.len % 64)) - 1
+            };
+            let mut result = 0u64;
+            let mut undecided = live;
+            // Walk q's binary expansion: doubling an f64 < 1 and
+            // subtracting 1 from a value in [1, 2) are both exact, so `x`
+            // enumerates the expansion bit-for-bit and reaches 0 after
+            // finitely many steps.
+            let mut x = q;
+            while undecided != 0 && x > 0.0 {
+                x *= 2.0;
+                let q_bit = x >= 1.0;
+                if q_bit {
+                    x -= 1.0;
+                }
+                let r = rng.next_u64();
+                if q_bit {
+                    result |= undecided & !r;
+                    undecided &= r;
+                } else {
+                    undecided &= !r;
+                }
+            }
+            *w = result;
+        }
+    }
+
     /// Sets every bit independently to 1 with probability `q`.
     ///
     /// Existing contents are overwritten. Uses geometric skipping: the gap
@@ -338,6 +397,83 @@ mod tests {
                 "q={q}: empirical mean {mean} too far off"
             );
         }
+    }
+
+    #[test]
+    fn fill_bernoulli_wordwise_extremes_and_padding() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v = BitVec::zeros(200);
+        v.fill_bernoulli_wordwise(0.0, &mut rng);
+        assert_eq!(v.count_ones(), 0);
+        v.fill_bernoulli_wordwise(1.0, &mut rng);
+        assert_eq!(v.count_ones(), 200);
+        // Padding bits beyond len must stay clear for every q.
+        v.fill_bernoulli_wordwise(0.7, &mut rng);
+        assert_eq!(v.words().last().unwrap() >> (200 - 3 * 64), 0);
+        v.fill_bernoulli_wordwise(0.3, &mut rng);
+        assert!(v.count_ones() <= 200);
+    }
+
+    #[test]
+    fn fill_bernoulli_wordwise_mean_matches_q() {
+        let mut rng = StdRng::seed_from_u64(17);
+        // Includes dyadic q (0.5, 0.25: shortest expansions) and the OUE
+        // values the batch privatizer actually uses.
+        for q in [0.01, 0.1, 0.25, 1.0 / (1f64.exp() + 1.0), 0.5, 0.9] {
+            let len = 10_000;
+            let trials = 50;
+            let mut total = 0usize;
+            let mut v = BitVec::zeros(len);
+            for _ in 0..trials {
+                v.fill_bernoulli_wordwise(q, &mut rng);
+                total += v.count_ones();
+            }
+            let mean = total as f64 / (trials * len) as f64;
+            assert!(
+                (mean - q).abs() < 0.01,
+                "q={q}: empirical mean {mean} too far off"
+            );
+        }
+    }
+
+    #[test]
+    fn fill_bernoulli_wordwise_is_unclustered() {
+        // Bit-sliced sampling must still produce independent-looking bits,
+        // both within a word and across the word boundary.
+        let mut rng = StdRng::seed_from_u64(23);
+        let q = 0.3;
+        let len = 20_000;
+        let mut v = BitVec::zeros(len);
+        let mut pairs = 0usize;
+        let mut boundary_pairs = 0usize;
+        let mut boundary_n = 0usize;
+        let trials = 20;
+        for _ in 0..trials {
+            v.fill_bernoulli_wordwise(q, &mut rng);
+            for i in 0..len - 1 {
+                if v.get(i) && v.get(i + 1) {
+                    pairs += 1;
+                    if i % 64 == 63 {
+                        boundary_pairs += 1;
+                    }
+                }
+                if i % 64 == 63 {
+                    boundary_n += 1;
+                }
+            }
+        }
+        let rate = pairs as f64 / (trials * (len - 1)) as f64;
+        assert!(
+            (rate - q * q).abs() < 0.01,
+            "pair rate {rate} vs q²={}",
+            q * q
+        );
+        let boundary_rate = boundary_pairs as f64 / boundary_n as f64;
+        assert!(
+            (boundary_rate - q * q).abs() < 0.03,
+            "word-boundary pair rate {boundary_rate} vs q²={}",
+            q * q
+        );
     }
 
     #[test]

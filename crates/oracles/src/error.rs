@@ -30,6 +30,11 @@ pub enum Error {
         /// Human-readable constraint that was violated.
         constraint: &'static str,
     },
+    /// A streaming source failed to produce items (I/O or parse failure).
+    Source {
+        /// What went wrong, including the position (file, line) if known.
+        message: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -51,6 +56,7 @@ impl fmt::Display for Error {
             Error::InvalidParameter { name, constraint } => {
                 write!(f, "parameter `{name}` violates constraint: {constraint}")
             }
+            Error::Source { message } => write!(f, "stream source failed: {message}"),
         }
     }
 }

@@ -24,7 +24,10 @@
 //! * [`colsum`] — word-parallel (bit-sliced) column sums for batch
 //!   aggregation of unary-encoding reports,
 //! * [`parallel`] — fixed-size sharding with deterministic per-shard RNG
-//!   streams: `threads = N` is bit-identical to `threads = 1`.
+//!   streams: `threads = N` is bit-identical to `threads = 1`,
+//! * [`stream`] — bounded-memory chunked ingestion over pull-based
+//!   [`stream::ReportSource`]s, bit-identical to the batch APIs for every
+//!   chunk size and thread count.
 //!
 //! ## Example
 //!
@@ -65,6 +68,7 @@ pub mod calibrate;
 pub mod colsum;
 pub mod hash;
 pub mod parallel;
+pub mod stream;
 
 pub use bitvec::BitVec;
 pub use budget::Eps;

@@ -11,7 +11,7 @@ use rand::Rng;
 
 use crate::calibrate::unbiased_count;
 use crate::colsum::ColumnCounter;
-use crate::{parallel, BitVec, Eps, Error, Grr, Olh, OlhReport, Result, UnaryEncoding};
+use crate::{parallel, stream, BitVec, Eps, Error, Grr, Olh, OlhReport, Result, UnaryEncoding};
 
 /// A frequency oracle: one of the concrete LDP mechanisms.
 #[derive(Debug, Clone)]
@@ -121,23 +121,43 @@ impl Oracle {
     ///
     /// Values are split into fixed [`parallel::SHARD_SIZE`] shards; shard
     /// `s` is privatized sequentially with the deterministic RNG
-    /// [`parallel::shard_rng`]`(base_seed, s)`. The output is therefore a
-    /// pure function of `(self, values, base_seed)` — any thread count
-    /// produces bit-identical reports, and equals privatizing each shard by
-    /// hand with its derived RNG.
+    /// [`parallel::shard_rng`]`(base_seed, s)`, and workers write into
+    /// preallocated disjoint output slices (no per-shard `Vec`, no result
+    /// flattening). The output is a pure function of
+    /// `(self, values, base_seed)` — any thread count produces
+    /// bit-identical reports.
+    ///
+    /// Unary-encoding oracles take the bulk sampler
+    /// ([`UnaryEncoding::privatize_into`]): noise planes are drawn
+    /// word-parallel for dense `q`, which makes the batch path faster than
+    /// a [`Oracle::privatize`] loop *per core* — the single-report path
+    /// keeps its historical geometric RNG stream for seed stability, so
+    /// the two streams coincide only for sparse `q`. GRR and OLH shards
+    /// privatize exactly as a per-report loop would.
     pub fn privatize_batch(
         &self,
         values: &[u32],
         base_seed: u64,
         threads: usize,
     ) -> Result<Vec<Report>> {
-        parallel::try_flat_map_shards(values, threads, |shard, chunk| {
-            let mut rng = parallel::shard_rng(base_seed, shard);
-            chunk
-                .iter()
-                .map(|&v| self.privatize(v, &mut rng))
-                .collect::<Result<Vec<Report>>>()
-        })
+        match self {
+            Oracle::Ue(m) => parallel::try_fill_shards(values, threads, |shard, chunk, slots| {
+                let mut rng = parallel::shard_rng(base_seed, shard);
+                for (&v, slot) in chunk.iter().zip(slots.iter_mut()) {
+                    let mut bits = BitVec::zeros(m.domain_size() as usize);
+                    m.privatize_into(v, &mut rng, &mut bits)?;
+                    *slot = Some(Report::Bits(bits));
+                }
+                Ok(())
+            }),
+            _ => parallel::try_fill_shards(values, threads, |shard, chunk, slots| {
+                let mut rng = parallel::shard_rng(base_seed, shard);
+                for (&v, slot) in chunk.iter().zip(slots.iter_mut()) {
+                    *slot = Some(self.privatize(v, &mut rng)?);
+                }
+                Ok(())
+            }),
+        }
     }
 
     /// Short name for logs and benchmark tables.
@@ -274,6 +294,28 @@ impl Aggregator {
         Ok(())
     }
 
+    /// Absorbs every report pulled from `source` in bounded chunks —
+    /// [`Aggregator::absorb_batch`] without the materialized slice.
+    ///
+    /// Memory stays `O(chunk + threads × shard)` regardless of the stream
+    /// length, and the final counts are bit-identical to `absorb_batch`
+    /// over the same reports for every chunk size and thread count
+    /// (absorption is a counter sum — associative and commutative).
+    pub fn absorb_stream<S>(&mut self, source: &mut S, config: stream::StreamConfig) -> Result<()>
+    where
+        S: stream::ReportSource<Item = Report>,
+    {
+        let template = Aggregator::new(&self.oracle);
+        let merged = stream::absorb_stream_with(
+            source,
+            config,
+            &template,
+            |agg: &mut Aggregator, chunk| agg.absorb_all(chunk),
+            |a, b| a.merge(b),
+        )?;
+        self.merge(&merged)
+    }
+
     /// The oracle this aggregator matches.
     #[inline]
     pub fn oracle(&self) -> &Oracle {
@@ -408,16 +450,47 @@ mod tests {
                 );
             }
             // The documented contract: shard s is privatized sequentially
-            // with parallel::shard_rng(base, s).
+            // with parallel::shard_rng(base, s) — through the bulk sampler
+            // for unary encoding, the plain privatize loop otherwise.
             let mut reference = Vec::new();
             for (s, chunk) in values.chunks(parallel::SHARD_SIZE).enumerate() {
                 let mut rng = parallel::shard_rng(base, s as u64);
                 for &v in chunk {
-                    reference.push(oracle.privatize(v, &mut rng).unwrap());
+                    match &oracle {
+                        Oracle::Ue(m) => {
+                            let mut bits = BitVec::zeros(d as usize);
+                            m.privatize_into(v, &mut rng, &mut bits).unwrap();
+                            reference.push(Report::Bits(bits));
+                        }
+                        _ => reference.push(oracle.privatize(v, &mut rng).unwrap()),
+                    }
                 }
             }
             assert_eq!(seq, reference, "{}", oracle.name());
         }
+    }
+
+    #[test]
+    fn privatize_batch_bulk_sampler_matches_oue_rates() {
+        // The word-parallel noise plane must reproduce (p, q) exactly like
+        // the per-report path: check empirical bit rates on batch output.
+        let oracle = Oracle::oue(eps(1.0), 128).unwrap();
+        let n = 20_000u32;
+        let values: Vec<u32> = (0..n).map(|_| 7).collect();
+        let reports = oracle.privatize_batch(&values, 99, 4).unwrap();
+        let mut hot = 0usize;
+        let mut cold = 0usize;
+        for r in &reports {
+            let Report::Bits(bits) = r else {
+                panic!("OUE emits bit reports")
+            };
+            hot += usize::from(bits.get(7));
+            cold += bits.count_ones() - usize::from(bits.get(7));
+        }
+        let p_hat = hot as f64 / n as f64;
+        let q_hat = cold as f64 / (n as usize * 127) as f64;
+        assert!((p_hat - oracle.p()).abs() < 0.02, "p_hat={p_hat}");
+        assert!((q_hat - oracle.q()).abs() < 0.005, "q_hat={q_hat}");
     }
 
     #[test]

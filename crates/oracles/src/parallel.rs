@@ -16,6 +16,18 @@
 //! Consequently `threads = N` produces bit-identical output to
 //! `threads = 1` for every batch API built on [`map_shards`] — the
 //! property the `MCIM_THREADS` CI matrix locks in.
+//!
+//! ## Scheduling
+//!
+//! Workers own **contiguous shard ranges** (static partitioning) and write
+//! into **preallocated disjoint output slices**. The first version of this
+//! module used an atomic work-stealing cursor with one `Mutex<Option<T>>`
+//! slot per shard; profiling the privatize path showed the per-shard
+//! output `Vec` allocations and slot locking serialized workers on the
+//! allocator and made the batch runtime *slower* than the sequential path
+//! (`oue_privatize_batch_tn_vs_seq: 0.92` in the PR-2 baseline). Shards
+//! are uniform-cost, so static ranges lose nothing to stealing and need no
+//! synchronization beyond the scoped join.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -58,13 +70,30 @@ pub fn shard_rng(base_seed: u64, shard: u64) -> StdRng {
     StdRng::seed_from_u64(shard_seed(base_seed, shard))
 }
 
+/// Contiguous task ranges assigning `n` tasks to at most `workers` workers
+/// as evenly as possible (the first `n % workers` ranges get one extra).
+pub(crate) fn ranges(n: usize, workers: usize) -> impl Iterator<Item = std::ops::Range<usize>> {
+    let workers = workers.max(1).min(n.max(1));
+    let base = n / workers;
+    let extra = n % workers;
+    let mut start = 0usize;
+    (0..workers).map(move |w| {
+        let len = base + usize::from(w < extra);
+        let r = start..start + len;
+        start += len;
+        r
+    })
+}
+
 /// Splits `items` into [`SHARD_SIZE`]-sized shards and maps `f` over them
 /// on up to `threads` workers, returning per-shard results in shard order.
 ///
-/// `f` receives `(shard_index, shard_items)`. Scheduling is work-stealing
-/// (an atomic cursor), but because shard boundaries and shard indices are
-/// fixed, the result vector — and anything deterministically derived from
-/// it, like merged counter sums — does not depend on `threads`.
+/// `f` receives `(shard_index, shard_items)`. Workers own contiguous shard
+/// ranges and write results into preallocated disjoint output slices, so
+/// the parallel path takes no locks and performs no per-shard allocation.
+/// Because shard boundaries and shard indices are fixed, the result vector
+/// — and anything deterministically derived from it, like merged counter
+/// sums — does not depend on `threads`.
 pub fn map_shards<I, T, F>(items: &[I], threads: usize, f: F) -> Vec<T>
 where
     I: Sync,
@@ -72,43 +101,20 @@ where
     F: Fn(u64, &[I]) -> T + Sync,
 {
     let shards: Vec<&[I]> = items.chunks(SHARD_SIZE).collect();
-    let workers = threads.max(1).min(shards.len());
-    if workers <= 1 {
-        return shards
-            .into_iter()
-            .enumerate()
-            .map(|(i, s)| f(i as u64, s))
-            .collect();
-    }
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots: Vec<std::sync::Mutex<Option<T>>> =
-        shards.iter().map(|_| std::sync::Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= shards.len() {
-                    break;
-                }
-                let value = f(i as u64, shards[i]);
-                *slots[i].lock().expect("shard slot lock") = Some(value);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("shard slot lock")
-                .expect("every shard slot filled")
-        })
-        .collect()
+    map_each(&shards, threads, |i, s| f(i as u64, s))
 }
 
-/// [`map_shards`] for the ubiquitous fallible batch shape: each shard
-/// produces a `Result<Vec<T>>` (e.g. privatized reports) and the per-shard
-/// batches are flattened in shard order, failing on the first shard error.
-pub fn try_flat_map_shards<I, T, E, F>(
+/// One-output-per-input sharded execution into a preallocated buffer: the
+/// shape of every batch privatization.
+///
+/// `f` receives `(shard_index, shard_items, shard_output)` where
+/// `shard_output` is the shard's disjoint slice of the preallocated output
+/// (same length as `shard_items`) and must fill every slot with `Some`.
+/// Workers own contiguous shard ranges; there is no per-shard `Vec`, no
+/// result flattening and no locking — the fix for the PR-2 privatize
+/// regression. Fails with the first error in shard order; output slots are
+/// discarded on error.
+pub fn try_fill_shards<I, T, E, F>(
     items: &[I],
     threads: usize,
     f: F,
@@ -117,14 +123,89 @@ where
     I: Sync,
     T: Send,
     E: Send,
-    F: Fn(u64, &[I]) -> std::result::Result<Vec<T>, E> + Sync,
+    F: Fn(u64, &[I], &mut [Option<T>]) -> std::result::Result<(), E> + Sync,
 {
-    let shards = map_shards(items, threads, f);
-    let mut out = Vec::with_capacity(items.len());
-    for shard in shards {
-        out.extend(shard?);
+    let mut out: Vec<Option<T>> = (0..items.len()).map(|_| None).collect();
+    let n_shards = items.len().div_ceil(SHARD_SIZE);
+    let workers = threads.max(1).min(n_shards.max(1));
+    if workers <= 1 {
+        for (i, (chunk, slots)) in items
+            .chunks(SHARD_SIZE)
+            .zip(out.chunks_mut(SHARD_SIZE))
+            .enumerate()
+        {
+            f(i as u64, chunk, slots)?;
+        }
+    } else {
+        let worker_results = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            let mut rest: &mut [Option<T>] = &mut out;
+            for range in ranges(n_shards, workers) {
+                let item_start = range.start * SHARD_SIZE;
+                let item_end = (range.end * SHARD_SIZE).min(items.len());
+                let (mine, tail) = rest.split_at_mut(item_end - item_start);
+                rest = tail;
+                let f = &f;
+                let worker_items = &items[item_start..item_end];
+                handles.push(scope.spawn(move || -> std::result::Result<(), E> {
+                    for ((chunk, slots), shard) in worker_items
+                        .chunks(SHARD_SIZE)
+                        .zip(mine.chunks_mut(SHARD_SIZE))
+                        .zip(range)
+                    {
+                        f(shard as u64, chunk, slots)?;
+                    }
+                    Ok(())
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect::<Vec<_>>()
+        });
+        for r in worker_results {
+            r?;
+        }
     }
-    Ok(out)
+    Ok(out
+        .into_iter()
+        .map(|s| s.expect("every output slot filled"))
+        .collect())
+}
+
+/// Maps `f` over individual items (not shards) on up to `threads` workers,
+/// returning results in item order. For coarse tasks — e.g. the per-class
+/// final mining rounds, whose cohorts are often smaller than one shard and
+/// would otherwise run single-threaded. Workers own contiguous item ranges
+/// (deterministic output for every thread count, given `f` deterministic in
+/// its arguments).
+pub fn map_each<I, T, F>(items: &[I], threads: usize, f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(usize, &I) -> T + Sync,
+{
+    let workers = threads.max(1).min(items.len());
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+    let mut out: Vec<Option<T>> = (0..items.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut rest: &mut [Option<T>] = &mut out;
+        for range in ranges(items.len(), workers) {
+            let (mine, tail) = rest.split_at_mut(range.len());
+            rest = tail;
+            let f = &f;
+            scope.spawn(move || {
+                for (slot, i) in mine.iter_mut().zip(range) {
+                    *slot = Some(f(i, &items[i]));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|s| s.expect("every item slot filled"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -166,6 +247,81 @@ mod tests {
     fn empty_input_yields_no_shards() {
         let out: Vec<u64> = map_shards(&[] as &[u32], 8, |_, _| 1);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn ranges_partition_exactly() {
+        for n in [0usize, 1, 2, 5, 7, 16, 100] {
+            for workers in [1usize, 2, 3, 8, 200] {
+                let rs: Vec<_> = ranges(n, workers).collect();
+                let mut next = 0usize;
+                for r in &rs {
+                    assert_eq!(r.start, next, "n={n} workers={workers}");
+                    next = r.end;
+                }
+                assert_eq!(next, n, "n={n} workers={workers}");
+                let (min, max) = rs.iter().fold((usize::MAX, 0), |(lo, hi), r| {
+                    (lo.min(r.len()), hi.max(r.len()))
+                });
+                assert!(
+                    n == 0 || max - min <= 1,
+                    "uneven split: n={n} workers={workers}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn try_fill_shards_fills_every_slot_in_order() {
+        let items: Vec<u32> = (0..2 * SHARD_SIZE as u32 + 100).collect();
+        for threads in [1, 2, 8] {
+            let out: Vec<u64> = try_fill_shards(&items, threads, |shard, chunk, slots| {
+                for (&v, slot) in chunk.iter().zip(slots.iter_mut()) {
+                    *slot = Some(v as u64 + shard * 1_000_000);
+                }
+                Ok::<(), ()>(())
+            })
+            .unwrap();
+            assert_eq!(out.len(), items.len());
+            assert_eq!(out[0], 0);
+            assert_eq!(out[SHARD_SIZE], SHARD_SIZE as u64 + 1_000_000);
+            assert_eq!(
+                out[2 * SHARD_SIZE + 99],
+                (2 * SHARD_SIZE + 99) as u64 + 2_000_000
+            );
+        }
+    }
+
+    #[test]
+    fn try_fill_shards_surfaces_first_shard_error() {
+        let items: Vec<u32> = (0..3 * SHARD_SIZE as u32).collect();
+        for threads in [1, 4] {
+            let err = try_fill_shards(&items, threads, |shard, _chunk, slots| {
+                if shard >= 1 {
+                    return Err(shard);
+                }
+                for slot in slots.iter_mut() {
+                    *slot = Some(0u8);
+                }
+                Ok(())
+            })
+            .unwrap_err();
+            assert_eq!(err, 1, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_each_is_thread_count_invariant() {
+        let items: Vec<u32> = (0..37).collect();
+        let seq = map_each(&items, 1, |i, &x| (i as u32) * 1000 + x);
+        for threads in [2, 5, 64] {
+            assert_eq!(
+                map_each(&items, threads, |i, &x| (i as u32) * 1000 + x),
+                seq
+            );
+        }
+        let empty: Vec<u64> = map_each(&[] as &[u32], 4, |_, _| 0);
+        assert!(empty.is_empty());
     }
 
     #[test]

@@ -1,0 +1,514 @@
+//! Bounded-memory streaming ingestion.
+//!
+//! The batch runtime ([`crate::parallel`]) requires fully materialized
+//! input slices: `absorb_batch` takes a `&[Report]`, which at paper scale
+//! (5–9M users × a kilobit per unary report) costs hundreds of megabytes
+//! before aggregation even starts. This module replaces the materialized
+//! slice with a **pull-based source** ([`ReportSource`]) and a chunked
+//! executor ([`fold_stream`]) that holds only
+//!
+//! * one reusable input buffer of `chunk_items` items, and
+//! * one in-flight accumulator clone per worker,
+//!
+//! i.e. `O(chunk + threads × shard)` memory instead of `O(n)`.
+//!
+//! ## Bit-identical to the batch APIs
+//!
+//! The executor assigns every pulled item its **absolute stream index**,
+//! so shard boundaries land exactly where the batch runtime would put them
+//! regardless of the chunk size. Shard `s` is always processed with the
+//! deterministic RNG [`shard_rng`]`(base_seed, s)`; when a chunk boundary
+//! splits a shard, the partially-advanced RNG is carried to the next chunk
+//! and the shard's remaining items continue the same stream. Consequently
+//! `fold_stream` produces bit-identical results to the corresponding
+//! `*_batch` call for **every** chunk size and thread count, provided the
+//! fold function is prefix-composable (processing a shard in two fragments
+//! with a carried RNG equals processing it at once — true for every
+//! privatize+absorb loop in this workspace) and the merge is commutative
+//! and associative (true for counter sums and [`super::parallel`]-style
+//! accumulators).
+
+use rand::rngs::StdRng;
+
+use crate::parallel::{shard_rng, SHARD_SIZE};
+use crate::{Error, Result};
+
+/// Default chunk size: 16 shards (65 536 items). Large enough to keep all
+/// workers busy per pull, small enough that even kilobit unary reports stay
+/// in the tens of megabytes.
+pub const DEFAULT_CHUNK_ITEMS: usize = 16 * SHARD_SIZE;
+
+/// A pull-based supplier of stream items (raw values, label-item pairs, or
+/// already privatized reports).
+///
+/// Implementations exist for in-memory slices ([`SliceSource`]), for
+/// NDJSON / CSV files and synthetic generators (`mcim-datasets`), and are
+/// trivial to add for sockets or queues: the executor only ever asks for
+/// "up to `max` more items".
+pub trait ReportSource {
+    /// The item type this source yields.
+    type Item;
+
+    /// Appends up to `max` items to `buf`, returning how many were
+    /// appended. Returning `0` signals exhaustion; the executor may call
+    /// `fill` several times per chunk, so partial fills are fine.
+    fn fill(&mut self, buf: &mut Vec<Self::Item>, max: usize) -> Result<usize>;
+
+    /// Total number of items this source will yield, when known up front.
+    /// Round-splitting consumers (PEM) require a sized source.
+    fn size_hint(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// An in-memory slice as a stream source (items are cloned out).
+#[derive(Debug)]
+pub struct SliceSource<'a, T> {
+    items: &'a [T],
+    pos: usize,
+}
+
+impl<'a, T> SliceSource<'a, T> {
+    /// Wraps a slice.
+    pub fn new(items: &'a [T]) -> Self {
+        SliceSource { items, pos: 0 }
+    }
+}
+
+impl<T: Clone> ReportSource for SliceSource<'_, T> {
+    type Item = T;
+
+    fn fill(&mut self, buf: &mut Vec<T>, max: usize) -> Result<usize> {
+        let take = max.min(self.items.len() - self.pos);
+        buf.extend_from_slice(&self.items[self.pos..self.pos + take]);
+        self.pos += take;
+        Ok(take)
+    }
+
+    fn size_hint(&self) -> Option<u64> {
+        Some((self.items.len() - self.pos) as u64)
+    }
+}
+
+/// A borrowed view of another source limited to `remaining` items — how
+/// round-based miners carve per-round user groups out of one stream.
+#[derive(Debug)]
+pub struct Take<'s, S> {
+    source: &'s mut S,
+    remaining: u64,
+}
+
+impl<'s, S: ReportSource> Take<'s, S> {
+    /// Limits `source` to at most `limit` further items.
+    pub fn new(source: &'s mut S, limit: u64) -> Self {
+        Take {
+            source,
+            remaining: limit,
+        }
+    }
+}
+
+impl<S: ReportSource> ReportSource for Take<'_, S> {
+    type Item = S::Item;
+
+    fn fill(&mut self, buf: &mut Vec<S::Item>, max: usize) -> Result<usize> {
+        let max = max.min(usize::try_from(self.remaining).unwrap_or(usize::MAX));
+        if max == 0 {
+            return Ok(0);
+        }
+        let got = self.source.fill(buf, max)?;
+        self.remaining -= got as u64;
+        Ok(got)
+    }
+
+    fn size_hint(&self) -> Option<u64> {
+        self.source.size_hint().map(|n| n.min(self.remaining))
+    }
+}
+
+/// Execution parameters for the streaming executor.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamConfig {
+    /// Items pulled (and held in memory) per chunk. Clamped to ≥ 1.
+    pub chunk_items: usize,
+    /// Worker thread cap for full shards within a chunk. Clamped to ≥ 1.
+    pub threads: usize,
+}
+
+impl StreamConfig {
+    /// Default chunk size ([`DEFAULT_CHUNK_ITEMS`]) with `threads` workers.
+    pub fn new(threads: usize) -> Self {
+        StreamConfig {
+            chunk_items: DEFAULT_CHUNK_ITEMS,
+            threads,
+        }
+    }
+
+    /// Overrides the chunk size.
+    pub fn with_chunk_items(mut self, chunk_items: usize) -> Self {
+        self.chunk_items = chunk_items;
+        self
+    }
+}
+
+/// Drains `source` in bounded chunks, folding every item into an
+/// accumulator with shard-deterministic RNG streams.
+///
+/// `f(rng, abs_index, items, acc)` processes one shard *fragment*: a run
+/// of consecutive items that all belong to the same absolute shard,
+/// starting at stream position `abs_index`. The RNG is positioned exactly
+/// where a batch run would have it: fresh [`shard_rng`]`(base_seed, s)` at
+/// a shard's first item, carried state mid-shard. Fragments of distinct
+/// shards run on up to `threads` workers, each folding into its own clone
+/// of `template`; partials are combined with `merge`.
+///
+/// Memory: one `chunk_items` input buffer plus `threads` accumulator
+/// clones — independent of the stream length.
+pub fn fold_stream<S, A, F, M>(
+    source: &mut S,
+    config: StreamConfig,
+    base_seed: u64,
+    template: &A,
+    f: F,
+    merge: M,
+) -> Result<A>
+where
+    S: ReportSource,
+    S::Item: Sync,
+    A: Clone + Send,
+    F: Fn(&mut StdRng, u64, &[S::Item], &mut A) -> Result<()> + Sync,
+    M: Fn(&mut A, &A) -> Result<()>,
+{
+    let chunk_items = config.chunk_items.max(1);
+    let threads = config.threads.max(1);
+    let mut acc = template.clone();
+    let mut buf: Vec<S::Item> = Vec::with_capacity(chunk_items);
+    let mut abs: u64 = 0;
+    // RNG of the shard currently split across chunk boundaries.
+    let mut carry: Option<StdRng> = None;
+
+    loop {
+        buf.clear();
+        loop {
+            let want = chunk_items - buf.len();
+            if want == 0 || source.fill(&mut buf, want)? == 0 {
+                break;
+            }
+        }
+        if buf.is_empty() {
+            break;
+        }
+
+        // Head fragment: finish the shard the previous chunk started.
+        let mut offset = 0usize;
+        let into_shard = (abs % SHARD_SIZE as u64) as usize;
+        if into_shard != 0 {
+            let head = (SHARD_SIZE - into_shard).min(buf.len());
+            let mut rng = carry
+                .take()
+                .expect("mid-shard position implies a carried RNG");
+            f(&mut rng, abs, &buf[..head], &mut acc)?;
+            if into_shard + head < SHARD_SIZE {
+                carry = Some(rng); // chunk ended inside the same shard
+            }
+            offset = head;
+        }
+
+        // Whole shards, fanned out across workers.
+        let body = &buf[offset..];
+        let full = body.len() / SHARD_SIZE * SHARD_SIZE;
+        let first_shard = (abs + offset as u64) / SHARD_SIZE as u64;
+        if full > 0 {
+            let shards: Vec<&[S::Item]> = body[..full].chunks(SHARD_SIZE).collect();
+            if threads <= 1 || shards.len() <= 1 {
+                for (i, chunk) in shards.iter().enumerate() {
+                    let s = first_shard + i as u64;
+                    let mut rng = shard_rng(base_seed, s);
+                    f(&mut rng, s * SHARD_SIZE as u64, chunk, &mut acc)?;
+                }
+            } else {
+                let workers = threads.min(shards.len());
+                let partials = std::thread::scope(|scope| {
+                    let mut handles = Vec::with_capacity(workers);
+                    for range in crate::parallel::ranges(shards.len(), workers) {
+                        let shards = &shards;
+                        let f = &f;
+                        let mut local = template.clone();
+                        handles.push(scope.spawn(move || -> Result<A> {
+                            for i in range {
+                                let s = first_shard + i as u64;
+                                let mut rng = shard_rng(base_seed, s);
+                                f(&mut rng, s * SHARD_SIZE as u64, shards[i], &mut local)?;
+                            }
+                            Ok(local)
+                        }));
+                    }
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("stream worker panicked"))
+                        .collect::<Vec<_>>()
+                });
+                for partial in partials {
+                    merge(&mut acc, &partial?)?;
+                }
+            }
+        }
+
+        // Tail fragment: start a new shard and carry its RNG.
+        let tail = offset + full;
+        if tail < buf.len() {
+            let s = (abs + tail as u64) / SHARD_SIZE as u64;
+            let mut rng = shard_rng(base_seed, s);
+            f(&mut rng, abs + tail as u64, &buf[tail..], &mut acc)?;
+            carry = Some(rng);
+        }
+
+        abs += buf.len() as u64;
+    }
+    Ok(acc)
+}
+
+/// [`fold_stream`] for pure server-side absorption (no RNG): drains a
+/// source of already privatized reports into per-worker accumulators. The
+/// backbone of every aggregator's `absorb_stream`.
+pub fn absorb_stream_with<S, A, F, M>(
+    source: &mut S,
+    config: StreamConfig,
+    template: &A,
+    absorb: F,
+    merge: M,
+) -> Result<A>
+where
+    S: ReportSource,
+    S::Item: Sync,
+    A: Clone + Send,
+    F: Fn(&mut A, &[S::Item]) -> Result<()> + Sync,
+    M: Fn(&mut A, &A) -> Result<()>,
+{
+    fold_stream(
+        source,
+        config,
+        0, // RNG stream unused by pure absorption
+        template,
+        |_rng, _abs, items, acc| absorb(acc, items),
+        merge,
+    )
+}
+
+/// The size a sized source must declare; errors otherwise. Used by
+/// round-splitting consumers (PEM) that need the total count up front.
+pub fn required_len<S: ReportSource>(source: &S) -> Result<u64> {
+    source.size_hint().ok_or(Error::InvalidParameter {
+        name: "source",
+        constraint: "round-splitting streams require a sized source (size_hint)",
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    /// A source that drips items in fixed dribbles to exercise partial
+    /// fills (the executor must keep pulling until its chunk is full).
+    struct Dribble {
+        next: u32,
+        n: u32,
+        per_call: usize,
+    }
+
+    impl ReportSource for Dribble {
+        type Item = u32;
+        fn fill(&mut self, buf: &mut Vec<u32>, max: usize) -> Result<usize> {
+            let take = max.min(self.per_call).min((self.n - self.next) as usize);
+            for _ in 0..take {
+                buf.push(self.next);
+                self.next += 1;
+            }
+            Ok(take)
+        }
+        fn size_hint(&self) -> Option<u64> {
+            Some((self.n - self.next) as u64)
+        }
+    }
+
+    /// Reference: the batch-style fold (map_shards semantics) the stream
+    /// must reproduce bit-for-bit.
+    fn batch_reference(items: &[u32], base_seed: u64) -> (u64, u64) {
+        let mut sum = 0u64;
+        let mut rng_mix = 0u64;
+        for (s, chunk) in items.chunks(SHARD_SIZE).enumerate() {
+            let mut rng = shard_rng(base_seed, s as u64);
+            for &v in chunk {
+                sum += v as u64;
+                rng_mix = rng_mix.wrapping_add(rng.next_u64() ^ v as u64);
+            }
+        }
+        (sum, rng_mix)
+    }
+
+    fn stream_fold(items: &[u32], chunk: usize, threads: usize, base_seed: u64) -> (u64, u64) {
+        let mut source = SliceSource::new(items);
+        fold_stream(
+            &mut source,
+            StreamConfig {
+                chunk_items: chunk,
+                threads,
+            },
+            base_seed,
+            &(0u64, 0u64),
+            |rng, _abs, items, acc| {
+                for &v in items {
+                    acc.0 += v as u64;
+                    acc.1 = acc.1.wrapping_add(rng.next_u64() ^ v as u64);
+                }
+                Ok(())
+            },
+            |a, b| {
+                a.0 += b.0;
+                a.1 = a.1.wrapping_add(b.1);
+                Ok(())
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn chunk_boundaries_never_change_the_result() {
+        let n = 2 * SHARD_SIZE + 777;
+        let items: Vec<u32> = (0..n as u32).collect();
+        let expected = batch_reference(&items, 42);
+        for chunk in [1, SHARD_SIZE - 1, SHARD_SIZE, SHARD_SIZE + 1, n] {
+            for threads in [1, 4] {
+                assert_eq!(
+                    stream_fold(&items, chunk, threads, 42),
+                    expected,
+                    "chunk={chunk} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partial_fills_are_replenished() {
+        let n = SHARD_SIZE as u32 + 300;
+        let items: Vec<u32> = (0..n).collect();
+        let expected = batch_reference(&items, 7);
+        let mut source = Dribble {
+            next: 0,
+            n,
+            per_call: 17,
+        };
+        let got = fold_stream(
+            &mut source,
+            StreamConfig {
+                chunk_items: 1000,
+                threads: 2,
+            },
+            7,
+            &(0u64, 0u64),
+            |rng, _abs, items, acc| {
+                for &v in items {
+                    acc.0 += v as u64;
+                    acc.1 = acc.1.wrapping_add(rng.next_u64() ^ v as u64);
+                }
+                Ok(())
+            },
+            |a, b| {
+                a.0 += b.0;
+                a.1 = a.1.wrapping_add(b.1);
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn abs_indices_cover_the_stream_exactly_once() {
+        let n = 3 * SHARD_SIZE + 5;
+        let items: Vec<u32> = (0..n as u32).collect();
+        for chunk in [SHARD_SIZE - 3, 2 * SHARD_SIZE + 1] {
+            let mut source = SliceSource::new(&items);
+            let spans = fold_stream(
+                &mut source,
+                StreamConfig {
+                    chunk_items: chunk,
+                    threads: 1,
+                },
+                0,
+                &Vec::<(u64, u64)>::new(),
+                |_rng, abs, items, acc| {
+                    acc.push((abs, abs + items.len() as u64));
+                    Ok(())
+                },
+                |a, b| {
+                    a.extend_from_slice(b);
+                    Ok(())
+                },
+            )
+            .unwrap();
+            let mut sorted = spans.clone();
+            sorted.sort_unstable();
+            let mut next = 0u64;
+            for (start, end) in sorted {
+                assert_eq!(start, next, "chunk={chunk}");
+                assert!(end > start);
+                // No fragment may straddle a shard boundary.
+                assert!(
+                    start / SHARD_SIZE as u64 == (end - 1) / SHARD_SIZE as u64,
+                    "fragment {start}..{end} crosses a shard boundary"
+                );
+                next = end;
+            }
+            assert_eq!(next, n as u64);
+        }
+    }
+
+    #[test]
+    fn take_limits_and_resumes() {
+        let items: Vec<u32> = (0..100).collect();
+        let mut source = SliceSource::new(&items);
+        let mut buf = Vec::new();
+        {
+            let mut take = Take::new(&mut source, 30);
+            assert_eq!(take.size_hint(), Some(30));
+            while take.fill(&mut buf, 7).unwrap() > 0 {}
+        }
+        assert_eq!(buf.len(), 30);
+        assert_eq!(buf.last(), Some(&29));
+        // The underlying source resumes where the take stopped.
+        buf.clear();
+        source.fill(&mut buf, 5).unwrap();
+        assert_eq!(buf, vec![30, 31, 32, 33, 34]);
+    }
+
+    #[test]
+    fn empty_source_yields_template() {
+        let items: Vec<u32> = Vec::new();
+        let mut source = SliceSource::new(&items);
+        let out = fold_stream(
+            &mut source,
+            StreamConfig::new(4),
+            1,
+            &123u64,
+            |_, _, _, _| Ok(()),
+            |_, _| Ok(()),
+        )
+        .unwrap();
+        assert_eq!(out, 123);
+    }
+
+    #[test]
+    fn required_len_errors_on_unsized_sources() {
+        struct Unsized;
+        impl ReportSource for Unsized {
+            type Item = u32;
+            fn fill(&mut self, _: &mut Vec<u32>, _: usize) -> Result<usize> {
+                Ok(0)
+            }
+        }
+        assert!(required_len(&Unsized).is_err());
+        assert_eq!(required_len(&SliceSource::new(&[1u32, 2])).unwrap(), 2);
+    }
+}

@@ -125,6 +125,56 @@ impl UnaryEncoding {
         Ok(bits)
     }
 
+    /// Encodes and perturbs item `v` into `out`, reusing its allocation.
+    ///
+    /// This is the **bulk** privatization path: the Bernoulli(`q`) noise
+    /// plane is sampled word-parallel
+    /// ([`BitVec::fill_bernoulli_wordwise`]) whenever `q` is dense enough
+    /// for the bit-sliced sampler to beat geometric skipping — no `ln`
+    /// per set bit, ~8 RNG words per 64 output bits. For sparse `q`
+    /// (below [`UnaryEncoding::WORDWISE_MIN_Q`]) it falls back to the same
+    /// geometric fill as [`UnaryEncoding::privatize`], making the two
+    /// paths RNG-identical in that regime.
+    ///
+    /// Both samplers are exactly Bernoulli(`q`); they only consume the RNG
+    /// stream differently, so batch outputs remain a pure function of
+    /// `(self, v, rng state)` — the determinism the batch runtime needs —
+    /// while diverging from the single-report stream for dense `q`.
+    ///
+    /// `out` is resized (reallocated) only when its length differs from
+    /// `d`; streaming absorbers reuse one scratch report per worker and
+    /// privatize with zero steady-state allocation.
+    pub fn privatize_into<R: Rng + ?Sized>(
+        &self,
+        v: u32,
+        rng: &mut R,
+        out: &mut BitVec,
+    ) -> Result<()> {
+        if v >= self.d {
+            return Err(Error::ValueOutOfDomain {
+                value: v as u64,
+                domain: self.d as u64,
+            });
+        }
+        if out.len() != self.d as usize {
+            *out = BitVec::zeros(self.d as usize);
+        }
+        if self.q >= Self::WORDWISE_MIN_Q {
+            out.fill_bernoulli_wordwise(self.q, rng);
+        } else {
+            out.fill_bernoulli(self.q, rng);
+        }
+        out.set(v as usize, rng.random_bool(self.p));
+        Ok(())
+    }
+
+    /// `q` threshold above which [`UnaryEncoding::privatize_into`] samples
+    /// noise word-parallel. Geometric skipping costs ~`64·q` draws + `ln`s
+    /// per word; the bit-sliced sampler a flat ~8 words. The cross-over
+    /// (with `ln` ≈ 2 word-draws of work) sits near `q ≈ 0.04`; 1/16 keeps
+    /// a margin for the cheap-`ln` case.
+    pub const WORDWISE_MIN_Q: f64 = 1.0 / 16.0;
+
     /// Perturbs an *already encoded* bit vector of length `d`.
     ///
     /// Needed by layers that encode specially (the paper's validity

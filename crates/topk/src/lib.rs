@@ -50,6 +50,8 @@ pub mod multiclass;
 pub mod pem;
 pub mod shuffle;
 
-pub use multiclass::{mine, mine_batch, NoiseTest, TopKConfig, TopKMethod, TopKResult};
+pub use multiclass::{
+    mine, mine_batch, mine_stream, NoiseTest, TopKConfig, TopKMethod, TopKResult,
+};
 pub use pem::{Pem, PemConfig, PemEngine, PemOutcome};
 pub use shuffle::{replay, CompletedRound, ShuffleEngine};

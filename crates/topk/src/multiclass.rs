@@ -265,12 +265,12 @@ impl<R: Rng + ?Sized> Pace<'_, R> {
             Pace::Seq(rng) => labels.iter().map(|&l| grr.perturb(l, rng)).collect(),
             Pace::Par { stream, threads } => {
                 let base = stream.next_u64();
-                parallel::try_flat_map_shards(labels, *threads, |shard, chunk| {
+                parallel::try_fill_shards(labels, *threads, |shard, chunk, slots| {
                     let mut rng = parallel::shard_rng(base, shard);
-                    chunk
-                        .iter()
-                        .map(|&l| grr.perturb(l, &mut rng))
-                        .collect::<Result<Vec<u32>>>()
+                    for (&l, slot) in chunk.iter().zip(slots.iter_mut()) {
+                        *slot = Some(grr.perturb(l, &mut rng)?);
+                    }
+                    Ok(())
                 })
             }
         }
@@ -283,38 +283,21 @@ impl<R: Rng + ?Sized> Pace<'_, R> {
         inputs: &[ValidityInput],
         comm: &mut CommStats,
     ) -> Result<VpAggregator> {
-        let mut agg = VpAggregator::new(vp);
         match self {
             Pace::Seq(rng) => {
+                let mut agg = VpAggregator::new(vp);
                 for &input in inputs {
                     let report = vp.privatize(input, rng)?;
                     comm.record(report.len());
                     agg.absorb(&report)?;
                 }
+                Ok(agg)
             }
             Pace::Par { stream, threads } => {
                 let base = stream.next_u64();
-                let shards = parallel::map_shards(inputs, *threads, |shard, chunk| {
-                    let mut rng = parallel::shard_rng(base, shard);
-                    let mut shard_comm = CommStats::default();
-                    let mut reports = Vec::with_capacity(chunk.len());
-                    for &input in chunk {
-                        let report = vp.privatize(input, &mut rng)?;
-                        shard_comm.record(report.len());
-                        reports.push(report);
-                    }
-                    let mut local = VpAggregator::new(vp);
-                    local.absorb_all(&reports)?;
-                    Ok::<_, Error>((local, shard_comm))
-                });
-                for shard in shards {
-                    let (partial, partial_comm) = shard?;
-                    agg.merge(&partial)?;
-                    comm.merge(partial_comm);
-                }
+                vp_aggregate_batch(vp, inputs, base, *threads, comm)
             }
         }
-        Ok(agg)
     }
 
     /// Runs one PEM round on a prepared item group.
@@ -375,6 +358,44 @@ pub fn mine_batch(
         threads: threads.max(1),
     };
     mine_with(method, config, domains, data, &mut pace)
+}
+
+/// [`mine_batch`] fed from a **stream** of label-item pairs.
+///
+/// Multi-round mining routes users into per-class groups that later rounds
+/// revisit, so the 8-byte pairs themselves are drained into memory
+/// (≈ 40 MB at the paper's 5M users) — but every privatized report still
+/// lives only inside the sharded runtime's `O(threads × shard)` buffers,
+/// never as an `O(n)` slice, and the pull-based ingestion means the pairs
+/// can come straight off disk or a socket instead of a pre-built `Vec`.
+/// The mined result is bit-identical to `mine_batch` over the same pairs.
+pub fn mine_stream<S>(
+    method: TopKMethod,
+    config: TopKConfig,
+    domains: Domains,
+    source: &mut S,
+    base_seed: u64,
+    stream_config: mcim_oracles::stream::StreamConfig,
+) -> Result<TopKResult>
+where
+    S: mcim_oracles::stream::ReportSource<Item = LabelItem>,
+{
+    let chunk = stream_config.chunk_items.max(1);
+    let mut data: Vec<LabelItem> = Vec::new();
+    loop {
+        let got = source.fill(&mut data, chunk)?;
+        if got == 0 {
+            break;
+        }
+    }
+    mine_batch(
+        method,
+        config,
+        domains,
+        &data,
+        base_seed,
+        stream_config.threads,
+    )
 }
 
 fn mine_with<R: Rng + ?Sized>(
@@ -778,51 +799,127 @@ fn pts_shuffled<R: Rng + ?Sized>(
     // Final round. CP classes need the cohort-wide total N_f for Eq. (4).
     let n_final: usize = finals.iter().map(|f| f.users.len()).sum();
     let mut per_class: Vec<Vec<u32>> = vec![Vec::new(); c];
-    for fg in &finals {
-        if fg.users.is_empty() || fg.candidates.is_empty() {
-            continue;
-        }
-        let cands = &fg.candidates;
-        let index: HashMap<u32, u32> = cands
+
+    // Pieces shared by both pacing arms, so the estimator math cannot
+    // silently diverge between them.
+    let cand_index = |fg: &FinalGroup<'_>| -> HashMap<u32, u32> {
+        fg.candidates
             .iter()
             .enumerate()
             .map(|(i, &it)| (it, i as u32))
-            .collect();
-        let scores: Vec<f64> = if fg.use_cp {
-            // Correlated perturbation: validity requires the routed label to
-            // match the true label AND the item to have survived pruning.
-            let vp = ValidityPerturbation::new(e2, cands.len() as u32)?;
-            let (p2, q2) = (vp.p(), vp.q());
-            let inputs: Vec<ValidityInput> = fg
-                .users
-                .iter()
-                .map(|p| match index.get(&p.item) {
-                    Some(&idx) if p.label == fg.class => ValidityInput::Valid(idx),
-                    _ => ValidityInput::Invalid,
-                })
-                .collect();
-            let agg = pace.vp_aggregate(&vp, &inputs, &mut comm)?;
-            // Eq. (4) with N = final cohort size and ñ_C = |F_C| (every
-            // member of this group was routed to this class).
-            let n_f = n_final as f64;
-            let n_hat = unbiased_count(fg.users.len() as f64, n_f, p1, q1);
-            let denom = p1 * (1.0 - q2) * (p2 - q2);
-            let correction = n_hat * q2 * (p1 * (1.0 - q2) - q1 * (1.0 - p2));
-            agg.raw_counts()
-                .iter()
-                .map(|&cnt| (cnt as f64 - n_f * q1 * q2 * (1.0 - p2) - correction) / denom)
-                .collect()
-        } else {
-            let inputs: Vec<Option<u32>> = fg
-                .users
-                .iter()
-                .map(|p| index.get(&p.item).copied())
-                .collect();
-            score_round(pace, e2, cands.len(), &inputs, validity, &mut comm)?
-        };
+            .collect()
+    };
+    // Correlated perturbation: validity requires the routed label to match
+    // the true label AND the item to have survived pruning.
+    let cp_inputs = |fg: &FinalGroup<'_>, index: &HashMap<u32, u32>| -> Vec<ValidityInput> {
+        fg.users
+            .iter()
+            .map(|p| match index.get(&p.item) {
+                Some(&idx) if p.label == fg.class => ValidityInput::Valid(idx),
+                _ => ValidityInput::Invalid,
+            })
+            .collect()
+    };
+    // Eq. (4) with N = final cohort size and ñ_C = |F_C| (every member of
+    // this group was routed to this class).
+    let cp_scores = |fg: &FinalGroup<'_>, vp: &ValidityPerturbation, agg: &VpAggregator| {
+        let (p2, q2) = (vp.p(), vp.q());
+        let n_f = n_final as f64;
+        let n_hat = unbiased_count(fg.users.len() as f64, n_f, p1, q1);
+        let denom = p1 * (1.0 - q2) * (p2 - q2);
+        let correction = n_hat * q2 * (p1 * (1.0 - q2) - q1 * (1.0 - p2));
+        agg.raw_counts()
+            .iter()
+            .map(|&cnt| (cnt as f64 - n_f * q1 * q2 * (1.0 - p2) - correction) / denom)
+            .collect::<Vec<f64>>()
+    };
+    let item_inputs = |fg: &FinalGroup<'_>, index: &HashMap<u32, u32>| -> Vec<Option<u32>> {
+        fg.users
+            .iter()
+            .map(|p| index.get(&p.item).copied())
+            .collect()
+    };
+    let rank_top = |cands: &[u32], scores: Vec<f64>| -> Vec<u32> {
         let mut ranked: Vec<(u32, f64)> = cands.iter().copied().zip(scores).collect();
         ranked.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-        per_class[fg.class as usize] = ranked.into_iter().take(k).map(|(it, _)| it).collect();
+        ranked.into_iter().take(k).map(|(it, _)| it).collect()
+    };
+
+    // One class's final-round scores on the sharded runtime, under an
+    // explicit base seed (so classes can run concurrently).
+    let class_scores_batch =
+        |fg: &FinalGroup<'_>, seed: u64, threads: usize| -> Result<(Vec<f64>, CommStats)> {
+            let mut comm = CommStats::default();
+            let index = cand_index(fg);
+            let scores = if fg.use_cp {
+                let vp = ValidityPerturbation::new(e2, fg.candidates.len() as u32)?;
+                let inputs = cp_inputs(fg, &index);
+                let agg = vp_aggregate_batch(&vp, &inputs, seed, threads, &mut comm)?;
+                cp_scores(fg, &vp, &agg)
+            } else {
+                let inputs = item_inputs(fg, &index);
+                score_round_batch(
+                    e2,
+                    fg.candidates.len(),
+                    &inputs,
+                    validity,
+                    seed,
+                    threads,
+                    &mut comm,
+                )?
+            };
+            Ok((scores, comm))
+        };
+
+    match pace {
+        Pace::Par { stream, threads } => {
+            // Final cohorts rarely fill a single 4096-item shard, so
+            // per-class sharding runs them one after another on one worker.
+            // Pre-drawing each eligible class's base seed in class order
+            // (exactly the draws the sequential-in-class-order execution
+            // performs) lets the classes themselves fan out across workers
+            // while every RNG stream — and therefore the mined set — stays
+            // bit-identical.
+            let threads = *threads;
+            let jobs: Vec<(usize, u64)> = finals
+                .iter()
+                .enumerate()
+                .filter(|(_, fg)| !fg.users.is_empty() && !fg.candidates.is_empty())
+                .map(|(i, _)| (i, stream.next_u64()))
+                .collect();
+            // Split the worker budget between the class fan-out and each
+            // class's internal sharding: paper-scale cohorts exceed one
+            // shard, and `jobs.len() × threads` workers would oversubscribe
+            // the machine in exactly the path this fan-out accelerates.
+            let inner_threads = (threads / jobs.len().max(1)).max(1);
+            let outcomes = parallel::map_each(&jobs, threads, |_, &(i, seed)| {
+                class_scores_batch(&finals[i], seed, inner_threads).map(|r| (i, r))
+            });
+            for outcome in outcomes {
+                let (i, (scores, class_comm)) = outcome?;
+                comm.merge(class_comm);
+                let fg = &finals[i];
+                per_class[fg.class as usize] = rank_top(&fg.candidates, scores);
+            }
+        }
+        Pace::Seq(_) => {
+            for fg in &finals {
+                if fg.users.is_empty() || fg.candidates.is_empty() {
+                    continue;
+                }
+                let index = cand_index(fg);
+                let scores: Vec<f64> = if fg.use_cp {
+                    let vp = ValidityPerturbation::new(e2, fg.candidates.len() as u32)?;
+                    let inputs = cp_inputs(fg, &index);
+                    let agg = pace.vp_aggregate(&vp, &inputs, &mut comm)?;
+                    cp_scores(fg, &vp, &agg)
+                } else {
+                    let inputs = item_inputs(fg, &index);
+                    score_round(pace, e2, fg.candidates.len(), &inputs, validity, &mut comm)?
+                };
+                per_class[fg.class as usize] = rank_top(&fg.candidates, scores);
+            }
+        }
     }
 
     Ok(TopKResult {
@@ -863,41 +960,120 @@ fn score_round<R: Rng + ?Sized>(
         let agg = pace.vp_aggregate(&vp, &vp_inputs, comm)?;
         Ok(agg.raw_counts().iter().map(|&c| c as f64).collect())
     } else {
-        let oracle = Oracle::adaptive(eps, buckets as u32)?;
-        let mut agg = Aggregator::new(&oracle);
         match pace {
             Pace::Seq(rng) => {
+                let oracle = Oracle::adaptive(eps, buckets as u32)?;
+                let mut agg = Aggregator::new(&oracle);
                 for &b in inputs {
                     let value = b.unwrap_or_else(|| rng.random_range(0..buckets as u32));
                     let report = oracle.privatize(value, rng)?;
                     comm.record(report.size_bits());
                     agg.absorb(&report)?;
                 }
+                Ok(agg.estimate())
             }
             Pace::Par { stream, threads } => {
                 let base = stream.next_u64();
-                let shards = parallel::map_shards(inputs, *threads, |shard, chunk| {
-                    let mut rng = parallel::shard_rng(base, shard);
-                    let mut shard_comm = CommStats::default();
-                    let mut reports = Vec::with_capacity(chunk.len());
-                    for &b in chunk {
-                        let value = b.unwrap_or_else(|| rng.random_range(0..buckets as u32));
-                        let report = oracle.privatize(value, &mut rng)?;
-                        shard_comm.record(report.size_bits());
-                        reports.push(report);
-                    }
-                    let mut local = Aggregator::new(&oracle);
-                    local.absorb_all(&reports)?;
-                    Ok::<_, Error>((local, shard_comm))
-                });
-                for shard in shards {
-                    let (partial, partial_comm) = shard?;
-                    agg.merge(&partial)?;
-                    comm.merge(partial_comm);
-                }
+                oracle_score_batch(eps, buckets, inputs, base, *threads, comm)
             }
         }
-        Ok(agg.estimate())
+    }
+}
+
+/// The sharded half of [`score_round`]'s oracle path, callable with an
+/// explicit base seed so the per-class final rounds can pre-draw their
+/// seeds and run on worker threads.
+fn oracle_score_batch(
+    eps: Eps,
+    buckets: usize,
+    inputs: &[Option<u32>],
+    base_seed: u64,
+    threads: usize,
+    comm: &mut CommStats,
+) -> Result<Vec<f64>> {
+    let oracle = Oracle::adaptive(eps, buckets as u32)?;
+    let mut agg = Aggregator::new(&oracle);
+    let shards = parallel::map_shards(inputs, threads, |shard, chunk| {
+        let mut rng = parallel::shard_rng(base_seed, shard);
+        let mut shard_comm = CommStats::default();
+        let mut reports = Vec::with_capacity(chunk.len());
+        for &b in chunk {
+            let value = b.unwrap_or_else(|| rng.random_range(0..buckets as u32));
+            let report = oracle.privatize(value, &mut rng)?;
+            shard_comm.record(report.size_bits());
+            reports.push(report);
+        }
+        let mut local = Aggregator::new(&oracle);
+        local.absorb_all(&reports)?;
+        Ok::<_, Error>((local, shard_comm))
+    });
+    for shard in shards {
+        let (partial, partial_comm) = shard?;
+        agg.merge(&partial)?;
+        comm.merge(partial_comm);
+    }
+    Ok(agg.estimate())
+}
+
+/// The sharded half of [`Pace::vp_aggregate`], callable with an explicit
+/// base seed (same rationale as [`oracle_score_batch`]).
+fn vp_aggregate_batch(
+    vp: &ValidityPerturbation,
+    inputs: &[ValidityInput],
+    base_seed: u64,
+    threads: usize,
+    comm: &mut CommStats,
+) -> Result<VpAggregator> {
+    let mut agg = VpAggregator::new(vp);
+    let shards = parallel::map_shards(inputs, threads, |shard, chunk| {
+        let mut rng = parallel::shard_rng(base_seed, shard);
+        let mut shard_comm = CommStats::default();
+        let mut reports = Vec::with_capacity(chunk.len());
+        for &input in chunk {
+            let report = vp.privatize(input, &mut rng)?;
+            shard_comm.record(report.len());
+            reports.push(report);
+        }
+        let mut local = VpAggregator::new(vp);
+        local.absorb_all(&reports)?;
+        Ok::<_, Error>((local, shard_comm))
+    });
+    for shard in shards {
+        let (partial, partial_comm) = shard?;
+        agg.merge(&partial)?;
+        comm.merge(partial_comm);
+    }
+    Ok(agg)
+}
+
+/// [`score_round`]'s sharded path with an explicit base seed — the
+/// per-class final rounds pre-draw one seed per class in class order and
+/// then run the classes themselves on worker threads.
+fn score_round_batch(
+    eps: Eps,
+    buckets: usize,
+    inputs: &[Option<u32>],
+    validity: bool,
+    base_seed: u64,
+    threads: usize,
+    comm: &mut CommStats,
+) -> Result<Vec<f64>> {
+    if buckets == 0 {
+        return Ok(Vec::new());
+    }
+    if validity {
+        let vp = ValidityPerturbation::new(eps, buckets as u32)?;
+        let vp_inputs: Vec<ValidityInput> = inputs
+            .iter()
+            .map(|b| match b {
+                Some(idx) => ValidityInput::Valid(*idx),
+                None => ValidityInput::Invalid,
+            })
+            .collect();
+        let agg = vp_aggregate_batch(&vp, &vp_inputs, base_seed, threads, comm)?;
+        Ok(agg.raw_counts().iter().map(|&c| c as f64).collect())
+    } else {
+        oracle_score_batch(eps, buckets, inputs, base_seed, threads, comm)
     }
 }
 

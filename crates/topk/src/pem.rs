@@ -23,9 +23,53 @@ use rand::Rng;
 
 use mcim_core::{CommStats, ValidityInput, ValidityPerturbation, VpAggregator};
 use mcim_oracles::hash::SplitMix64;
+use mcim_oracles::stream::{fold_stream, required_len, ReportSource, StreamConfig, Take};
 use mcim_oracles::{parallel, Aggregator, Eps, Error, Oracle, Result};
 
 use crate::encoding::PrefixCode;
+
+/// Round-to-round cache of derived mechanisms, keyed by
+/// `(ε bit pattern, candidate count)`.
+///
+/// Every PEM round used to rebuild a fresh [`ValidityPerturbation`] (or
+/// adaptive [`Oracle`]) even though middle rounds repeat the same candidate
+/// count (`keep_factor·k·2^m`), so deep tries paid the calibration constant
+/// (`exp`, probability derivation, allocation) once per round. The cache
+/// makes the rebuild a hit whenever `(ε, |candidates|)` repeats; mechanism
+/// construction draws no randomness, so caching cannot change any stream.
+#[derive(Debug, Clone, Default)]
+struct MechCache {
+    vp: Option<(u64, u32, ValidityPerturbation)>,
+    oracle: Option<(u64, u32, Oracle)>,
+}
+
+impl MechCache {
+    /// The validity-perturbation mechanism for `(eps, n_cands)`.
+    fn vp(&mut self, eps: Eps, n_cands: u32) -> Result<ValidityPerturbation> {
+        let key = (eps.value().to_bits(), n_cands);
+        if let Some((k0, k1, vp)) = &self.vp {
+            if (*k0, *k1) == key {
+                return Ok(vp.clone());
+            }
+        }
+        let vp = ValidityPerturbation::new(eps, n_cands)?;
+        self.vp = Some((key.0, key.1, vp.clone()));
+        Ok(vp)
+    }
+
+    /// The adaptive oracle for `(eps, n_cands)`.
+    fn oracle(&mut self, eps: Eps, n_cands: u32) -> Result<Oracle> {
+        let key = (eps.value().to_bits(), n_cands);
+        if let Some((k0, k1, oracle)) = &self.oracle {
+            if (*k0, *k1) == key {
+                return Ok(oracle.clone());
+            }
+        }
+        let oracle = Oracle::adaptive(eps, n_cands)?;
+        self.oracle = Some((key.0, key.1, oracle.clone()));
+        Ok(oracle)
+    }
+}
 
 /// PEM tuning parameters.
 #[derive(Debug, Clone, Copy)]
@@ -70,6 +114,8 @@ pub struct PemEngine {
     /// Scores of `candidates` from the most recent round.
     last_scores: Vec<f64>,
     finished: bool,
+    /// Mechanism reuse across rounds (see [`MechCache`]).
+    cache: MechCache,
 }
 
 impl PemEngine {
@@ -97,6 +143,7 @@ impl PemEngine {
             prefix_len: gamma0,
             last_scores: Vec::new(),
             finished: false,
+            cache: MechCache::default(),
         })
     }
 
@@ -122,6 +169,7 @@ impl PemEngine {
             prefix_len,
             last_scores: Vec::new(),
             finished: false,
+            cache: MechCache::default(),
         })
     }
 
@@ -173,7 +221,7 @@ impl PemEngine {
         let mut comm = CommStats::default();
 
         let scores: Vec<f64> = if self.config.validity {
-            let vp = ValidityPerturbation::new(eps, n_cands)?;
+            let vp = self.cache.vp(eps, n_cands)?;
             let mut agg = VpAggregator::new(&vp);
             for item in items {
                 let input = match item {
@@ -189,7 +237,7 @@ impl PemEngine {
             }
             agg.raw_counts().iter().map(|&c| c as f64).collect()
         } else {
-            let oracle = Oracle::adaptive(eps, n_cands)?;
+            let oracle = self.cache.oracle(eps, n_cands)?;
             let mut agg = Aggregator::new(&oracle);
             for item in items {
                 let value = match item {
@@ -242,7 +290,7 @@ impl PemEngine {
         let mut comm = CommStats::default();
 
         let scores: Vec<f64> = if self.config.validity {
-            let vp = ValidityPerturbation::new(eps, n_cands)?;
+            let vp = self.cache.vp(eps, n_cands)?;
             let shards = parallel::map_shards(items, threads, |shard, chunk| {
                 let mut rng = parallel::shard_rng(base_seed, shard);
                 let mut comm = CommStats::default();
@@ -271,7 +319,7 @@ impl PemEngine {
             }
             agg.raw_counts().iter().map(|&c| c as f64).collect()
         } else {
-            let oracle = Oracle::adaptive(eps, n_cands)?;
+            let oracle = self.cache.oracle(eps, n_cands)?;
             let shards = parallel::map_shards(items, threads, |shard, chunk| {
                 let mut rng = parallel::shard_rng(base_seed, shard);
                 let mut comm = CommStats::default();
@@ -301,6 +349,105 @@ impl PemEngine {
                 comm.merge(partial_comm);
             }
             agg.estimate()
+        };
+
+        self.prune_and_extend(scores);
+        Ok(comm)
+    }
+
+    /// [`PemEngine::run_round_batch`] over a **stream** of the round's user
+    /// group, with bounded memory: items are pulled in
+    /// `config.chunk_items`-sized chunks and privatized+absorbed shard by
+    /// shard with the same deterministic per-shard RNG streams (RNG state
+    /// carried across chunk boundaries). The surviving candidate set is
+    /// bit-identical to `run_round_batch` over the same items for every
+    /// chunk size and thread count.
+    pub fn run_round_stream<S>(
+        &mut self,
+        eps: Eps,
+        source: &mut S,
+        base_seed: u64,
+        config: StreamConfig,
+    ) -> Result<CommStats>
+    where
+        S: ReportSource<Item = Option<u32>>,
+    {
+        if self.finished {
+            return Err(Error::InvalidParameter {
+                name: "round",
+                constraint: "engine already finished",
+            });
+        }
+        let index: HashMap<u32, u32> = self
+            .candidates
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, i as u32))
+            .collect();
+        let n_cands = self.candidates.len() as u32;
+        let code = self.code;
+        let prefix_len = self.prefix_len;
+
+        let (scores, comm) = if self.config.validity {
+            let vp = self.cache.vp(eps, n_cands)?;
+            let template = (VpAggregator::new(&vp), CommStats::default());
+            let (agg, comm) = fold_stream(
+                source,
+                config,
+                base_seed,
+                &template,
+                |rng, _abs, items, (agg, comm): &mut (VpAggregator, CommStats)| {
+                    for &item in items {
+                        let input = match item {
+                            Some(it) => match index.get(&code.prefix(it, prefix_len)) {
+                                Some(&idx) => ValidityInput::Valid(idx),
+                                None => ValidityInput::Invalid,
+                            },
+                            None => ValidityInput::Invalid,
+                        };
+                        let report = vp.privatize(input, rng)?;
+                        comm.record(report.len());
+                        agg.absorb(&report)?;
+                    }
+                    Ok(())
+                },
+                |a, b| {
+                    a.0.merge(&b.0)?;
+                    a.1.merge(b.1);
+                    Ok(())
+                },
+            )?;
+            (agg.raw_counts().iter().map(|&c| c as f64).collect(), comm)
+        } else {
+            let oracle = self.cache.oracle(eps, n_cands)?;
+            let template = (Aggregator::new(&oracle), CommStats::default());
+            let (agg, comm) = fold_stream(
+                source,
+                config,
+                base_seed,
+                &template,
+                |rng, _abs, items, (agg, comm): &mut (Aggregator, CommStats)| {
+                    for &item in items {
+                        let value = match item {
+                            Some(it) => match index.get(&code.prefix(it, prefix_len)) {
+                                Some(&idx) => idx,
+                                None => rng.random_range(0..n_cands),
+                            },
+                            None => rng.random_range(0..n_cands),
+                        };
+                        let report = oracle.privatize(value, rng)?;
+                        comm.record(report.size_bits());
+                        agg.absorb(&report)?;
+                    }
+                    Ok(())
+                },
+                |a, b| {
+                    a.0.merge(&b.0)?;
+                    a.1.merge(b.1);
+                    Ok(())
+                },
+            )?;
+            (agg.estimate(), comm)
         };
 
         self.prune_and_extend(scores);
@@ -464,6 +611,40 @@ impl Pem {
         for _ in 0..rounds {
             let group = groups.next().unwrap_or(&[]);
             let stats = engine.run_round_batch(eps, group, stream.next_u64(), threads)?;
+            comm.merge(stats);
+        }
+        Ok(PemOutcome {
+            top: engine.top_items()?,
+            comm,
+        })
+    }
+
+    /// [`Pem::mine_batch`] over a **stream** of users with bounded memory:
+    /// round `r` pulls its `⌈n/rounds⌉`-user group straight off the source
+    /// (via [`Take`]) and runs [`PemEngine::run_round_stream`], so no round
+    /// group is ever materialized beyond one chunk. Requires a **sized**
+    /// source (the round split needs `n` up front); the mined set is
+    /// bit-identical to `mine_batch` over the same items for every chunk
+    /// size and thread count.
+    pub fn mine_stream<S>(
+        &self,
+        eps: Eps,
+        source: &mut S,
+        base_seed: u64,
+        config: StreamConfig,
+    ) -> Result<PemOutcome>
+    where
+        S: ReportSource<Item = Option<u32>>,
+    {
+        let n = required_len(source)?;
+        let mut engine = PemEngine::new(self.d, self.config)?;
+        let rounds = engine.remaining_rounds();
+        let mut comm = CommStats::default();
+        let chunk = (n.div_ceil(rounds as u64)).max(1);
+        let mut stream = SplitMix64::new(base_seed);
+        for _ in 0..rounds {
+            let mut group = Take::new(source, chunk);
+            let stats = engine.run_round_stream(eps, &mut group, stream.next_u64(), config)?;
             comm.merge(stats);
         }
         Ok(PemOutcome {

@@ -56,6 +56,9 @@ pub mod prelude {
         ValidityInput, ValidityPerturbation, VpAggregator,
     };
     pub use mcim_metrics::{f1_at_k, ncr_at_k, rmse};
-    pub use mcim_oracles::{parallel, Aggregator, ColumnCounter, Eps, Error, Oracle, Result};
-    pub use mcim_topk::{mine, mine_batch, TopKConfig, TopKMethod, TopKResult};
+    pub use mcim_oracles::stream::{ReportSource, SliceSource, StreamConfig};
+    pub use mcim_oracles::{
+        parallel, stream, Aggregator, ColumnCounter, Eps, Error, Oracle, Result,
+    };
+    pub use mcim_topk::{mine, mine_batch, mine_stream, TopKConfig, TopKMethod, TopKResult};
 }

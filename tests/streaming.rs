@@ -1,0 +1,309 @@
+//! Streaming-ingestion equivalence: every `*_stream` API must produce
+//! **bit-identical** results to its `*_batch` counterpart, for every chunk
+//! size (including ones that split shards) and every thread count. The CI
+//! thread matrix runs this file under `MCIM_THREADS=1` and `=4`.
+
+use multiclass_ldp::core::frameworks::{
+    Hec, HecAggregator, Ptj, PtjAggregator, Pts, PtsAggregator,
+};
+use multiclass_ldp::oracles::stream::{SliceSource, StreamConfig};
+use multiclass_ldp::prelude::*;
+use multiclass_ldp::topk::{mine_stream, Pem, PemConfig};
+
+const SHARD: usize = parallel::SHARD_SIZE;
+
+fn sample_data(domains: Domains, n: usize) -> Vec<LabelItem> {
+    (0..n)
+        .map(|u| {
+            LabelItem::new(
+                (u % domains.classes() as usize) as u32,
+                ((u * 7919) % domains.items() as usize) as u32,
+            )
+        })
+        .collect()
+}
+
+fn config(chunk: usize, threads: usize) -> StreamConfig {
+    StreamConfig::new(threads).with_chunk_items(chunk)
+}
+
+/// Chunk sizes that hit every boundary case: single item, one short of a
+/// shard, exactly a shard, one past, and the whole stream at once.
+fn boundary_chunks(n: usize) -> [usize; 5] {
+    [1, SHARD - 1, SHARD, SHARD + 1, n]
+}
+
+#[test]
+fn aggregator_absorb_stream_matches_batch_for_every_oracle() {
+    let eps = Eps::new(1.0).unwrap();
+    for oracle in [
+        Oracle::grr(eps, 6).unwrap(),
+        Oracle::oue(eps, 200).unwrap(),
+        Oracle::olh(Eps::new(2.0).unwrap(), 32).unwrap(),
+    ] {
+        let d = oracle.domain_size();
+        let values: Vec<u32> = (0..SHARD as u32 + 700).map(|u| (u * 13) % d).collect();
+        let reports = oracle.privatize_batch(&values, 8, 1).unwrap();
+        let mut batch = Aggregator::new(&oracle);
+        batch.absorb_batch(&reports, 4).unwrap();
+        for chunk in [SHARD - 1, SHARD + 1] {
+            for threads in [1, 4] {
+                let mut streamed = Aggregator::new(&oracle);
+                streamed
+                    .absorb_stream(&mut SliceSource::new(&reports), config(chunk, threads))
+                    .unwrap();
+                assert_eq!(
+                    streamed.raw_counts(),
+                    batch.raw_counts(),
+                    "{} chunk={chunk} threads={threads}",
+                    oracle.name()
+                );
+                assert_eq!(streamed.report_count(), batch.report_count());
+                assert_eq!(streamed.estimate(), batch.estimate());
+            }
+        }
+    }
+}
+
+#[test]
+fn vp_and_cp_absorb_stream_match_batch() {
+    let n = SHARD + 900;
+    // VP
+    let vp = ValidityPerturbation::new(Eps::new(1.5).unwrap(), 96).unwrap();
+    let inputs: Vec<ValidityInput> = (0..n)
+        .map(|u| {
+            if u % 4 == 0 {
+                ValidityInput::Invalid
+            } else {
+                ValidityInput::Valid(u as u32 % 96)
+            }
+        })
+        .collect();
+    let reports = vp.privatize_batch(&inputs, 3, 1).unwrap();
+    let mut batch = VpAggregator::new(&vp);
+    batch.absorb_batch(&reports, 4).unwrap();
+    for threads in [1, 4] {
+        let mut streamed = VpAggregator::new(&vp);
+        streamed
+            .absorb_stream(&mut SliceSource::new(&reports), config(SHARD + 1, threads))
+            .unwrap();
+        assert_eq!(
+            streamed.raw_counts(),
+            batch.raw_counts(),
+            "VP threads={threads}"
+        );
+        assert_eq!(streamed.raw_flag_count(), batch.raw_flag_count());
+        assert_eq!(streamed.estimate(), batch.estimate());
+    }
+    // CP
+    let domains = Domains::new(4, 48).unwrap();
+    let cp = CorrelatedPerturbation::with_total(Eps::new(2.0).unwrap(), domains).unwrap();
+    let pairs = sample_data(domains, n);
+    let reports = cp.privatize_batch(&pairs, 5, 1).unwrap();
+    let mut batch = CpAggregator::new(&cp);
+    batch.absorb_batch(&reports, 4).unwrap();
+    for threads in [1, 4] {
+        let mut streamed = CpAggregator::new(&cp);
+        streamed
+            .absorb_stream(&mut SliceSource::new(&reports), config(SHARD - 1, threads))
+            .unwrap();
+        assert_eq!(streamed.report_count(), batch.report_count());
+        for label in 0..domains.classes() {
+            assert_eq!(
+                streamed.raw_label_count(label),
+                batch.raw_label_count(label),
+                "CP threads={threads}"
+            );
+            for item in 0..domains.items() {
+                assert_eq!(
+                    streamed.raw_pair_count(label, item),
+                    batch.raw_pair_count(label, item),
+                    "CP threads={threads} ({label},{item})"
+                );
+                assert!(
+                    streamed.estimate().get(label, item) == batch.estimate().get(label, item),
+                    "CP threads={threads}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn pts_ptj_hec_absorb_stream_match_batch() {
+    let domains = Domains::new(3, 40).unwrap();
+    let n = SHARD + 600;
+    let pairs = sample_data(domains, n);
+    let eps = Eps::new(2.0).unwrap();
+
+    let pts = Pts::new(Eps::new(1.0).unwrap(), Eps::new(1.0).unwrap(), domains).unwrap();
+    let reports = pts.privatize_batch(&pairs, 6, 1).unwrap();
+    let mut batch = PtsAggregator::new(&pts);
+    batch.absorb_batch(&reports, 4).unwrap();
+    for threads in [1, 4] {
+        let mut streamed = PtsAggregator::new(&pts);
+        streamed
+            .absorb_stream(&mut SliceSource::new(&reports), config(SHARD + 1, threads))
+            .unwrap();
+        assert_eq!(streamed.estimate().get(1, 2), batch.estimate().get(1, 2));
+        assert_eq!(streamed.report_count(), batch.report_count());
+    }
+
+    let ptj = Ptj::new(eps, domains).unwrap();
+    let reports = ptj.privatize_batch(&pairs, 7, 1).unwrap();
+    let mut batch = PtjAggregator::new(&ptj);
+    batch.absorb_batch(&reports, 4).unwrap();
+    for threads in [1, 4] {
+        let mut streamed = PtjAggregator::new(&ptj);
+        streamed
+            .absorb_stream(&mut SliceSource::new(&reports), config(SHARD - 1, threads))
+            .unwrap();
+        assert_eq!(streamed.estimate().get(2, 3), batch.estimate().get(2, 3));
+        assert_eq!(streamed.report_count(), batch.report_count());
+    }
+
+    let hec = Hec::new(eps, domains).unwrap();
+    let reports = hec.privatize_batch(0, &pairs, 9, 1).unwrap();
+    let mut batch = HecAggregator::new(&hec);
+    batch.absorb_batch(&reports, 4).unwrap();
+    for threads in [1, 4] {
+        let mut streamed = HecAggregator::new(&hec);
+        streamed
+            .absorb_stream(&mut SliceSource::new(&reports), config(SHARD + 1, threads))
+            .unwrap();
+        assert_eq!(
+            streamed.estimate().unwrap().get(0, 1),
+            batch.estimate().unwrap().get(0, 1)
+        );
+        assert_eq!(streamed.report_count(), batch.report_count());
+    }
+}
+
+/// The chunk-boundary property: `run_stream` equals `run_batch`
+/// bit-for-bit at chunk sizes 1, shard−1, shard, shard+1 and n, for every
+/// framework (RNG state must carry correctly across split shards).
+#[test]
+fn run_stream_matches_run_batch_at_every_chunk_boundary() {
+    let domains = Domains::new(3, 32).unwrap();
+    let n = 2 * SHARD + 537;
+    let data = sample_data(domains, n);
+    let eps = Eps::new(2.0).unwrap();
+    let threads = parallel::configured_threads();
+    for fw in Framework::fig6_set() {
+        let batch = fw.run_batch(eps, domains, &data, 2025, threads).unwrap();
+        for chunk in boundary_chunks(n) {
+            for t in [1, threads] {
+                let mut source = SliceSource::new(&data);
+                let streamed = fw
+                    .run_stream(eps, domains, &mut source, 2025, config(chunk, t))
+                    .unwrap();
+                assert_eq!(
+                    streamed.comm,
+                    batch.comm,
+                    "{} chunk={chunk} threads={t}",
+                    fw.name()
+                );
+                for label in 0..domains.classes() {
+                    for item in 0..domains.items() {
+                        assert!(
+                            streamed.table.get(label, item) == batch.table.get(label, item),
+                            "{} chunk={chunk} threads={t} diverged at ({label},{item})",
+                            fw.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn pem_mine_stream_matches_mine_batch() {
+    let d = 128u32;
+    let n = SHARD + 2200;
+    let items: Vec<Option<u32>> = (0..n)
+        .map(|u| {
+            if u % 5 == 0 {
+                None
+            } else {
+                Some(((u * 31) % 40) as u32)
+            }
+        })
+        .collect();
+    let eps = Eps::new(4.0).unwrap();
+    for pem_config in [PemConfig::new(4), PemConfig::new(4).with_validity()] {
+        let pem = Pem::new(d, pem_config).unwrap();
+        let batch = pem.mine_batch(eps, &items, 55, 2).unwrap();
+        for chunk in [997, SHARD, n] {
+            for threads in [1, 4] {
+                let mut source = SliceSource::new(&items);
+                let streamed = pem
+                    .mine_stream(eps, &mut source, 55, config(chunk, threads))
+                    .unwrap();
+                assert_eq!(
+                    streamed.top, batch.top,
+                    "validity={} chunk={chunk} threads={threads}",
+                    pem_config.validity
+                );
+                assert_eq!(streamed.comm, batch.comm);
+            }
+        }
+    }
+}
+
+#[test]
+fn pem_mine_stream_requires_sized_source() {
+    struct Unsized;
+    impl multiclass_ldp::oracles::stream::ReportSource for Unsized {
+        type Item = Option<u32>;
+        fn fill(&mut self, _: &mut Vec<Option<u32>>, _: usize) -> Result<usize> {
+            Ok(0)
+        }
+    }
+    let pem = Pem::new(64, PemConfig::new(2)).unwrap();
+    let err = pem
+        .mine_stream(
+            Eps::new(1.0).unwrap(),
+            &mut Unsized,
+            1,
+            StreamConfig::new(1),
+        )
+        .unwrap_err();
+    assert!(matches!(err, Error::InvalidParameter { .. }));
+}
+
+#[test]
+fn topk_mine_stream_matches_mine_batch() {
+    let domains = Domains::new(3, 64).unwrap();
+    let data = sample_data(domains, 18_000);
+    let config_k = TopKConfig::new(3, Eps::new(6.0).unwrap());
+    for method in [
+        TopKMethod::Hec,
+        TopKMethod::PtsShuffled {
+            validity: true,
+            global: true,
+            correlated: true,
+        },
+    ] {
+        let batch = mine_batch(method, config_k, domains, &data, 31, 2).unwrap();
+        for threads in [1, 4] {
+            let mut source = SliceSource::new(&data);
+            let streamed = mine_stream(
+                method,
+                config_k,
+                domains,
+                &mut source,
+                31,
+                config(4096, threads),
+            )
+            .unwrap();
+            assert_eq!(
+                streamed.per_class,
+                batch.per_class,
+                "{} threads={threads}",
+                method.name()
+            );
+            assert_eq!(streamed.comm, batch.comm);
+        }
+    }
+}

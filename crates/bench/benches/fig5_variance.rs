@@ -13,8 +13,9 @@ use mcim_bench::{fmt, run_trials, BenchEnv, Scale, Table};
 use mcim_core::{Framework, FrequencyTable};
 use mcim_datasets::{syn1, syn2};
 use mcim_metrics::{pmi, RunningMoments};
+use mcim_oracles::exec::Exec;
+use mcim_oracles::stream::SliceSource;
 use mcim_oracles::Eps;
-use rand::SeedableRng;
 
 fn empirical_variance(
     framework: Framework,
@@ -25,9 +26,9 @@ fn empirical_variance(
 ) -> Vec<f64> {
     let eps = Eps::new(1.0).unwrap();
     let per_trial: Vec<Vec<f64>> = run_trials(trials, |trial| {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0xF165 ^ trial);
+        let plan = Exec::sequential().seed(0xF165 ^ trial);
         let result = framework
-            .run(eps, ds.domains, &ds.pairs, &mut rng)
+            .execute(eps, ds.domains, &plan, SliceSource::new(&ds.pairs))
             .expect("framework run");
         targets
             .iter()

@@ -11,18 +11,19 @@
 use mcim_bench::{fmt, mean, run_trials, BenchEnv, Scale, Table};
 use mcim_core::Framework;
 use mcim_datasets::{diabetes_like, heart_like, GroupedDataset, RealConfig};
+use mcim_oracles::exec::Exec;
+use mcim_oracles::stream::SliceSource;
 use mcim_oracles::Eps;
-use rand::SeedableRng;
 
 /// Pooled RMSE over every (class, item) cell of every feature group.
 fn pooled_rmse(framework: Framework, eps: Eps, ds: &GroupedDataset, seed: u64) -> f64 {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let mut sum_sq = 0.0;
     let mut cells = 0usize;
-    for group in &ds.groups {
+    for (g, group) in ds.groups.iter().enumerate() {
         let truth = group.ground_truth();
+        let plan = Exec::sequential().seed(seed.wrapping_add(g as u64));
         let result = framework
-            .run(eps, group.domains, &group.pairs, &mut rng)
+            .execute(eps, group.domains, &plan, SliceSource::new(&group.pairs))
             .expect("framework run");
         for (est, tru) in result.table.values().iter().zip(truth.values()) {
             sum_sq += (est - tru) * (est - tru);

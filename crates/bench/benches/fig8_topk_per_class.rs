@@ -10,9 +10,10 @@
 use mcim_bench::workloads::jd;
 use mcim_bench::{fmt, mean, run_trials, BenchEnv, Table};
 use mcim_metrics::f1_at_k;
+use mcim_oracles::exec::Exec;
+use mcim_oracles::stream::SliceSource;
 use mcim_oracles::Eps;
-use mcim_topk::{mine, TopKConfig, TopKMethod};
-use rand::SeedableRng;
+use mcim_topk::{execute, TopKConfig, TopKMethod};
 
 fn main() {
     let env = BenchEnv::from_env(3);
@@ -44,8 +45,15 @@ fn main() {
     let mut per_class_scores = vec![vec![0.0f64; 5]; methods.len()];
     for (mi, method) in methods.iter().enumerate() {
         let trial_scores = run_trials(env.trials, |trial| {
-            let mut rng = rand::rngs::StdRng::seed_from_u64(0xF168 ^ (trial * 31));
-            let result = mine(*method, config, ds.domains, &ds.pairs, &mut rng).expect("mine");
+            let plan = Exec::sequential().seed(0xF168 ^ (trial * 31));
+            let result = execute(
+                *method,
+                config,
+                ds.domains,
+                &plan,
+                SliceSource::new(&ds.pairs),
+            )
+            .expect("mine");
             (0..5)
                 .map(|c| f1_at_k(&result.per_class[c], &truth[c]))
                 .collect::<Vec<f64>>()

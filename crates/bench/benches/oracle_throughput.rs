@@ -9,6 +9,15 @@
 //! * `colsum` — the word-parallel bit-sliced column sums, single-threaded
 //!   and sharded across `MCIM_THREADS` workers.
 //!
+//! An `exec_modes` slice additionally races the three `Exec` plan modes
+//! (sequential / batch / stream) of one full frequency pipeline at
+//! `d = 1024`, `n = 1M` (`MCIM_BENCH_EXEC_N` overrides), so the dispatch
+//! layer's overhead is tracked in `BENCH_oracle_throughput.json`: batch
+//! and stream must stay within noise of each other, and on multi-core
+//! machines both must keep their multiple over sequential (the JSON's
+//! `cores` field records the machine's real parallelism — on one core
+//! the three modes are expected to tie).
+//!
 //! Prints a table, saves `results/oracle_throughput.csv`, and emits the
 //! machine-readable baseline `results/BENCH_oracle_throughput.json` that
 //! the CI uploads so later PRs can track the perf trajectory.
@@ -21,9 +30,11 @@ use std::time::Instant;
 
 use mcim_bench::{results_dir, Table};
 use mcim_core::{
-    CorrelatedPerturbation, CpAggregator, Domains, LabelItem, ValidityInput, ValidityPerturbation,
-    VpAggregator,
+    CorrelatedPerturbation, CpAggregator, Domains, Framework, LabelItem, ValidityInput,
+    ValidityPerturbation, VpAggregator,
 };
+use mcim_oracles::exec::Exec;
+use mcim_oracles::stream::SliceSource;
 use mcim_oracles::{parallel, Aggregator, Eps, Oracle, Report};
 
 const D: u32 = 1024;
@@ -230,6 +241,35 @@ fn main() {
         || olh_mech.support_counts(&hashed, &candidates).iter().sum(),
     ));
 
+    // ------------------------------------------------- exec dispatch ----
+    // The `Exec` plan layer must cost nothing measurable over driving the
+    // sharded machinery directly: race the three plan modes of one full
+    // frequency pipeline (PTS: GRR label + OUE item per user) end to end.
+    let exec_n: usize = std::env::var("MCIM_BENCH_EXEC_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| (10 * n).min(1_000_000));
+    let exec_domains = Domains::new(8, D).unwrap();
+    let exec_pairs: Vec<LabelItem> = (0..exec_n as u32)
+        .map(|u| LabelItem::new(u % 8, (u * 13) % D))
+        .collect();
+    let exec_fw = Framework::Pts { label_frac: 0.5 };
+    let run_plan = |plan: &Exec| {
+        let result = exec_fw
+            .execute(eps, exec_domains, plan, SliceSource::new(&exec_pairs))
+            .unwrap();
+        result.comm.total_report_bits ^ result.table.get(0, 0).to_bits()
+    };
+    scenarios.push(scenario("exec_plan_sequential", exec_n, trials, || {
+        run_plan(&Exec::sequential().seed(6))
+    }));
+    scenarios.push(scenario("exec_plan_batch_tn", exec_n, trials, || {
+        run_plan(&Exec::batch().seed(6).threads(threads))
+    }));
+    scenarios.push(scenario("exec_plan_stream_tn", exec_n, trials, || {
+        run_plan(&Exec::stream().seed(6).threads(threads))
+    }));
+
     // ------------------------------------------------------- results ----
     let mut table = Table::new("oracle_throughput", &["scenario", "ms", "reports_per_sec"]);
     for s in &scenarios {
@@ -277,6 +317,14 @@ fn main() {
             "oue_privatize_batch_tn_vs_seq",
             ms_of("oue_privatize_seq") / ms_of("oue_privatize_batch_tn"),
         ),
+        (
+            "exec_plan_batch_tn_vs_sequential",
+            ms_of("exec_plan_sequential") / ms_of("exec_plan_batch_tn"),
+        ),
+        (
+            "exec_plan_stream_tn_vs_batch_tn",
+            ms_of("exec_plan_batch_tn") / ms_of("exec_plan_stream_tn"),
+        ),
     ];
     println!("speedups:");
     for (name, x) in &speedups {
@@ -286,9 +334,10 @@ fn main() {
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"bench\": \"oracle_throughput\",");
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
     let _ = writeln!(
         json,
-        "  \"config\": {{ \"d\": {D}, \"n\": {n}, \"eps\": {EPS}, \"threads\": {threads}, \"trials\": {trials} }},"
+        "  \"config\": {{ \"d\": {D}, \"n\": {n}, \"exec_n\": {exec_n}, \"eps\": {EPS}, \"threads\": {threads}, \"cores\": {cores}, \"trials\": {trials} }},"
     );
     let _ = writeln!(json, "  \"scenarios\": [");
     for (i, s) in scenarios.iter().enumerate() {

@@ -5,9 +5,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mcim_core::{Domains, Framework, LabelItem};
+use mcim_oracles::exec::Exec;
+use mcim_oracles::stream::SliceSource;
 use mcim_oracles::Eps;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn bench_frameworks(c: &mut Criterion) {
     let domains = Domains::new(4, 256).unwrap();
@@ -17,10 +17,13 @@ fn bench_frameworks(c: &mut Criterion) {
     let eps = Eps::new(2.0).unwrap();
     let mut group = c.benchmark_group("frequency_pipeline_n20k_c4_d256");
     group.sample_size(10);
+    let plan = Exec::sequential().seed(9);
     for fw in Framework::fig6_set() {
         group.bench_function(fw.name(), |b| {
-            let mut rng = StdRng::seed_from_u64(9);
-            b.iter(|| fw.run(eps, domains, &data, &mut rng).unwrap())
+            b.iter(|| {
+                fw.execute(eps, domains, &plan, SliceSource::new(&data))
+                    .unwrap()
+            })
         });
     }
     group.finish();

@@ -24,6 +24,7 @@ use std::time::Instant;
 use mcim_bench::{results_dir, Table};
 use mcim_core::{Domains, Framework};
 use mcim_datasets::{SyntheticPairSource, SyntheticSourceConfig};
+use mcim_oracles::exec::Exec;
 use mcim_oracles::stream::{ReportSource, StreamConfig};
 use mcim_oracles::{parallel, Aggregator, Eps, Oracle, Report, Result};
 
@@ -142,9 +143,10 @@ fn main() {
         zipf_s: 1.5,
         seed: 2,
     });
+    let plan = Exec::stream().seed(3).threads(threads).chunk_size(chunk);
     let start = Instant::now();
     let result = Framework::PtsCp { label_frac: 0.5 }
-        .run_stream(eps, domains, &mut pairs, 3, config)
+        .execute(eps, domains, &plan, &mut pairs)
         .unwrap();
     record("pts_cp_run_stream", n_freq, start);
     std::hint::black_box(result.table.get(0, 0));

@@ -11,9 +11,10 @@ use std::time::Instant;
 
 use mcim_bench::workloads::jd;
 use mcim_bench::{fmt, BenchEnv, Table};
+use mcim_oracles::exec::Exec;
+use mcim_oracles::stream::SliceSource;
 use mcim_oracles::Eps;
-use mcim_topk::{mine, TopKConfig, TopKMethod};
-use rand::SeedableRng;
+use mcim_topk::{execute, TopKConfig, TopKMethod};
 
 fn main() {
     let env = BenchEnv::from_env(1);
@@ -59,9 +60,16 @@ fn main() {
         ),
     ];
     for (method, asymptotic) in rows {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0x7AB2);
+        let plan = Exec::sequential().seed(0x7AB2);
         let start = Instant::now();
-        let result = mine(method, config, ds.domains, &ds.pairs, &mut rng).expect("mine");
+        let result = execute(
+            method,
+            config,
+            ds.domains,
+            &plan,
+            SliceSource::new(&ds.pairs),
+        )
+        .expect("mine");
         let elapsed = start.elapsed().as_secs_f64();
         table.push(vec![
             method.name(),
@@ -81,8 +89,10 @@ fn main() {
     let eps = Eps::new(1.0).unwrap();
     let sample: Vec<mcim_core::LabelItem> = ds.pairs.iter().take(2_000).copied().collect();
     for fw in mcim_core::Framework::fig6_set() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-        let result = fw.run(eps, ds.domains, &sample, &mut rng).expect("run");
+        let plan = Exec::sequential().seed(1);
+        let result = fw
+            .execute(eps, ds.domains, &plan, SliceSource::new(&sample))
+            .expect("run");
         let asymptotic = match fw.name() {
             "PTJ" => "O(cd)",
             _ => "O(d)",

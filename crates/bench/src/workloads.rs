@@ -2,7 +2,9 @@
 //! figure/table benchmark targets.
 
 use mcim_datasets::{anime_like, jd_like, Dataset, RealConfig, SynLargeConfig};
-use mcim_topk::{mine, TopKConfig, TopKMethod};
+use mcim_oracles::exec::Exec;
+use mcim_oracles::stream::SliceSource;
+use mcim_topk::{execute, TopKConfig, TopKMethod};
 
 use crate::{mean, run_trials, Scale};
 
@@ -78,9 +80,15 @@ pub fn evaluate_topk(
     seed_base: u64,
 ) -> TopKScores {
     let per_trial = run_trials(trials, |trial| {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed_base ^ (trial.wrapping_mul(0x9E37)));
-        let result = mine(method, config, ds.domains, &ds.pairs, &mut rng).expect("mining failed");
+        let plan = Exec::sequential().seed(seed_base ^ (trial.wrapping_mul(0x9E37)));
+        let result = execute(
+            method,
+            config,
+            ds.domains,
+            &plan,
+            SliceSource::new(&ds.pairs),
+        )
+        .expect("mining failed");
         let classes = ds.domains.classes() as usize;
         let f1 = (0..classes)
             .map(|c| mcim_metrics::f1_at_k(&result.per_class[c], &truth[c]))

@@ -1,6 +1,13 @@
-//! Minimal, dependency-free argument parsing (`--key value` / `--flag`).
+//! Minimal argument parsing (`--key value` / `--flag`) plus the one place
+//! the CLI turns its execution options into an [`Exec`] plan.
 
 use std::collections::HashMap;
+
+use mcim_oracles::exec::Exec;
+use mcim_oracles::parallel;
+
+/// Options that take no value (`--flag` instead of `--key value`).
+const BOOL_FLAGS: &[&str] = &["verbose"];
 
 /// Parsed command line: a subcommand plus `--key value` options.
 #[derive(Debug, Clone)]
@@ -8,6 +15,7 @@ pub struct Args {
     /// The subcommand (first positional argument).
     pub command: String,
     options: HashMap<String, String>,
+    flags: Vec<String>,
 }
 
 /// A user-facing argument error.
@@ -31,10 +39,18 @@ impl Args {
             .ok_or_else(|| ArgError("missing subcommand (try `mcim help`)".into()))?
             .clone();
         let mut options = HashMap::new();
+        let mut flags = Vec::new();
         while let Some(key) = iter.next() {
             let Some(name) = key.strip_prefix("--") else {
                 return Err(ArgError(format!("expected `--option`, got `{key}`")));
             };
+            if BOOL_FLAGS.contains(&name) {
+                if flags.iter().any(|f| f == name) {
+                    return Err(ArgError(format!("flag `--{name}` given twice")));
+                }
+                flags.push(name.to_string());
+                continue;
+            }
             let value = iter
                 .next()
                 .ok_or_else(|| ArgError(format!("option `--{name}` needs a value")))?;
@@ -42,7 +58,16 @@ impl Args {
                 return Err(ArgError(format!("option `--{name}` given twice")));
             }
         }
-        Ok(Args { command, options })
+        Ok(Args {
+            command,
+            options,
+            flags,
+        })
+    }
+
+    /// Whether a boolean `--flag` was passed.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
     }
 
     /// A required string option.
@@ -77,7 +102,7 @@ impl Args {
 
     /// Rejects unknown options (catches typos early).
     pub fn expect_only(&self, allowed: &[&str]) -> Result<(), ArgError> {
-        for key in self.options.keys() {
+        for key in self.options.keys().chain(self.flags.iter()) {
             if !allowed.contains(&key.as_str()) {
                 return Err(ArgError(format!(
                     "unknown option `--{key}` (allowed: {})",
@@ -90,6 +115,31 @@ impl Args {
             }
         }
         Ok(())
+    }
+
+    /// Builds the [`Exec`] plan shared by the `freq` and `topk` commands
+    /// from `--seed`, `--threads` and `--chunk-size` — the single place
+    /// the CLI's execution options are interpreted.
+    ///
+    /// Without `--chunk-size` the plan is a batch plan (the input is
+    /// materialized anyway); with it, a stream plan whose chunk is clamped
+    /// to one shard (chunks smaller than a shard cannot parallelize).
+    /// `--threads` wins over the `MCIM_THREADS` environment variable,
+    /// which wins over the machine's parallelism; results never depend on
+    /// the choice. Print the resolved plan with `--verbose`.
+    pub fn exec_plan(&self) -> Result<Exec, ArgError> {
+        let mut plan = Exec::seeded(self.num_or("seed", 0u64)?);
+        plan = if self.optional("chunk-size").is_some() {
+            let chunk: usize = self.required_num("chunk-size")?;
+            plan.mode(mcim_oracles::exec::ExecMode::Stream)
+                .chunk_size(chunk.max(parallel::SHARD_SIZE))
+        } else {
+            plan.mode(mcim_oracles::exec::ExecMode::Batch)
+        };
+        if self.optional("threads").is_some() {
+            plan = plan.threads(self.required_num::<usize>("threads")?.max(1));
+        }
+        Ok(plan)
     }
 }
 
@@ -135,5 +185,52 @@ mod tests {
         let args = parse(&["freq", "--eps", "abc"]).unwrap();
         assert!(args.required_num::<f64>("eps").is_err());
         assert!(args.num_or::<f64>("eps", 1.0).is_err());
+    }
+
+    #[test]
+    fn boolean_flags_take_no_value() {
+        let args = parse(&["freq", "--verbose", "--eps", "2.0"]).unwrap();
+        assert!(args.flag("verbose"));
+        assert_eq!(args.required("eps").unwrap(), "2.0");
+        assert!(!parse(&["freq"]).unwrap().flag("verbose"));
+        assert!(parse(&["freq", "--verbose", "--verbose"]).is_err());
+        // expect_only sees flags too.
+        let args = parse(&["freq", "--verbose"]).unwrap();
+        assert!(args.expect_only(&["eps"]).is_err());
+        assert!(args.expect_only(&["eps", "verbose"]).is_ok());
+    }
+
+    #[test]
+    fn exec_plan_reflects_options() {
+        use mcim_oracles::exec::ExecMode;
+        use mcim_oracles::parallel::SHARD_SIZE;
+
+        let batch = parse(&["freq", "--seed", "9", "--threads", "3"])
+            .unwrap()
+            .exec_plan()
+            .unwrap();
+        assert_eq!(batch.resolved_mode(), ExecMode::Batch);
+        assert_eq!(batch.base_seed(), 9);
+        assert_eq!(batch.resolved_threads(), 3);
+
+        let stream = parse(&["freq", "--chunk-size", "10"])
+            .unwrap()
+            .exec_plan()
+            .unwrap();
+        assert_eq!(stream.resolved_mode(), ExecMode::Stream);
+        assert_eq!(
+            stream.resolved_chunk_items(),
+            SHARD_SIZE,
+            "sub-shard chunks clamp up"
+        );
+
+        assert!(parse(&["freq", "--threads", "x"])
+            .unwrap()
+            .exec_plan()
+            .is_err());
+        assert!(parse(&["freq", "--chunk-size", "x"])
+            .unwrap()
+            .exec_plan()
+            .is_err());
     }
 }

@@ -15,7 +15,9 @@ use std::process::ExitCode;
 
 use args::{ArgError, Args};
 use mcim_core::Framework;
-use mcim_topk::{mine_batch, mine_stream, TopKConfig, TopKMethod};
+use mcim_oracles::exec::ExecMode;
+use mcim_oracles::stream::SliceSource;
+use mcim_topk::{TopKConfig, TopKMethod};
 
 const HELP: &str = "\
 mcim — multi-class item mining under local differential privacy
@@ -29,7 +31,7 @@ USAGE:
 COMMON OPTIONS:
   --classes <n>   class-domain size (default: inferred as max label + 1)
   --items <n>     item-domain size (default: inferred as max item + 1)
-  --seed <n>      RNG seed (default 0)
+  --seed <n>      RNG seed of the execution plan (default 0)
   --threads <n>   worker threads for freq/topk (default: MCIM_THREADS env,
                   then the machine's parallelism; results are identical for
                   every thread count under a fixed --seed)
@@ -42,7 +44,13 @@ COMMON OPTIONS:
                   Values below 4096 (one shard — chunks smaller than a
                   shard cannot parallelize) are raised to 4096.
                   Results are bit-identical to the non-streaming run.
+  --verbose       print the resolved execution plan (mode/seed/threads/
+                  chunk) before running
   --output <file> write results as CSV (default: print a summary)
+
+These options assemble one execution plan (see `Exec` in the library):
+freq/topk run `Framework::execute` / `mcim_topk::execute` with a batch
+plan, or a stream plan when --chunk-size is given.
 
 freq OPTIONS:
   --framework <hec|ptj|pts|pts-cp>   (default pts-cp)
@@ -123,15 +131,6 @@ fn parse_method(name: &str) -> Result<TopKMethod, ArgError> {
             "unknown method `{name}` (hec|ptj|ptj-opt|pts|pts-opt)"
         ))),
     }
-}
-
-/// Worker-thread count: `--threads` wins, then `MCIM_THREADS`, then the
-/// machine's available parallelism. Estimates never depend on the choice —
-/// the batch runtime is bit-deterministic in `(data, seed)` alone.
-fn thread_count(args: &Args) -> Result<usize, ArgError> {
-    Ok(args
-        .num_or("threads", mcim_oracles::parallel::configured_threads())?
-        .max(1))
 }
 
 /// Streaming-mode plumbing shared by `freq` and `topk`: explicit domains
@@ -221,6 +220,7 @@ fn cmd_freq(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         "seed",
         "threads",
         "chunk-size",
+        "verbose",
         "output",
         "framework",
         "label-frac",
@@ -233,35 +233,36 @@ fn cmd_freq(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         Framework::PtsCp { .. } => Framework::PtsCp { label_frac },
         other => other,
     };
-    let seed = args.num_or("seed", 0u64)?;
-    let threads = thread_count(args)?;
-    let (result, n, domains) = match args.optional("chunk-size") {
-        Some(_) => {
-            let chunk: usize = args.required_num("chunk-size")?;
+    let plan = args.exec_plan()?;
+    if args.flag("verbose") {
+        eprintln!("plan: {plan}");
+    }
+    let (result, n, domains) = match plan.resolved_mode() {
+        ExecMode::Stream => {
             let (domains, source) = stream_setup(args, input)?;
             let mut source = source.counted(domains);
-            let config = mcim_oracles::stream::StreamConfig::new(threads)
-                .with_chunk_items(chunk.max(mcim_oracles::parallel::SHARD_SIZE));
-            let result = framework.run_stream(eps, domains, &mut source, seed, config)?;
+            let result = framework.execute(eps, domains, &plan, &mut source)?;
             (result, source.yielded, domains)
         }
-        None => {
+        _ => {
             let data = io::read_pairs(
                 Path::new(input),
                 args.num_or("classes", 0u32)?,
                 args.num_or("items", 0u32)?,
             )?;
-            let result = framework.run_batch(eps, data.domains, &data.pairs, seed, threads)?;
+            let result =
+                framework.execute(eps, data.domains, &plan, SliceSource::new(&data.pairs))?;
             let n = data.pairs.len() as u64;
             (result, n, data.domains)
         }
     };
     eprintln!(
-        "{}: N = {n}, c = {}, d = {}, {}, threads = {threads} — {:.0} uplink bits/user",
+        "{}: N = {n}, c = {}, d = {}, {}, threads = {} — {:.0} uplink bits/user",
         framework.name(),
         domains.classes(),
         domains.items(),
         eps,
+        plan.resolved_threads(),
         result.comm.bits_per_user()
     );
     match args.optional("output") {
@@ -294,6 +295,7 @@ fn cmd_topk(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         "seed",
         "threads",
         "chunk-size",
+        "verbose",
         "output",
         "method",
         "label-frac",
@@ -308,35 +310,41 @@ fn cmd_topk(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     config.label_frac = args.num_or("label-frac", config.label_frac)?;
     config.sample_frac = args.num_or("sample-frac", config.sample_frac)?;
     config.noise_factor = args.num_or("noise-b", config.noise_factor)?;
-    let seed = args.num_or("seed", 0u64)?;
-    let threads = thread_count(args)?;
-    let (result, n, domains) = match args.optional("chunk-size") {
-        Some(_) => {
-            let chunk: usize = args.required_num("chunk-size")?;
+    let plan = args.exec_plan()?;
+    if args.flag("verbose") {
+        eprintln!("plan: {plan}");
+    }
+    let (result, n, domains) = match plan.resolved_mode() {
+        ExecMode::Stream => {
             let (domains, source) = stream_setup(args, input)?;
             let mut source = source.counted(domains);
-            let stream_config = mcim_oracles::stream::StreamConfig::new(threads)
-                .with_chunk_items(chunk.max(mcim_oracles::parallel::SHARD_SIZE));
-            let result = mine_stream(method, config, domains, &mut source, seed, stream_config)?;
+            let result = mcim_topk::execute(method, config, domains, &plan, &mut source)?;
             (result, source.yielded, domains)
         }
-        None => {
+        _ => {
             let data = io::read_pairs(
                 Path::new(input),
                 args.num_or("classes", 0u32)?,
                 args.num_or("items", 0u32)?,
             )?;
-            let result = mine_batch(method, config, data.domains, &data.pairs, seed, threads)?;
+            let result = mcim_topk::execute(
+                method,
+                config,
+                data.domains,
+                &plan,
+                SliceSource::new(&data.pairs),
+            )?;
             let n = data.pairs.len() as u64;
             (result, n, data.domains)
         }
     };
     eprintln!(
-        "{}: N = {n}, c = {}, d = {}, {}, k = {k}, threads = {threads} — {:.0} uplink bits/user",
+        "{}: N = {n}, c = {}, d = {}, {}, k = {k}, threads = {} — {:.0} uplink bits/user",
         method.name(),
         domains.classes(),
         domains.items(),
         eps,
+        plan.resolved_threads(),
         result.comm.bits_per_user()
     );
     match args.optional("output") {
@@ -671,6 +679,49 @@ mod tests {
         ])
         .unwrap();
         assert!(std::fs::read_to_string(&out).unwrap().lines().count() > 64);
+    }
+
+    #[test]
+    fn verbose_flag_is_accepted_and_stable() {
+        let pairs = tmp("verbose_pairs.csv");
+        run_cli(&[
+            "gen",
+            "--dataset",
+            "syn3",
+            "--users",
+            "6000",
+            "--items",
+            "32",
+            "--classes",
+            "2",
+            "--output",
+            &pairs,
+        ])
+        .unwrap();
+        let quiet = tmp("verbose_off.csv");
+        let loud = tmp("verbose_on.csv");
+        run_cli(&[
+            "freq", "--input", &pairs, "--eps", "2.0", "--seed", "3", "--output", &quiet,
+        ])
+        .unwrap();
+        run_cli(&[
+            "freq",
+            "--input",
+            &pairs,
+            "--eps",
+            "2.0",
+            "--seed",
+            "3",
+            "--verbose",
+            "--output",
+            &loud,
+        ])
+        .unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&quiet).unwrap(),
+            std::fs::read_to_string(&loud).unwrap(),
+            "--verbose only adds diagnostics, never changes results"
+        );
     }
 
     #[test]

@@ -11,9 +11,12 @@
 //!   estimator Eq. (4).
 //!
 //! Each framework exposes the same two-phase API: a client-side
-//! `privatize`-style step and a streaming server-side aggregator, plus a
-//! convenience [`run`](Framework::run) that processes a whole dataset and
-//! returns the estimated [`FrequencyTable`] with communication statistics.
+//! `privatize`-style step and a streaming server-side aggregator, plus one
+//! generic [`execute`](Framework::execute) entry point that processes a
+//! whole dataset (or stream) under an [`Exec`] plan and returns the
+//! estimated [`FrequencyTable`] with communication statistics. The legacy
+//! `run`/`run_batch`/`run_stream` triplet survives as deprecated shims
+//! over `execute`.
 
 mod hec;
 mod ptj;
@@ -23,8 +26,9 @@ pub use hec::{Hec, HecAggregator, HecReport};
 pub use ptj::{Ptj, PtjAggregator};
 pub use pts::{Pts, PtsAggregator, PtsReport};
 
-use mcim_oracles::stream::{ReportSource, StreamConfig};
-use mcim_oracles::{parallel, Eps, Result};
+use mcim_oracles::exec::{Exec, Executor};
+use mcim_oracles::stream::{drain_source, ReportSource, SliceSource, StreamConfig};
+use mcim_oracles::{Eps, Result};
 use rand::Rng;
 
 use crate::correlated::{CorrelatedPerturbation, CpAggregator};
@@ -112,8 +116,43 @@ impl Framework {
         ]
     }
 
-    /// Runs the framework end-to-end over a dataset.
-    pub fn run<R: Rng + ?Sized>(
+    /// Runs the framework end-to-end under an [`Exec`] plan — the single
+    /// entry point replacing the deprecated `run` / `run_batch` /
+    /// `run_stream` triplet.
+    ///
+    /// * **Sequential** plans reproduce the historical
+    ///   `run(eps, domains, data, &mut StdRng::seed_from_u64(seed))`
+    ///   stream bit-for-bit.
+    /// * **Batch**, **Stream** and **Auto** plans run the sharded
+    ///   deterministic runtime ([`Framework::execute_on`] with the plan's
+    ///   in-process [`Executor`]) and are bit-identical to each other —
+    ///   and to the deprecated `run_batch`/`run_stream` — for every
+    ///   `threads` and `chunk_size`.
+    ///
+    /// Pass any [`ReportSource`] of label-item pairs: a
+    /// [`SliceSource`] over an in-memory dataset, a CSV/NDJSON file source,
+    /// or `&mut source` to keep ownership.
+    pub fn execute<S>(
+        &self,
+        eps: Eps,
+        domains: Domains,
+        plan: &Exec,
+        mut source: S,
+    ) -> Result<EstimationResult>
+    where
+        S: ReportSource<Item = LabelItem>,
+    {
+        if plan.is_sequential() {
+            let data = drain_source(&mut source)?;
+            return self.run_seq(eps, domains, &data, &mut plan.seq_rng());
+        }
+        self.execute_on(&plan.in_process(), eps, domains, source)
+    }
+
+    /// The sequential reference implementation (one RNG stream in user
+    /// order) behind [`Exec::sequential`] plans and the deprecated
+    /// caller-RNG `run`.
+    fn run_seq<R: Rng + ?Sized>(
         &self,
         eps: Eps,
         domains: Domains,
@@ -182,185 +221,29 @@ impl Framework {
         }
     }
 
-    /// Runs the framework end-to-end on the batched, sharded runtime.
+    /// Runs the framework's sharded pipeline on an explicit [`Executor`]
+    /// backend — the seam where a distributed reducer (one process per
+    /// shard range, merged counters) plugs in without changing callers.
     ///
-    /// The dataset is split into fixed [`parallel::SHARD_SIZE`] shards;
-    /// each shard privatizes its users with the deterministic per-shard RNG
-    /// [`parallel::shard_rng`]`(base_seed, shard)` and aggregates through
-    /// the word-parallel column-sum path, and the per-shard counters are
-    /// merged in shard order. The estimated table is therefore a pure
-    /// function of `(self, eps, domains, data, base_seed)` — bit-identical
-    /// for every `threads` value.
-    pub fn run_batch(
+    /// Every user is privatized inside the executor's fold with the
+    /// deterministic per-shard RNG stream
+    /// `shard_rng(plan.base_seed(), shard)`, aggregated through the
+    /// word-parallel column-sum path, and partial aggregators merge
+    /// associatively, so the estimated table is a pure function of
+    /// `(self, eps, domains, pairs, base_seed)` — bit-identical for every
+    /// conforming executor, thread count and chunk size.
+    pub fn execute_on<E, S>(
         &self,
+        executor: &E,
         eps: Eps,
         domains: Domains,
-        data: &[LabelItem],
-        base_seed: u64,
-        threads: usize,
-    ) -> Result<EstimationResult> {
-        /// Shards `data`, runs `shard_fn` per shard into a (partial
-        /// aggregator, comm) pair, and folds the partials with `merge_fn`.
-        fn sharded<A, I, F, M>(
-            data: &[I],
-            threads: usize,
-            mut acc: A,
-            shard_fn: F,
-            mut merge_fn: M,
-        ) -> Result<EstimationResultParts<A>>
-        where
-            I: Sync,
-            A: Clone + Send + Sync,
-            F: Fn(u64, &[I], A) -> Result<(A, CommStats)> + Sync,
-            M: FnMut(&mut A, &A) -> Result<()>,
-        {
-            let template = acc.clone();
-            let shards = parallel::map_shards(data, threads, |shard, chunk| {
-                shard_fn(shard, chunk, template.clone())
-            });
-            let mut comm = CommStats::default();
-            for shard in shards {
-                let (partial, partial_comm) = shard?;
-                merge_fn(&mut acc, &partial)?;
-                comm.merge(partial_comm);
-            }
-            Ok((acc, comm))
-        }
-        type EstimationResultParts<A> = (A, CommStats);
-
-        match *self {
-            Framework::Hec => {
-                let mech = Hec::new(eps, domains)?;
-                let (agg, comm) = sharded(
-                    data,
-                    threads,
-                    HecAggregator::new(&mech),
-                    |shard, chunk, mut agg| {
-                        let mut rng = parallel::shard_rng(base_seed, shard);
-                        let start = shard * parallel::SHARD_SIZE as u64;
-                        let mut comm = CommStats::default();
-                        let mut reports = Vec::with_capacity(chunk.len());
-                        for (i, &pair) in chunk.iter().enumerate() {
-                            let report = mech.privatize(start + i as u64, pair, &mut rng)?;
-                            comm.record(report.report.size_bits());
-                            reports.push(report);
-                        }
-                        agg.absorb_all(&reports)?;
-                        Ok((agg, comm))
-                    },
-                    |acc, partial| acc.merge(partial),
-                )?;
-                Ok(EstimationResult {
-                    table: agg.estimate()?,
-                    comm,
-                })
-            }
-            Framework::Ptj => {
-                let mech = Ptj::new(eps, domains)?;
-                let (agg, comm) = sharded(
-                    data,
-                    threads,
-                    PtjAggregator::new(&mech),
-                    |shard, chunk, mut agg| {
-                        let mut rng = parallel::shard_rng(base_seed, shard);
-                        let mut comm = CommStats::default();
-                        let mut reports = Vec::with_capacity(chunk.len());
-                        for &pair in chunk {
-                            let report = mech.privatize(pair, &mut rng)?;
-                            comm.record(report.size_bits());
-                            reports.push(report);
-                        }
-                        agg.absorb_batch(&reports, 1)?;
-                        Ok((agg, comm))
-                    },
-                    |acc, partial| acc.merge(partial),
-                )?;
-                Ok(EstimationResult {
-                    table: agg.estimate(),
-                    comm,
-                })
-            }
-            Framework::Pts { label_frac } => {
-                let (e1, e2) = eps.split(label_frac)?;
-                let mech = Pts::new(e1, e2, domains)?;
-                let (agg, comm) = sharded(
-                    data,
-                    threads,
-                    PtsAggregator::new(&mech),
-                    |shard, chunk, mut agg| {
-                        let mut rng = parallel::shard_rng(base_seed, shard);
-                        let mut comm = CommStats::default();
-                        let mut reports = Vec::with_capacity(chunk.len());
-                        for &pair in chunk {
-                            let report = mech.privatize(pair, &mut rng)?;
-                            comm.record(report.size_bits());
-                            reports.push(report);
-                        }
-                        agg.absorb_all(&reports)?;
-                        Ok((agg, comm))
-                    },
-                    |acc, partial| acc.merge(partial),
-                )?;
-                Ok(EstimationResult {
-                    table: agg.estimate(),
-                    comm,
-                })
-            }
-            Framework::PtsCp { label_frac } => {
-                let (e1, e2) = eps.split(label_frac)?;
-                let mech = CorrelatedPerturbation::new(e1, e2, domains)?;
-                let (agg, comm) = sharded(
-                    data,
-                    threads,
-                    CpAggregator::new(&mech),
-                    |shard, chunk, mut agg| {
-                        let mut rng = parallel::shard_rng(base_seed, shard);
-                        let mut comm = CommStats::default();
-                        let mut reports = Vec::with_capacity(chunk.len());
-                        for &pair in chunk {
-                            let report = mech.privatize(pair, &mut rng)?;
-                            comm.record(report.size_bits());
-                            reports.push(report);
-                        }
-                        agg.absorb_all(&reports)?;
-                        Ok((agg, comm))
-                    },
-                    |acc, partial| acc.merge(partial),
-                )?;
-                Ok(EstimationResult {
-                    table: agg.estimate(),
-                    comm,
-                })
-            }
-        }
-    }
-
-    /// Runs the framework end-to-end over a **stream** of label-item pairs
-    /// with bounded memory: [`Framework::run_batch`] without the
-    /// materialized `&[LabelItem]` slice.
-    ///
-    /// Users are pulled from `source` in `config.chunk_items`-sized chunks;
-    /// each absolute [`parallel::SHARD_SIZE`] shard privatizes with the same
-    /// deterministic per-shard RNG stream the batch runtime derives (RNG
-    /// state is carried across chunk boundaries that split a shard), and
-    /// per-worker partial aggregators merge associatively. The estimated
-    /// table is therefore **bit-identical** to
-    /// `run_batch(eps, domains, data, base_seed, threads)` over the same
-    /// pairs, for every chunk size and thread count, while memory stays
-    /// `O(chunk + threads × shard)` instead of `O(n)`.
-    pub fn run_stream<S>(
-        &self,
-        eps: Eps,
-        domains: Domains,
-        source: &mut S,
-        base_seed: u64,
-        config: StreamConfig,
+        mut source: S,
     ) -> Result<EstimationResult>
     where
+        E: Executor,
         S: ReportSource<Item = LabelItem>,
     {
-        use mcim_oracles::stream::fold_stream;
-
+        let source = &mut source;
         /// Per-worker fold state: a partial aggregator, its uplink stats,
         /// and a reusable privatized-report scratch buffer (excluded from
         /// merging; cloned empty from the template).
@@ -379,14 +262,14 @@ impl Framework {
             }
         }
 
-        /// Drives one framework arm: `privatize(rng, abs_index, pair)`
-        /// produces the report, `absorb` consumes a scratch block, `bits`
-        /// prices it, `merge` folds partials.
+        /// Drives one framework arm on the executor backend:
+        /// `privatize(rng, abs_index, pair)` produces the report, `absorb`
+        /// consumes a scratch block, `bits` prices it, `merge` folds
+        /// partials.
         #[allow(clippy::too_many_arguments)]
-        fn arm<S, Agg, Rep, P, B, Ab, M>(
+        fn arm<E, S, Agg, Rep, P, B, Ab, M>(
+            executor: &E,
             source: &mut S,
-            base_seed: u64,
-            config: StreamConfig,
             agg0: Agg,
             privatize: P,
             bits: B,
@@ -394,6 +277,7 @@ impl Framework {
             merge: M,
         ) -> Result<(Agg, CommStats)>
         where
+            E: Executor,
             S: ReportSource<Item = LabelItem>,
             Agg: Clone + Send,
             Rep: Send,
@@ -407,10 +291,9 @@ impl Framework {
                 comm: CommStats::default(),
                 scratch: Vec::new(),
             };
-            let merged = fold_stream(
+            let merged = executor.fold(
                 source,
-                config,
-                base_seed,
+                executor.plan().base_seed(),
                 &template,
                 |rng, abs, pairs, part: &mut Partial<Agg, Rep>| {
                     let Partial { agg, comm, scratch } = part;
@@ -435,9 +318,8 @@ impl Framework {
             Framework::Hec => {
                 let mech = Hec::new(eps, domains)?;
                 let (agg, comm) = arm(
+                    executor,
                     source,
-                    base_seed,
-                    config,
                     HecAggregator::new(&mech),
                     |rng, abs, pair| mech.privatize(abs, pair, rng),
                     |r: &HecReport| r.report.size_bits(),
@@ -452,9 +334,8 @@ impl Framework {
             Framework::Ptj => {
                 let mech = Ptj::new(eps, domains)?;
                 let (agg, comm) = arm(
+                    executor,
                     source,
-                    base_seed,
-                    config,
                     PtjAggregator::new(&mech),
                     |rng, _abs, pair| mech.privatize(pair, rng),
                     |r: &mcim_oracles::Report| r.size_bits(),
@@ -470,9 +351,8 @@ impl Framework {
                 let (e1, e2) = eps.split(label_frac)?;
                 let mech = Pts::new(e1, e2, domains)?;
                 let (agg, comm) = arm(
+                    executor,
                     source,
-                    base_seed,
-                    config,
                     PtsAggregator::new(&mech),
                     |rng, _abs, pair| mech.privatize(pair, rng),
                     |r: &PtsReport| r.size_bits(),
@@ -488,9 +368,8 @@ impl Framework {
                 let (e1, e2) = eps.split(label_frac)?;
                 let mech = CorrelatedPerturbation::new(e1, e2, domains)?;
                 let (agg, comm) = arm(
+                    executor,
                     source,
-                    base_seed,
-                    config,
                     CpAggregator::new(&mech),
                     |rng, _abs, pair| mech.privatize(pair, rng),
                     |r: &crate::CpReport| r.size_bits(),
@@ -504,13 +383,75 @@ impl Framework {
             }
         }
     }
+
+    /// Runs the framework end-to-end over a dataset with a caller-supplied
+    /// RNG, in user order.
+    #[deprecated(
+        note = "use `Framework::execute` with `Exec::sequential().seed(..)` — identical \
+                output for a fresh `StdRng::seed_from_u64(seed)`"
+    )]
+    pub fn run<R: Rng + ?Sized>(
+        &self,
+        eps: Eps,
+        domains: Domains,
+        data: &[LabelItem],
+        rng: &mut R,
+    ) -> Result<EstimationResult> {
+        self.run_seq(eps, domains, data, rng)
+    }
+
+    /// Runs the framework end-to-end on the batched, sharded runtime.
+    #[deprecated(
+        note = "use `Framework::execute` with `Exec::batch().seed(base_seed).threads(threads)` \
+                — bit-identical output"
+    )]
+    pub fn run_batch(
+        &self,
+        eps: Eps,
+        domains: Domains,
+        data: &[LabelItem],
+        base_seed: u64,
+        threads: usize,
+    ) -> Result<EstimationResult> {
+        self.execute(
+            eps,
+            domains,
+            &Exec::batch().seed(base_seed).threads(threads),
+            SliceSource::new(data),
+        )
+    }
+
+    /// Runs the framework end-to-end over a stream of label-item pairs
+    /// with bounded memory.
+    #[deprecated(note = "use `Framework::execute` with \
+                `Exec::stream().seed(base_seed).threads(..).chunk_size(..)` — bit-identical \
+                output")]
+    pub fn run_stream<S>(
+        &self,
+        eps: Eps,
+        domains: Domains,
+        source: &mut S,
+        base_seed: u64,
+        config: StreamConfig,
+    ) -> Result<EstimationResult>
+    where
+        S: ReportSource<Item = LabelItem>,
+    {
+        self.execute(
+            eps,
+            domains,
+            &Exec::stream()
+                .seed(base_seed)
+                .threads(config.threads)
+                .chunk_size(config.chunk_items),
+            source,
+        )
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn eps(v: f64) -> Eps {
         Eps::new(v).unwrap()
@@ -535,9 +476,11 @@ mod tests {
         let n = 120_000;
         let (domains, data) = dataset(n);
         let truth = FrequencyTable::ground_truth(domains, &data).unwrap();
-        let mut rng = StdRng::seed_from_u64(101);
-        for fw in Framework::fig6_set() {
-            let res = fw.run(eps(4.0), domains, &data, &mut rng).unwrap();
+        for (i, fw) in Framework::fig6_set().into_iter().enumerate() {
+            let plan = Exec::sequential().seed(101 + i as u64);
+            let res = fw
+                .execute(eps(4.0), domains, &plan, SliceSource::new(&data))
+                .unwrap();
             for label in 0..3u32 {
                 for item in 0..8 {
                     let t = truth.get(label, item);
@@ -561,14 +504,28 @@ mod tests {
     }
 
     #[test]
-    fn run_batch_is_thread_count_invariant_and_accurate() {
+    fn batch_execute_is_thread_count_invariant_and_accurate() {
         let n = 30_000;
         let (domains, data) = dataset(n);
         let truth = FrequencyTable::ground_truth(domains, &data).unwrap();
         for fw in Framework::fig6_set() {
-            let seq = fw.run_batch(eps(4.0), domains, &data, 9, 1).unwrap();
+            let seq = fw
+                .execute(
+                    eps(4.0),
+                    domains,
+                    &Exec::batch().seed(9).threads(1),
+                    SliceSource::new(&data),
+                )
+                .unwrap();
             for threads in [2, 8] {
-                let par = fw.run_batch(eps(4.0), domains, &data, 9, threads).unwrap();
+                let par = fw
+                    .execute(
+                        eps(4.0),
+                        domains,
+                        &Exec::batch().seed(9).threads(threads),
+                        SliceSource::new(&data),
+                    )
+                    .unwrap();
                 assert_eq!(par.comm, seq.comm, "{} threads={threads}", fw.name());
                 for label in 0..3u32 {
                     for item in 0..8 {
@@ -606,12 +563,12 @@ mod tests {
         // §V-C / Table II: PTJ pays O(c·d) bits per user, PTS pays O(d).
         let domains = Domains::new(5, 256).unwrap();
         let data: Vec<LabelItem> = (0..200).map(|u| LabelItem::new(u % 5, u % 256)).collect();
-        let mut rng = StdRng::seed_from_u64(7);
+        let plan = Exec::sequential().seed(7);
         let ptj = Framework::Ptj
-            .run(eps(1.0), domains, &data, &mut rng)
+            .execute(eps(1.0), domains, &plan, SliceSource::new(&data))
             .unwrap();
         let pts = Framework::Pts { label_frac: 0.5 }
-            .run(eps(1.0), domains, &data, &mut rng)
+            .execute(eps(1.0), domains, &plan, SliceSource::new(&data))
             .unwrap();
         assert!(
             ptj.comm.bits_per_user() > 4.0 * pts.comm.bits_per_user(),

@@ -1,0 +1,443 @@
+//! Execution plans: one configurable front-end for every pipeline.
+//!
+//! The workspace used to expose each pipeline three times —
+//! `run`/`run_batch`/`run_stream`, `mine`/`mine_batch`/`mine_stream` —
+//! with seeds, thread counts and chunk sizes threaded ad hoc through every
+//! signature. This module collapses that surface into two pieces:
+//!
+//! * [`Exec`] — a declarative **execution plan**: the RNG seed, the worker
+//!   budget, the ingestion chunk size and a
+//!   [mode](ExecMode) (auto / sequential / batch / stream). Every pipeline
+//!   takes one generic `execute`-style entry point that accepts an `Exec`
+//!   plus a [`ReportSource`], instead of a method per mode.
+//! * [`Executor`] — the trait that actually drives the sharded stages. Its
+//!   in-process implementation ([`InProcess`]) wraps the existing
+//!   [`fold_stream`] / [`crate::parallel`] machinery; a distributed reducer
+//!   (one process per shard range, merged counters) can implement the same
+//!   trait later without touching any pipeline caller — the seam the
+//!   ROADMAP's multi-node item plugs into.
+//!
+//! ## Mode semantics
+//!
+//! | mode | machinery | output |
+//! |---|---|---|
+//! | `Sequential` | one `StdRng` over the whole input, in user order | the historical `run(..., &mut rng)` stream |
+//! | `Batch` | sharded deterministic runtime, input materialized | bit-identical to `Stream` |
+//! | `Stream` | sharded deterministic runtime, bounded chunks | bit-identical to `Batch` |
+//! | `Auto` | resolves to `Stream` | bit-identical to `Batch`/`Stream` |
+//!
+//! `Batch` and `Stream` share one code path (the chunked executor is
+//! bit-identical for every chunk size, see [`crate::stream`]), so the only
+//! observable difference between them is memory: `Batch` pulls the whole
+//! source into one chunk, `Stream` holds `O(chunk + threads × shard)`.
+//! Because every mode is source-generic, `Batch`/`Sequential` copy the
+//! input items once into their buffer (one `Vec` of 8-byte pairs — the
+//! privatized reports, which dominate memory, never materialize beyond
+//! the per-worker shard buffers in any sharded mode).
+//! `Sequential` reproduces the legacy caller-RNG entry points for a seeded
+//! `StdRng` and exists for exact backward compatibility and tiny inputs;
+//! it is the only mode whose output differs from the other three.
+//!
+//! ```
+//! use mcim_oracles::exec::Exec;
+//!
+//! // Deterministic sharded run: 4 workers, 64k-item chunks.
+//! let plan = Exec::seeded(7).threads(4).chunk_size(65_536);
+//! assert_eq!(plan.resolved_threads(), 4);
+//! // threads never changes the output, only the wall clock.
+//! ```
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::parallel;
+use crate::stream::{fold_stream, ReportSource, StreamConfig, DEFAULT_CHUNK_ITEMS};
+use crate::Result;
+
+/// How an [`Exec`] plan drives a pipeline. See the [module docs](self) for
+/// the semantics table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Pick automatically; resolves to [`ExecMode::Stream`] (bounded
+    /// memory, bit-identical to `Batch`).
+    #[default]
+    Auto,
+    /// One RNG stream over the whole input in user order — the historical
+    /// seeded sequential path.
+    Sequential,
+    /// Sharded deterministic runtime over a fully materialized input.
+    Batch,
+    /// Sharded deterministic runtime over bounded chunks.
+    Stream,
+}
+
+impl ExecMode {
+    /// The concrete mode `Auto` resolves to.
+    pub fn resolved(self) -> ExecMode {
+        match self {
+            ExecMode::Auto => ExecMode::Stream,
+            other => other,
+        }
+    }
+
+    /// Lower-case name used in plan displays and CLI output.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecMode::Auto => "auto",
+            ExecMode::Sequential => "sequential",
+            ExecMode::Batch => "batch",
+            ExecMode::Stream => "stream",
+        }
+    }
+}
+
+/// A declarative execution plan: seed, worker budget, chunk size and mode.
+///
+/// Built with a fluent builder; unset knobs resolve lazily (`threads` to
+/// [`parallel::configured_threads`], `chunk_size` to
+/// [`DEFAULT_CHUNK_ITEMS`]) so a plan constructed once can be reused on
+/// machines with different core counts. Outputs of the sharded modes never
+/// depend on `threads` or `chunk_size` — both knobs are purely about
+/// latency and memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exec {
+    mode: ExecMode,
+    seed: u64,
+    threads: Option<usize>,
+    chunk_items: Option<usize>,
+}
+
+impl Default for Exec {
+    fn default() -> Self {
+        Exec::new()
+    }
+}
+
+impl Exec {
+    /// An [`ExecMode::Auto`] plan with seed 0 and lazily resolved knobs.
+    pub fn new() -> Self {
+        Exec {
+            mode: ExecMode::Auto,
+            seed: 0,
+            threads: None,
+            chunk_items: None,
+        }
+    }
+
+    /// [`Exec::new`] with a base seed — the most common construction.
+    pub fn seeded(seed: u64) -> Self {
+        Exec::new().seed(seed)
+    }
+
+    /// A [`ExecMode::Sequential`] plan (historical caller-RNG semantics
+    /// under `StdRng::seed_from_u64(seed)`).
+    pub fn sequential() -> Self {
+        Exec::new().mode(ExecMode::Sequential)
+    }
+
+    /// A [`ExecMode::Batch`] plan (sharded runtime, materialized input).
+    pub fn batch() -> Self {
+        Exec::new().mode(ExecMode::Batch)
+    }
+
+    /// A [`ExecMode::Stream`] plan (sharded runtime, bounded chunks).
+    pub fn stream() -> Self {
+        Exec::new().mode(ExecMode::Stream)
+    }
+
+    /// Sets the execution mode.
+    pub fn mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the base RNG seed (default 0). Sharded modes derive one
+    /// deterministic stream per absolute shard from it; sequential mode
+    /// seeds its single `StdRng` with it.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Caps the worker threads of the sharded modes (default: the
+    /// `MCIM_THREADS` environment variable, then the machine's available
+    /// parallelism — [`parallel::configured_threads`]). Never changes
+    /// outputs.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Sets the items pulled (and held) per ingestion chunk in
+    /// [`ExecMode::Stream`] (default [`DEFAULT_CHUNK_ITEMS`]). Ignored by
+    /// `Batch` (whole input) and `Sequential`. Never changes outputs.
+    pub fn chunk_size(mut self, chunk_items: usize) -> Self {
+        self.chunk_items = Some(chunk_items.max(1));
+        self
+    }
+
+    /// The declared mode.
+    pub fn declared_mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// The concrete mode this plan runs in (`Auto` → `Stream`).
+    pub fn resolved_mode(&self) -> ExecMode {
+        self.mode.resolved()
+    }
+
+    /// Whether this plan runs the historical sequential path.
+    pub fn is_sequential(&self) -> bool {
+        self.resolved_mode() == ExecMode::Sequential
+    }
+
+    /// The base RNG seed.
+    pub fn base_seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The worker-thread cap this plan resolves to on this machine
+    /// (always 1 for sequential plans).
+    pub fn resolved_threads(&self) -> usize {
+        if self.is_sequential() {
+            return 1;
+        }
+        self.threads.unwrap_or_else(parallel::configured_threads)
+    }
+
+    /// The ingestion chunk size this plan resolves to.
+    pub fn resolved_chunk_items(&self) -> usize {
+        self.chunk_items.unwrap_or(DEFAULT_CHUNK_ITEMS).max(1)
+    }
+
+    /// The single sequential RNG of a [`ExecMode::Sequential`] plan —
+    /// `StdRng::seed_from_u64(base_seed)`, the exact stream of the legacy
+    /// `run(..., &mut StdRng::seed_from_u64(seed))` call shape.
+    pub fn seq_rng(&self) -> StdRng {
+        StdRng::seed_from_u64(self.seed)
+    }
+
+    /// The equivalent [`StreamConfig`] of the sharded modes.
+    pub fn stream_config(&self) -> StreamConfig {
+        StreamConfig::new(self.resolved_threads()).with_chunk_items(self.resolved_chunk_items())
+    }
+
+    /// The in-process [`Executor`] for this plan.
+    pub fn in_process(&self) -> InProcess {
+        InProcess { plan: *self }
+    }
+}
+
+impl fmt::Display for Exec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "mode={}",
+            match self.mode {
+                ExecMode::Auto => "stream(auto)".to_string(),
+                other => other.name().to_string(),
+            }
+        )?;
+        write!(f, " seed={}", self.seed)?;
+        match self.threads {
+            Some(t) => write!(f, " threads={t}")?,
+            None => write!(f, " threads={}(auto)", self.resolved_threads())?,
+        }
+        if self.resolved_mode() == ExecMode::Stream {
+            match self.chunk_items {
+                Some(c) => write!(f, " chunk={c}")?,
+                None => write!(f, " chunk={}(default)", self.resolved_chunk_items())?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The backend that drives a pipeline's bulk privatize+aggregate stages.
+///
+/// A pipeline stage is a *fold*: pull items, process each absolute
+/// [`parallel::SHARD_SIZE`] shard with its deterministic RNG stream
+/// [`parallel::shard_rng`]`(stage_seed, shard)`, and merge the mergeable
+/// accumulators. The contract an implementation must uphold so that every
+/// backend produces **bit-identical** results:
+///
+/// * shard boundaries are absolute (item `i` belongs to shard
+///   `i / SHARD_SIZE`), never dependent on workers, chunks or nodes;
+/// * shard `s` is processed with `shard_rng(stage_seed, s)`, fragments of a
+///   split shard continuing the carried RNG state in order;
+/// * `merge` is only used to combine accumulators that cover disjoint item
+///   ranges (it must be associative and commutative — counter sums are).
+///
+/// The in-process implementation is [`InProcess`]. A distributed reducer —
+/// one process per contiguous shard range, merging counter partials over a
+/// socket — satisfies the same contract by construction, which is what
+/// makes this trait the multi-node seam: pipelines written against
+/// `Executor` (e.g. `Framework::execute_on`) never change when the backend
+/// does.
+pub trait Executor {
+    /// The plan this executor resolves its knobs from.
+    fn plan(&self) -> &Exec;
+
+    /// Folds `source` into a clone of `template` under the shard contract
+    /// above. `f(rng, abs_index, items, acc)` processes one shard fragment
+    /// starting at absolute stream position `abs_index`; `merge` combines
+    /// disjoint-range partial accumulators.
+    fn fold<S, A, F, M>(
+        &self,
+        source: &mut S,
+        stage_seed: u64,
+        template: &A,
+        f: F,
+        merge: M,
+    ) -> Result<A>
+    where
+        S: ReportSource,
+        S::Item: Sync,
+        A: Clone + Send,
+        F: Fn(&mut StdRng, u64, &[S::Item], &mut A) -> Result<()> + Sync,
+        M: Fn(&mut A, &A) -> Result<()>;
+}
+
+/// The in-process [`Executor`]: scoped worker threads over this process's
+/// cores, backed by [`fold_stream`] (which in turn reuses the
+/// [`parallel`] shard runtime for full shards).
+#[derive(Debug, Clone, Copy)]
+pub struct InProcess {
+    plan: Exec,
+}
+
+impl InProcess {
+    /// An in-process executor for `plan` (equivalent to
+    /// [`Exec::in_process`]).
+    pub fn new(plan: &Exec) -> Self {
+        InProcess { plan: *plan }
+    }
+}
+
+impl Executor for InProcess {
+    fn plan(&self) -> &Exec {
+        &self.plan
+    }
+
+    fn fold<S, A, F, M>(
+        &self,
+        source: &mut S,
+        stage_seed: u64,
+        template: &A,
+        f: F,
+        merge: M,
+    ) -> Result<A>
+    where
+        S: ReportSource,
+        S::Item: Sync,
+        A: Clone + Send,
+        F: Fn(&mut StdRng, u64, &[S::Item], &mut A) -> Result<()> + Sync,
+        M: Fn(&mut A, &A) -> Result<()>,
+    {
+        let mut config = self.plan.stream_config();
+        if self.plan.resolved_mode() == ExecMode::Batch {
+            // Batch mode materializes: one chunk spanning the whole
+            // (sized) source. Chunking never changes the result, only the
+            // memory.
+            config.chunk_items = source
+                .size_hint()
+                .and_then(|n| usize::try_from(n).ok())
+                .unwrap_or(DEFAULT_CHUNK_ITEMS)
+                .max(1);
+        }
+        fold_stream(source, config, stage_seed, template, f, merge)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::SliceSource;
+    use rand::RngCore;
+
+    #[test]
+    fn builder_and_resolution() {
+        let plan = Exec::seeded(9).threads(3).chunk_size(100);
+        assert_eq!(plan.base_seed(), 9);
+        assert_eq!(plan.declared_mode(), ExecMode::Auto);
+        assert_eq!(plan.resolved_mode(), ExecMode::Stream);
+        assert_eq!(plan.resolved_threads(), 3);
+        assert_eq!(plan.resolved_chunk_items(), 100);
+        assert!(!plan.is_sequential());
+
+        let seq = Exec::sequential().seed(1).threads(8);
+        assert!(seq.is_sequential());
+        assert_eq!(seq.resolved_threads(), 1, "sequential is single-threaded");
+
+        // Zero clamps.
+        let clamped = Exec::new().threads(0).chunk_size(0);
+        assert_eq!(clamped.resolved_threads(), 1);
+        assert_eq!(clamped.resolved_chunk_items(), 1);
+
+        assert_eq!(Exec::default(), Exec::new());
+        assert_eq!(ExecMode::Auto.resolved(), ExecMode::Stream);
+        assert_eq!(ExecMode::Batch.resolved(), ExecMode::Batch);
+    }
+
+    #[test]
+    fn display_names_the_resolved_plan() {
+        let shown = Exec::seeded(5).threads(2).chunk_size(64).to_string();
+        assert!(shown.contains("mode=stream(auto)"), "{shown}");
+        assert!(shown.contains("seed=5"), "{shown}");
+        assert!(shown.contains("threads=2"), "{shown}");
+        assert!(shown.contains("chunk=64"), "{shown}");
+        let batch = Exec::batch().to_string();
+        assert!(batch.contains("mode=batch"), "{batch}");
+        assert!(!batch.contains("chunk="), "batch hides the chunk: {batch}");
+    }
+
+    #[test]
+    fn seq_rng_matches_seed_from_u64() {
+        let mut a = Exec::sequential().seed(42).seq_rng();
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..8 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    /// The shard contract: batch and stream plans fold bit-identically,
+    /// for every chunk size, and a sized batch fold materializes whole.
+    #[test]
+    fn in_process_fold_is_mode_and_chunk_invariant() {
+        let items: Vec<u32> = (0..3 * parallel::SHARD_SIZE as u32 + 500).collect();
+        let fold = |plan: Exec| {
+            plan.in_process()
+                .fold(
+                    &mut SliceSource::new(&items),
+                    77,
+                    &(0u64, 0u64),
+                    |rng, _abs, chunk, acc| {
+                        for &v in chunk {
+                            acc.0 += v as u64;
+                            acc.1 = acc.1.wrapping_add(rng.next_u64() ^ v as u64);
+                        }
+                        Ok(())
+                    },
+                    |a, b| {
+                        a.0 += b.0;
+                        a.1 = a.1.wrapping_add(b.1);
+                        Ok(())
+                    },
+                )
+                .unwrap()
+        };
+        let reference = fold(Exec::batch().threads(1));
+        for plan in [
+            Exec::batch().threads(4),
+            Exec::stream().threads(1),
+            Exec::stream()
+                .threads(4)
+                .chunk_size(parallel::SHARD_SIZE - 1),
+            Exec::new().threads(2).chunk_size(999),
+        ] {
+            assert_eq!(fold(plan), reference, "{plan}");
+        }
+    }
+}

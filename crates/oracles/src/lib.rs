@@ -27,7 +27,10 @@
 //!   streams: `threads = N` is bit-identical to `threads = 1`,
 //! * [`stream`] — bounded-memory chunked ingestion over pull-based
 //!   [`stream::ReportSource`]s, bit-identical to the batch APIs for every
-//!   chunk size and thread count.
+//!   chunk size and thread count,
+//! * [`exec`] — declarative [`Exec`] execution plans (seed / threads /
+//!   chunk / mode) and the [`Executor`] backend trait every pipeline's
+//!   `execute` entry point runs on.
 //!
 //! ## Example
 //!
@@ -66,6 +69,7 @@ mod ue;
 
 pub mod calibrate;
 pub mod colsum;
+pub mod exec;
 pub mod hash;
 pub mod parallel;
 pub mod stream;
@@ -74,6 +78,7 @@ pub use bitvec::BitVec;
 pub use budget::Eps;
 pub use colsum::ColumnCounter;
 pub use error::Error;
+pub use exec::{Exec, ExecMode, Executor, InProcess};
 pub use grr::Grr;
 pub use numeric::{Piecewise, StochasticRounding};
 pub use olh::{Olh, OlhReport};

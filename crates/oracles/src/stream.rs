@@ -27,6 +27,29 @@
 //! privatize+absorb loop in this workspace) and the merge is commutative
 //! and associative (true for counter sums and [`super::parallel`]-style
 //! accumulators).
+//!
+//! ## Why stream privatization keeps the per-report UE sampler
+//!
+//! `Oracle::privatize_batch` draws its unary-encoding noise planes through
+//! the exact word-parallel Bernoulli sampler
+//! ([`crate::BitVec::fill_bernoulli_wordwise`]) — 64 lanes per RNG word, no
+//! `ln` per set bit — and the ROADMAP asked whether the streaming pipelines
+//! (`Framework::execute` in stream/batch mode, formerly `run_stream`) could
+//! route their UE privatization through it too, for roughly an
+//! order-of-magnitude end-to-end frequency throughput lift. They cannot,
+//! under the current RNG contract, and the obstacle is **not** the chunk
+//! layout: chunks and shards never split a single report, so every noise
+//! plane could be drawn whole. The obstacle is deterministic replay. The
+//! framework mechanisms privatize each user through their single-report
+//! paths, whose geometric-skipping sampler consumes a *different* RNG
+//! stream than the word-sliced lanes for the same `(seed, shard)`; the
+//! committed seed-regression and `Exec`-equivalence nets pin those exact
+//! per-`(seed, threads, chunk)` outputs across sequential, batch and
+//! stream modes. Swapping samplers inside any one mode would silently
+//! change every seeded estimate rather than just its wall clock. Routing
+//! the planes word-parallel therefore needs an explicit, versioned
+//! RNG-contract bump that re-baselines all modes together — tracked in
+//! ROADMAP.md as an open item, not smuggled in here.
 
 use rand::rngs::StdRng;
 
@@ -59,6 +82,41 @@ pub trait ReportSource {
     fn size_hint(&self) -> Option<u64> {
         None
     }
+}
+
+/// Every `&mut` to a source is itself a source — lets `execute`-style
+/// entry points take `impl ReportSource` by value while callers keep
+/// ownership (pass `&mut source`) when they need the source afterwards.
+impl<S: ReportSource + ?Sized> ReportSource for &mut S {
+    type Item = S::Item;
+
+    fn fill(&mut self, buf: &mut Vec<Self::Item>, max: usize) -> Result<usize> {
+        (**self).fill(buf, max)
+    }
+
+    fn size_hint(&self) -> Option<u64> {
+        (**self).size_hint()
+    }
+}
+
+/// Drains `source` to exhaustion into a fresh `Vec` — the materialization
+/// step of sequential-mode execution and of pipelines that must revisit
+/// their input (multi-round top-k mining).
+pub fn drain_source<S: ReportSource>(source: &mut S) -> Result<Vec<S::Item>> {
+    // size_hint is advisory; clamp the upfront allocation so a
+    // misreporting source cannot reserve unbounded memory before the
+    // first fill.
+    let hint = source
+        .size_hint()
+        .and_then(|n| usize::try_from(n).ok())
+        .unwrap_or(0);
+    let mut items = Vec::with_capacity(hint.min(4 * DEFAULT_CHUNK_ITEMS));
+    loop {
+        if source.fill(&mut items, DEFAULT_CHUNK_ITEMS)? == 0 {
+            break;
+        }
+    }
+    Ok(items)
 }
 
 /// An in-memory slice as a stream source (items are cloned out).
@@ -497,6 +555,21 @@ mod tests {
         )
         .unwrap();
         assert_eq!(out, 123);
+    }
+
+    #[test]
+    fn drain_source_and_mut_blanket_impl() {
+        let items: Vec<u32> = (0..100).collect();
+        let mut source = SliceSource::new(&items);
+        // A &mut source is a source; draining through it consumes the
+        // underlying one.
+        let first: Vec<u32> = {
+            let mut view = Take::new(&mut source, 40);
+            drain_source(&mut &mut view).unwrap()
+        };
+        assert_eq!(first, (0..40).collect::<Vec<u32>>());
+        assert_eq!(drain_source(&mut source).unwrap().len(), 60);
+        assert_eq!(drain_source(&mut source).unwrap(), Vec::<u32>::new());
     }
 
     #[test]

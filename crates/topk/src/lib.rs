@@ -16,9 +16,10 @@
 //!
 //! ```
 //! use mcim_core::{Domains, LabelItem};
+//! use mcim_oracles::exec::Exec;
+//! use mcim_oracles::stream::SliceSource;
 //! use mcim_oracles::Eps;
-//! use mcim_topk::{mine, TopKConfig, TopKMethod};
-//! use rand::SeedableRng;
+//! use mcim_topk::{execute, TopKConfig, TopKMethod};
 //!
 //! // Two classes with distinct favourite items.
 //! let domains = Domains::new(2, 32).unwrap();
@@ -29,13 +30,12 @@
 //!         LabelItem::new(label, item)
 //!     })
 //!     .collect();
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(5);
-//! let result = mine(
+//! let result = execute(
 //!     TopKMethod::PtsShuffled { validity: true, global: true, correlated: true },
 //!     TopKConfig::new(2, Eps::new(8.0).unwrap()),
 //!     domains,
-//!     &data,
-//!     &mut rng,
+//!     &Exec::seeded(5),
+//!     SliceSource::new(&data),
 //! )
 //! .unwrap();
 //! assert!(result.per_class[0].contains(&0));
@@ -50,8 +50,8 @@ pub mod multiclass;
 pub mod pem;
 pub mod shuffle;
 
-pub use multiclass::{
-    mine, mine_batch, mine_stream, NoiseTest, TopKConfig, TopKMethod, TopKResult,
-};
+pub use multiclass::{execute, NoiseTest, TopKConfig, TopKMethod, TopKResult};
+#[allow(deprecated)]
+pub use multiclass::{mine, mine_batch, mine_stream};
 pub use pem::{Pem, PemConfig, PemEngine, PemOutcome};
 pub use shuffle::{replay, CompletedRound, ShuffleEngine};

@@ -20,7 +20,9 @@ use std::collections::HashMap;
 use rand::Rng;
 
 use mcim_core::{CommStats, Domains, LabelItem, ValidityInput, ValidityPerturbation, VpAggregator};
+use mcim_oracles::exec::Exec;
 use mcim_oracles::hash::SplitMix64;
+use mcim_oracles::stream::{drain_source, ReportSource, SliceSource};
 use mcim_oracles::{
     calibrate::unbiased_count, parallel, Aggregator, Eps, Error, Grr, Oracle, Result,
 };
@@ -308,10 +310,10 @@ impl<R: Rng + ?Sized> Pace<'_, R> {
         items: &[Option<u32>],
     ) -> Result<CommStats> {
         match self {
-            Pace::Seq(rng) => engine.run_round(eps, items.iter().copied(), rng),
+            Pace::Seq(rng) => engine.run_round_seq(eps, items.iter().copied(), rng),
             Pace::Par { stream, threads } => {
-                let base = stream.next_u64();
-                engine.run_round_batch(eps, items, base, *threads)
+                let plan = Exec::batch().seed(stream.next_u64()).threads(*threads);
+                engine.execute_round(eps, &plan, SliceSource::new(items))
             }
         }
     }
@@ -319,16 +321,68 @@ impl<R: Rng + ?Sized> Pace<'_, R> {
     /// Runs a full single-population PEM mine.
     fn pem_mine(&mut self, pem: &Pem, eps: Eps, items: &[Option<u32>]) -> Result<PemOutcome> {
         match self {
-            Pace::Seq(rng) => pem.mine(eps, items, rng),
+            Pace::Seq(rng) => pem.mine_seq(eps, items, rng),
             Pace::Par { stream, threads } => {
-                let base = stream.next_u64();
-                pem.mine_batch(eps, items, base, *threads)
+                let plan = Exec::batch().seed(stream.next_u64()).threads(*threads);
+                pem.execute(eps, &plan, SliceSource::new(items))
             }
         }
     }
 }
 
-/// Runs `method` over the dataset and returns per-class top-k items.
+/// Runs `method` under an [`Exec`] plan and returns per-class top-k items
+/// — the single entry point replacing the deprecated `mine` /
+/// `mine_batch` / `mine_stream` triplet.
+///
+/// Sequential plans reproduce the historical
+/// `mine(method, config, domains, data, &mut StdRng::seed_from_u64(seed))`
+/// stream bit-for-bit. The sharded modes fan every bulk
+/// privatize+aggregate stage out over fixed-size shards with RNG streams
+/// derived from the plan seed, so the mined result is a pure function of
+/// `(method, config, domains, pairs, seed)` — bit-identical to the
+/// deprecated `mine_batch`/`mine_stream` for every thread count and chunk
+/// size (the `MCIM_THREADS` CI matrix locks this in).
+///
+/// Multi-round mining routes users into per-class groups that later
+/// rounds revisit, so the 8-byte pairs themselves are drained into memory
+/// (≈ 40 MB at the paper's 5M users) in every mode — but every privatized
+/// report still lives only inside the sharded runtime's
+/// `O(threads × shard)` buffers, never as an `O(n)` slice, and the
+/// pull-based ingestion means the pairs can come straight off disk or a
+/// socket instead of a pre-built `Vec`.
+pub fn execute<S>(
+    method: TopKMethod,
+    config: TopKConfig,
+    domains: Domains,
+    plan: &Exec,
+    mut source: S,
+) -> Result<TopKResult>
+where
+    S: ReportSource<Item = LabelItem>,
+{
+    let data = drain_source(&mut source)?;
+    if plan.is_sequential() {
+        return mine_with(
+            method,
+            config,
+            domains,
+            &data,
+            &mut Pace::Seq(&mut plan.seq_rng()),
+        );
+    }
+    let mut pace: Pace<'_, rand::rngs::StdRng> = Pace::Par {
+        stream: SplitMix64::new(plan.base_seed()),
+        threads: plan.resolved_threads(),
+    };
+    mine_with(method, config, domains, &data, &mut pace)
+}
+
+/// Runs `method` over the dataset with a caller-supplied RNG, in user
+/// order.
+#[deprecated(
+    note = "use `mcim_topk::execute` with `Exec::sequential().seed(..)` — identical output \
+            for a fresh `StdRng::seed_from_u64(seed)`"
+)]
 pub fn mine<R: Rng + ?Sized>(
     method: TopKMethod,
     config: TopKConfig,
@@ -339,12 +393,11 @@ pub fn mine<R: Rng + ?Sized>(
     mine_with(method, config, domains, data, &mut Pace::Seq(rng))
 }
 
-/// Runs `method` on the batched, sharded runtime with up to `threads`
-/// workers. Every bulk privatize+aggregate stage fans out over fixed-size
-/// shards with RNG streams derived from `base_seed`, so the mined result is
-/// a pure function of `(method, config, domains, data, base_seed)` —
-/// bit-identical for every `threads` value (the `MCIM_THREADS` CI matrix
-/// locks this in).
+/// Runs `method` on the batched, sharded runtime.
+#[deprecated(
+    note = "use `mcim_topk::execute` with `Exec::batch().seed(base_seed).threads(threads)` — \
+            bit-identical output"
+)]
 pub fn mine_batch(
     method: TopKMethod,
     config: TopKConfig,
@@ -353,22 +406,18 @@ pub fn mine_batch(
     base_seed: u64,
     threads: usize,
 ) -> Result<TopKResult> {
-    let mut pace: Pace<'_, rand::rngs::StdRng> = Pace::Par {
-        stream: SplitMix64::new(base_seed),
-        threads: threads.max(1),
-    };
-    mine_with(method, config, domains, data, &mut pace)
+    execute(
+        method,
+        config,
+        domains,
+        &Exec::batch().seed(base_seed).threads(threads),
+        SliceSource::new(data),
+    )
 }
 
-/// [`mine_batch`] fed from a **stream** of label-item pairs.
-///
-/// Multi-round mining routes users into per-class groups that later rounds
-/// revisit, so the 8-byte pairs themselves are drained into memory
-/// (≈ 40 MB at the paper's 5M users) — but every privatized report still
-/// lives only inside the sharded runtime's `O(threads × shard)` buffers,
-/// never as an `O(n)` slice, and the pull-based ingestion means the pairs
-/// can come straight off disk or a socket instead of a pre-built `Vec`.
-/// The mined result is bit-identical to `mine_batch` over the same pairs.
+/// Runs `method` fed from a stream of label-item pairs.
+#[deprecated(note = "use `mcim_topk::execute` with \
+            `Exec::stream().seed(base_seed).threads(..).chunk_size(..)` — bit-identical output")]
 pub fn mine_stream<S>(
     method: TopKMethod,
     config: TopKConfig,
@@ -378,23 +427,17 @@ pub fn mine_stream<S>(
     stream_config: mcim_oracles::stream::StreamConfig,
 ) -> Result<TopKResult>
 where
-    S: mcim_oracles::stream::ReportSource<Item = LabelItem>,
+    S: ReportSource<Item = LabelItem>,
 {
-    let chunk = stream_config.chunk_items.max(1);
-    let mut data: Vec<LabelItem> = Vec::new();
-    loop {
-        let got = source.fill(&mut data, chunk)?;
-        if got == 0 {
-            break;
-        }
-    }
-    mine_batch(
+    execute(
         method,
         config,
         domains,
-        &data,
-        base_seed,
-        stream_config.threads,
+        &Exec::stream()
+            .seed(base_seed)
+            .threads(stream_config.threads)
+            .chunk_size(stream_config.chunk_items),
+        source,
     )
 }
 
@@ -1171,9 +1214,9 @@ mod tests {
     fn all_methods_return_k_items_per_class_at_high_eps() {
         let (domains, data) = skewed_dataset(120_000, 64);
         let config = TopKConfig::new(3, eps(8.0));
-        let mut rng = StdRng::seed_from_u64(7);
-        for method in TopKMethod::fig7_set() {
-            let result = mine(method, config, domains, &data, &mut rng).unwrap();
+        for (i, method) in TopKMethod::fig7_set().into_iter().enumerate() {
+            let plan = Exec::sequential().seed(7 + i as u64);
+            let result = execute(method, config, domains, &plan, SliceSource::new(&data)).unwrap();
             assert_eq!(result.per_class.len(), 3, "{}", method.name());
             for (c, items) in result.per_class.iter().enumerate() {
                 assert!(
@@ -1198,8 +1241,7 @@ mod tests {
             (0..3).map(|c| t.top_k(c, 3)).collect()
         };
         let config = TopKConfig::new(3, eps(8.0));
-        let mut rng = StdRng::seed_from_u64(11);
-        let result = mine(
+        let result = execute(
             TopKMethod::PtsShuffled {
                 validity: true,
                 global: true,
@@ -1207,8 +1249,8 @@ mod tests {
             },
             config,
             domains,
-            &data,
-            &mut rng,
+            &Exec::sequential().seed(11),
+            SliceSource::new(&data),
         )
         .unwrap();
         // At ε=8 with 50k users per class the top-1 must be found in every
@@ -1230,13 +1272,12 @@ mod tests {
             (0..3).map(|c| t.top_k(c, 3)).collect()
         };
         let config = TopKConfig::new(3, eps(8.0));
-        let mut rng = StdRng::seed_from_u64(13);
-        let result = mine(
+        let result = execute(
             TopKMethod::PtjShuffled { validity: true },
             config,
             domains,
-            &data,
-            &mut rng,
+            &Exec::sequential().seed(13),
+            SliceSource::new(&data),
         )
         .unwrap();
         for (c, (mined, tru)) in result.per_class.iter().zip(&truth).enumerate() {
@@ -1249,13 +1290,22 @@ mod tests {
     }
 
     #[test]
-    fn mine_batch_is_thread_count_invariant_for_every_method() {
+    fn batch_execute_is_thread_count_invariant_for_every_method() {
         let (domains, data) = skewed_dataset(30_000, 64);
         let config = TopKConfig::new(3, eps(6.0));
         for method in TopKMethod::fig7_set() {
-            let seq = mine_batch(method, config, domains, &data, 13, 1).unwrap();
+            let batch = |threads: usize| {
+                execute(
+                    method,
+                    config,
+                    domains,
+                    &Exec::batch().seed(13).threads(threads),
+                    SliceSource::new(&data),
+                )
+            };
+            let seq = batch(1).unwrap();
             for threads in [2, 8] {
-                let par = mine_batch(method, config, domains, &data, 13, threads).unwrap();
+                let par = batch(threads).unwrap();
                 assert_eq!(
                     par.per_class,
                     seq.per_class,
@@ -1273,14 +1323,14 @@ mod tests {
     }
 
     #[test]
-    fn mine_batch_finds_true_tops_at_high_eps() {
+    fn batch_execute_finds_true_tops_at_high_eps() {
         let (domains, data) = skewed_dataset(150_000, 64);
         let truth: Vec<Vec<u32>> = {
             let t = mcim_core::FrequencyTable::ground_truth(domains, &data).unwrap();
             (0..3).map(|c| t.top_k(c, 3)).collect()
         };
         let config = TopKConfig::new(3, eps(8.0));
-        let result = mine_batch(
+        let result = execute(
             TopKMethod::PtsShuffled {
                 validity: true,
                 global: true,
@@ -1288,9 +1338,8 @@ mod tests {
             },
             config,
             domains,
-            &data,
-            23,
-            2,
+            &Exec::batch().seed(23).threads(2),
+            SliceSource::new(&data),
         )
         .unwrap();
         for (c, (mined, tru)) in result.per_class.iter().zip(&truth).enumerate() {
@@ -1305,22 +1354,22 @@ mod tests {
     #[test]
     fn rejects_degenerate_inputs() {
         let domains = Domains::new(2, 16).unwrap();
-        let mut rng = StdRng::seed_from_u64(0);
+        let plan = Exec::sequential().seed(0);
         let data = vec![LabelItem::new(0, 0)];
-        assert!(mine(
+        assert!(execute(
             TopKMethod::Hec,
             TopKConfig::new(0, eps(1.0)),
             domains,
-            &data,
-            &mut rng
+            &plan,
+            SliceSource::new(&data),
         )
         .is_err());
-        assert!(mine(
+        assert!(execute(
             TopKMethod::Hec,
             TopKConfig::new(1, eps(1.0)),
             domains,
-            &[],
-            &mut rng
+            &plan,
+            SliceSource::new(&[] as &[LabelItem]),
         )
         .is_err());
     }
@@ -1335,9 +1384,9 @@ mod tests {
             data.push(LabelItem::new(label, (u % 10) as u32));
         }
         let config = TopKConfig::new(5, eps(4.0));
-        let mut rng = StdRng::seed_from_u64(21);
-        for method in TopKMethod::fig7_set() {
-            let result = mine(method, config, domains, &data, &mut rng).unwrap();
+        for (i, method) in TopKMethod::fig7_set().into_iter().enumerate() {
+            let plan = Exec::sequential().seed(21 + i as u64);
+            let result = execute(method, config, domains, &plan, SliceSource::new(&data)).unwrap();
             assert_eq!(result.per_class.len(), 3, "{}", method.name());
         }
     }
@@ -1357,8 +1406,7 @@ mod tests {
         // Table II's communication ordering at equal ε.
         let (domains, data) = skewed_dataset(6_000, 256);
         let config = TopKConfig::new(4, eps(4.0));
-        let mut rng = StdRng::seed_from_u64(31);
-        let pts = mine(
+        let pts = execute(
             TopKMethod::PtsShuffled {
                 validity: true,
                 global: true,
@@ -1366,16 +1414,16 @@ mod tests {
             },
             config,
             domains,
-            &data,
-            &mut rng,
+            &Exec::sequential().seed(31),
+            SliceSource::new(&data),
         )
         .unwrap();
-        let ptj = mine(
+        let ptj = execute(
             TopKMethod::PtjShuffled { validity: true },
             config,
             domains,
-            &data,
-            &mut rng,
+            &Exec::sequential().seed(32),
+            SliceSource::new(&data),
         )
         .unwrap();
         assert!(

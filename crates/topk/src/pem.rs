@@ -22,9 +22,12 @@ use std::collections::HashMap;
 use rand::Rng;
 
 use mcim_core::{CommStats, ValidityInput, ValidityPerturbation, VpAggregator};
+use mcim_oracles::exec::{Exec, Executor};
 use mcim_oracles::hash::SplitMix64;
-use mcim_oracles::stream::{fold_stream, required_len, ReportSource, StreamConfig, Take};
-use mcim_oracles::{parallel, Aggregator, Eps, Error, Oracle, Result};
+use mcim_oracles::stream::{
+    drain_source, required_len, ReportSource, SliceSource, StreamConfig, Take,
+};
+use mcim_oracles::{Aggregator, Eps, Error, Oracle, Result};
 
 use crate::encoding::PrefixCode;
 
@@ -197,10 +200,45 @@ impl PemEngine {
         self.prefix_len
     }
 
-    /// Runs one round. `items` yields each participating user's item
-    /// (`None` = the user is invalid for this mining task, e.g. her label
-    /// does not match the class being mined). Returns uplink statistics.
-    pub fn run_round<R, I>(&mut self, eps: Eps, items: I, rng: &mut R) -> Result<CommStats>
+    /// Runs one round under an [`Exec`] plan — the single entry point
+    /// replacing the deprecated `run_round` / `run_round_batch` /
+    /// `run_round_stream` triplet. `source` yields each participating
+    /// user's item (`None` = the user is invalid for this mining task,
+    /// e.g. her label does not match the class being mined). Returns
+    /// uplink statistics.
+    ///
+    /// Sequential plans reproduce the historical
+    /// `run_round(eps, items, &mut StdRng::seed_from_u64(seed))` stream;
+    /// the sharded modes are bit-identical to the deprecated
+    /// `run_round_batch`/`run_round_stream` for every thread count and
+    /// chunk size, with the plan's seed as the round's base seed.
+    ///
+    /// The plan seed is **this round's** seed (exactly like the legacy
+    /// `base_seed` argument): a multi-round driver must pass a distinct
+    /// seed per round — reusing one plan verbatim replays the same noise
+    /// stream every round and correlates the rounds. [`Pem::execute`]
+    /// does this for you by deriving one [`SplitMix64`] seed per round
+    /// from its plan seed.
+    pub fn execute_round<S>(&mut self, eps: Eps, plan: &Exec, mut source: S) -> Result<CommStats>
+    where
+        S: ReportSource<Item = Option<u32>>,
+    {
+        if plan.is_sequential() {
+            let items = drain_source(&mut source)?;
+            return self.run_round_seq(eps, items, &mut plan.seq_rng());
+        }
+        self.execute_round_on(&plan.in_process(), eps, plan.base_seed(), source)
+    }
+
+    /// The sequential reference round (one RNG stream in user order)
+    /// behind [`Exec::sequential`] plans and the deprecated caller-RNG
+    /// `run_round`.
+    pub(crate) fn run_round_seq<R, I>(
+        &mut self,
+        eps: Eps,
+        items: I,
+        rng: &mut R,
+    ) -> Result<CommStats>
     where
         R: Rng + ?Sized,
         I: IntoIterator<Item = Option<u32>>,
@@ -260,118 +298,30 @@ impl PemEngine {
         Ok(comm)
     }
 
-    /// Runs one round on the batched, sharded runtime: the user group is
-    /// split into fixed [`parallel::SHARD_SIZE`] shards, each privatized
-    /// and aggregated with the deterministic per-shard RNG
-    /// [`parallel::shard_rng`]`(base_seed, shard)` through the
-    /// word-parallel column-sum aggregators. The surviving candidate set is
-    /// a pure function of `(engine state, eps, items, base_seed)` —
-    /// bit-identical for every `threads` value.
-    pub fn run_round_batch(
+    /// Runs one sharded round on an explicit [`Executor`] backend — the
+    /// distributed-reducer seam of the PEM layer.
+    ///
+    /// The user group is processed in fixed absolute shards, each
+    /// privatized and aggregated with the deterministic per-shard RNG
+    /// stream `shard_rng(stage_seed, shard)` (state carried across chunk
+    /// boundaries) through the word-parallel column-sum aggregators. The
+    /// surviving candidate set is a pure function of
+    /// `(engine state, eps, items, stage_seed)` — bit-identical for every
+    /// conforming executor, thread count and chunk size. `stage_seed` is
+    /// explicit (rather than taken from the executor's plan) because
+    /// multi-round miners derive one seed per round from the plan seed.
+    pub fn execute_round_on<E, S>(
         &mut self,
+        executor: &E,
         eps: Eps,
-        items: &[Option<u32>],
-        base_seed: u64,
-        threads: usize,
-    ) -> Result<CommStats> {
-        if self.finished {
-            return Err(Error::InvalidParameter {
-                name: "round",
-                constraint: "engine already finished",
-            });
-        }
-        let index: HashMap<u32, u32> = self
-            .candidates
-            .iter()
-            .enumerate()
-            .map(|(i, &p)| (p, i as u32))
-            .collect();
-        let n_cands = self.candidates.len() as u32;
-        let mut comm = CommStats::default();
-
-        let scores: Vec<f64> = if self.config.validity {
-            let vp = self.cache.vp(eps, n_cands)?;
-            let shards = parallel::map_shards(items, threads, |shard, chunk| {
-                let mut rng = parallel::shard_rng(base_seed, shard);
-                let mut comm = CommStats::default();
-                let mut reports = Vec::with_capacity(chunk.len());
-                for &item in chunk {
-                    let input = match item {
-                        Some(it) => match index.get(&self.code.prefix(it, self.prefix_len)) {
-                            Some(&idx) => ValidityInput::Valid(idx),
-                            None => ValidityInput::Invalid,
-                        },
-                        None => ValidityInput::Invalid,
-                    };
-                    let report = vp.privatize(input, &mut rng)?;
-                    comm.record(report.len());
-                    reports.push(report);
-                }
-                let mut agg = VpAggregator::new(&vp);
-                agg.absorb_all(&reports)?;
-                Ok::<_, Error>((agg, comm))
-            });
-            let mut agg = VpAggregator::new(&vp);
-            for shard in shards {
-                let (partial, partial_comm) = shard?;
-                agg.merge(&partial)?;
-                comm.merge(partial_comm);
-            }
-            agg.raw_counts().iter().map(|&c| c as f64).collect()
-        } else {
-            let oracle = self.cache.oracle(eps, n_cands)?;
-            let shards = parallel::map_shards(items, threads, |shard, chunk| {
-                let mut rng = parallel::shard_rng(base_seed, shard);
-                let mut comm = CommStats::default();
-                let mut reports = Vec::with_capacity(chunk.len());
-                for &item in chunk {
-                    let value = match item {
-                        Some(it) => match index.get(&self.code.prefix(it, self.prefix_len)) {
-                            Some(&idx) => idx,
-                            // Vanilla PEM: pruned/invalid users substitute a
-                            // uniformly random candidate for deniability.
-                            None => rng.random_range(0..n_cands),
-                        },
-                        None => rng.random_range(0..n_cands),
-                    };
-                    let report = oracle.privatize(value, &mut rng)?;
-                    comm.record(report.size_bits());
-                    reports.push(report);
-                }
-                let mut agg = Aggregator::new(&oracle);
-                agg.absorb_all(&reports)?;
-                Ok::<_, Error>((agg, comm))
-            });
-            let mut agg = Aggregator::new(&oracle);
-            for shard in shards {
-                let (partial, partial_comm) = shard?;
-                agg.merge(&partial)?;
-                comm.merge(partial_comm);
-            }
-            agg.estimate()
-        };
-
-        self.prune_and_extend(scores);
-        Ok(comm)
-    }
-
-    /// [`PemEngine::run_round_batch`] over a **stream** of the round's user
-    /// group, with bounded memory: items are pulled in
-    /// `config.chunk_items`-sized chunks and privatized+absorbed shard by
-    /// shard with the same deterministic per-shard RNG streams (RNG state
-    /// carried across chunk boundaries). The surviving candidate set is
-    /// bit-identical to `run_round_batch` over the same items for every
-    /// chunk size and thread count.
-    pub fn run_round_stream<S>(
-        &mut self,
-        eps: Eps,
-        source: &mut S,
-        base_seed: u64,
-        config: StreamConfig,
+        stage_seed: u64,
+        mut source: S,
     ) -> Result<CommStats>
     where
+        E: Executor,
         S: ReportSource<Item = Option<u32>>,
     {
+        let source = &mut source;
         if self.finished {
             return Err(Error::InvalidParameter {
                 name: "round",
@@ -391,10 +341,9 @@ impl PemEngine {
         let (scores, comm) = if self.config.validity {
             let vp = self.cache.vp(eps, n_cands)?;
             let template = (VpAggregator::new(&vp), CommStats::default());
-            let (agg, comm) = fold_stream(
+            let (agg, comm) = executor.fold(
                 source,
-                config,
-                base_seed,
+                stage_seed,
                 &template,
                 |rng, _abs, items, (agg, comm): &mut (VpAggregator, CommStats)| {
                     for &item in items {
@@ -421,10 +370,9 @@ impl PemEngine {
         } else {
             let oracle = self.cache.oracle(eps, n_cands)?;
             let template = (Aggregator::new(&oracle), CommStats::default());
-            let (agg, comm) = fold_stream(
+            let (agg, comm) = executor.fold(
                 source,
-                config,
-                base_seed,
+                stage_seed,
                 &template,
                 |rng, _abs, items, (agg, comm): &mut (Aggregator, CommStats)| {
                     for &item in items {
@@ -452,6 +400,61 @@ impl PemEngine {
 
         self.prune_and_extend(scores);
         Ok(comm)
+    }
+
+    /// Runs one round with a caller-supplied RNG, in user order.
+    #[deprecated(
+        note = "use `PemEngine::execute_round` with `Exec::sequential().seed(..)` (a distinct \
+                seed per round) — identical output for a fresh `StdRng::seed_from_u64(seed)`"
+    )]
+    pub fn run_round<R, I>(&mut self, eps: Eps, items: I, rng: &mut R) -> Result<CommStats>
+    where
+        R: Rng + ?Sized,
+        I: IntoIterator<Item = Option<u32>>,
+    {
+        self.run_round_seq(eps, items, rng)
+    }
+
+    /// Runs one round on the batched, sharded runtime.
+    #[deprecated(note = "use `PemEngine::execute_round` with \
+                `Exec::batch().seed(base_seed).threads(threads)` — bit-identical output")]
+    pub fn run_round_batch(
+        &mut self,
+        eps: Eps,
+        items: &[Option<u32>],
+        base_seed: u64,
+        threads: usize,
+    ) -> Result<CommStats> {
+        self.execute_round(
+            eps,
+            &Exec::batch().seed(base_seed).threads(threads),
+            SliceSource::new(items),
+        )
+    }
+
+    /// Runs one round over a stream of the round's user group with bounded
+    /// memory.
+    #[deprecated(note = "use `PemEngine::execute_round` with \
+                `Exec::stream().seed(base_seed).threads(..).chunk_size(..)` — bit-identical \
+                output")]
+    pub fn run_round_stream<S>(
+        &mut self,
+        eps: Eps,
+        source: &mut S,
+        base_seed: u64,
+        config: StreamConfig,
+    ) -> Result<CommStats>
+    where
+        S: ReportSource<Item = Option<u32>>,
+    {
+        self.execute_round(
+            eps,
+            &Exec::stream()
+                .seed(base_seed)
+                .threads(config.threads)
+                .chunk_size(config.chunk_items),
+            source,
+        )
     }
 
     /// Applies external scores (one per candidate) — used by callers that
@@ -567,9 +570,48 @@ impl Pem {
         Ok(Pem { d, config })
     }
 
-    /// Mines the top-k from one user group per round. `None` entries are
-    /// invalid users.
-    pub fn mine<R: Rng + ?Sized>(
+    /// Mines the top-k under an [`Exec`] plan — the single entry point
+    /// replacing the deprecated `mine` / `mine_batch` / `mine_stream`
+    /// triplet. `None` items are invalid users.
+    ///
+    /// Sequential plans reproduce the historical
+    /// `mine(eps, items, &mut StdRng::seed_from_u64(seed))` stream. The
+    /// sharded modes split the source into one `⌈n/rounds⌉`-user group per
+    /// round (pulled straight off the source via [`Take`] — stream mode
+    /// never materializes a round group beyond one chunk) and run round
+    /// `r` through [`PemEngine::execute_round_on`] with the `r`-th seed of
+    /// the [`SplitMix64`] stream over the plan seed; they therefore
+    /// require a **sized** source and are bit-identical to the deprecated
+    /// `mine_batch`/`mine_stream` for every thread count and chunk size.
+    pub fn execute<S>(&self, eps: Eps, plan: &Exec, mut source: S) -> Result<PemOutcome>
+    where
+        S: ReportSource<Item = Option<u32>>,
+    {
+        if plan.is_sequential() {
+            let items = drain_source(&mut source)?;
+            return self.mine_seq(eps, &items, &mut plan.seq_rng());
+        }
+        let executor = plan.in_process();
+        let n = required_len(&source)?;
+        let mut engine = PemEngine::new(self.d, self.config)?;
+        let rounds = engine.remaining_rounds();
+        let mut comm = CommStats::default();
+        let chunk = (n.div_ceil(rounds as u64)).max(1);
+        let mut stream = SplitMix64::new(plan.base_seed());
+        for _ in 0..rounds {
+            let group = Take::new(&mut source, chunk);
+            let stats = engine.execute_round_on(&executor, eps, stream.next_u64(), group)?;
+            comm.merge(stats);
+        }
+        Ok(PemOutcome {
+            top: engine.top_items()?,
+            comm,
+        })
+    }
+
+    /// The sequential reference miner behind [`Exec::sequential`] plans
+    /// and the deprecated caller-RNG `mine`.
+    pub(crate) fn mine_seq<R: Rng + ?Sized>(
         &self,
         eps: Eps,
         items: &[Option<u32>],
@@ -582,7 +624,7 @@ impl Pem {
         let mut groups = items.chunks(chunk);
         for _ in 0..rounds {
             let group = groups.next().unwrap_or(&[]);
-            let stats = engine.run_round(eps, group.iter().copied(), rng)?;
+            let stats = engine.run_round_seq(eps, group.iter().copied(), rng)?;
             comm.merge(stats);
         }
         Ok(PemOutcome {
@@ -591,10 +633,25 @@ impl Pem {
         })
     }
 
-    /// [`Pem::mine`] on the batched, sharded runtime: round `r` runs
-    /// [`PemEngine::run_round_batch`] with the `r`-th seed of the
-    /// [`SplitMix64`] stream over `base_seed`. The mined set is
-    /// bit-identical for every `threads` value.
+    /// Mines the top-k with a caller-supplied RNG, in user order.
+    #[deprecated(
+        note = "use `Pem::execute` with `Exec::sequential().seed(..)` — identical output for \
+                a fresh `StdRng::seed_from_u64(seed)`"
+    )]
+    pub fn mine<R: Rng + ?Sized>(
+        &self,
+        eps: Eps,
+        items: &[Option<u32>],
+        rng: &mut R,
+    ) -> Result<PemOutcome> {
+        self.mine_seq(eps, items, rng)
+    }
+
+    /// Mines the top-k on the batched, sharded runtime.
+    #[deprecated(
+        note = "use `Pem::execute` with `Exec::batch().seed(base_seed).threads(threads)` — \
+                bit-identical output"
+    )]
     pub fn mine_batch(
         &self,
         eps: Eps,
@@ -602,30 +659,17 @@ impl Pem {
         base_seed: u64,
         threads: usize,
     ) -> Result<PemOutcome> {
-        let mut engine = PemEngine::new(self.d, self.config)?;
-        let rounds = engine.remaining_rounds();
-        let mut comm = CommStats::default();
-        let chunk = items.len().div_ceil(rounds).max(1);
-        let mut groups = items.chunks(chunk);
-        let mut stream = SplitMix64::new(base_seed);
-        for _ in 0..rounds {
-            let group = groups.next().unwrap_or(&[]);
-            let stats = engine.run_round_batch(eps, group, stream.next_u64(), threads)?;
-            comm.merge(stats);
-        }
-        Ok(PemOutcome {
-            top: engine.top_items()?,
-            comm,
-        })
+        self.execute(
+            eps,
+            &Exec::batch().seed(base_seed).threads(threads),
+            SliceSource::new(items),
+        )
     }
 
-    /// [`Pem::mine_batch`] over a **stream** of users with bounded memory:
-    /// round `r` pulls its `⌈n/rounds⌉`-user group straight off the source
-    /// (via [`Take`]) and runs [`PemEngine::run_round_stream`], so no round
-    /// group is ever materialized beyond one chunk. Requires a **sized**
-    /// source (the round split needs `n` up front); the mined set is
-    /// bit-identical to `mine_batch` over the same items for every chunk
-    /// size and thread count.
+    /// Mines the top-k over a stream of users with bounded memory.
+    #[deprecated(note = "use `Pem::execute` with \
+                `Exec::stream().seed(base_seed).threads(..).chunk_size(..)` — bit-identical \
+                output")]
     pub fn mine_stream<S>(
         &self,
         eps: Eps,
@@ -636,21 +680,14 @@ impl Pem {
     where
         S: ReportSource<Item = Option<u32>>,
     {
-        let n = required_len(source)?;
-        let mut engine = PemEngine::new(self.d, self.config)?;
-        let rounds = engine.remaining_rounds();
-        let mut comm = CommStats::default();
-        let chunk = (n.div_ceil(rounds as u64)).max(1);
-        let mut stream = SplitMix64::new(base_seed);
-        for _ in 0..rounds {
-            let mut group = Take::new(source, chunk);
-            let stats = engine.run_round_stream(eps, &mut group, stream.next_u64(), config)?;
-            comm.merge(stats);
-        }
-        Ok(PemOutcome {
-            top: engine.top_items()?,
-            comm,
-        })
+        self.execute(
+            eps,
+            &Exec::stream()
+                .seed(base_seed)
+                .threads(config.threads)
+                .chunk_size(config.chunk_items),
+            source,
+        )
     }
 }
 
@@ -707,8 +744,13 @@ mod tests {
         let k = 5;
         let items = population(d, 60_000);
         let pem = Pem::new(d, PemConfig::new(k)).unwrap();
-        let mut rng = StdRng::seed_from_u64(42);
-        let out = pem.mine(eps(6.0), &items, &mut rng).unwrap();
+        let out = pem
+            .execute(
+                eps(6.0),
+                &Exec::sequential().seed(42),
+                SliceSource::new(&items),
+            )
+            .unwrap();
         assert!(out.top.len() <= k);
         // With ε=6 and 12k users per round, the true top-3 {0,1,2} must be found.
         for expected in 0..3u32 {
@@ -732,8 +774,13 @@ mod tests {
             }
         }
         let pem = Pem::new(d, PemConfig::new(k).with_validity()).unwrap();
-        let mut rng = StdRng::seed_from_u64(43);
-        let out = pem.mine(eps(6.0), &items, &mut rng).unwrap();
+        let out = pem
+            .execute(
+                eps(6.0),
+                &Exec::sequential().seed(43),
+                SliceSource::new(&items),
+            )
+            .unwrap();
         for expected in 0..2u32 {
             assert!(
                 out.top.contains(&expected),
@@ -755,9 +802,21 @@ mod tests {
         }
         for config in [PemConfig::new(k), PemConfig::new(k).with_validity()] {
             let pem = Pem::new(d, config).unwrap();
-            let seq = pem.mine_batch(eps(6.0), &items, 11, 1).unwrap();
+            let seq = pem
+                .execute(
+                    eps(6.0),
+                    &Exec::batch().seed(11).threads(1),
+                    SliceSource::new(&items),
+                )
+                .unwrap();
             for threads in [2, 8] {
-                let par = pem.mine_batch(eps(6.0), &items, 11, threads).unwrap();
+                let par = pem
+                    .execute(
+                        eps(6.0),
+                        &Exec::batch().seed(11).threads(threads),
+                        SliceSource::new(&items),
+                    )
+                    .unwrap();
                 assert_eq!(
                     par.top, seq.top,
                     "validity={} threads={threads}",
@@ -781,10 +840,17 @@ mod tests {
     fn extension_respects_domain_bound() {
         // d = 5 (ℓ=3): candidates never include codes ≥ 5.
         let mut engine = PemEngine::new(5, PemConfig::new(1)).unwrap();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut round = 0u64;
         while engine.remaining_rounds() > 0 {
             let inputs: Vec<Option<u32>> = vec![Some(0); 200];
-            engine.run_round(eps(2.0), inputs, &mut rng).unwrap();
+            engine
+                .execute_round(
+                    eps(2.0),
+                    &Exec::sequential().seed(round),
+                    SliceSource::new(&inputs),
+                )
+                .unwrap();
+            round += 1;
         }
         for &item in engine.top_items().unwrap().iter() {
             assert!(item < 5, "item {item} outside domain");
@@ -844,8 +910,13 @@ mod tests {
             validity: false,
         };
         let pem = Pem::new(8, config).unwrap();
-        let mut rng = StdRng::seed_from_u64(44);
-        let out = pem.mine(eps(8.0), &items, &mut rng).unwrap();
+        let out = pem
+            .execute(
+                eps(8.0),
+                &Exec::sequential().seed(44),
+                SliceSource::new(&items),
+            )
+            .unwrap();
         assert_ne!(
             out.top,
             vec![0b000],

@@ -2,8 +2,10 @@
 //! the regime the paper discusses (imbalanced classes, few of them).
 
 use mcim_core::{Domains, LabelItem};
+use mcim_oracles::exec::Exec;
+use mcim_oracles::stream::SliceSource;
 use mcim_oracles::Eps;
-use mcim_topk::{mine, NoiseTest, TopKConfig, TopKMethod};
+use mcim_topk::{execute, NoiseTest, TopKConfig, TopKMethod};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -37,8 +39,14 @@ fn both_noise_tests_mine_successfully() {
     for test in [NoiseTest::PaperRatio, NoiseTest::NoiseToValid] {
         let mut config = TopKConfig::new(3, Eps::new(6.0).unwrap());
         config.noise_test = test;
-        let mut rng = StdRng::seed_from_u64(7);
-        let result = mine(method, config, domains, &data, &mut rng).unwrap();
+        let result = execute(
+            method,
+            config,
+            domains,
+            &Exec::sequential().seed(7),
+            SliceSource::new(&data),
+        )
+        .unwrap();
         assert_eq!(result.per_class.len(), 3, "{test:?}");
         // The dominant class must be mined well under either test.
         let truth_top = 0u32; // class 0's head items live at 0..8
@@ -71,10 +79,15 @@ fn tests_agree_at_few_balanced_classes() {
     let run = |test: NoiseTest| {
         let mut config = TopKConfig::new(3, Eps::new(6.0).unwrap());
         config.noise_test = test;
-        let mut rng = StdRng::seed_from_u64(99);
-        mine(method, config, domains, &data, &mut rng)
-            .unwrap()
-            .per_class
+        execute(
+            method,
+            config,
+            domains,
+            &Exec::sequential().seed(99),
+            SliceSource::new(&data),
+        )
+        .unwrap()
+        .per_class
     };
     assert_eq!(run(NoiseTest::PaperRatio), run(NoiseTest::NoiseToValid));
 }

@@ -1,13 +1,14 @@
 //! Property-based tests for the top-k mining crate.
 
 use mcim_core::{Domains, LabelItem};
+use mcim_oracles::exec::Exec;
+use mcim_oracles::stream::SliceSource;
 use mcim_oracles::Eps;
 use mcim_topk::{
-    mine, replay, shuffle::bucket_of, PemConfig, PemEngine, ShuffleEngine, TopKConfig, TopKMethod,
+    execute, replay, shuffle::bucket_of, PemConfig, PemEngine, ShuffleEngine, TopKConfig,
+    TopKMethod,
 };
 use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 proptest! {
     /// Bucket assignment is a balanced partition for any (n, buckets).
@@ -55,12 +56,19 @@ proptest! {
     #[test]
     fn pem_round_accounting(d in 2u32..1_000, k in 1usize..20, seed in any::<u64>()) {
         let mut engine = PemEngine::new(d, PemConfig::new(k)).unwrap();
-        let mut rng = StdRng::seed_from_u64(seed);
         let mut remaining = engine.remaining_rounds();
+        let mut round_seed = seed;
         prop_assert!(remaining >= 1);
         while remaining > 0 {
             let inputs: Vec<Option<u32>> = (0..50).map(|i| Some(i % d)).collect();
-            engine.run_round(Eps::new(2.0).unwrap(), inputs, &mut rng).unwrap();
+            engine
+                .execute_round(
+                    Eps::new(2.0).unwrap(),
+                    &Exec::sequential().seed(round_seed),
+                    SliceSource::new(&inputs),
+                )
+                .unwrap();
+            round_seed = round_seed.wrapping_add(1);
             let now = engine.remaining_rounds();
             prop_assert_eq!(now, remaining - 1);
             remaining = now;
@@ -83,17 +91,20 @@ proptest! {
         k in 1usize..6,
     ) {
         let domains = Domains::new(c, d).unwrap();
-        let mut rng = StdRng::seed_from_u64(seed);
         let data: Vec<LabelItem> = (0..n)
             .map(|u| LabelItem::new((u as u32) % c, (u as u32 * 7919) % d))
             .collect();
         let config = TopKConfig::new(k, Eps::new(2.0).unwrap());
-        for method in [
+        for (i, method) in [
             TopKMethod::Hec,
             TopKMethod::PtjPem { validity: true },
             TopKMethod::PtsShuffled { validity: true, global: true, correlated: true },
-        ] {
-            let result = mine(method, config, domains, &data, &mut rng).unwrap();
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let plan = Exec::sequential().seed(seed.wrapping_add(i as u64));
+            let result = execute(method, config, domains, &plan, SliceSource::new(&data)).unwrap();
             prop_assert_eq!(result.per_class.len(), c as usize);
             for items in &result.per_class {
                 prop_assert!(items.len() <= k);

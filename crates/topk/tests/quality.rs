@@ -3,19 +3,26 @@
 
 use mcim_datasets::{anime_like, jd_like, RealConfig};
 use mcim_metrics::{f1_at_k, ncr_at_k};
+use mcim_oracles::exec::Exec;
+use mcim_oracles::stream::SliceSource;
 use mcim_oracles::Eps;
-use mcim_topk::{mine, TopKConfig, TopKMethod};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use mcim_topk::{execute, TopKConfig, TopKMethod};
 
 fn mean_f1(
     method: TopKMethod,
     config: TopKConfig,
     ds: &mcim_datasets::Dataset,
     truth: &[Vec<u32>],
-    rng: &mut StdRng,
+    seed: u64,
 ) -> f64 {
-    let result = mine(method, config, ds.domains, &ds.pairs, rng).unwrap();
+    let result = execute(
+        method,
+        config,
+        ds.domains,
+        &Exec::sequential().seed(seed),
+        SliceSource::new(&ds.pairs),
+    )
+    .unwrap();
     let scores: Vec<f64> = truth
         .iter()
         .enumerate()
@@ -60,8 +67,7 @@ fn optimized_methods_beat_their_baselines_on_anime() {
     ] {
         let mut total = 0.0;
         for t in 0..trials {
-            let mut rng = StdRng::seed_from_u64(7 + t);
-            total += mean_f1(method, config, &ds, &truth, &mut rng);
+            total += mean_f1(method, config, &ds, &truth, 7 + t);
         }
         scores.insert(label, total / trials as f64);
     }
@@ -100,14 +106,13 @@ fn hec_loses_on_imbalanced_jd() {
     let mut hec = 0.0;
     let mut opt = 0.0;
     for t in 0..trials {
-        let mut rng = StdRng::seed_from_u64(50 + t);
-        hec += mean_f1(TopKMethod::Hec, config, &ds, &truth, &mut rng);
+        hec += mean_f1(TopKMethod::Hec, config, &ds, &truth, 50 + t);
         opt += mean_f1(
             TopKMethod::PtjShuffled { validity: true },
             config,
             &ds,
             &truth,
-            &mut rng,
+            60 + t,
         );
     }
     assert!(
@@ -129,9 +134,8 @@ fn tiny_classes_favor_pts_over_ptj() {
     let k = 10;
     let truth = ds.true_top_k(k);
     let config = TopKConfig::new(k, Eps::new(8.0).unwrap());
-    let mut rng = StdRng::seed_from_u64(11);
 
-    let pts = mine(
+    let pts = execute(
         TopKMethod::PtsShuffled {
             validity: true,
             global: true,
@@ -139,16 +143,16 @@ fn tiny_classes_favor_pts_over_ptj() {
         },
         config,
         ds.domains,
-        &ds.pairs,
-        &mut rng,
+        &Exec::sequential().seed(11),
+        SliceSource::new(&ds.pairs),
     )
     .unwrap();
-    let ptj = mine(
+    let ptj = execute(
         TopKMethod::PtjPem { validity: false },
         config,
         ds.domains,
-        &ds.pairs,
-        &mut rng,
+        &Exec::sequential().seed(12),
+        SliceSource::new(&ds.pairs),
     )
     .unwrap();
 
@@ -189,21 +193,20 @@ fn ptj_optimizations_do_not_hurt() {
     let mut base_total = 0.0;
     let mut opt_total = 0.0;
     for t in 0..trials {
-        let mut rng = StdRng::seed_from_u64(100 + t);
-        let base = mine(
+        let base = execute(
             TopKMethod::PtjPem { validity: false },
             config,
             ds.domains,
-            &ds.pairs,
-            &mut rng,
+            &Exec::sequential().seed(100 + t),
+            SliceSource::new(&ds.pairs),
         )
         .unwrap();
-        let opt = mine(
+        let opt = execute(
             TopKMethod::PtjShuffled { validity: true },
             config,
             ds.domains,
-            &ds.pairs,
-            &mut rng,
+            &Exec::sequential().seed(110 + t),
+            SliceSource::new(&ds.pairs),
         )
         .unwrap();
         for (c, tru) in truth.iter().enumerate() {
@@ -227,8 +230,7 @@ fn mining_is_seed_deterministic() {
     });
     let config = TopKConfig::new(5, Eps::new(4.0).unwrap());
     let run = || {
-        let mut rng = StdRng::seed_from_u64(555);
-        mine(
+        execute(
             TopKMethod::PtsShuffled {
                 validity: true,
                 global: true,
@@ -236,8 +238,8 @@ fn mining_is_seed_deterministic() {
             },
             config,
             ds.domains,
-            &ds.pairs,
-            &mut rng,
+            &Exec::sequential().seed(555),
+            SliceSource::new(&ds.pairs),
         )
         .unwrap()
         .per_class

@@ -9,8 +9,6 @@
 
 use mcim_datasets::{anime_like, RealConfig};
 use multiclass_ldp::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() -> Result<()> {
     let ds = anime_like(RealConfig {
@@ -20,7 +18,6 @@ fn main() -> Result<()> {
     });
     let truth_table = ds.ground_truth();
     let eps = Eps::new(4.0)?;
-    let mut rng = StdRng::seed_from_u64(31);
 
     println!(
         "Anime-like workload: N = {}, c = 2, d = {}, ε = {}\n",
@@ -33,8 +30,9 @@ fn main() -> Result<()> {
     println!("Frequency estimation (lower RMSE is better):");
     println!("framework | RMSE    | uplink bits/user");
     println!("----------+---------+-----------------");
-    for fw in Framework::fig6_set() {
-        let result = fw.run(eps, ds.domains, &ds.pairs, &mut rng)?;
+    for (i, fw) in Framework::fig6_set().into_iter().enumerate() {
+        let plan = Exec::seeded(31 + i as u64);
+        let result = fw.execute(eps, ds.domains, &plan, SliceSource::new(&ds.pairs))?;
         println!(
             "{:>9} | {:>7.1} | {:>10.0}",
             fw.name(),
@@ -50,8 +48,15 @@ fn main() -> Result<()> {
     println!("\nTop-{k} mining (higher is better):");
     println!("method              | F1    | NCR   | uplink b/u | downlink b/u");
     println!("--------------------+-------+-------+------------+-------------");
-    for method in TopKMethod::fig7_set() {
-        let result = mine(method, config, ds.domains, &ds.pairs, &mut rng)?;
+    for (i, method) in TopKMethod::fig7_set().into_iter().enumerate() {
+        let plan = Exec::seeded(41 + i as u64);
+        let result = execute(
+            method,
+            config,
+            ds.domains,
+            &plan,
+            SliceSource::new(&ds.pairs),
+        )?;
         let f1 = (0..2)
             .map(|c| f1_at_k(&result.per_class[c], &truth[c]))
             .sum::<f64>()

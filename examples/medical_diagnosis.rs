@@ -11,8 +11,6 @@
 
 use mcim_datasets::{diabetes_like, RealConfig};
 use multiclass_ldp::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() -> Result<()> {
     let ds = diabetes_like(RealConfig {
@@ -21,7 +19,6 @@ fn main() -> Result<()> {
         seed: 11,
     });
     let eps = Eps::new(2.0)?;
-    let mut rng = StdRng::seed_from_u64(13);
 
     println!(
         "Diabetes-like workload: {} users over {} feature groups, ε = {}\n",
@@ -31,10 +28,15 @@ fn main() -> Result<()> {
     );
     println!("feature (domain) | RMSE PTS-CP | healthy mean | diabetic mean (private est.)");
     println!("-----------------+-------------+--------------+-----------------------------");
-    for group in &ds.groups {
+    for (g, group) in ds.groups.iter().enumerate() {
         let truth = group.ground_truth();
-        let result =
-            Framework::PtsCp { label_frac: 0.5 }.run(eps, group.domains, &group.pairs, &mut rng)?;
+        let plan = Exec::seeded(13 + g as u64);
+        let result = Framework::PtsCp { label_frac: 0.5 }.execute(
+            eps,
+            group.domains,
+            &plan,
+            SliceSource::new(&group.pairs),
+        )?;
         let err = rmse(result.table.values(), truth.values());
 
         // Classwise mean feature value from the *private* histogram — the

@@ -26,9 +26,16 @@ fn main() -> Result<()> {
     let truth = FrequencyTable::ground_truth(domains, &data)?;
 
     // Privacy budget ε = 2, split evenly between label and item (the
-    // paper's default).
+    // paper's default). The `Exec` plan carries the seed and execution
+    // knobs; results are bit-identical for every thread count.
     let eps = Eps::new(2.0)?;
-    let result = Framework::PtsCp { label_frac: 0.5 }.run(eps, domains, &data, &mut rng)?;
+    let plan = Exec::seeded(2025);
+    let result = Framework::PtsCp { label_frac: 0.5 }.execute(
+        eps,
+        domains,
+        &plan,
+        SliceSource::new(&data),
+    )?;
 
     println!("PTS-CP frequency estimation, ε = 2, N = {}", data.len());
     println!("uplink: {:.0} bits/user\n", result.comm.bits_per_user());

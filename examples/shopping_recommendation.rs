@@ -13,8 +13,6 @@
 
 use mcim_datasets::{jd_like, RealConfig};
 use multiclass_ldp::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 const AGE_GROUPS: [&str; 5] = ["<25", "26-35", "36-45", "46-55", "56+"];
 
@@ -28,7 +26,6 @@ fn main() -> Result<()> {
     let truth = ds.true_top_k(k);
     let eps = Eps::new(4.0)?;
     let config = TopKConfig::new(k, eps);
-    let mut rng = StdRng::seed_from_u64(99);
 
     println!(
         "JD-like workload: N = {}, {} products, 5 age groups, ε = {}",
@@ -38,7 +35,7 @@ fn main() -> Result<()> {
     );
     let sizes = ds.class_sizes();
 
-    for (name, method) in [
+    for (i, (name, method)) in [
         ("HEC strawman", TopKMethod::Hec),
         (
             "PTS-Shuffling+VP+CP (paper)",
@@ -48,8 +45,18 @@ fn main() -> Result<()> {
                 correlated: true,
             },
         ),
-    ] {
-        let result = mine(method, config, ds.domains, &ds.pairs, &mut rng)?;
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let plan = Exec::seeded(99 + i as u64);
+        let result = execute(
+            method,
+            config,
+            ds.domains,
+            &plan,
+            SliceSource::new(&ds.pairs),
+        )?;
         println!("\n=== {name} ===");
         println!("group | users   | F1@10 | NCR@10 | top-3 mined products");
         println!("------+---------+-------+--------+---------------------");

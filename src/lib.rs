@@ -10,7 +10,9 @@
 //! This crate is a facade: it re-exports the workspace crates under stable
 //! paths. See the member crates for details:
 //!
-//! * [`oracles`] — GRR, SUE/OUE, OLH, adaptive selection, budgets, bitvecs.
+//! * [`oracles`] — GRR, SUE/OUE, OLH, adaptive selection, budgets, bitvecs,
+//!   and the [`Exec`](oracles::exec::Exec) execution-plan API every
+//!   pipeline's `execute` entry point takes.
 //! * [`core`] — domains, frameworks, validity/correlated perturbation,
 //!   estimators (Eqs. 4 and 6), utility analysis (Theorems 4–10, Table I).
 //! * [`topk`] — PEM, the shuffling scheme, Algorithms 1 & 2.
@@ -21,7 +23,6 @@
 //!
 //! ```
 //! use multiclass_ldp::prelude::*;
-//! use rand::SeedableRng;
 //!
 //! // Each of 60k users holds one (class, item) pair.
 //! let domains = Domains::new(2, 32)?;
@@ -30,10 +31,12 @@
 //!     .collect();
 //!
 //! // Estimate every class's item histogram under ε = 2 with the paper's
-//! // correlated perturbation (PTS-CP).
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! // correlated perturbation (PTS-CP). The `Exec` plan carries the seed
+//! // and the execution knobs; threads and chunk size never change the
+//! // estimates, only the wall clock and memory.
+//! let plan = Exec::seeded(1).threads(4);
 //! let result = Framework::PtsCp { label_frac: 0.5 }
-//!     .run(Eps::new(2.0)?, domains, &data, &mut rng)?;
+//!     .execute(Eps::new(2.0)?, domains, &plan, SliceSource::new(&data))?;
 //! assert_eq!(result.table.domains().classes(), 2);
 //! # Ok::<(), multiclass_ldp::Error>(())
 //! ```
@@ -56,9 +59,10 @@ pub mod prelude {
         ValidityInput, ValidityPerturbation, VpAggregator,
     };
     pub use mcim_metrics::{f1_at_k, ncr_at_k, rmse};
+    pub use mcim_oracles::exec::{Exec, ExecMode, Executor, InProcess};
     pub use mcim_oracles::stream::{ReportSource, SliceSource, StreamConfig};
     pub use mcim_oracles::{
-        parallel, stream, Aggregator, ColumnCounter, Eps, Error, Oracle, Result,
+        exec, parallel, stream, Aggregator, ColumnCounter, Eps, Error, Oracle, Result,
     };
-    pub use mcim_topk::{mine, mine_batch, mine_stream, TopKConfig, TopKMethod, TopKResult};
+    pub use mcim_topk::{execute, TopKConfig, TopKMethod, TopKResult};
 }

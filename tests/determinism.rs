@@ -8,8 +8,10 @@
 //! benchmark number.
 
 use multiclass_ldp::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+
+fn slice<'a>(data: &'a [LabelItem]) -> SliceSource<'a, LabelItem> {
+    SliceSource::new(data)
+}
 
 fn sample_data(domains: Domains, n: usize) -> Vec<LabelItem> {
     (0..n)
@@ -30,8 +32,8 @@ fn pts_cp_tables_identical_for_identical_seeds() {
     let fw = Framework::PtsCp { label_frac: 0.5 };
 
     let run = |seed: u64| {
-        let mut rng = StdRng::seed_from_u64(seed);
-        fw.run(eps, domains, &data, &mut rng).unwrap()
+        fw.execute(eps, domains, &Exec::sequential().seed(seed), slice(&data))
+            .unwrap()
     };
     let a = run(12345);
     let b = run(12345);
@@ -65,8 +67,14 @@ fn topk_mining_identical_for_identical_seeds() {
     };
 
     let run = |seed: u64| {
-        let mut rng = StdRng::seed_from_u64(seed);
-        mine(method, config, domains, &data, &mut rng).unwrap()
+        execute(
+            method,
+            config,
+            domains,
+            &Exec::sequential().seed(seed),
+            slice(&data),
+        )
+        .unwrap()
     };
     assert_eq!(
         run(7).per_class,
@@ -81,15 +89,29 @@ fn topk_mining_identical_for_identical_seeds() {
 /// so `configured_threads()` exercises a genuinely different worker count
 /// against the sequential reference.
 #[test]
-fn run_batch_thread_matrix_is_bit_identical_for_every_framework() {
+fn batch_plan_thread_matrix_is_bit_identical_for_every_framework() {
     let domains = Domains::new(3, 48).unwrap();
     let data = sample_data(domains, 25_000);
     let eps = Eps::new(2.0).unwrap();
     let threads = parallel::configured_threads();
     for fw in Framework::fig6_set() {
-        let seq = fw.run_batch(eps, domains, &data, 2024, 1).unwrap();
+        let seq = fw
+            .execute(
+                eps,
+                domains,
+                &Exec::batch().seed(2024).threads(1),
+                slice(&data),
+            )
+            .unwrap();
         for t in [2, threads] {
-            let par = fw.run_batch(eps, domains, &data, 2024, t).unwrap();
+            let par = fw
+                .execute(
+                    eps,
+                    domains,
+                    &Exec::batch().seed(2024).threads(t),
+                    slice(&data),
+                )
+                .unwrap();
             for label in 0..domains.classes() {
                 for item in 0..domains.items() {
                     assert!(
@@ -148,7 +170,7 @@ fn vp_batch_thread_matrix_is_bit_identical() {
 /// Top-k mining on the batch runtime is a pure function of the base seed —
 /// the thread count never changes the mined sets.
 #[test]
-fn topk_mine_batch_thread_matrix_is_bit_identical() {
+fn topk_batch_plan_thread_matrix_is_bit_identical() {
     let domains = Domains::new(2, 64).unwrap();
     let data = sample_data(domains, 24_000);
     let config = TopKConfig::new(4, Eps::new(4.0).unwrap());
@@ -162,9 +184,23 @@ fn topk_mine_batch_thread_matrix_is_bit_identical() {
             correlated: true,
         },
     ] {
-        let seq = mine_batch(method, config, domains, &data, 77, 1).unwrap();
+        let seq = execute(
+            method,
+            config,
+            domains,
+            &Exec::batch().seed(77).threads(1),
+            slice(&data),
+        )
+        .unwrap();
         for t in [2, threads] {
-            let par = mine_batch(method, config, domains, &data, 77, t).unwrap();
+            let par = execute(
+                method,
+                config,
+                domains,
+                &Exec::batch().seed(77).threads(t),
+                slice(&data),
+            )
+            .unwrap();
             assert_eq!(
                 par.per_class,
                 seq.per_class,

@@ -3,8 +3,6 @@
 
 use multiclass_ldp::datasets::{anime_like, syn1, RealConfig};
 use multiclass_ldp::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 #[test]
 fn frequency_pipeline_on_syn1() {
@@ -12,14 +10,19 @@ fn frequency_pipeline_on_syn1() {
     // 4-level pair counts at high ε.
     let ds = syn1(0.005, 3);
     let truth = ds.ground_truth();
-    let mut rng = StdRng::seed_from_u64(41);
     let eps = Eps::new(4.0).unwrap();
-    for fw in [
+    for (i, fw) in [
         Framework::Ptj,
         Framework::Pts { label_frac: 0.5 },
         Framework::PtsCp { label_frac: 0.5 },
-    ] {
-        let result = fw.run(eps, ds.domains, &ds.pairs, &mut rng).unwrap();
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let plan = Exec::sequential().seed(41 + i as u64);
+        let result = fw
+            .execute(eps, ds.domains, &plan, SliceSource::new(&ds.pairs))
+            .unwrap();
         let err = rmse(result.table.values(), truth.values());
         // Largest cell is 5000; a calibrated estimator at ε=4 with ~55k
         // users stays well under 10% of it.
@@ -30,9 +33,13 @@ fn frequency_pipeline_on_syn1() {
 #[test]
 fn frequency_estimates_are_consistent_with_class_totals() {
     let ds = syn1(0.002, 4);
-    let mut rng = StdRng::seed_from_u64(42);
     let result = Framework::PtsCp { label_frac: 0.5 }
-        .run(Eps::new(3.0).unwrap(), ds.domains, &ds.pairs, &mut rng)
+        .execute(
+            Eps::new(3.0).unwrap(),
+            ds.domains,
+            &Exec::sequential().seed(42),
+            SliceSource::new(&ds.pairs),
+        )
         .unwrap();
     let sizes = ds.class_sizes();
     for c in 0..4u32 {
@@ -54,13 +61,12 @@ fn topk_pipeline_through_facade() {
     });
     let k = 10;
     let truth = ds.true_top_k(k);
-    let mut rng = StdRng::seed_from_u64(43);
-    let result = mine(
+    let result = execute(
         TopKMethod::PtjShuffled { validity: true },
         TopKConfig::new(k, Eps::new(8.0).unwrap()),
         ds.domains,
-        &ds.pairs,
-        &mut rng,
+        &Exec::sequential().seed(43),
+        SliceSource::new(&ds.pairs),
     )
     .unwrap();
     for (c, (mined, tru)) in result.per_class.iter().zip(&truth).enumerate() {
@@ -77,10 +83,16 @@ fn error_paths_surface_cleanly() {
     assert!(Eps::new(-1.0).is_err());
     assert!(Domains::new(0, 5).is_err());
     let domains = Domains::new(2, 4).unwrap();
-    let mut rng = StdRng::seed_from_u64(0);
     let bad = vec![LabelItem::new(5, 0)];
-    let result = Framework::Ptj.run(Eps::new(1.0).unwrap(), domains, &bad, &mut rng);
-    assert!(result.is_err());
+    for plan in [Exec::sequential(), Exec::batch(), Exec::stream()] {
+        let result = Framework::Ptj.execute(
+            Eps::new(1.0).unwrap(),
+            domains,
+            &plan,
+            SliceSource::new(&bad),
+        );
+        assert!(result.is_err(), "{plan}");
+    }
 }
 
 #[test]
@@ -89,7 +101,8 @@ fn oracle_facade_round_trip() {
     let eps = Eps::new(2.0).unwrap();
     let oracle = Oracle::adaptive(eps, 100).unwrap();
     let mut agg = Aggregator::new(&oracle);
-    let mut rng = StdRng::seed_from_u64(44);
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(44);
     for _ in 0..20_000 {
         agg.absorb(&oracle.privatize(42, &mut rng).unwrap())
             .unwrap();
@@ -101,12 +114,18 @@ fn oracle_facade_round_trip() {
 #[test]
 fn deterministic_given_seed_across_the_stack() {
     let ds = syn1(0.001, 9);
-    let run = || {
-        let mut rng = StdRng::seed_from_u64(123);
+    let run = |plan: Exec| {
         Framework::PtsCp { label_frac: 0.5 }
-            .run(Eps::new(1.0).unwrap(), ds.domains, &ds.pairs, &mut rng)
+            .execute(
+                Eps::new(1.0).unwrap(),
+                ds.domains,
+                &plan,
+                SliceSource::new(&ds.pairs),
+            )
             .unwrap()
             .table
     };
-    assert_eq!(run().values(), run().values());
+    for plan in [Exec::sequential().seed(123), Exec::seeded(123).threads(2)] {
+        assert_eq!(run(plan).values(), run(plan).values(), "{plan}");
+    }
 }

@@ -1,0 +1,421 @@
+//! The `Exec` equivalence matrix — the shim-equivalence test and the only
+//! internal caller allowed to touch the deprecated triplet methods.
+//!
+//! Every mode of every `execute` entry point must be **bit-identical** to
+//! the legacy entry point it replaces:
+//!
+//! | legacy entry point | `Exec` plan |
+//! |---|---|
+//! | `Framework::run(.., &mut StdRng::seed_from_u64(s))` | `Exec::sequential().seed(s)` |
+//! | `Framework::run_batch(.., s, t)` | `Exec::batch().seed(s).threads(t)` |
+//! | `Framework::run_stream(.., s, cfg)` | `Exec::stream().seed(s).threads(t).chunk_size(c)` |
+//! | `Pem::mine` / `mine_batch` / `mine_stream` | same three plans |
+//! | `mcim_topk::mine` / `mine_batch` / `mine_stream` | same three plans |
+//!
+//! (plus the `PemEngine` round triplet underneath the `Pem` pipeline), and
+//! `Auto` must equal `Batch`/`Stream`. Each sharded comparison runs at
+//! two `(threads, chunk_size)` combinations, one of which splits shards
+//! mid-way.
+
+#![allow(deprecated)]
+
+use multiclass_ldp::prelude::*;
+use multiclass_ldp::topk::{Pem, PemConfig, PemEngine};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SHARD: usize = parallel::SHARD_SIZE;
+
+/// The acceptance combos: sequential-ish and parallel, with chunk sizes
+/// on both sides of a shard boundary.
+const COMBOS: [(usize, usize); 2] = [(1, SHARD - 1), (4, SHARD + 1)];
+
+fn sample_pairs(domains: Domains, n: usize) -> Vec<LabelItem> {
+    (0..n)
+        .map(|u| {
+            LabelItem::new(
+                (u % domains.classes() as usize) as u32,
+                ((u * 7919) % domains.items() as usize) as u32,
+            )
+        })
+        .collect()
+}
+
+fn assert_tables_identical(a: &EstimationResultPair, b: &EstimationResultPair, what: &str) {
+    let (a, b) = (&a.0, &b.0);
+    assert_eq!(a.comm, b.comm, "{what}: comm diverged");
+    let domains = a.table.domains();
+    for label in 0..domains.classes() {
+        for item in 0..domains.items() {
+            assert!(
+                a.table.get(label, item) == b.table.get(label, item),
+                "{what}: diverged at ({label},{item})"
+            );
+        }
+    }
+}
+
+/// Newtype so the helper signature stays readable.
+struct EstimationResultPair(multiclass_ldp::core::EstimationResult);
+
+#[test]
+fn framework_execute_matches_all_three_legacy_entry_points() {
+    let domains = Domains::new(3, 32).unwrap();
+    let data = sample_pairs(domains, SHARD + 700);
+    let eps = Eps::new(2.0).unwrap();
+    let seed = 0xE0_2024;
+    for fw in Framework::fig6_set() {
+        // Sequential: legacy `run` with a fresh seeded StdRng.
+        let legacy_seq = fw
+            .run(eps, domains, &data, &mut StdRng::seed_from_u64(seed))
+            .unwrap();
+        let exec_seq = fw
+            .execute(
+                eps,
+                domains,
+                &Exec::sequential().seed(seed),
+                SliceSource::new(&data),
+            )
+            .unwrap();
+        assert_tables_identical(
+            &EstimationResultPair(legacy_seq),
+            &EstimationResultPair(exec_seq),
+            &format!("{} sequential", fw.name()),
+        );
+
+        for (threads, chunk) in COMBOS {
+            let legacy_batch = fw.run_batch(eps, domains, &data, seed, threads).unwrap();
+            let legacy_stream = fw
+                .run_stream(
+                    eps,
+                    domains,
+                    &mut SliceSource::new(&data),
+                    seed,
+                    StreamConfig::new(threads).with_chunk_items(chunk),
+                )
+                .unwrap();
+            let exec_batch = fw
+                .execute(
+                    eps,
+                    domains,
+                    &Exec::batch().seed(seed).threads(threads),
+                    SliceSource::new(&data),
+                )
+                .unwrap();
+            let exec_stream = fw
+                .execute(
+                    eps,
+                    domains,
+                    &Exec::stream().seed(seed).threads(threads).chunk_size(chunk),
+                    SliceSource::new(&data),
+                )
+                .unwrap();
+            let exec_auto = fw
+                .execute(
+                    eps,
+                    domains,
+                    &Exec::seeded(seed).threads(threads).chunk_size(chunk),
+                    SliceSource::new(&data),
+                )
+                .unwrap();
+            let what = format!("{} t={threads} chunk={chunk}", fw.name());
+            let legacy_batch = EstimationResultPair(legacy_batch);
+            for (label, result) in [
+                ("legacy stream", legacy_stream),
+                ("exec batch", exec_batch),
+                ("exec stream", exec_stream),
+                ("exec auto", exec_auto),
+            ] {
+                assert_tables_identical(
+                    &legacy_batch,
+                    &EstimationResultPair(result),
+                    &format!("{what} [{label} vs legacy batch]"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn pem_engine_execute_round_matches_legacy_round_triplet() {
+    let d = 128u32;
+    let eps = Eps::new(3.0).unwrap();
+    let seed = 0xE0_4111;
+    let items: Vec<Option<u32>> = (0..SHARD + 600)
+        .map(|u| {
+            if u % 6 == 0 {
+                None
+            } else {
+                Some(((u * 13) % 40) as u32)
+            }
+        })
+        .collect();
+    for validity in [false, true] {
+        let config = if validity {
+            PemConfig::new(4).with_validity()
+        } else {
+            PemConfig::new(4)
+        };
+        let fresh = || PemEngine::new(d, config).unwrap();
+
+        // Sequential round.
+        let (mut legacy, mut exec) = (fresh(), fresh());
+        let legacy_comm = legacy
+            .run_round(eps, items.iter().copied(), &mut StdRng::seed_from_u64(seed))
+            .unwrap();
+        let exec_comm = exec
+            .execute_round(
+                eps,
+                &Exec::sequential().seed(seed),
+                SliceSource::new(&items),
+            )
+            .unwrap();
+        assert_eq!(legacy_comm, exec_comm, "validity={validity} seq comm");
+        assert_eq!(
+            legacy.candidates(),
+            exec.candidates(),
+            "validity={validity} seq candidates"
+        );
+
+        for (threads, chunk) in COMBOS {
+            let what = format!("validity={validity} t={threads} chunk={chunk}");
+            let (mut legacy_b, mut legacy_s, mut exec_b, mut exec_s) =
+                (fresh(), fresh(), fresh(), fresh());
+            let comm_b = legacy_b
+                .run_round_batch(eps, &items, seed, threads)
+                .unwrap();
+            let comm_s = legacy_s
+                .run_round_stream(
+                    eps,
+                    &mut SliceSource::new(&items),
+                    seed,
+                    StreamConfig::new(threads).with_chunk_items(chunk),
+                )
+                .unwrap();
+            let comm_eb = exec_b
+                .execute_round(
+                    eps,
+                    &Exec::batch().seed(seed).threads(threads),
+                    SliceSource::new(&items),
+                )
+                .unwrap();
+            let comm_es = exec_s
+                .execute_round(
+                    eps,
+                    &Exec::stream().seed(seed).threads(threads).chunk_size(chunk),
+                    SliceSource::new(&items),
+                )
+                .unwrap();
+            assert_eq!(comm_b, comm_s, "{what} legacy batch vs stream comm");
+            assert_eq!(comm_b, comm_eb, "{what} exec batch comm");
+            assert_eq!(comm_b, comm_es, "{what} exec stream comm");
+            assert_eq!(legacy_b.candidates(), legacy_s.candidates(), "{what}");
+            assert_eq!(legacy_b.candidates(), exec_b.candidates(), "{what}");
+            assert_eq!(legacy_b.candidates(), exec_s.candidates(), "{what}");
+            assert_eq!(legacy_b.prefix_len(), exec_b.prefix_len(), "{what}");
+        }
+    }
+}
+
+#[test]
+fn pem_execute_matches_legacy_mine_triplet() {
+    let d = 128u32;
+    let eps = Eps::new(4.0).unwrap();
+    let seed = 0xE0_5222;
+    let items: Vec<Option<u32>> = (0..SHARD + 2200)
+        .map(|u| {
+            if u % 5 == 0 {
+                None
+            } else {
+                Some(((u * 31) % 40) as u32)
+            }
+        })
+        .collect();
+    for config in [PemConfig::new(4), PemConfig::new(4).with_validity()] {
+        let pem = Pem::new(d, config).unwrap();
+
+        let legacy_seq = pem
+            .mine(eps, &items, &mut StdRng::seed_from_u64(seed))
+            .unwrap();
+        let exec_seq = pem
+            .execute(
+                eps,
+                &Exec::sequential().seed(seed),
+                SliceSource::new(&items),
+            )
+            .unwrap();
+        assert_eq!(legacy_seq.top, exec_seq.top, "validity={}", config.validity);
+        assert_eq!(legacy_seq.comm, exec_seq.comm);
+
+        for (threads, chunk) in COMBOS {
+            let what = format!("validity={} t={threads} chunk={chunk}", config.validity);
+            let legacy_batch = pem.mine_batch(eps, &items, seed, threads).unwrap();
+            let legacy_stream = pem
+                .mine_stream(
+                    eps,
+                    &mut SliceSource::new(&items),
+                    seed,
+                    StreamConfig::new(threads).with_chunk_items(chunk),
+                )
+                .unwrap();
+            let exec_batch = pem
+                .execute(
+                    eps,
+                    &Exec::batch().seed(seed).threads(threads),
+                    SliceSource::new(&items),
+                )
+                .unwrap();
+            let exec_stream = pem
+                .execute(
+                    eps,
+                    &Exec::stream().seed(seed).threads(threads).chunk_size(chunk),
+                    SliceSource::new(&items),
+                )
+                .unwrap();
+            let exec_auto = pem
+                .execute(
+                    eps,
+                    &Exec::seeded(seed).threads(threads).chunk_size(chunk),
+                    SliceSource::new(&items),
+                )
+                .unwrap();
+            for (label, out) in [
+                ("legacy stream", &legacy_stream),
+                ("exec batch", &exec_batch),
+                ("exec stream", &exec_stream),
+                ("exec auto", &exec_auto),
+            ] {
+                assert_eq!(legacy_batch.top, out.top, "{what} [{label}]");
+                assert_eq!(legacy_batch.comm, out.comm, "{what} [{label}]");
+            }
+        }
+    }
+}
+
+#[test]
+fn topk_execute_matches_legacy_mine_triplet() {
+    let domains = Domains::new(3, 64).unwrap();
+    let data = sample_pairs(domains, 14_000);
+    let config = TopKConfig::new(3, Eps::new(6.0).unwrap());
+    let seed = 0xE0_6333;
+    for method in [
+        TopKMethod::Hec,
+        TopKMethod::PtjShuffled { validity: true },
+        TopKMethod::PtsPem {
+            validity: false,
+            global: true,
+        },
+        TopKMethod::PtsShuffled {
+            validity: true,
+            global: true,
+            correlated: true,
+        },
+    ] {
+        let legacy_seq = multiclass_ldp::topk::mine(
+            method,
+            config,
+            domains,
+            &data,
+            &mut StdRng::seed_from_u64(seed),
+        )
+        .unwrap();
+        let exec_seq = execute(
+            method,
+            config,
+            domains,
+            &Exec::sequential().seed(seed),
+            SliceSource::new(&data),
+        )
+        .unwrap();
+        assert_eq!(
+            legacy_seq.per_class,
+            exec_seq.per_class,
+            "{} sequential",
+            method.name()
+        );
+        assert_eq!(legacy_seq.comm, exec_seq.comm);
+
+        for (threads, chunk) in COMBOS {
+            let what = format!("{} t={threads} chunk={chunk}", method.name());
+            let legacy_batch =
+                multiclass_ldp::topk::mine_batch(method, config, domains, &data, seed, threads)
+                    .unwrap();
+            let legacy_stream = multiclass_ldp::topk::mine_stream(
+                method,
+                config,
+                domains,
+                &mut SliceSource::new(&data),
+                seed,
+                StreamConfig::new(threads).with_chunk_items(chunk),
+            )
+            .unwrap();
+            let exec_batch = execute(
+                method,
+                config,
+                domains,
+                &Exec::batch().seed(seed).threads(threads),
+                SliceSource::new(&data),
+            )
+            .unwrap();
+            let exec_stream = execute(
+                method,
+                config,
+                domains,
+                &Exec::stream().seed(seed).threads(threads).chunk_size(chunk),
+                SliceSource::new(&data),
+            )
+            .unwrap();
+            let exec_auto = execute(
+                method,
+                config,
+                domains,
+                &Exec::seeded(seed).threads(threads).chunk_size(chunk),
+                SliceSource::new(&data),
+            )
+            .unwrap();
+            for (label, out) in [
+                ("legacy stream", &legacy_stream),
+                ("exec batch", &exec_batch),
+                ("exec stream", &exec_stream),
+                ("exec auto", &exec_auto),
+            ] {
+                assert_eq!(legacy_batch.per_class, out.per_class, "{what} [{label}]");
+                assert_eq!(legacy_batch.comm, out.comm, "{what} [{label}]");
+                assert!(
+                    (legacy_batch.broadcast_bits_per_user - out.broadcast_bits_per_user).abs()
+                        == 0.0,
+                    "{what} [{label}]"
+                );
+            }
+        }
+    }
+}
+
+/// Sequential mode must genuinely differ from the sharded modes (different
+/// RNG discipline) — otherwise the matrix above could pass vacuously with
+/// all four modes wired to one implementation.
+#[test]
+fn sequential_and_sharded_modes_are_distinct_streams() {
+    let domains = Domains::new(3, 32).unwrap();
+    let data = sample_pairs(domains, SHARD + 700);
+    let eps = Eps::new(2.0).unwrap();
+    let seq = Framework::PtsCp { label_frac: 0.5 }
+        .execute(
+            eps,
+            domains,
+            &Exec::sequential().seed(1),
+            SliceSource::new(&data),
+        )
+        .unwrap();
+    let batch = Framework::PtsCp { label_frac: 0.5 }
+        .execute(
+            eps,
+            domains,
+            &Exec::batch().seed(1).threads(2),
+            SliceSource::new(&data),
+        )
+        .unwrap();
+    let differs = (0..domains.classes())
+        .any(|l| (0..domains.items()).any(|i| seq.table.get(l, i) != batch.table.get(l, i)));
+    assert!(differs, "sequential and batch modes drew identical noise");
+}

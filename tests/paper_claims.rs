@@ -4,8 +4,6 @@
 use multiclass_ldp::core::analysis::{self, CpProbs, Probs};
 use multiclass_ldp::datasets::{jd_like, syn2, RealConfig};
 use multiclass_ldp::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// §V-A / Theorems 4-5: validity perturbation injects strictly less
 /// invalid-user noise than any plain-LDP random substitution, across the
@@ -52,9 +50,13 @@ fn claim_variance_grows_with_class_size() {
     let trials = 150;
     let mut per_class_sq = [0.0f64; 4];
     for t in 0..trials {
-        let mut rng = StdRng::seed_from_u64(1000 + t);
         let result = Framework::PtsCp { label_frac: 0.5 }
-            .run(eps, ds.domains, &ds.pairs, &mut rng)
+            .execute(
+                eps,
+                ds.domains,
+                &Exec::sequential().seed(1000 + t),
+                SliceSource::new(&ds.pairs),
+            )
             .unwrap();
         for c in 0..4 {
             let d = result.table.get(c, 0) - truth.get(c, 0);
@@ -82,8 +84,7 @@ fn claim_global_candidates_rescue_tiny_classes() {
     let trials = 3;
     let (mut pts_tiny, mut ptj_tiny) = (0.0, 0.0);
     for t in 0..trials {
-        let mut rng = StdRng::seed_from_u64(2000 + t);
-        let pts = mine(
+        let pts = execute(
             TopKMethod::PtsShuffled {
                 validity: true,
                 global: true,
@@ -91,16 +92,16 @@ fn claim_global_candidates_rescue_tiny_classes() {
             },
             config,
             ds.domains,
-            &ds.pairs,
-            &mut rng,
+            &Exec::sequential().seed(2000 + t),
+            SliceSource::new(&ds.pairs),
         )
         .unwrap();
-        let ptj = mine(
+        let ptj = execute(
             TopKMethod::PtjPem { validity: false },
             config,
             ds.domains,
-            &ds.pairs,
-            &mut rng,
+            &Exec::sequential().seed(2100 + t),
+            SliceSource::new(&ds.pairs),
         )
         .unwrap();
         for c in [3usize, 4] {
@@ -120,11 +121,13 @@ fn claim_global_candidates_rescue_tiny_classes() {
 fn claim_ptj_pays_c_times_uplink() {
     let domains = Domains::new(8, 512).unwrap();
     let data: Vec<LabelItem> = (0..500).map(|u| LabelItem::new(u % 8, u % 512)).collect();
-    let mut rng = StdRng::seed_from_u64(3000);
     let eps = Eps::new(1.0).unwrap();
-    let ptj = Framework::Ptj.run(eps, domains, &data, &mut rng).unwrap();
+    let plan = Exec::sequential().seed(3000);
+    let ptj = Framework::Ptj
+        .execute(eps, domains, &plan, SliceSource::new(&data))
+        .unwrap();
     let pts = Framework::Pts { label_frac: 0.5 }
-        .run(eps, domains, &data, &mut rng)
+        .execute(eps, domains, &plan, SliceSource::new(&data))
         .unwrap();
     let ratio = ptj.comm.bits_per_user() / pts.comm.bits_per_user();
     assert!(
@@ -144,8 +147,7 @@ fn claim_noise_test_keeps_all_classes_functional() {
         seed: 23,
     });
     let config = TopKConfig::new(5, Eps::new(4.0).unwrap());
-    let mut rng = StdRng::seed_from_u64(4000);
-    let result = mine(
+    let result = execute(
         TopKMethod::PtsShuffled {
             validity: true,
             global: true,
@@ -153,8 +155,8 @@ fn claim_noise_test_keeps_all_classes_functional() {
         },
         config,
         ds.domains,
-        &ds.pairs,
-        &mut rng,
+        &Exec::sequential().seed(4000),
+        SliceSource::new(&ds.pairs),
     )
     .unwrap();
     assert_eq!(result.per_class.len(), 5);

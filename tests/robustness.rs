@@ -68,10 +68,15 @@ fn degenerate_domains_work_end_to_end() {
     // One class, one item: everything should run and estimate ~N.
     let domains = Domains::new(1, 1).unwrap();
     let data = vec![LabelItem::new(0, 0); 1_000];
-    let mut rng = StdRng::seed_from_u64(2);
-    for fw in Framework::fig6_set() {
+    for (i, fw) in Framework::fig6_set().into_iter().enumerate() {
+        let plan = Exec::sequential().seed(2 + i as u64);
         let result = fw
-            .run(Eps::new(1.0).unwrap(), domains, &data, &mut rng)
+            .execute(
+                Eps::new(1.0).unwrap(),
+                domains,
+                &plan,
+                SliceSource::new(&data),
+            )
             .unwrap();
         let est = result.table.get(0, 0);
         assert!(
@@ -86,19 +91,31 @@ fn degenerate_domains_work_end_to_end() {
 fn single_user_dataset_does_not_panic() {
     let domains = Domains::new(2, 16).unwrap();
     let data = vec![LabelItem::new(1, 7)];
-    let mut rng = StdRng::seed_from_u64(3);
     // HEC requires a user per class group and must error cleanly.
     assert!(Framework::Hec
-        .run(Eps::new(1.0).unwrap(), domains, &data, &mut rng)
+        .execute(
+            Eps::new(1.0).unwrap(),
+            domains,
+            &Exec::sequential().seed(3),
+            SliceSource::new(&data),
+        )
         .is_err());
     // The others must produce finite estimates.
-    for fw in [
+    for (i, fw) in [
         Framework::Ptj,
         Framework::Pts { label_frac: 0.5 },
         Framework::PtsCp { label_frac: 0.5 },
-    ] {
+    ]
+    .into_iter()
+    .enumerate()
+    {
         let result = fw
-            .run(Eps::new(1.0).unwrap(), domains, &data, &mut rng)
+            .execute(
+                Eps::new(1.0).unwrap(),
+                domains,
+                &Exec::sequential().seed(4 + i as u64),
+                SliceSource::new(&data),
+            )
             .unwrap();
         assert!(
             result.table.values().iter().all(|v| v.is_finite()),
@@ -116,10 +133,10 @@ fn k_larger_than_domain_is_served_gracefully() {
     let data: Vec<LabelItem> = (0..20_000)
         .map(|u| LabelItem::new((u % 2) as u32, (u % 8) as u32))
         .collect();
-    let mut rng = StdRng::seed_from_u64(4);
     let config = TopKConfig::new(20, Eps::new(4.0).unwrap()); // k = 20 > d = 8
-    for method in TopKMethod::fig7_set() {
-        let result = mine(method, config, domains, &data, &mut rng).unwrap();
+    for (i, method) in TopKMethod::fig7_set().into_iter().enumerate() {
+        let plan = Exec::sequential().seed(40 + i as u64);
+        let result = execute(method, config, domains, &plan, SliceSource::new(&data)).unwrap();
         for (c, items) in result.per_class.iter().enumerate() {
             assert!(
                 items.len() <= 8,
@@ -139,9 +156,8 @@ fn all_users_in_one_class_leaves_other_classes_quiet() {
     let data: Vec<LabelItem> = (0..40_000)
         .map(|u| LabelItem::new(0, (u % 5) as u32))
         .collect();
-    let mut rng = StdRng::seed_from_u64(5);
     let config = TopKConfig::new(3, Eps::new(6.0).unwrap());
-    let result = mine(
+    let result = execute(
         TopKMethod::PtsShuffled {
             validity: true,
             global: true,
@@ -149,8 +165,8 @@ fn all_users_in_one_class_leaves_other_classes_quiet() {
         },
         config,
         domains,
-        &data,
-        &mut rng,
+        &Exec::sequential().seed(5),
+        SliceSource::new(&data),
     )
     .unwrap();
     // The populated class finds its heavy items.
@@ -171,15 +187,24 @@ fn extreme_budgets_behave() {
     let data: Vec<LabelItem> = (0..10_000)
         .map(|u| LabelItem::new((u % 2) as u32, (u % 4) as u32))
         .collect();
-    let mut rng = StdRng::seed_from_u64(6);
     // Tiny ε: results are noise but finite and well-formed.
     let tiny = Framework::PtsCp { label_frac: 0.5 }
-        .run(Eps::new(0.01).unwrap(), domains, &data, &mut rng)
+        .execute(
+            Eps::new(0.01).unwrap(),
+            domains,
+            &Exec::sequential().seed(6),
+            SliceSource::new(&data),
+        )
         .unwrap();
     assert!(tiny.table.values().iter().all(|v| v.is_finite()));
     // Huge ε: estimates are near-exact.
     let huge = Framework::PtsCp { label_frac: 0.5 }
-        .run(Eps::new(20.0).unwrap(), domains, &data, &mut rng)
+        .execute(
+            Eps::new(20.0).unwrap(),
+            domains,
+            &Exec::sequential().seed(7),
+            SliceSource::new(&data),
+        )
         .unwrap();
     let truth = FrequencyTable::ground_truth(domains, &data).unwrap();
     for label in 0..2 {

@@ -8,7 +8,7 @@ use multiclass_ldp::core::frameworks::{
 };
 use multiclass_ldp::oracles::stream::{SliceSource, StreamConfig};
 use multiclass_ldp::prelude::*;
-use multiclass_ldp::topk::{mine_stream, Pem, PemConfig};
+use multiclass_ldp::topk::{Pem, PemConfig};
 
 const SHARD: usize = parallel::SHARD_SIZE;
 
@@ -179,23 +179,30 @@ fn pts_ptj_hec_absorb_stream_match_batch() {
     }
 }
 
-/// The chunk-boundary property: `run_stream` equals `run_batch`
+/// The chunk-boundary property: a stream plan equals a batch plan
 /// bit-for-bit at chunk sizes 1, shard−1, shard, shard+1 and n, for every
 /// framework (RNG state must carry correctly across split shards).
 #[test]
-fn run_stream_matches_run_batch_at_every_chunk_boundary() {
+fn stream_plans_match_batch_plans_at_every_chunk_boundary() {
     let domains = Domains::new(3, 32).unwrap();
     let n = 2 * SHARD + 537;
     let data = sample_data(domains, n);
     let eps = Eps::new(2.0).unwrap();
     let threads = parallel::configured_threads();
     for fw in Framework::fig6_set() {
-        let batch = fw.run_batch(eps, domains, &data, 2025, threads).unwrap();
+        let batch = fw
+            .execute(
+                eps,
+                domains,
+                &Exec::batch().seed(2025).threads(threads),
+                SliceSource::new(&data),
+            )
+            .unwrap();
         for chunk in boundary_chunks(n) {
             for t in [1, threads] {
-                let mut source = SliceSource::new(&data);
+                let plan = Exec::stream().seed(2025).threads(t).chunk_size(chunk);
                 let streamed = fw
-                    .run_stream(eps, domains, &mut source, 2025, config(chunk, t))
+                    .execute(eps, domains, &plan, SliceSource::new(&data))
                     .unwrap();
                 assert_eq!(
                     streamed.comm,
@@ -218,7 +225,7 @@ fn run_stream_matches_run_batch_at_every_chunk_boundary() {
 }
 
 #[test]
-fn pem_mine_stream_matches_mine_batch() {
+fn pem_stream_plans_match_batch_plans() {
     let d = 128u32;
     let n = SHARD + 2200;
     let items: Vec<Option<u32>> = (0..n)
@@ -233,13 +240,17 @@ fn pem_mine_stream_matches_mine_batch() {
     let eps = Eps::new(4.0).unwrap();
     for pem_config in [PemConfig::new(4), PemConfig::new(4).with_validity()] {
         let pem = Pem::new(d, pem_config).unwrap();
-        let batch = pem.mine_batch(eps, &items, 55, 2).unwrap();
+        let batch = pem
+            .execute(
+                eps,
+                &Exec::batch().seed(55).threads(2),
+                SliceSource::new(&items),
+            )
+            .unwrap();
         for chunk in [997, SHARD, n] {
             for threads in [1, 4] {
-                let mut source = SliceSource::new(&items);
-                let streamed = pem
-                    .mine_stream(eps, &mut source, 55, config(chunk, threads))
-                    .unwrap();
+                let plan = Exec::stream().seed(55).threads(threads).chunk_size(chunk);
+                let streamed = pem.execute(eps, &plan, SliceSource::new(&items)).unwrap();
                 assert_eq!(
                     streamed.top, batch.top,
                     "validity={} chunk={chunk} threads={threads}",
@@ -252,7 +263,7 @@ fn pem_mine_stream_matches_mine_batch() {
 }
 
 #[test]
-fn pem_mine_stream_requires_sized_source() {
+fn pem_sharded_execute_requires_sized_source() {
     struct Unsized;
     impl multiclass_ldp::oracles::stream::ReportSource for Unsized {
         type Item = Option<u32>;
@@ -262,18 +273,19 @@ fn pem_mine_stream_requires_sized_source() {
     }
     let pem = Pem::new(64, PemConfig::new(2)).unwrap();
     let err = pem
-        .mine_stream(
-            Eps::new(1.0).unwrap(),
-            &mut Unsized,
-            1,
-            StreamConfig::new(1),
-        )
+        .execute(Eps::new(1.0).unwrap(), &Exec::stream().seed(1), Unsized)
         .unwrap_err();
     assert!(matches!(err, Error::InvalidParameter { .. }));
+    // Sequential plans drain the source instead and do not need a size.
+    assert!(
+        pem.execute(Eps::new(1.0).unwrap(), &Exec::sequential().seed(1), Unsized)
+            .is_ok(),
+        "sequential plans work on unsized sources"
+    );
 }
 
 #[test]
-fn topk_mine_stream_matches_mine_batch() {
+fn topk_stream_plans_match_batch_plans() {
     let domains = Domains::new(3, 64).unwrap();
     let data = sample_data(domains, 18_000);
     let config_k = TopKConfig::new(3, Eps::new(6.0).unwrap());
@@ -285,18 +297,18 @@ fn topk_mine_stream_matches_mine_batch() {
             correlated: true,
         },
     ] {
-        let batch = mine_batch(method, config_k, domains, &data, 31, 2).unwrap();
+        let batch = execute(
+            method,
+            config_k,
+            domains,
+            &Exec::batch().seed(31).threads(2),
+            SliceSource::new(&data),
+        )
+        .unwrap();
         for threads in [1, 4] {
-            let mut source = SliceSource::new(&data);
-            let streamed = mine_stream(
-                method,
-                config_k,
-                domains,
-                &mut source,
-                31,
-                config(4096, threads),
-            )
-            .unwrap();
+            let plan = Exec::stream().seed(31).threads(threads).chunk_size(4096);
+            let streamed =
+                execute(method, config_k, domains, &plan, SliceSource::new(&data)).unwrap();
             assert_eq!(
                 streamed.per_class,
                 batch.per_class,

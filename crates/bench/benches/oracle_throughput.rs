@@ -18,6 +18,13 @@
 //! `cores` field records the machine's real parallelism — on one core
 //! the three modes are expected to tie).
 //!
+//! A `dist_reduce` slice then races the same pipeline on the
+//! multi-process distributed reducer with 1, 2 and 4 locally spawned
+//! worker processes (loopback TCP, real `mcim-dist` Worker runtime):
+//! `dist_reduce_w1` vs `exec_plan_stream_tn` prices the protocol tax,
+//! `dist_reduce_w4_vs_w1` the multi-process scaling — all bit-identical
+//! outputs by the executor contract.
+//!
 //! Prints a table, saves `results/oracle_throughput.csv`, and emits the
 //! machine-readable baseline `results/BENCH_oracle_throughput.json` that
 //! the CI uploads so later PRs can track the perf trajectory.
@@ -270,6 +277,43 @@ fn main() {
         run_plan(&Exec::stream().seed(6).threads(threads))
     }));
 
+    // ------------------------------------------------- dist reduce ----
+    // The distributed reducer racing the in-process executor on the same
+    // PTS pipeline: 1/2/4 locally spawned worker *processes* (loopback
+    // TCP, the real `Worker` runtime via the mcim-bench-worker bin).
+    // Workers fold their shard ranges single-threaded, so the scaling
+    // story is worker count, not threads; `dist_reduce_w1` vs
+    // `exec_plan_stream_tn` is the protocol's serialization+socket tax.
+    let worker_bin = std::path::Path::new(env!("CARGO_BIN_EXE_mcim-bench-worker"));
+    for workers in [1usize, 2, 4] {
+        let name: &'static str = match workers {
+            1 => "dist_reduce_w1",
+            2 => "dist_reduce_w2",
+            _ => "dist_reduce_w4",
+        };
+        // Spawn/connect once per worker count; the timed closure measures
+        // the fold itself (serialization, sockets, worker compute), not
+        // process startup.
+        let spawned =
+            mcim_dist::spawn_local_workers(worker_bin, workers).expect("spawning workers");
+        let plan = Exec::seeded(6).threads(threads);
+        let coordinator =
+            mcim_dist::Coordinator::connect(&plan, &spawned.addrs).expect("connecting");
+        scenarios.push(scenario(name, exec_n, trials, || {
+            let result = exec_fw
+                .execute_on(
+                    &coordinator,
+                    eps,
+                    exec_domains,
+                    SliceSource::new(&exec_pairs),
+                )
+                .unwrap();
+            result.comm.total_report_bits ^ result.table.get(0, 0).to_bits()
+        }));
+        drop(coordinator);
+        drop(spawned);
+    }
+
     // ------------------------------------------------------- results ----
     let mut table = Table::new("oracle_throughput", &["scenario", "ms", "reports_per_sec"]);
     for s in &scenarios {
@@ -324,6 +368,14 @@ fn main() {
         (
             "exec_plan_stream_tn_vs_batch_tn",
             ms_of("exec_plan_batch_tn") / ms_of("exec_plan_stream_tn"),
+        ),
+        (
+            "dist_reduce_w4_vs_w1",
+            ms_of("dist_reduce_w1") / ms_of("dist_reduce_w4"),
+        ),
+        (
+            "dist_reduce_w4_vs_stream_tn",
+            ms_of("exec_plan_stream_tn") / ms_of("dist_reduce_w4"),
         ),
     ];
     println!("speedups:");

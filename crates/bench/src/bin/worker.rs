@@ -1,0 +1,34 @@
+//! A minimal distributed-reducer worker for the `dist_reduce` bench slice:
+//! `mcim worker` without the rest of the CLI. Accepts the same
+//! `worker --listen <addr> --once` shape `spawn_local_workers` drives.
+
+fn main() -> std::process::ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut listen = "127.0.0.1:0".to_string();
+    let mut once = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "worker" => {}
+            "--listen" => match iter.next() {
+                Some(addr) => listen = addr.clone(),
+                None => {
+                    eprintln!("--listen needs an address");
+                    return std::process::ExitCode::FAILURE;
+                }
+            },
+            "--once" => once = true,
+            other => {
+                eprintln!("unknown argument {other:?}");
+                return std::process::ExitCode::FAILURE;
+            }
+        }
+    }
+    match mcim_dist::worker_main(&listen, once) {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("worker failed: {e}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}

@@ -7,7 +7,7 @@ use mcim_oracles::exec::Exec;
 use mcim_oracles::parallel;
 
 /// Options that take no value (`--flag` instead of `--key value`).
-const BOOL_FLAGS: &[&str] = &["verbose"];
+const BOOL_FLAGS: &[&str] = &["verbose", "once"];
 
 /// Parsed command line: a subcommand plus `--key value` options.
 #[derive(Debug, Clone)]

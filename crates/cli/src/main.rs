@@ -4,6 +4,8 @@
 //! mcim freq --input pairs.csv --eps 2.0 --framework pts-cp --output est.csv
 //! mcim topk --input pairs.csv --eps 4.0 --k 20 --method pts-opt --output top.csv
 //! mcim gen  --dataset jd --users 100000 --items 2048 --output pairs.csv
+//! mcim worker --listen 127.0.0.1:7001
+//! mcim freq --input pairs.csv --eps 2.0 --dist 127.0.0.1:7001,127.0.0.1:7002
 //! mcim help
 //! ```
 
@@ -26,6 +28,7 @@ USAGE:
   mcim freq --input <pairs.csv> --eps <f64> [options]
   mcim topk --input <pairs.csv> --eps <f64> --k <n> [options]
   mcim gen  --dataset <anime|jd|syn3|syn4> --users <n> [options]
+  mcim worker --listen <addr[:port]> [--once]
   mcim help
 
 COMMON OPTIONS:
@@ -44,6 +47,12 @@ COMMON OPTIONS:
                   Values below 4096 (one shard — chunks smaller than a
                   shard cannot parallelize) are raised to 4096.
                   Results are bit-identical to the non-streaming run.
+  --dist <a,b,..> run the bulk stages on the distributed reducer: a
+                  comma-separated list of `mcim worker` addresses. Results
+                  are bit-identical to the local run under the same --seed,
+                  for every worker count.
+  --dist-spawn <n> like --dist, but spawn (and reap) n local worker
+                  processes automatically
   --verbose       print the resolved execution plan (mode/seed/threads/
                   chunk) before running
   --output <file> write results as CSV (default: print a summary)
@@ -63,6 +72,13 @@ topk OPTIONS:
 gen OPTIONS:
   --classes <n>   class count for syn3/syn4 (default 10)
   --items <n>     item-domain size (default 2048)
+
+worker OPTIONS:
+  --listen <addr> bind address (port 0 picks an ephemeral port; the worker
+                  prints `MCIM_WORKER_LISTENING <addr>` once bound).
+                  Default 127.0.0.1:0
+  --once          serve exactly one coordinator connection, then exit
+                  (what --dist-spawn children run)
 ";
 
 /// Best-effort stdout line: results piped into `head` (or any reader that
@@ -97,6 +113,7 @@ fn run(raw: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         "freq" => cmd_freq(&args),
         "topk" => cmd_topk(&args),
         "gen" => cmd_gen(&args),
+        "worker" => cmd_worker(&args),
         other => Err(ArgError(format!("unknown subcommand `{other}`")).into()),
     }
 }
@@ -131,6 +148,66 @@ fn parse_method(name: &str) -> Result<TopKMethod, ArgError> {
             "unknown method `{name}` (hec|ptj|ptj-opt|pts|pts-opt)"
         ))),
     }
+}
+
+/// The distributed-reducer backend of one `freq`/`topk` run, when
+/// `--dist`/`--dist-spawn` asks for it: a connected coordinator, plus the
+/// spawned child workers when the CLI owns them (reaped on drop).
+struct DistBackend {
+    coordinator: mcim_dist::Coordinator,
+    _spawned: Option<mcim_dist::SpawnedWorkers>,
+}
+
+/// Assembles the distributed backend from `--dist addr,addr,...` or
+/// `--dist-spawn n` (mutually exclusive). `None` means run locally.
+fn dist_setup(
+    args: &Args,
+    plan: &mcim_oracles::exec::Exec,
+) -> Result<Option<DistBackend>, Box<dyn std::error::Error>> {
+    let addrs = args.optional("dist");
+    let spawn = args.optional("dist-spawn");
+    match (addrs, spawn) {
+        (None, None) => Ok(None),
+        (Some(_), Some(_)) => {
+            Err(ArgError("--dist and --dist-spawn are mutually exclusive".into()).into())
+        }
+        (Some(list), None) => {
+            let addrs: Vec<&str> = list
+                .split(',')
+                .map(str::trim)
+                .filter(|a| !a.is_empty())
+                .collect();
+            if addrs.is_empty() {
+                return Err(ArgError("--dist needs at least one worker address".into()).into());
+            }
+            let coordinator = mcim_dist::Coordinator::connect(plan, &addrs)?;
+            Ok(Some(DistBackend {
+                coordinator,
+                _spawned: None,
+            }))
+        }
+        (None, Some(_)) => {
+            let n: usize = args.required_num("dist-spawn")?;
+            if n == 0 {
+                return Err(ArgError("--dist-spawn needs at least one worker".into()).into());
+            }
+            let binary = std::env::current_exe()
+                .map_err(|e| mcim_oracles::Error::transport("locating the mcim binary", e))?;
+            let spawned = mcim_dist::spawn_local_workers(&binary, n)?;
+            let coordinator = mcim_dist::Coordinator::connect(plan, &spawned.addrs)?;
+            Ok(Some(DistBackend {
+                coordinator,
+                _spawned: Some(spawned),
+            }))
+        }
+    }
+}
+
+fn cmd_worker(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    args.expect_only(&["listen", "once"])?;
+    let listen = args.optional("listen").unwrap_or("127.0.0.1:0");
+    mcim_dist::worker_main(listen, args.flag("once"))?;
+    Ok(())
 }
 
 /// Streaming-mode plumbing shared by `freq` and `topk`: explicit domains
@@ -220,6 +297,8 @@ fn cmd_freq(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         "seed",
         "threads",
         "chunk-size",
+        "dist",
+        "dist-spawn",
         "verbose",
         "output",
         "framework",
@@ -234,14 +313,23 @@ fn cmd_freq(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         other => other,
     };
     let plan = args.exec_plan()?;
+    let dist = dist_setup(args, &plan)?;
     if args.flag("verbose") {
         eprintln!("plan: {plan}");
+        if let Some(backend) = &dist {
+            eprintln!("dist: {} workers", backend.coordinator.workers());
+        }
     }
     let (result, n, domains) = match plan.resolved_mode() {
         ExecMode::Stream => {
             let (domains, source) = stream_setup(args, input)?;
             let mut source = source.counted(domains);
-            let result = framework.execute(eps, domains, &plan, &mut source)?;
+            let result = match &dist {
+                Some(backend) => {
+                    framework.execute_on(&backend.coordinator, eps, domains, &mut source)?
+                }
+                None => framework.execute(eps, domains, &plan, &mut source)?,
+            };
             (result, source.yielded, domains)
         }
         _ => {
@@ -250,8 +338,13 @@ fn cmd_freq(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
                 args.num_or("classes", 0u32)?,
                 args.num_or("items", 0u32)?,
             )?;
-            let result =
-                framework.execute(eps, data.domains, &plan, SliceSource::new(&data.pairs))?;
+            let source = SliceSource::new(&data.pairs);
+            let result = match &dist {
+                Some(backend) => {
+                    framework.execute_on(&backend.coordinator, eps, data.domains, source)?
+                }
+                None => framework.execute(eps, data.domains, &plan, source)?,
+            };
             let n = data.pairs.len() as u64;
             (result, n, data.domains)
         }
@@ -295,6 +388,8 @@ fn cmd_topk(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         "seed",
         "threads",
         "chunk-size",
+        "dist",
+        "dist-spawn",
         "verbose",
         "output",
         "method",
@@ -311,14 +406,27 @@ fn cmd_topk(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     config.sample_frac = args.num_or("sample-frac", config.sample_frac)?;
     config.noise_factor = args.num_or("noise-b", config.noise_factor)?;
     let plan = args.exec_plan()?;
+    let dist = dist_setup(args, &plan)?;
     if args.flag("verbose") {
         eprintln!("plan: {plan}");
+        if let Some(backend) = &dist {
+            eprintln!("dist: {} workers", backend.coordinator.workers());
+        }
     }
     let (result, n, domains) = match plan.resolved_mode() {
         ExecMode::Stream => {
             let (domains, source) = stream_setup(args, input)?;
             let mut source = source.counted(domains);
-            let result = mcim_topk::execute(method, config, domains, &plan, &mut source)?;
+            let result = match &dist {
+                Some(backend) => mcim_topk::execute_on(
+                    method,
+                    config,
+                    domains,
+                    &backend.coordinator,
+                    &mut source,
+                )?,
+                None => mcim_topk::execute(method, config, domains, &plan, &mut source)?,
+            };
             (result, source.yielded, domains)
         }
         _ => {
@@ -327,13 +435,17 @@ fn cmd_topk(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
                 args.num_or("classes", 0u32)?,
                 args.num_or("items", 0u32)?,
             )?;
-            let result = mcim_topk::execute(
-                method,
-                config,
-                data.domains,
-                &plan,
-                SliceSource::new(&data.pairs),
-            )?;
+            let source = SliceSource::new(&data.pairs);
+            let result = match &dist {
+                Some(backend) => mcim_topk::execute_on(
+                    method,
+                    config,
+                    data.domains,
+                    &backend.coordinator,
+                    source,
+                )?,
+                None => mcim_topk::execute(method, config, data.domains, &plan, source)?,
+            };
             let n = data.pairs.len() as u64;
             (result, n, data.domains)
         }

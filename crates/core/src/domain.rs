@@ -183,6 +183,21 @@ impl FrequencyTable {
     }
 }
 
+/// Label-item pairs cross the reducer's sockets as two `u32`s.
+impl mcim_oracles::wire::Wire for LabelItem {
+    fn put(&self, buf: &mut Vec<u8>) {
+        self.label.put(buf);
+        self.item.put(buf);
+    }
+
+    fn take(r: &mut mcim_oracles::wire::WireReader<'_>) -> mcim_oracles::Result<Self> {
+        Ok(LabelItem {
+            label: u32::take(r)?,
+            item: u32::take(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

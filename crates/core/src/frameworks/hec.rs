@@ -252,6 +252,32 @@ impl HecAggregator {
     }
 }
 
+/// Partial state for the distributed reducer: every group's counters.
+/// Decoded against a template, so a partial with a different group count
+/// (built for other domains) is rejected.
+impl mcim_oracles::wire::WireState for HecAggregator {
+    fn save(&self, buf: &mut Vec<u8>) {
+        use mcim_oracles::wire::Wire;
+        (self.groups.len() as u32).put(buf);
+        for group in &self.groups {
+            group.save(buf);
+        }
+    }
+
+    fn load(&mut self, r: &mut mcim_oracles::wire::WireReader<'_>) -> Result<()> {
+        use mcim_oracles::wire::Wire;
+        if u32::take(r)? as usize != self.groups.len() {
+            return Err(Error::ReportMismatch {
+                expected: "HEC partial with the template's group count",
+            });
+        }
+        for group in &mut self.groups {
+            group.load(r)?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -21,6 +21,7 @@
 mod hec;
 mod ptj;
 mod pts;
+pub mod stages;
 
 pub use hec::{Hec, HecAggregator, HecReport};
 pub use ptj::{Ptj, PtjAggregator};
@@ -64,6 +65,19 @@ impl CommStats {
     pub fn merge(&mut self, other: CommStats) {
         self.total_report_bits += other.total_report_bits;
         self.users += other.users;
+    }
+}
+
+/// Uplink accounting crosses the reducer's sockets as two `u64` tallies.
+impl mcim_oracles::wire::WireState for CommStats {
+    fn save(&self, buf: &mut Vec<u8>) {
+        self.total_report_bits.save(buf);
+        self.users.save(buf);
+    }
+
+    fn load(&mut self, r: &mut mcim_oracles::wire::WireReader<'_>) -> Result<()> {
+        self.total_report_bits.load(r)?;
+        self.users.load(r)
     }
 }
 
@@ -222,16 +236,19 @@ impl Framework {
     }
 
     /// Runs the framework's sharded pipeline on an explicit [`Executor`]
-    /// backend — the seam where a distributed reducer (one process per
-    /// shard range, merged counters) plugs in without changing callers.
+    /// backend — the seam where the distributed reducer (`mcim-dist`'s
+    /// `Coordinator`: one worker process per shard range, partials merged
+    /// over sockets) plugs in without changing callers.
     ///
-    /// Every user is privatized inside the executor's fold with the
-    /// deterministic per-shard RNG stream
-    /// `shard_rng(plan.base_seed(), shard)`, aggregated through the
-    /// word-parallel column-sum path, and partial aggregators merge
-    /// associatively, so the estimated table is a pure function of
-    /// `(self, eps, domains, pairs, base_seed)` — bit-identical for every
-    /// conforming executor, thread count and chunk size.
+    /// Each arm is a named serializable [`stages`] stage, so any backend
+    /// — local threads or remote worker processes rebuilding the stage
+    /// from its spec — privatizes every user with the deterministic
+    /// per-shard RNG stream `shard_rng(plan.base_seed(), shard)`,
+    /// aggregates through the word-parallel column-sum path, and merges
+    /// partial aggregators associatively. The estimated table is therefore
+    /// a pure function of `(self, eps, domains, pairs, base_seed)` —
+    /// bit-identical for every conforming executor, thread count, chunk
+    /// size and worker count.
     pub fn execute_on<E, S>(
         &self,
         executor: &E,
@@ -243,105 +260,22 @@ impl Framework {
         E: Executor,
         S: ReportSource<Item = LabelItem>,
     {
+        use stages::{CpArm, FwStage, HecArm, PtjArm, PtsArm};
+
         let source = &mut source;
-        /// Per-worker fold state: a partial aggregator, its uplink stats,
-        /// and a reusable privatized-report scratch buffer (excluded from
-        /// merging; cloned empty from the template).
-        struct Partial<Agg, Rep> {
-            agg: Agg,
-            comm: CommStats,
-            scratch: Vec<Rep>,
-        }
-        impl<Agg: Clone, Rep> Clone for Partial<Agg, Rep> {
-            fn clone(&self) -> Self {
-                Partial {
-                    agg: self.agg.clone(),
-                    comm: self.comm,
-                    scratch: Vec::new(),
-                }
-            }
-        }
-
-        /// Drives one framework arm on the executor backend:
-        /// `privatize(rng, abs_index, pair)` produces the report, `absorb`
-        /// consumes a scratch block, `bits` prices it, `merge` folds
-        /// partials.
-        #[allow(clippy::too_many_arguments)]
-        fn arm<E, S, Agg, Rep, P, B, Ab, M>(
-            executor: &E,
-            source: &mut S,
-            agg0: Agg,
-            privatize: P,
-            bits: B,
-            absorb: Ab,
-            merge: M,
-        ) -> Result<(Agg, CommStats)>
-        where
-            E: Executor,
-            S: ReportSource<Item = LabelItem>,
-            Agg: Clone + Send,
-            Rep: Send,
-            P: Fn(&mut rand::rngs::StdRng, u64, LabelItem) -> Result<Rep> + Sync,
-            B: Fn(&Rep) -> usize + Sync,
-            Ab: Fn(&mut Agg, &[Rep]) -> Result<()> + Sync,
-            M: Fn(&mut Agg, &Agg) -> Result<()> + Sync,
-        {
-            let template = Partial {
-                agg: agg0,
-                comm: CommStats::default(),
-                scratch: Vec::new(),
-            };
-            let merged = executor.fold(
-                source,
-                executor.plan().base_seed(),
-                &template,
-                |rng, abs, pairs, part: &mut Partial<Agg, Rep>| {
-                    let Partial { agg, comm, scratch } = part;
-                    scratch.clear();
-                    for (i, &pair) in pairs.iter().enumerate() {
-                        let report = privatize(rng, abs + i as u64, pair)?;
-                        comm.record(bits(&report));
-                        scratch.push(report);
-                    }
-                    absorb(agg, scratch)
-                },
-                |a, b| {
-                    merge(&mut a.agg, &b.agg)?;
-                    a.comm.merge(b.comm);
-                    Ok(())
-                },
-            )?;
-            Ok((merged.agg, merged.comm))
-        }
-
+        let seed = executor.plan().base_seed();
         match *self {
             Framework::Hec => {
-                let mech = Hec::new(eps, domains)?;
-                let (agg, comm) = arm(
-                    executor,
-                    source,
-                    HecAggregator::new(&mech),
-                    |rng, abs, pair| mech.privatize(abs, pair, rng),
-                    |r: &HecReport| r.report.size_bits(),
-                    |agg, block| agg.absorb_all(block),
-                    |a, b| a.merge(b),
-                )?;
+                let stage = FwStage::new(HecArm::new(eps, domains)?);
+                let (agg, comm) = executor.fold(source, seed, &stage)?.into_parts();
                 Ok(EstimationResult {
                     table: agg.estimate()?,
                     comm,
                 })
             }
             Framework::Ptj => {
-                let mech = Ptj::new(eps, domains)?;
-                let (agg, comm) = arm(
-                    executor,
-                    source,
-                    PtjAggregator::new(&mech),
-                    |rng, _abs, pair| mech.privatize(pair, rng),
-                    |r: &mcim_oracles::Report| r.size_bits(),
-                    |agg, block| agg.absorb_batch(block, 1),
-                    |a, b| a.merge(b),
-                )?;
+                let stage = FwStage::new(PtjArm::new(eps, domains)?);
+                let (agg, comm) = executor.fold(source, seed, &stage)?.into_parts();
                 Ok(EstimationResult {
                     table: agg.estimate(),
                     comm,
@@ -349,16 +283,8 @@ impl Framework {
             }
             Framework::Pts { label_frac } => {
                 let (e1, e2) = eps.split(label_frac)?;
-                let mech = Pts::new(e1, e2, domains)?;
-                let (agg, comm) = arm(
-                    executor,
-                    source,
-                    PtsAggregator::new(&mech),
-                    |rng, _abs, pair| mech.privatize(pair, rng),
-                    |r: &PtsReport| r.size_bits(),
-                    |agg, block| agg.absorb_all(block),
-                    |a, b| a.merge(b),
-                )?;
+                let stage = FwStage::new(PtsArm::new(e1, e2, domains)?);
+                let (agg, comm) = executor.fold(source, seed, &stage)?.into_parts();
                 Ok(EstimationResult {
                     table: agg.estimate(),
                     comm,
@@ -366,16 +292,8 @@ impl Framework {
             }
             Framework::PtsCp { label_frac } => {
                 let (e1, e2) = eps.split(label_frac)?;
-                let mech = CorrelatedPerturbation::new(e1, e2, domains)?;
-                let (agg, comm) = arm(
-                    executor,
-                    source,
-                    CpAggregator::new(&mech),
-                    |rng, _abs, pair| mech.privatize(pair, rng),
-                    |r: &crate::CpReport| r.size_bits(),
-                    |agg, block| agg.absorb_all(block),
-                    |a, b| a.merge(b),
-                )?;
+                let stage = FwStage::new(CpArm::new(e1, e2, domains)?);
+                let (agg, comm) = executor.fold(source, seed, &stage)?.into_parts();
                 Ok(EstimationResult {
                     table: agg.estimate(),
                     comm,

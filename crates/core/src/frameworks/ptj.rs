@@ -129,6 +129,17 @@ impl PtjAggregator {
     }
 }
 
+/// Partial state for the distributed reducer: the joint-domain counters.
+impl mcim_oracles::wire::WireState for PtjAggregator {
+    fn save(&self, buf: &mut Vec<u8>) {
+        self.inner.save(buf);
+    }
+
+    fn load(&mut self, r: &mut mcim_oracles::wire::WireReader<'_>) -> Result<()> {
+        self.inner.load(r)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -328,6 +328,22 @@ impl PtsAggregator {
     }
 }
 
+/// Partial state for the distributed reducer: pair/label counters and the
+/// report tally (the calibration constants stay with the template).
+impl mcim_oracles::wire::WireState for PtsAggregator {
+    fn save(&self, buf: &mut Vec<u8>) {
+        self.pair_counts.save(buf);
+        self.label_counts.save(buf);
+        self.n.save(buf);
+    }
+
+    fn load(&mut self, r: &mut mcim_oracles::wire::WireReader<'_>) -> Result<()> {
+        self.pair_counts.load(r)?;
+        self.label_counts.load(r)?;
+        self.n.load(r)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,489 @@
+//! The frameworks' bulk privatize+aggregate steps as named, serializable
+//! [`Stage`] objects.
+//!
+//! [`Framework::execute_on`](crate::Framework::execute_on) used to hand its
+//! [`Executor`](mcim_oracles::exec::Executor) a closure per arm; closures
+//! cannot cross a process boundary, so the distributed reducer needs each
+//! arm as a *stage object* that (a) folds exactly like the old closure and
+//! (b) round-trips through a [`StageSpec`] — the worker process rebuilds
+//! the mechanism from `(ε, domains)` and replays the identical
+//! privatize+absorb loop under the identical per-shard RNG streams.
+//!
+//! One generic [`FwStage`] wraps the four per-framework [`FwArm`]s (HEC,
+//! PTJ, PTS, PTS-CP); the arm supplies the mechanism calls and the spec
+//! codec, the wrapper supplies the shared fold shape: privatize each pair
+//! into a reusable scratch block, price its uplink, absorb the block
+//! word-parallel.
+
+use rand::rngs::StdRng;
+
+use mcim_oracles::exec::{Stage, StageDecode};
+use mcim_oracles::wire::{StageSpec, Wire, WireReader, WireState};
+use mcim_oracles::{Eps, Report, Result};
+
+use crate::correlated::{CorrelatedPerturbation, CpAggregator};
+use crate::frameworks::{CommStats, Hec, HecAggregator, HecReport, Ptj, PtjAggregator};
+use crate::frameworks::{Pts, PtsAggregator, PtsReport};
+use crate::{CpReport, Domains, LabelItem};
+
+/// Per-worker fold state of one framework arm: a partial aggregator, its
+/// uplink stats, and a reusable privatized-report scratch buffer (excluded
+/// from cloning, merging and the wire — each worker grows its own).
+pub struct FwPartial<Agg, Rep> {
+    agg: Agg,
+    comm: CommStats,
+    scratch: Vec<Rep>,
+}
+
+impl<Agg, Rep> FwPartial<Agg, Rep> {
+    /// Consumes the partial into its aggregator and uplink stats.
+    pub fn into_parts(self) -> (Agg, CommStats) {
+        (self.agg, self.comm)
+    }
+}
+
+impl<Agg: Clone, Rep> Clone for FwPartial<Agg, Rep> {
+    fn clone(&self) -> Self {
+        FwPartial {
+            agg: self.agg.clone(),
+            comm: self.comm,
+            scratch: Vec::new(),
+        }
+    }
+}
+
+impl<Agg: WireState, Rep> WireState for FwPartial<Agg, Rep> {
+    fn save(&self, buf: &mut Vec<u8>) {
+        self.agg.save(buf);
+        self.comm.save(buf);
+    }
+
+    fn load(&mut self, r: &mut WireReader<'_>) -> Result<()> {
+        self.agg.load(r)?;
+        self.comm.load(r)
+    }
+}
+
+/// One framework's mechanism calls plus its spec codec — the varying part
+/// of [`FwStage`].
+pub trait FwArm: Sync + Sized {
+    /// The privatized report this arm produces per user.
+    type Rep: Send;
+    /// The partial aggregator this arm folds into.
+    type Agg: Clone + Send + WireState;
+
+    /// Registry key of this arm's stage.
+    const KIND: &'static str;
+
+    /// A fresh (empty) aggregator.
+    fn new_agg(&self) -> Self::Agg;
+
+    /// Privatizes the user at absolute stream position `abs`.
+    fn privatize(&self, rng: &mut StdRng, abs: u64, pair: LabelItem) -> Result<Self::Rep>;
+
+    /// Uplink cost of one report in bits.
+    fn report_bits(rep: &Self::Rep) -> usize;
+
+    /// Absorbs a block of reports (word-parallel where the mechanism
+    /// supports it).
+    fn absorb(&self, agg: &mut Self::Agg, block: &[Self::Rep]) -> Result<()>;
+
+    /// Merges two disjoint-range partial aggregators.
+    fn merge(agg: &mut Self::Agg, other: &Self::Agg) -> Result<()>;
+
+    /// Writes the parameters [`FwArm::decode`] rebuilds this arm from.
+    fn encode(&self, buf: &mut Vec<u8>);
+
+    /// Rebuilds the arm from an encoded spec payload.
+    fn decode(r: &mut WireReader<'_>) -> Result<Self>;
+}
+
+/// The shared fold shape over a [`FwArm`]: the [`Stage`] every framework
+/// pipeline hands its executor.
+pub struct FwStage<M> {
+    arm: M,
+}
+
+impl<M: FwArm> FwStage<M> {
+    /// Wraps an arm.
+    pub fn new(arm: M) -> Self {
+        FwStage { arm }
+    }
+}
+
+impl<M: FwArm> Stage for FwStage<M> {
+    type Item = LabelItem;
+    type Acc = FwPartial<M::Agg, M::Rep>;
+
+    fn template(&self) -> Self::Acc {
+        FwPartial {
+            agg: self.arm.new_agg(),
+            comm: CommStats::default(),
+            scratch: Vec::new(),
+        }
+    }
+
+    fn fold(
+        &self,
+        rng: &mut StdRng,
+        abs: u64,
+        pairs: &[LabelItem],
+        part: &mut Self::Acc,
+    ) -> Result<()> {
+        let FwPartial { agg, comm, scratch } = part;
+        scratch.clear();
+        for (i, &pair) in pairs.iter().enumerate() {
+            let report = self.arm.privatize(rng, abs + i as u64, pair)?;
+            comm.record(M::report_bits(&report));
+            scratch.push(report);
+        }
+        self.arm.absorb(agg, scratch)
+    }
+
+    fn merge(&self, into: &mut Self::Acc, from: &Self::Acc) -> Result<()> {
+        M::merge(&mut into.agg, &from.agg)?;
+        into.comm.merge(from.comm);
+        Ok(())
+    }
+
+    fn spec(&self) -> Option<StageSpec> {
+        Some(StageSpec::new(M::KIND, |buf| self.arm.encode(buf)))
+    }
+}
+
+impl<M: FwArm> StageDecode for FwStage<M> {
+    const KIND: &'static str = M::KIND;
+
+    fn decode(payload: &mut WireReader<'_>) -> Result<Self> {
+        Ok(FwStage {
+            arm: M::decode(payload)?,
+        })
+    }
+}
+
+fn put_eps_domains(buf: &mut Vec<u8>, eps: Eps, domains: Domains) {
+    eps.value().put(buf);
+    domains.classes().put(buf);
+    domains.items().put(buf);
+}
+
+fn take_eps_domains(r: &mut WireReader<'_>) -> Result<(Eps, Domains)> {
+    let eps = Eps::new(f64::take(r)?)?;
+    let classes = u32::take(r)?;
+    let items = u32::take(r)?;
+    Ok((eps, Domains::new(classes, items)?))
+}
+
+// ------------------------------------------------------------------ HEC --
+
+/// HEC's stage arm: positional group assignment, adaptive oracle.
+pub struct HecArm {
+    mech: Hec,
+    eps: Eps,
+}
+
+impl HecArm {
+    /// Builds the arm from the framework parameters.
+    pub fn new(eps: Eps, domains: Domains) -> Result<Self> {
+        Ok(HecArm {
+            mech: Hec::new(eps, domains)?,
+            eps,
+        })
+    }
+}
+
+impl FwArm for HecArm {
+    type Rep = HecReport;
+    type Agg = HecAggregator;
+
+    const KIND: &'static str = "fw/hec";
+
+    fn new_agg(&self) -> HecAggregator {
+        HecAggregator::new(&self.mech)
+    }
+
+    fn privatize(&self, rng: &mut StdRng, abs: u64, pair: LabelItem) -> Result<HecReport> {
+        self.mech.privatize(abs, pair, rng)
+    }
+
+    fn report_bits(rep: &HecReport) -> usize {
+        rep.report.size_bits()
+    }
+
+    fn absorb(&self, agg: &mut HecAggregator, block: &[HecReport]) -> Result<()> {
+        agg.absorb_all(block)
+    }
+
+    fn merge(agg: &mut HecAggregator, other: &HecAggregator) -> Result<()> {
+        agg.merge(other)
+    }
+
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_eps_domains(buf, self.eps, self.mech.domains());
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self> {
+        let (eps, domains) = take_eps_domains(r)?;
+        HecArm::new(eps, domains)
+    }
+}
+
+// ------------------------------------------------------------------ PTJ --
+
+/// PTJ's stage arm: joint-domain adaptive oracle.
+pub struct PtjArm {
+    mech: Ptj,
+    eps: Eps,
+}
+
+impl PtjArm {
+    /// Builds the arm from the framework parameters.
+    pub fn new(eps: Eps, domains: Domains) -> Result<Self> {
+        Ok(PtjArm {
+            mech: Ptj::new(eps, domains)?,
+            eps,
+        })
+    }
+}
+
+impl FwArm for PtjArm {
+    type Rep = Report;
+    type Agg = PtjAggregator;
+
+    const KIND: &'static str = "fw/ptj";
+
+    fn new_agg(&self) -> PtjAggregator {
+        PtjAggregator::new(&self.mech)
+    }
+
+    fn privatize(&self, rng: &mut StdRng, _abs: u64, pair: LabelItem) -> Result<Report> {
+        self.mech.privatize(pair, rng)
+    }
+
+    fn report_bits(rep: &Report) -> usize {
+        rep.size_bits()
+    }
+
+    fn absorb(&self, agg: &mut PtjAggregator, block: &[Report]) -> Result<()> {
+        agg.absorb_batch(block, 1)
+    }
+
+    fn merge(agg: &mut PtjAggregator, other: &PtjAggregator) -> Result<()> {
+        agg.merge(other)
+    }
+
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_eps_domains(buf, self.eps, self.mech.domains());
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self> {
+        let (eps, domains) = take_eps_domains(r)?;
+        PtjArm::new(eps, domains)
+    }
+}
+
+// ------------------------------------------------------------------ PTS --
+
+/// PTS's stage arm: GRR label + OUE item, independent budgets.
+pub struct PtsArm {
+    mech: Pts,
+    eps1: Eps,
+    eps2: Eps,
+}
+
+impl PtsArm {
+    /// Builds the arm from explicit per-phase budgets.
+    pub fn new(eps1: Eps, eps2: Eps, domains: Domains) -> Result<Self> {
+        Ok(PtsArm {
+            mech: Pts::new(eps1, eps2, domains)?,
+            eps1,
+            eps2,
+        })
+    }
+}
+
+impl FwArm for PtsArm {
+    type Rep = PtsReport;
+    type Agg = PtsAggregator;
+
+    const KIND: &'static str = "fw/pts";
+
+    fn new_agg(&self) -> PtsAggregator {
+        PtsAggregator::new(&self.mech)
+    }
+
+    fn privatize(&self, rng: &mut StdRng, _abs: u64, pair: LabelItem) -> Result<PtsReport> {
+        self.mech.privatize(pair, rng)
+    }
+
+    fn report_bits(rep: &PtsReport) -> usize {
+        rep.size_bits()
+    }
+
+    fn absorb(&self, agg: &mut PtsAggregator, block: &[PtsReport]) -> Result<()> {
+        agg.absorb_all(block)
+    }
+
+    fn merge(agg: &mut PtsAggregator, other: &PtsAggregator) -> Result<()> {
+        agg.merge(other)
+    }
+
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.eps1.value().put(buf);
+        self.eps2.value().put(buf);
+        self.mech.domains().classes().put(buf);
+        self.mech.domains().items().put(buf);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self> {
+        let eps1 = Eps::new(f64::take(r)?)?;
+        let eps2 = Eps::new(f64::take(r)?)?;
+        let classes = u32::take(r)?;
+        let items = u32::take(r)?;
+        PtsArm::new(eps1, eps2, Domains::new(classes, items)?)
+    }
+}
+
+// --------------------------------------------------------------- PTS-CP --
+
+/// PTS-CP's stage arm: correlated label/item perturbation.
+pub struct CpArm {
+    mech: CorrelatedPerturbation,
+    eps1: Eps,
+    eps2: Eps,
+}
+
+impl CpArm {
+    /// Builds the arm from explicit per-phase budgets.
+    pub fn new(eps1: Eps, eps2: Eps, domains: Domains) -> Result<Self> {
+        Ok(CpArm {
+            mech: CorrelatedPerturbation::new(eps1, eps2, domains)?,
+            eps1,
+            eps2,
+        })
+    }
+}
+
+impl FwArm for CpArm {
+    type Rep = CpReport;
+    type Agg = CpAggregator;
+
+    const KIND: &'static str = "fw/pts-cp";
+
+    fn new_agg(&self) -> CpAggregator {
+        CpAggregator::new(&self.mech)
+    }
+
+    fn privatize(&self, rng: &mut StdRng, _abs: u64, pair: LabelItem) -> Result<CpReport> {
+        self.mech.privatize(pair, rng)
+    }
+
+    fn report_bits(rep: &CpReport) -> usize {
+        rep.size_bits()
+    }
+
+    fn absorb(&self, agg: &mut CpAggregator, block: &[CpReport]) -> Result<()> {
+        agg.absorb_all(block)
+    }
+
+    fn merge(agg: &mut CpAggregator, other: &CpAggregator) -> Result<()> {
+        agg.merge(other)
+    }
+
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.eps1.value().put(buf);
+        self.eps2.value().put(buf);
+        self.mech.domains().classes().put(buf);
+        self.mech.domains().items().put(buf);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self> {
+        let eps1 = Eps::new(f64::take(r)?)?;
+        let eps2 = Eps::new(f64::take(r)?)?;
+        let classes = u32::take(r)?;
+        let items = u32::take(r)?;
+        CpArm::new(eps1, eps2, Domains::new(classes, items)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcim_oracles::exec::{Exec, Executor as _};
+    use mcim_oracles::stream::SliceSource;
+
+    fn pairs(n: usize) -> Vec<LabelItem> {
+        (0..n as u32)
+            .map(|u| LabelItem::new(u % 3, (u * 7) % 16))
+            .collect()
+    }
+
+    /// Every arm's spec decodes to a stage that folds bit-identically to
+    /// the original — the property the worker registry relies on.
+    #[test]
+    fn specs_round_trip_to_equivalent_stages() {
+        let eps = Eps::new(2.0).unwrap();
+        let domains = Domains::new(3, 16).unwrap();
+        let (e1, e2) = eps.split(0.5).unwrap();
+        let data = pairs(9000);
+
+        fn check<M: FwArm>(stage: FwStage<M>, data: &[LabelItem])
+        where
+            M::Agg: std::fmt::Debug,
+        {
+            let spec = stage.spec().expect("framework stages are distributable");
+            assert_eq!(spec.kind, M::KIND);
+            let mut r = WireReader::new(&spec.payload);
+            let rebuilt = FwStage::<M>::decode(&mut r).unwrap();
+            r.finish().unwrap();
+
+            let run = |s: &FwStage<M>| {
+                let exec = Exec::batch().seed(11).threads(2);
+                let part = exec
+                    .in_process()
+                    .fold(&mut SliceSource::new(data), 11, s)
+                    .unwrap();
+                let mut bytes = Vec::new();
+                part.save(&mut bytes);
+                bytes
+            };
+            assert_eq!(run(&stage), run(&rebuilt), "{} diverged", M::KIND);
+        }
+
+        check(FwStage::new(HecArm::new(eps, domains).unwrap()), &data);
+        check(FwStage::new(PtjArm::new(eps, domains).unwrap()), &data);
+        check(FwStage::new(PtsArm::new(e1, e2, domains).unwrap()), &data);
+        check(FwStage::new(CpArm::new(e1, e2, domains).unwrap()), &data);
+    }
+
+    /// A partial's wire state loads only into a template of the same shape.
+    #[test]
+    fn partial_state_round_trips_and_checks_shape() {
+        use mcim_oracles::exec::Stage as _;
+        let domains = Domains::new(3, 16).unwrap();
+        let eps = Eps::new(1.0).unwrap();
+        let stage = FwStage::new(HecArm::new(eps, domains).unwrap());
+        let exec = Exec::batch().seed(3).threads(1);
+        let part = exec
+            .in_process()
+            .fold(&mut SliceSource::new(&pairs(500)), 3, &stage)
+            .unwrap();
+        let mut bytes = Vec::new();
+        part.save(&mut bytes);
+
+        let mut same = stage.template();
+        same.load(&mut WireReader::new(&bytes)).unwrap();
+        let (agg, comm) = same.into_parts();
+        let (orig_agg, orig_comm) = part.into_parts();
+        assert_eq!(comm, orig_comm);
+        assert_eq!(
+            agg.estimate().unwrap().values(),
+            orig_agg.estimate().unwrap().values()
+        );
+
+        // A template over different domains rejects the partial.
+        let other = FwStage::new(HecArm::new(eps, Domains::new(2, 16).unwrap()).unwrap());
+        let mut wrong = other.template();
+        assert!(wrong.load(&mut WireReader::new(&bytes)).is_err());
+    }
+}

@@ -342,6 +342,22 @@ impl VpAggregator {
     }
 }
 
+/// Partial state for the distributed reducer: bucket counters, the flag
+/// tally and the report count.
+impl mcim_oracles::wire::WireState for VpAggregator {
+    fn save(&self, buf: &mut Vec<u8>) {
+        self.counts.save(buf);
+        self.flag_count.save(buf);
+        self.n.save(buf);
+    }
+
+    fn load(&mut self, r: &mut mcim_oracles::wire::WireReader<'_>) -> Result<()> {
+        self.counts.load(r)?;
+        self.flag_count.load(r)?;
+        self.n.load(r)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,358 @@
+//! The coordinator: a socket-backed [`Executor`] that shards a pipeline
+//! stage across worker processes.
+//!
+//! [`Coordinator::fold`] is the whole trick: it ships the stage's
+//! [`spec`](Stage::spec) to every connected worker, streams the
+//! [`ReportSource`] out in shard-aligned chunks (each worker owns an
+//! absolute shard range, so the per-shard RNG streams land exactly where
+//! [`InProcess`] would put them), and merges the serialized partials back
+//! in worker order. Because the shard contract fixes boundaries, RNG
+//! streams and merge associativity, the result is **bit-identical** to
+//! in-process execution for every worker count and chunk size — proven by
+//! the workspace's distributed equivalence matrix.
+//!
+//! Stages without a spec (ad-hoc closure stages) fall back to in-process
+//! execution: the contract makes that equally correct, just local.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::Mutex;
+
+use mcim_oracles::exec::{Exec, Executor, InProcess, Stage};
+use mcim_oracles::parallel::SHARD_SIZE;
+use mcim_oracles::stream::ReportSource;
+use mcim_oracles::wire::{Wire, WireReader, WireState};
+use mcim_oracles::{Error, Result};
+
+use crate::proto::{expect_frame, write_chunk_frame, write_frame, Frame, ShardAssignment};
+use crate::PROTOCOL_VERSION;
+
+/// One worker connection (buffered writer for the chunk torrent, direct
+/// reader for the single partial per job).
+struct WorkerConn {
+    peer: String,
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl WorkerConn {
+    fn connect(addr: &str) -> Result<Self> {
+        let ctx = |what: &str| format!("{what} worker {addr}");
+        let mut last_err = None;
+        let addrs = addr
+            .to_socket_addrs()
+            .map_err(|e| Error::transport(ctx("resolving"), e))?;
+        let mut stream = None;
+        for resolved in addrs {
+            match TcpStream::connect(resolved) {
+                Ok(s) => {
+                    stream = Some(s);
+                    break;
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        let stream = match (stream, last_err) {
+            (Some(s), _) => s,
+            (None, Some(e)) => return Err(Error::transport(ctx("connecting to"), e)),
+            (None, None) => {
+                return Err(Error::transport(
+                    ctx("resolving"),
+                    std::io::Error::new(std::io::ErrorKind::NotFound, "no addresses"),
+                ))
+            }
+        };
+        stream
+            .set_nodelay(true)
+            .map_err(|e| Error::transport(ctx("configuring"), e))?;
+        let reader = stream
+            .try_clone()
+            .map_err(|e| Error::transport(ctx("cloning the handle of"), e))?;
+        let mut conn = WorkerConn {
+            peer: addr.to_string(),
+            reader: BufReader::new(reader),
+            writer: BufWriter::new(stream),
+        };
+        // Version handshake, coordinator leads.
+        conn.send(&Frame::Hello {
+            version: PROTOCOL_VERSION,
+        })?;
+        conn.flush()?;
+        match conn.receive()? {
+            Frame::Hello {
+                version: PROTOCOL_VERSION,
+            } => Ok(conn),
+            Frame::Hello { version } => Err(Error::protocol(format!(
+                "handshaking with worker {addr} (it speaks protocol {version}, we speak \
+                 {PROTOCOL_VERSION})"
+            ))),
+            Frame::Err { message } => Err(Error::protocol(format!(
+                "handshaking with worker {addr} (it refused: {message})"
+            ))),
+            other => Err(Error::protocol(format!(
+                "handshaking with worker {addr} (expected Hello, got {})",
+                other.name()
+            ))),
+        }
+    }
+
+    fn send(&mut self, frame: &Frame) -> Result<()> {
+        write_frame(&mut self.writer, frame)
+    }
+
+    fn send_chunk(&mut self, first_abs: u64, items: &[u8]) -> Result<()> {
+        write_chunk_frame(&mut self.writer, first_abs, items)
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        self.writer
+            .flush()
+            .map_err(|e| Error::transport(format!("flushing frames to worker {}", self.peer), e))
+    }
+
+    fn receive(&mut self) -> Result<Frame> {
+        expect_frame(&mut self.reader)
+    }
+}
+
+/// A socket-backed [`Executor`]: the distributed reducer's client half.
+///
+/// Connect it to running `mcim worker` processes (or spawn local ones
+/// with [`crate::spawn_local_workers`] / `mcim --dist-spawn`), then pass
+/// it anywhere an executor goes — `Framework::execute_on`,
+/// `PemEngine::execute_round_on`, `Pem::execute_on`,
+/// `mcim_topk::execute_on`. Multi-stage pipelines reuse the same
+/// connections for every stage; dropping the coordinator sends `Shutdown`
+/// so `--once` workers exit.
+///
+/// The plan's `chunk_size` controls how many items are pulled (and
+/// encoded) per network round; `threads` only affects stages that fall
+/// back to in-process execution. Neither changes any output.
+pub struct Coordinator {
+    plan: Exec,
+    conns: Mutex<Vec<WorkerConn>>,
+}
+
+impl Coordinator {
+    /// Connects to workers at `addrs` (e.g. `["127.0.0.1:7001",
+    /// "10.0.0.2:7001"]`) and handshakes with each. At least one worker
+    /// is required.
+    pub fn connect<A: AsRef<str>>(plan: &Exec, addrs: &[A]) -> Result<Self> {
+        if addrs.is_empty() {
+            return Err(Error::InvalidParameter {
+                name: "addrs",
+                constraint: "a distributed reducer needs at least one worker",
+            });
+        }
+        let conns = addrs
+            .iter()
+            .map(|a| WorkerConn::connect(a.as_ref()))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Coordinator {
+            plan: *plan,
+            conns: Mutex::new(conns),
+        })
+    }
+
+    /// Number of connected workers.
+    pub fn workers(&self) -> usize {
+        self.conns.lock().expect("coordinator poisoned").len()
+    }
+
+    /// The shard assignment of each worker for a stream of `size_hint`
+    /// items: contiguous ranges when the size is known (one process per
+    /// shard range), round-robin strides otherwise.
+    fn assignments(&self, size_hint: Option<u64>, workers: u64) -> Vec<ShardAssignment> {
+        match size_hint {
+            Some(n) => {
+                let shards = n.div_ceil(SHARD_SIZE as u64);
+                // Evenly split contiguous ranges; the first `extra`
+                // workers take one extra shard.
+                let base = shards / workers;
+                let extra = shards % workers;
+                let mut first = 0u64;
+                (0..workers)
+                    .map(|w| {
+                        let len = base + u64::from(w < extra);
+                        let range = ShardAssignment::Range {
+                            first,
+                            end: first + len,
+                        };
+                        first += len;
+                        range
+                    })
+                    .collect()
+            }
+            None => (0..workers)
+                .map(|offset| ShardAssignment::Stride {
+                    offset,
+                    stride: workers,
+                })
+                .collect(),
+        }
+    }
+
+    /// Sends `Shutdown` to every worker (idempotent; also done on drop).
+    pub fn shutdown(&self) {
+        let mut conns = self.conns.lock().expect("coordinator poisoned");
+        for conn in conns.iter_mut() {
+            let _ = conn.send(&Frame::Shutdown);
+            let _ = conn.flush();
+        }
+        conns.clear();
+    }
+}
+
+impl Drop for Coordinator {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl Executor for Coordinator {
+    fn plan(&self) -> &Exec {
+        &self.plan
+    }
+
+    fn fold<S, St>(&self, source: &mut S, stage_seed: u64, stage: &St) -> Result<St::Acc>
+    where
+        S: ReportSource<Item = St::Item>,
+        St: Stage,
+    {
+        let Some(spec) = stage.spec() else {
+            // No wire form — run the stage locally. The shard contract
+            // makes this bit-identical, just not remote.
+            return InProcess::new(&self.plan).fold(source, stage_seed, stage);
+        };
+
+        let mut conns = self.conns.lock().expect("coordinator poisoned");
+        if conns.is_empty() {
+            return Err(Error::protocol(
+                "starting a job (coordinator already shut down)",
+            ));
+        }
+        let workers = conns.len() as u64;
+        let assignments = self.assignments(source.size_hint(), workers);
+        for (conn, &shards) in conns.iter_mut().zip(&assignments) {
+            conn.send(&Frame::Job {
+                stage_seed,
+                kind: spec.kind.to_string(),
+                payload: spec.payload.clone(),
+                shards,
+            })?;
+        }
+
+        // Stream the source out in shard-aligned runs: consecutive items
+        // that land in one worker's shards travel as one Chunk frame.
+        let shard_size = SHARD_SIZE as u64;
+        let owner_of = |shard: u64| -> Result<usize> {
+            assignments
+                .iter()
+                .position(|a| a.owns(shard))
+                .ok_or_else(|| {
+                    Error::protocol(format!(
+                        "routing shard {shard} (the source yielded more items than its \
+                         size_hint declared)"
+                    ))
+                })
+        };
+        let chunk_items = self.plan.resolved_chunk_items();
+        let mut buf: Vec<St::Item> = Vec::with_capacity(chunk_items);
+        let mut encoded = Vec::new();
+        let mut abs = 0u64;
+        loop {
+            buf.clear();
+            loop {
+                let want = chunk_items - buf.len();
+                if want == 0 || source.fill(&mut buf, want)? == 0 {
+                    break;
+                }
+            }
+            if buf.is_empty() {
+                break;
+            }
+            let mut offset = 0usize;
+            while offset < buf.len() {
+                let start_abs = abs + offset as u64;
+                let owner = owner_of(start_abs / shard_size)?;
+                // Extend the run across consecutive shards with the same
+                // owner (always whole shards except at the buffer edges).
+                let mut end = offset;
+                loop {
+                    let shard = (abs + end as u64) / shard_size;
+                    if owner_of(shard)? != owner {
+                        break;
+                    }
+                    let shard_end = ((shard + 1) * shard_size - abs) as usize;
+                    end = shard_end.min(buf.len());
+                    if end == buf.len() {
+                        break;
+                    }
+                }
+                encoded.clear();
+                ((end - offset) as u32).put(&mut encoded);
+                for item in &buf[offset..end] {
+                    item.put(&mut encoded);
+                }
+                // Hot path: the chunk payload goes straight into the
+                // buffered socket writer, no owned `Frame` round-trip.
+                conns[owner].send_chunk(start_abs, &encoded)?;
+                offset = end;
+            }
+            abs += buf.len() as u64;
+        }
+
+        for conn in conns.iter_mut() {
+            conn.send(&Frame::Flush)?;
+            conn.flush()?;
+        }
+
+        // Collect every worker's reply before acting on any failure:
+        // each job owes exactly one Partial/Err per connection, so a
+        // worker's error must not leave the other workers' replies queued
+        // (a later fold would read them as its own).
+        let replies: Vec<Result<Frame>> = conns.iter_mut().map(|c| c.receive()).collect();
+        let mut first_err: Option<Error> = None;
+        let mut acc = stage.template();
+        for (conn, reply) in conns.iter().zip(replies) {
+            let outcome = match reply {
+                Ok(Frame::Partial { state }) => {
+                    let mut partial = stage.template();
+                    let mut reader = WireReader::new(&state);
+                    partial
+                        .load(&mut reader)
+                        .and_then(|()| reader.finish())
+                        .and_then(|()| stage.merge(&mut acc, &partial))
+                }
+                Ok(Frame::Err { message }) => Err(Error::Source {
+                    message: format!("worker {} failed: {message}", conn.peer),
+                }),
+                Ok(other) => Err(Error::protocol(format!(
+                    "collecting partials (worker {} sent {})",
+                    conn.peer,
+                    other.name()
+                ))),
+                Err(e) => Err(e),
+            };
+            if let Err(e) = outcome {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            None => Ok(acc),
+            Some(e) => {
+                if matches!(e, Error::Transport { .. }) {
+                    // A transport failure leaves its socket at an unknown
+                    // position — no later fold can trust any connection's
+                    // framing. Tear the session down.
+                    for conn in conns.iter_mut() {
+                        let _ = conn.send(&Frame::Shutdown);
+                        let _ = conn.flush();
+                    }
+                    conns.clear();
+                }
+                Err(e)
+            }
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Spawning local worker processes — the `--dist-spawn` convenience and
+//! the test harness's backbone.
+
+use std::io::{BufRead, BufReader};
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+
+use mcim_oracles::{Error, Result};
+
+/// The line a worker prints on stdout once it is listening; the spawner
+/// reads it to learn the ephemeral port.
+pub const LISTENING_PREFIX: &str = "MCIM_WORKER_LISTENING ";
+
+/// Handles to locally spawned worker processes. Dropping kills any child
+/// that has not already exited (spawned workers run `--once`, so they
+/// normally exit when their coordinator disconnects).
+pub struct SpawnedWorkers {
+    /// The workers' listen addresses, in spawn order.
+    pub addrs: Vec<String>,
+    children: Vec<Child>,
+}
+
+impl SpawnedWorkers {
+    /// Number of spawned workers.
+    pub fn len(&self) -> usize {
+        self.children.len()
+    }
+
+    /// Whether no workers were spawned.
+    pub fn is_empty(&self) -> bool {
+        self.children.is_empty()
+    }
+}
+
+impl Drop for SpawnedWorkers {
+    fn drop(&mut self) {
+        for child in &mut self.children {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+/// Spawns `n` single-connection worker processes of `binary` on loopback
+/// ephemeral ports and waits until each announces its address.
+///
+/// `binary` must accept `worker --listen 127.0.0.1:0 --once` and print
+/// [`LISTENING_PREFIX`]` <addr>` on stdout once bound — `mcim` does, and
+/// so does any embedder calling [`crate::worker_main`].
+pub fn spawn_local_workers(binary: &Path, n: usize) -> Result<SpawnedWorkers> {
+    if n == 0 {
+        return Err(Error::InvalidParameter {
+            name: "workers",
+            constraint: "spawn at least one worker",
+        });
+    }
+    let mut spawned = SpawnedWorkers {
+        addrs: Vec::with_capacity(n),
+        children: Vec::with_capacity(n),
+    };
+    for _ in 0..n {
+        let mut child = Command::new(binary)
+            .args(["worker", "--listen", "127.0.0.1:0", "--once"])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .map_err(|e| Error::transport(format!("spawning {}", binary.display()), e))?;
+        let stdout = child.stdout.take().expect("stdout was piped");
+        // Children are tracked before the blocking read, so Drop kills
+        // them even if the announcement never comes.
+        spawned.children.push(child);
+        let mut line = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut line)
+            .map_err(|e| Error::transport("reading a worker's listen address", e))?;
+        let addr = line
+            .strip_prefix(LISTENING_PREFIX)
+            .map(str::trim)
+            .filter(|a| !a.is_empty())
+            .ok_or_else(|| {
+                Error::protocol(format!(
+                    "reading a worker's listen address (got {line:?}, expected \
+                     {LISTENING_PREFIX:?} + addr)"
+                ))
+            })?;
+        spawned.addrs.push(addr.to_string());
+    }
+    Ok(spawned)
+}

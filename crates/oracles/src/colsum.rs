@@ -83,6 +83,13 @@ impl ColumnCounter {
     /// 0). Bits beyond `len` must be zero — [`BitVec`] maintains exactly
     /// that invariant.
     ///
+    /// The hot loop is 4-way unrolled: four word-columns ripple their
+    /// carries through the planes as independent chains per pass, so the
+    /// adder is bound by instruction throughput instead of the
+    /// load→xor→store latency of one chain at a time (a single chain's
+    /// early exit saved plane work but serialized every word on its
+    /// predecessor's carry test).
+    ///
     /// # Panics
     /// Panics if `words.len()` does not match the row width.
     pub fn add(&mut self, words: &[u64]) {
@@ -96,14 +103,48 @@ impl ColumnCounter {
         if self.pending == Self::MAX_BLOCK {
             self.flush();
         }
-        for (col, &word) in words.iter().enumerate() {
-            // Ripple-carry add of 1 into every counter whose column bit is
-            // set. Carry chains are short: the loop exits as soon as no
-            // counter propagates.
+        let mut quads = words.chunks_exact(4);
+        let mut plane_quads = self.planes.chunks_exact_mut(4 * PLANES);
+        for (quad, lanes) in (&mut quads).zip(&mut plane_quads) {
+            let (mut c0, mut c1, mut c2, mut c3) = (quad[0], quad[1], quad[2], quad[3]);
+            if c0 | c1 | c2 | c3 == 0 {
+                continue;
+            }
+            let (l0, rest) = lanes.split_at_mut(PLANES);
+            let (l1, rest) = rest.split_at_mut(PLANES);
+            let (l2, l3) = rest.split_at_mut(PLANES);
+            for p in 0..PLANES {
+                // Shared early exit: carry chains are short (the joint
+                // chain ends when the longest of the four does).
+                if c0 | c1 | c2 | c3 == 0 {
+                    break;
+                }
+                let s0 = l0[p] ^ c0;
+                c0 &= l0[p];
+                l0[p] = s0;
+                let s1 = l1[p] ^ c1;
+                c1 &= l1[p];
+                l1[p] = s1;
+                let s2 = l2[p] ^ c2;
+                c2 &= l2[p];
+                l2[p] = s2;
+                let s3 = l3[p] ^ c3;
+                c3 &= l3[p];
+                l3[p] = s3;
+            }
+            // No carry survives the last plane: counters max out at
+            // MAX_BLOCK rows and we flushed above.
+            debug_assert_eq!(c0 | c1 | c2 | c3, 0, "bit-sliced counter overflow");
+        }
+        // Remainder columns (row width not a multiple of 256 bits) keep the
+        // scalar chain.
+        let rem_start = self.cols / 4 * 4;
+        for (col, &word) in quads.remainder().iter().enumerate() {
             let mut carry = word;
             if carry == 0 {
                 continue;
             }
+            let col = rem_start + col;
             let lanes = &mut self.planes[col * PLANES..(col + 1) * PLANES];
             for lane in lanes {
                 let sum = *lane ^ carry;
@@ -113,8 +154,6 @@ impl ColumnCounter {
                     break;
                 }
             }
-            // `carry` cannot survive the last plane: counters max out at
-            // MAX_BLOCK rows and we flushed above.
             debug_assert_eq!(carry, 0, "bit-sliced counter overflow");
         }
         self.pending += 1;
@@ -206,7 +245,9 @@ mod tests {
     #[test]
     fn matches_reference_on_random_rows() {
         let mut rng = StdRng::seed_from_u64(1);
-        for len in [1usize, 63, 64, 65, 130, 1024] {
+        // Lengths straddling both the 4-word unrolled path (≥ 256 bits)
+        // and the scalar remainder (width % 256 ≠ 0).
+        for len in [1usize, 63, 64, 65, 130, 257, 320, 1024] {
             for q in [0.05, 0.5, 0.95] {
                 let rows: Vec<BitVec> = (0..300)
                     .map(|_| {

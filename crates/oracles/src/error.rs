@@ -1,9 +1,10 @@
 //! Error type shared by the oracle substrate and the layers above it.
 
 use std::fmt;
+use std::sync::Arc;
 
 /// Errors produced while constructing or running LDP mechanisms.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 #[non_exhaustive]
 pub enum Error {
     /// A privacy budget was not a finite positive number.
@@ -35,6 +36,81 @@ pub enum Error {
         /// What went wrong, including the position (file, line) if known.
         message: String,
     },
+    /// The distributed reducer's transport failed: socket I/O, a
+    /// truncated/oversized/malformed frame, or a worker that vanished
+    /// mid-fold. Chains the underlying [`std::io::Error`] as its
+    /// [`source`](std::error::Error::source).
+    Transport {
+        /// What the reducer was doing when the transport failed.
+        context: String,
+        /// The underlying I/O error (`Arc` keeps the enum cloneable).
+        source: Arc<std::io::Error>,
+    },
+}
+
+impl Error {
+    /// A [`Error::Transport`] from an I/O error and a short description of
+    /// the operation that failed.
+    pub fn transport(context: impl Into<String>, source: std::io::Error) -> Self {
+        Error::Transport {
+            context: context.into(),
+            source: Arc::new(source),
+        }
+    }
+
+    /// A [`Error::Transport`] for a protocol violation (malformed frame,
+    /// bad shard routing, …) with no lower-level I/O cause.
+    pub fn protocol(context: impl Into<String>) -> Self {
+        Error::transport(
+            context,
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "protocol violation"),
+        )
+    }
+}
+
+impl PartialEq for Error {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Error::InvalidBudget(a), Error::InvalidBudget(b)) => a == b,
+            (Error::EmptyDomain, Error::EmptyDomain) => true,
+            (
+                Error::ValueOutOfDomain {
+                    value: v1,
+                    domain: d1,
+                },
+                Error::ValueOutOfDomain {
+                    value: v2,
+                    domain: d2,
+                },
+            ) => v1 == v2 && d1 == d2,
+            (Error::ReportMismatch { expected: a }, Error::ReportMismatch { expected: b }) => {
+                a == b
+            }
+            (
+                Error::InvalidParameter {
+                    name: n1,
+                    constraint: c1,
+                },
+                Error::InvalidParameter {
+                    name: n2,
+                    constraint: c2,
+                },
+            ) => n1 == n2 && c1 == c2,
+            (Error::Source { message: a }, Error::Source { message: b }) => a == b,
+            // io::Error is not PartialEq; compare the stable parts.
+            (
+                Error::Transport {
+                    context: c1,
+                    source: s1,
+                },
+                Error::Transport {
+                    context: c2,
+                    source: s2,
+                },
+            ) => c1 == c2 && s1.kind() == s2.kind(),
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for Error {
@@ -57,11 +133,21 @@ impl fmt::Display for Error {
                 write!(f, "parameter `{name}` violates constraint: {constraint}")
             }
             Error::Source { message } => write!(f, "stream source failed: {message}"),
+            Error::Transport { context, source } => {
+                write!(f, "distributed transport failed while {context}: {source}")
+            }
         }
     }
 }
 
-impl std::error::Error for Error {}
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Transport { source, .. } => Some(source.as_ref()),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -97,5 +183,43 @@ mod tests {
     fn error_is_std_error() {
         fn takes_err(_: &dyn std::error::Error) {}
         takes_err(&Error::EmptyDomain);
+    }
+
+    #[test]
+    fn transport_chains_the_io_source() {
+        use std::error::Error as _;
+        let io = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "cut off");
+        let err = Error::transport("reading a partial", io);
+        let shown = err.to_string();
+        assert!(shown.contains("reading a partial"), "{shown}");
+        assert!(shown.contains("cut off"), "{shown}");
+        let source = err.source().expect("io source is chained");
+        assert!(source.to_string().contains("cut off"));
+        // Other variants chain nothing.
+        assert!(Error::EmptyDomain.source().is_none());
+    }
+
+    #[test]
+    fn transport_equality_compares_context_and_kind() {
+        let a = Error::transport(
+            "x",
+            std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "one"),
+        );
+        let b = Error::transport(
+            "x",
+            std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "two"),
+        );
+        let c = Error::transport(
+            "y",
+            std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "one"),
+        );
+        assert_eq!(a, b, "same context + kind compare equal");
+        assert_ne!(a, c);
+        assert_ne!(a, Error::EmptyDomain);
+        // The protocol shorthand is InvalidData-kinded.
+        assert!(matches!(
+            Error::protocol("bad frame"),
+            Error::Transport { .. }
+        ));
     }
 }

@@ -3,19 +3,25 @@
 //! The workspace used to expose each pipeline three times —
 //! `run`/`run_batch`/`run_stream`, `mine`/`mine_batch`/`mine_stream` —
 //! with seeds, thread counts and chunk sizes threaded ad hoc through every
-//! signature. This module collapses that surface into two pieces:
+//! signature. This module collapses that surface into three pieces:
 //!
 //! * [`Exec`] — a declarative **execution plan**: the RNG seed, the worker
 //!   budget, the ingestion chunk size and a
 //!   [mode](ExecMode) (auto / sequential / batch / stream). Every pipeline
 //!   takes one generic `execute`-style entry point that accepts an `Exec`
 //!   plus a [`ReportSource`], instead of a method per mode.
-//! * [`Executor`] — the trait that actually drives the sharded stages. Its
-//!   in-process implementation ([`InProcess`]) wraps the existing
-//!   [`fold_stream`] / [`crate::parallel`] machinery; a distributed reducer
-//!   (one process per shard range, merged counters) can implement the same
-//!   trait later without touching any pipeline caller — the seam the
-//!   ROADMAP's multi-node item plugs into.
+//! * [`Stage`] — one bulk privatize+aggregate step expressed as an object
+//!   instead of ad-hoc closures: a fold function over shard fragments, a
+//!   merge of disjoint-range partials, and (for stages that can cross a
+//!   process boundary) a serializable [`StageSpec`] plus wire codecs for
+//!   its items and accumulator.
+//! * [`Executor`] — the backend that actually drives a stage over a
+//!   source. The in-process implementation ([`InProcess`]) wraps the
+//!   existing [`fold_stream`] / [`crate::parallel`] machinery; the
+//!   `mcim-dist` crate's `Coordinator` implements the same trait by
+//!   shipping the stage spec and report chunks to socket-connected worker
+//!   processes and merging their serialized partials — without touching
+//!   any pipeline caller.
 //!
 //! ## Mode semantics
 //!
@@ -48,12 +54,14 @@
 //! ```
 
 use std::fmt;
+use std::marker::PhantomData;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::parallel;
 use crate::stream::{fold_stream, ReportSource, StreamConfig, DEFAULT_CHUNK_ITEMS};
+use crate::wire::{StageSpec, Wire, WireReader, WireState};
 use crate::Result;
 
 /// How an [`Exec`] plan drives a pipeline. See the [module docs](self) for
@@ -255,9 +263,125 @@ impl fmt::Display for Exec {
     }
 }
 
+/// One bulk privatize+aggregate step of a pipeline, expressed as an object
+/// a backend can drive — and, when [`Stage::spec`] is provided, ship to
+/// another process.
+///
+/// A stage owns everything the fold needs besides the stream itself: the
+/// mechanism, candidate index, calibration constants. Its associated types
+/// carry the wire bounds the distributed backend needs — [`Wire`] on the
+/// items so report chunks can cross a socket, [`WireState`] on the
+/// accumulator so partials can come back. In-process execution ignores
+/// both bounds; they are satisfied by trivial codecs for every stage in
+/// the workspace.
+///
+/// The template returned by [`Stage::template`] must be a **merge
+/// identity** (fresh counters, zero tallies): the executors seed every
+/// worker-local accumulator with a clone of it, so any non-identity state
+/// would be counted once per worker.
+pub trait Stage: Sync {
+    /// The stream item this stage consumes.
+    type Item: Sync + Wire;
+    /// The mergeable accumulator this stage folds into.
+    type Acc: Clone + Send + WireState;
+
+    /// A fresh (merge-identity) accumulator.
+    fn template(&self) -> Self::Acc;
+
+    /// Processes one shard fragment: a run of consecutive items within a
+    /// single absolute shard, starting at stream position `abs`, with the
+    /// shard's deterministic RNG positioned exactly where a sequential
+    /// shard scan would have it.
+    fn fold(
+        &self,
+        rng: &mut StdRng,
+        abs: u64,
+        items: &[Self::Item],
+        acc: &mut Self::Acc,
+    ) -> Result<()>;
+
+    /// Combines two accumulators covering disjoint item ranges. Must be
+    /// associative and commutative (counter sums are).
+    fn merge(&self, into: &mut Self::Acc, from: &Self::Acc) -> Result<()>;
+
+    /// The serialized descriptor a worker process can rebuild this stage
+    /// from, or `None` if the stage only runs in-process (a distributed
+    /// backend then falls back to local execution — the shard contract
+    /// makes that bit-identical, just not remote).
+    fn spec(&self) -> Option<StageSpec> {
+        None
+    }
+}
+
+/// Worker-side reconstruction of a [`Stage`] from its [`StageSpec`].
+///
+/// Implementations must uphold `Self::decode(spec.payload)` ≡ the stage
+/// that produced `spec` — same fold, same merge, same template — so a
+/// worker process replays exactly the computation the coordinator would
+/// have run locally. The `mcim-dist` crate's registry maps
+/// [`StageDecode::KIND`] to a monomorphized job runner per stage type.
+pub trait StageDecode: Stage + Sized {
+    /// Registry key; must equal the `kind` of every spec this stage emits.
+    const KIND: &'static str;
+
+    /// Rebuilds the stage from a spec payload.
+    fn decode(payload: &mut WireReader<'_>) -> Result<Self>;
+}
+
+/// A [`Stage`] from plain closures — for callers that drive an executor
+/// directly (tests, ad-hoc folds) without defining a named stage type.
+/// Never distributable ([`Stage::spec`] is `None`).
+pub struct FnStage<I, A, F, M> {
+    template: A,
+    fold: F,
+    merge: M,
+    _items: PhantomData<fn(&I)>,
+}
+
+impl<I, A, F, M> FnStage<I, A, F, M>
+where
+    I: Sync + Wire,
+    A: Clone + Send + Sync + WireState,
+    F: Fn(&mut StdRng, u64, &[I], &mut A) -> Result<()> + Sync,
+    M: Fn(&mut A, &A) -> Result<()> + Sync,
+{
+    /// Wraps a template accumulator, a fold closure and a merge closure.
+    pub fn new(template: A, fold: F, merge: M) -> Self {
+        FnStage {
+            template,
+            fold,
+            merge,
+            _items: PhantomData,
+        }
+    }
+}
+
+impl<I, A, F, M> Stage for FnStage<I, A, F, M>
+where
+    I: Sync + Wire,
+    A: Clone + Send + Sync + WireState,
+    F: Fn(&mut StdRng, u64, &[I], &mut A) -> Result<()> + Sync,
+    M: Fn(&mut A, &A) -> Result<()> + Sync,
+{
+    type Item = I;
+    type Acc = A;
+
+    fn template(&self) -> A {
+        self.template.clone()
+    }
+
+    fn fold(&self, rng: &mut StdRng, abs: u64, items: &[I], acc: &mut A) -> Result<()> {
+        (self.fold)(rng, abs, items, acc)
+    }
+
+    fn merge(&self, into: &mut A, from: &A) -> Result<()> {
+        (self.merge)(into, from)
+    }
+}
+
 /// The backend that drives a pipeline's bulk privatize+aggregate stages.
 ///
-/// A pipeline stage is a *fold*: pull items, process each absolute
+/// A stage run is a *fold*: pull items, process each absolute
 /// [`parallel::SHARD_SIZE`] shard with its deterministic RNG stream
 /// [`parallel::shard_rng`]`(stage_seed, shard)`, and merge the mergeable
 /// accumulators. The contract an implementation must uphold so that every
@@ -270,34 +394,26 @@ impl fmt::Display for Exec {
 /// * `merge` is only used to combine accumulators that cover disjoint item
 ///   ranges (it must be associative and commutative — counter sums are).
 ///
-/// The in-process implementation is [`InProcess`]. A distributed reducer —
-/// one process per contiguous shard range, merging counter partials over a
-/// socket — satisfies the same contract by construction, which is what
-/// makes this trait the multi-node seam: pipelines written against
-/// `Executor` (e.g. `Framework::execute_on`) never change when the backend
-/// does.
+/// The in-process implementation is [`InProcess`]; the multi-process
+/// implementation is the `mcim-dist` crate's `Coordinator`, which streams
+/// report chunks to socket-connected worker processes that replay the same
+/// per-shard RNG streams over their shard ranges and ship their partials
+/// back. Both satisfy the contract by construction, which is what makes
+/// this trait the multi-node seam: pipelines written against `Executor`
+/// (e.g. `Framework::execute_on`) never change when the backend does.
 pub trait Executor {
     /// The plan this executor resolves its knobs from.
     fn plan(&self) -> &Exec;
 
-    /// Folds `source` into a clone of `template` under the shard contract
-    /// above. `f(rng, abs_index, items, acc)` processes one shard fragment
-    /// starting at absolute stream position `abs_index`; `merge` combines
-    /// disjoint-range partial accumulators.
-    fn fold<S, A, F, M>(
-        &self,
-        source: &mut S,
-        stage_seed: u64,
-        template: &A,
-        f: F,
-        merge: M,
-    ) -> Result<A>
+    /// Folds `source` through `stage` under the shard contract above,
+    /// starting from a clone of the stage's template. `stage_seed` is the
+    /// base seed of this stage's per-shard RNG streams — explicit (rather
+    /// than always the plan seed) because multi-stage pipelines derive one
+    /// seed per stage.
+    fn fold<S, St>(&self, source: &mut S, stage_seed: u64, stage: &St) -> Result<St::Acc>
     where
-        S: ReportSource,
-        S::Item: Sync,
-        A: Clone + Send,
-        F: Fn(&mut StdRng, u64, &[S::Item], &mut A) -> Result<()> + Sync,
-        M: Fn(&mut A, &A) -> Result<()>;
+        S: ReportSource<Item = St::Item>,
+        St: Stage;
 }
 
 /// The in-process [`Executor`]: scoped worker threads over this process's
@@ -321,20 +437,10 @@ impl Executor for InProcess {
         &self.plan
     }
 
-    fn fold<S, A, F, M>(
-        &self,
-        source: &mut S,
-        stage_seed: u64,
-        template: &A,
-        f: F,
-        merge: M,
-    ) -> Result<A>
+    fn fold<S, St>(&self, source: &mut S, stage_seed: u64, stage: &St) -> Result<St::Acc>
     where
-        S: ReportSource,
-        S::Item: Sync,
-        A: Clone + Send,
-        F: Fn(&mut StdRng, u64, &[S::Item], &mut A) -> Result<()> + Sync,
-        M: Fn(&mut A, &A) -> Result<()>,
+        S: ReportSource<Item = St::Item>,
+        St: Stage,
     {
         let mut config = self.plan.stream_config();
         if self.plan.resolved_mode() == ExecMode::Batch {
@@ -347,7 +453,14 @@ impl Executor for InProcess {
                 .unwrap_or(DEFAULT_CHUNK_ITEMS)
                 .max(1);
         }
-        fold_stream(source, config, stage_seed, template, f, merge)
+        fold_stream(
+            source,
+            config,
+            stage_seed,
+            &stage.template(),
+            |rng, abs, items, acc| stage.fold(rng, abs, items, acc),
+            |a, b| stage.merge(a, b),
+        )
     }
 }
 
@@ -381,6 +494,29 @@ mod tests {
         assert_eq!(ExecMode::Batch.resolved(), ExecMode::Batch);
     }
 
+    /// Unset knobs resolve lazily: `threads` honors the `MCIM_THREADS`
+    /// environment (the CI matrix sets it) falling back to the machine's
+    /// parallelism, `chunk_size` falls back to the default chunk — and the
+    /// explicit setters always win over both.
+    #[test]
+    fn lazy_knob_resolution_matches_environment() {
+        let unset = Exec::new();
+        assert_eq!(
+            unset.resolved_threads(),
+            parallel::configured_threads(),
+            "unset threads resolve to MCIM_THREADS / available parallelism"
+        );
+        assert_eq!(unset.resolved_chunk_items(), DEFAULT_CHUNK_ITEMS);
+        if let Ok(v) = std::env::var("MCIM_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                assert_eq!(unset.resolved_threads(), n.max(1));
+            }
+        }
+        // Explicit settings shadow the environment.
+        assert_eq!(Exec::new().threads(3).resolved_threads(), 3);
+        assert_eq!(Exec::new().chunk_size(99).resolved_chunk_items(), 99);
+    }
+
     #[test]
     fn display_names_the_resolved_plan() {
         let shown = Exec::seeded(5).threads(2).chunk_size(64).to_string();
@@ -393,6 +529,28 @@ mod tests {
         assert!(!batch.contains("chunk="), "batch hides the chunk: {batch}");
     }
 
+    /// Unset knobs display their lazily resolved values tagged as such, so
+    /// `--verbose` output always names the effective configuration.
+    #[test]
+    fn display_marks_lazily_resolved_knobs() {
+        let auto = Exec::seeded(1).to_string();
+        assert!(
+            auto.contains(&format!("threads={}(auto)", parallel::configured_threads())),
+            "{auto}"
+        );
+        assert!(
+            auto.contains(&format!("chunk={DEFAULT_CHUNK_ITEMS}(default)")),
+            "{auto}"
+        );
+        let seq = Exec::sequential().to_string();
+        assert!(seq.contains("mode=sequential"), "{seq}");
+        assert!(seq.contains("threads=1(auto)"), "sequential pins 1: {seq}");
+        assert!(!seq.contains("chunk="), "sequential hides the chunk: {seq}");
+        let explicit = Exec::stream().threads(7).to_string();
+        assert!(explicit.contains("threads=7"), "{explicit}");
+        assert!(!explicit.contains("threads=7(auto)"), "{explicit}");
+    }
+
     #[test]
     fn seq_rng_matches_seed_from_u64() {
         let mut a = Exec::sequential().seed(42).seq_rng();
@@ -402,30 +560,39 @@ mod tests {
         }
     }
 
+    #[allow(clippy::type_complexity)]
+    fn sum_mix_stage() -> FnStage<
+        u32,
+        (u64, u64),
+        impl Fn(&mut StdRng, u64, &[u32], &mut (u64, u64)) -> Result<()> + Sync,
+        impl Fn(&mut (u64, u64), &(u64, u64)) -> Result<()> + Sync,
+    > {
+        FnStage::new(
+            (0u64, 0u64),
+            |rng, _abs, chunk: &[u32], acc: &mut (u64, u64)| {
+                for &v in chunk {
+                    acc.0 += v as u64;
+                    acc.1 = acc.1.wrapping_add(rng.next_u64() ^ v as u64);
+                }
+                Ok(())
+            },
+            |a, b| {
+                a.0 += b.0;
+                a.1 = a.1.wrapping_add(b.1);
+                Ok(())
+            },
+        )
+    }
+
     /// The shard contract: batch and stream plans fold bit-identically,
     /// for every chunk size, and a sized batch fold materializes whole.
     #[test]
     fn in_process_fold_is_mode_and_chunk_invariant() {
         let items: Vec<u32> = (0..3 * parallel::SHARD_SIZE as u32 + 500).collect();
+        let stage = sum_mix_stage();
         let fold = |plan: Exec| {
             plan.in_process()
-                .fold(
-                    &mut SliceSource::new(&items),
-                    77,
-                    &(0u64, 0u64),
-                    |rng, _abs, chunk, acc| {
-                        for &v in chunk {
-                            acc.0 += v as u64;
-                            acc.1 = acc.1.wrapping_add(rng.next_u64() ^ v as u64);
-                        }
-                        Ok(())
-                    },
-                    |a, b| {
-                        a.0 += b.0;
-                        a.1 = a.1.wrapping_add(b.1);
-                        Ok(())
-                    },
-                )
+                .fold(&mut SliceSource::new(&items), 77, &stage)
                 .unwrap()
         };
         let reference = fold(Exec::batch().threads(1));
@@ -439,5 +606,12 @@ mod tests {
         ] {
             assert_eq!(fold(plan), reference, "{plan}");
         }
+    }
+
+    #[test]
+    fn fn_stages_are_not_distributable() {
+        let stage = sum_mix_stage();
+        assert!(stage.spec().is_none(), "closure stages carry no spec");
+        assert_eq!(stage.template(), (0, 0));
     }
 }

@@ -29,8 +29,13 @@
 //!   [`stream::ReportSource`]s, bit-identical to the batch APIs for every
 //!   chunk size and thread count,
 //! * [`exec`] — declarative [`Exec`] execution plans (seed / threads /
-//!   chunk / mode) and the [`Executor`] backend trait every pipeline's
-//!   `execute` entry point runs on.
+//!   chunk / mode), serializable [`exec::Stage`] fold objects, and the
+//!   [`Executor`] backend trait every pipeline's `execute` entry point
+//!   runs on ([`InProcess`] here; the multi-process `Coordinator` in
+//!   `mcim-dist`),
+//! * [`wire`] — hand-rolled byte codecs ([`wire::Wire`] items,
+//!   [`wire::WireState`] accumulator partials, [`wire::StageSpec`] stage
+//!   descriptors) the distributed reducer moves between processes.
 //!
 //! ## Example
 //!
@@ -73,6 +78,7 @@ pub mod exec;
 pub mod hash;
 pub mod parallel;
 pub mod stream;
+pub mod wire;
 
 pub use bitvec::BitVec;
 pub use budget::Eps;

@@ -268,6 +268,29 @@ impl Aggregator {
             cc.drain_into(&mut self.counts);
             return outcome;
         }
+        if let Oracle::Olh(m) = &self.oracle {
+            // OLH blocks scatter four reports' candidate matches per
+            // domain scan (hoisted seed states, one counter write per
+            // value per quad) — exact u64 sums, identical to the
+            // per-report path.
+            let iter = reports.into_iter();
+            let mut hashed = Vec::with_capacity(iter.size_hint().0);
+            let mut outcome = Ok(());
+            for report in iter {
+                match report {
+                    Report::Hashed(r) => hashed.push(*r),
+                    _ => {
+                        outcome = Err(Error::ReportMismatch {
+                            expected: "report variant matching the aggregator's oracle",
+                        });
+                        break;
+                    }
+                }
+            }
+            m.support_counts_block_into(&hashed, &mut self.counts);
+            self.n += hashed.len() as u64;
+            return outcome;
+        }
         for report in reports {
             self.absorb(report)?;
         }
@@ -356,6 +379,22 @@ impl Aggregator {
         }
         self.n += other.n;
         Ok(())
+    }
+}
+
+/// Partial state for the distributed reducer: the support counters and the
+/// report tally. The oracle configuration never travels — a decoded
+/// partial loads into a clone of the stage's template, which rejects
+/// mismatched domain sizes.
+impl crate::wire::WireState for Aggregator {
+    fn save(&self, buf: &mut Vec<u8>) {
+        self.counts.save(buf);
+        self.n.save(buf);
+    }
+
+    fn load(&mut self, r: &mut crate::wire::WireReader<'_>) -> Result<()> {
+        self.counts.load(r)?;
+        self.n.load(r)
     }
 }
 

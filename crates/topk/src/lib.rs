@@ -50,8 +50,8 @@ pub mod multiclass;
 pub mod pem;
 pub mod shuffle;
 
-pub use multiclass::{execute, NoiseTest, TopKConfig, TopKMethod, TopKResult};
+pub use multiclass::{execute, execute_on, NoiseTest, TopKConfig, TopKMethod, TopKResult};
 #[allow(deprecated)]
 pub use multiclass::{mine, mine_batch, mine_stream};
-pub use pem::{Pem, PemConfig, PemEngine, PemOutcome};
+pub use pem::{Pem, PemConfig, PemEngine, PemOracleRoundStage, PemOutcome, PemVpRoundStage};
 pub use shuffle::{replay, CompletedRound, ShuffleEngine};

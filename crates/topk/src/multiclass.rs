@@ -20,7 +20,7 @@ use std::collections::HashMap;
 use rand::Rng;
 
 use mcim_core::{CommStats, Domains, LabelItem, ValidityInput, ValidityPerturbation, VpAggregator};
-use mcim_oracles::exec::Exec;
+use mcim_oracles::exec::{Exec, Executor, InProcess};
 use mcim_oracles::hash::SplitMix64;
 use mcim_oracles::stream::{drain_source, ReportSource, SliceSource};
 use mcim_oracles::{
@@ -237,19 +237,25 @@ pub struct TopKResult {
 /// `i`-th seed of a [`SplitMix64`] stream and fans out over fixed-size
 /// shards with derived per-shard RNGs, so the mined result is bit-identical
 /// for every thread count.
-enum Pace<'r, R: Rng + ?Sized> {
+enum Pace<'r, R: Rng + ?Sized, E: Executor> {
     /// Sequential execution with the caller's RNG.
     Seq(&'r mut R),
     /// Sharded deterministic execution.
     Par {
         /// Per-stage seed stream.
         stream: SplitMix64,
-        /// Worker thread cap.
+        /// Worker thread cap (local fan-out stages).
         threads: usize,
+        /// Backend for the PEM stages — [`InProcess`] threads or the
+        /// distributed reducer. The label-routing and shuffling stages
+        /// stay local: their folds are output-per-input maps, not
+        /// mergeable reductions, so there is nothing for a reducer to
+        /// merge.
+        executor: &'r E,
     },
 }
 
-impl<R: Rng + ?Sized> Pace<'_, R> {
+impl<R: Rng + ?Sized, E: Executor> Pace<'_, R, E> {
     /// A fresh 64-bit seed (shuffle-round seeds, sharded-stage base seeds).
     fn next_seed(&mut self) -> u64 {
         match self {
@@ -265,7 +271,9 @@ impl<R: Rng + ?Sized> Pace<'_, R> {
         }
         match self {
             Pace::Seq(rng) => labels.iter().map(|&l| grr.perturb(l, rng)).collect(),
-            Pace::Par { stream, threads } => {
+            Pace::Par {
+                stream, threads, ..
+            } => {
                 let base = stream.next_u64();
                 parallel::try_fill_shards(labels, *threads, |shard, chunk, slots| {
                     let mut rng = parallel::shard_rng(base, shard);
@@ -295,7 +303,9 @@ impl<R: Rng + ?Sized> Pace<'_, R> {
                 }
                 Ok(agg)
             }
-            Pace::Par { stream, threads } => {
+            Pace::Par {
+                stream, threads, ..
+            } => {
                 let base = stream.next_u64();
                 vp_aggregate_batch(vp, inputs, base, *threads, comm)
             }
@@ -311,9 +321,10 @@ impl<R: Rng + ?Sized> Pace<'_, R> {
     ) -> Result<CommStats> {
         match self {
             Pace::Seq(rng) => engine.run_round_seq(eps, items.iter().copied(), rng),
-            Pace::Par { stream, threads } => {
-                let plan = Exec::batch().seed(stream.next_u64()).threads(*threads);
-                engine.execute_round(eps, &plan, SliceSource::new(items))
+            Pace::Par {
+                stream, executor, ..
+            } => {
+                engine.execute_round_on(*executor, eps, stream.next_u64(), SliceSource::new(items))
             }
         }
     }
@@ -322,10 +333,9 @@ impl<R: Rng + ?Sized> Pace<'_, R> {
     fn pem_mine(&mut self, pem: &Pem, eps: Eps, items: &[Option<u32>]) -> Result<PemOutcome> {
         match self {
             Pace::Seq(rng) => pem.mine_seq(eps, items, rng),
-            Pace::Par { stream, threads } => {
-                let plan = Exec::batch().seed(stream.next_u64()).threads(*threads);
-                pem.execute(eps, &plan, SliceSource::new(items))
-            }
+            Pace::Par {
+                stream, executor, ..
+            } => pem.execute_on(*executor, eps, stream.next_u64(), SliceSource::new(items)),
         }
     }
 }
@@ -360,19 +370,47 @@ pub fn execute<S>(
 where
     S: ReportSource<Item = LabelItem>,
 {
-    let data = drain_source(&mut source)?;
     if plan.is_sequential() {
+        let data = drain_source(&mut source)?;
         return mine_with(
             method,
             config,
             domains,
             &data,
-            &mut Pace::Seq(&mut plan.seq_rng()),
+            &mut Pace::<_, InProcess>::Seq(&mut plan.seq_rng()),
         );
     }
-    let mut pace: Pace<'_, rand::rngs::StdRng> = Pace::Par {
-        stream: SplitMix64::new(plan.base_seed()),
-        threads: plan.resolved_threads(),
+    execute_on(method, config, domains, &plan.in_process(), source)
+}
+
+/// Runs `method` on an explicit [`Executor`] backend — the
+/// distributed-reducer seam of the multi-class layer (pass `mcim-dist`'s
+/// `Coordinator` to fan the PEM mining stages out across worker
+/// processes).
+///
+/// Stage `i` of the pipeline takes the `i`-th seed of a [`SplitMix64`]
+/// stream over the executor's plan seed, exactly like [`execute`] with a
+/// sharded plan — the mined result is bit-identical for every conforming
+/// executor, thread count, chunk size and worker count. The PEM rounds run
+/// on the executor; the label-routing and bucket-shuffling stages fan out
+/// on local threads (output-per-input maps have no mergeable partials to
+/// reduce).
+pub fn execute_on<E, S>(
+    method: TopKMethod,
+    config: TopKConfig,
+    domains: Domains,
+    executor: &E,
+    mut source: S,
+) -> Result<TopKResult>
+where
+    E: Executor,
+    S: ReportSource<Item = LabelItem>,
+{
+    let data = drain_source(&mut source)?;
+    let mut pace: Pace<'_, rand::rngs::StdRng, E> = Pace::Par {
+        stream: SplitMix64::new(executor.plan().base_seed()),
+        threads: executor.plan().resolved_threads(),
+        executor,
     };
     mine_with(method, config, domains, &data, &mut pace)
 }
@@ -390,7 +428,13 @@ pub fn mine<R: Rng + ?Sized>(
     data: &[LabelItem],
     rng: &mut R,
 ) -> Result<TopKResult> {
-    mine_with(method, config, domains, data, &mut Pace::Seq(rng))
+    mine_with(
+        method,
+        config,
+        domains,
+        data,
+        &mut Pace::<_, InProcess>::Seq(rng),
+    )
 }
 
 /// Runs `method` on the batched, sharded runtime.
@@ -441,12 +485,12 @@ where
     )
 }
 
-fn mine_with<R: Rng + ?Sized>(
+fn mine_with<R: Rng + ?Sized, E: Executor>(
     method: TopKMethod,
     config: TopKConfig,
     domains: Domains,
     data: &[LabelItem],
-    pace: &mut Pace<'_, R>,
+    pace: &mut Pace<'_, R, E>,
 ) -> Result<TopKResult> {
     if config.k == 0 {
         return Err(Error::InvalidParameter {
@@ -477,11 +521,11 @@ fn mine_with<R: Rng + ?Sized>(
 
 // ---------------------------------------------------------------- HEC --
 
-fn hec<R: Rng + ?Sized>(
+fn hec<R: Rng + ?Sized, E: Executor>(
     config: TopKConfig,
     domains: Domains,
     data: &[LabelItem],
-    pace: &mut Pace<'_, R>,
+    pace: &mut Pace<'_, R, E>,
 ) -> Result<TopKResult> {
     let c = domains.classes();
     let pem = Pem::new(
@@ -521,12 +565,12 @@ fn hec<R: Rng + ?Sized>(
 
 // ---------------------------------------------------------------- PTJ --
 
-fn ptj_pem<R: Rng + ?Sized>(
+fn ptj_pem<R: Rng + ?Sized, E: Executor>(
     config: TopKConfig,
     domains: Domains,
     data: &[LabelItem],
     validity: bool,
-    pace: &mut Pace<'_, R>,
+    pace: &mut Pace<'_, R, E>,
 ) -> Result<TopKResult> {
     let kk = config.k * domains.classes() as usize;
     let pem = Pem::new(
@@ -547,12 +591,12 @@ fn ptj_pem<R: Rng + ?Sized>(
     })
 }
 
-fn ptj_shuffled<R: Rng + ?Sized>(
+fn ptj_shuffled<R: Rng + ?Sized, E: Executor>(
     config: TopKConfig,
     domains: Domains,
     data: &[LabelItem],
     validity: bool,
-    pace: &mut Pace<'_, R>,
+    pace: &mut Pace<'_, R, E>,
 ) -> Result<TopKResult> {
     let kk = config.k * domains.classes() as usize;
     let buckets = 4 * kk;
@@ -607,13 +651,13 @@ fn ptj_shuffled<R: Rng + ?Sized>(
 
 // ---------------------------------------------------------------- PTS --
 
-fn pts_pem<R: Rng + ?Sized>(
+fn pts_pem<R: Rng + ?Sized, E: Executor>(
     config: TopKConfig,
     domains: Domains,
     data: &[LabelItem],
     validity: bool,
     global: bool,
-    pace: &mut Pace<'_, R>,
+    pace: &mut Pace<'_, R, E>,
 ) -> Result<TopKResult> {
     let (e1, e2) = config.eps.split(config.label_frac)?;
     let grr = Grr::new(e1, domains.classes())?;
@@ -700,14 +744,14 @@ fn pts_pem<R: Rng + ?Sized>(
 
 /// Algorithms 1 & 2 (and their ablations): label-routed shuffled mining.
 #[allow(clippy::too_many_arguments)]
-fn pts_shuffled<R: Rng + ?Sized>(
+fn pts_shuffled<R: Rng + ?Sized, E: Executor>(
     config: TopKConfig,
     domains: Domains,
     data: &[LabelItem],
     validity: bool,
     global: bool,
     correlated: bool,
-    pace: &mut Pace<'_, R>,
+    pace: &mut Pace<'_, R, E>,
 ) -> Result<TopKResult> {
     // CP is built on VP; `correlated` therefore implies validity reports.
     let validity = validity || correlated;
@@ -915,7 +959,9 @@ fn pts_shuffled<R: Rng + ?Sized>(
         };
 
     match pace {
-        Pace::Par { stream, threads } => {
+        Pace::Par {
+            stream, threads, ..
+        } => {
             // Final cohorts rarely fill a single 4096-item shard, so
             // per-class sharding runs them one after another on one worker.
             // Pre-drawing each eligible class's base seed in class order
@@ -980,8 +1026,8 @@ fn pts_shuffled<R: Rng + ?Sized>(
 /// random bucket (vanilla PEM deniability) under the adaptive oracle.
 /// Bulk work follows `pace`: sequential with the caller's RNG, or sharded
 /// across threads with derived deterministic streams.
-fn score_round<R: Rng + ?Sized>(
-    pace: &mut Pace<'_, R>,
+fn score_round<R: Rng + ?Sized, E: Executor>(
+    pace: &mut Pace<'_, R, E>,
     eps: Eps,
     buckets: usize,
     inputs: &[Option<u32>],
@@ -1015,7 +1061,9 @@ fn score_round<R: Rng + ?Sized>(
                 }
                 Ok(agg.estimate())
             }
-            Pace::Par { stream, threads } => {
+            Pace::Par {
+                stream, threads, ..
+            } => {
                 let base = stream.next_u64();
                 oracle_score_batch(eps, buckets, inputs, base, *threads, comm)
             }

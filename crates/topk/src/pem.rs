@@ -19,17 +19,245 @@
 
 use std::collections::HashMap;
 
+use rand::rngs::StdRng;
 use rand::Rng;
 
 use mcim_core::{CommStats, ValidityInput, ValidityPerturbation, VpAggregator};
-use mcim_oracles::exec::{Exec, Executor};
+use mcim_oracles::exec::{Exec, Executor, Stage, StageDecode};
 use mcim_oracles::hash::SplitMix64;
 use mcim_oracles::stream::{
     drain_source, required_len, ReportSource, SliceSource, StreamConfig, Take,
 };
+use mcim_oracles::wire::{StageSpec, Wire, WireReader};
 use mcim_oracles::{Aggregator, Eps, Error, Oracle, Result};
 
 use crate::encoding::PrefixCode;
+
+/// One PEM round's bulk privatize+aggregate step over the
+/// validity-perturbation mechanism, as a serializable [`Stage`]: a worker
+/// process rebuilds the candidate index and VP mechanism from
+/// `(ε, domain, prefix length, candidates)` and replays the identical
+/// fold. Items are each user's raw item (`None` = invalid user).
+pub struct PemVpRoundStage {
+    eps: Eps,
+    domain: u32,
+    prefix_len: u32,
+    candidates: Vec<u32>,
+    code: PrefixCode,
+    index: HashMap<u32, u32>,
+    vp: ValidityPerturbation,
+}
+
+impl PemVpRoundStage {
+    /// Builds the stage, constructing the VP mechanism for the candidate
+    /// count (deterministic — a rebuilt mechanism is interchangeable with
+    /// a cached one).
+    pub fn new(eps: Eps, domain: u32, prefix_len: u32, candidates: Vec<u32>) -> Result<Self> {
+        let vp = ValidityPerturbation::new(eps, candidates.len() as u32)?;
+        Ok(Self::with_mech(eps, domain, prefix_len, candidates, vp))
+    }
+
+    fn with_mech(
+        eps: Eps,
+        domain: u32,
+        prefix_len: u32,
+        candidates: Vec<u32>,
+        vp: ValidityPerturbation,
+    ) -> Self {
+        let index = candidates
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, i as u32))
+            .collect();
+        PemVpRoundStage {
+            eps,
+            domain,
+            prefix_len,
+            candidates,
+            code: PrefixCode::for_domain(domain),
+            index,
+            vp,
+        }
+    }
+
+    fn classify(&self, item: Option<u32>) -> ValidityInput {
+        match item {
+            Some(it) => match self.index.get(&self.code.prefix(it, self.prefix_len)) {
+                Some(&idx) => ValidityInput::Valid(idx),
+                None => ValidityInput::Invalid,
+            },
+            None => ValidityInput::Invalid,
+        }
+    }
+}
+
+impl Stage for PemVpRoundStage {
+    type Item = Option<u32>;
+    type Acc = (VpAggregator, CommStats);
+
+    fn template(&self) -> Self::Acc {
+        (VpAggregator::new(&self.vp), CommStats::default())
+    }
+
+    fn fold(
+        &self,
+        rng: &mut StdRng,
+        _abs: u64,
+        items: &[Option<u32>],
+        (agg, comm): &mut Self::Acc,
+    ) -> Result<()> {
+        for &item in items {
+            let report = self.vp.privatize(self.classify(item), rng)?;
+            comm.record(report.len());
+            agg.absorb(&report)?;
+        }
+        Ok(())
+    }
+
+    fn merge(&self, into: &mut Self::Acc, from: &Self::Acc) -> Result<()> {
+        into.0.merge(&from.0)?;
+        into.1.merge(from.1);
+        Ok(())
+    }
+
+    fn spec(&self) -> Option<StageSpec> {
+        Some(StageSpec::new(Self::KIND, |buf| {
+            self.eps.value().put(buf);
+            self.domain.put(buf);
+            self.prefix_len.put(buf);
+            self.candidates.put(buf);
+        }))
+    }
+}
+
+impl StageDecode for PemVpRoundStage {
+    const KIND: &'static str = "pem/vp-round";
+
+    fn decode(payload: &mut WireReader<'_>) -> Result<Self> {
+        let eps = Eps::new(f64::take(payload)?)?;
+        let domain = u32::take(payload)?;
+        let prefix_len = u32::take(payload)?;
+        let candidates = Vec::<u32>::take(payload)?;
+        if domain == 0 || candidates.is_empty() {
+            return Err(Error::InvalidParameter {
+                name: "candidates",
+                constraint: "non-empty candidate set over a non-empty domain",
+            });
+        }
+        PemVpRoundStage::new(eps, domain, prefix_len, candidates)
+    }
+}
+
+/// One vanilla PEM round's step over the adaptive frequency oracle, as a
+/// serializable [`Stage`]. Pruned/invalid users substitute a uniformly
+/// random candidate drawn from the same per-shard RNG stream, so workers
+/// replay the substitution exactly.
+pub struct PemOracleRoundStage {
+    eps: Eps,
+    domain: u32,
+    prefix_len: u32,
+    candidates: Vec<u32>,
+    code: PrefixCode,
+    index: HashMap<u32, u32>,
+    oracle: Oracle,
+}
+
+impl PemOracleRoundStage {
+    /// Builds the stage, constructing the adaptive oracle for the
+    /// candidate count.
+    pub fn new(eps: Eps, domain: u32, prefix_len: u32, candidates: Vec<u32>) -> Result<Self> {
+        let oracle = Oracle::adaptive(eps, candidates.len() as u32)?;
+        Ok(Self::with_mech(eps, domain, prefix_len, candidates, oracle))
+    }
+
+    fn with_mech(
+        eps: Eps,
+        domain: u32,
+        prefix_len: u32,
+        candidates: Vec<u32>,
+        oracle: Oracle,
+    ) -> Self {
+        let index = candidates
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, i as u32))
+            .collect();
+        PemOracleRoundStage {
+            eps,
+            domain,
+            prefix_len,
+            candidates,
+            code: PrefixCode::for_domain(domain),
+            index,
+            oracle,
+        }
+    }
+}
+
+impl Stage for PemOracleRoundStage {
+    type Item = Option<u32>;
+    type Acc = (Aggregator, CommStats);
+
+    fn template(&self) -> Self::Acc {
+        (Aggregator::new(&self.oracle), CommStats::default())
+    }
+
+    fn fold(
+        &self,
+        rng: &mut StdRng,
+        _abs: u64,
+        items: &[Option<u32>],
+        (agg, comm): &mut Self::Acc,
+    ) -> Result<()> {
+        let n_cands = self.candidates.len() as u32;
+        for &item in items {
+            let value = match item {
+                Some(it) => match self.index.get(&self.code.prefix(it, self.prefix_len)) {
+                    Some(&idx) => idx,
+                    None => rng.random_range(0..n_cands),
+                },
+                None => rng.random_range(0..n_cands),
+            };
+            let report = self.oracle.privatize(value, rng)?;
+            comm.record(report.size_bits());
+            agg.absorb(&report)?;
+        }
+        Ok(())
+    }
+
+    fn merge(&self, into: &mut Self::Acc, from: &Self::Acc) -> Result<()> {
+        into.0.merge(&from.0)?;
+        into.1.merge(from.1);
+        Ok(())
+    }
+
+    fn spec(&self) -> Option<StageSpec> {
+        Some(StageSpec::new(Self::KIND, |buf| {
+            self.eps.value().put(buf);
+            self.domain.put(buf);
+            self.prefix_len.put(buf);
+            self.candidates.put(buf);
+        }))
+    }
+}
+
+impl StageDecode for PemOracleRoundStage {
+    const KIND: &'static str = "pem/oracle-round";
+
+    fn decode(payload: &mut WireReader<'_>) -> Result<Self> {
+        let eps = Eps::new(f64::take(payload)?)?;
+        let domain = u32::take(payload)?;
+        let prefix_len = u32::take(payload)?;
+        let candidates = Vec::<u32>::take(payload)?;
+        if domain == 0 || candidates.is_empty() {
+            return Err(Error::InvalidParameter {
+                name: "candidates",
+                constraint: "non-empty candidate set over a non-empty domain",
+            });
+        }
+        PemOracleRoundStage::new(eps, domain, prefix_len, candidates)
+    }
+}
 
 /// Round-to-round cache of derived mechanisms, keyed by
 /// `(ε bit pattern, candidate count)`.
@@ -299,17 +527,21 @@ impl PemEngine {
     }
 
     /// Runs one sharded round on an explicit [`Executor`] backend — the
-    /// distributed-reducer seam of the PEM layer.
+    /// distributed-reducer seam of the PEM layer (pass `mcim-dist`'s
+    /// `Coordinator` to fan the round's users out across worker
+    /// processes).
     ///
-    /// The user group is processed in fixed absolute shards, each
-    /// privatized and aggregated with the deterministic per-shard RNG
+    /// The round's fold is a serializable stage ([`PemVpRoundStage`] /
+    /// [`PemOracleRoundStage`]), so any backend processes the user group
+    /// in fixed absolute shards with the deterministic per-shard RNG
     /// stream `shard_rng(stage_seed, shard)` (state carried across chunk
     /// boundaries) through the word-parallel column-sum aggregators. The
     /// surviving candidate set is a pure function of
     /// `(engine state, eps, items, stage_seed)` — bit-identical for every
-    /// conforming executor, thread count and chunk size. `stage_seed` is
-    /// explicit (rather than taken from the executor's plan) because
-    /// multi-round miners derive one seed per round from the plan seed.
+    /// conforming executor, thread count, chunk size and worker count.
+    /// `stage_seed` is explicit (rather than taken from the executor's
+    /// plan) because multi-round miners derive one seed per round from the
+    /// plan seed.
     pub fn execute_round_on<E, S>(
         &mut self,
         executor: &E,
@@ -328,73 +560,27 @@ impl PemEngine {
                 constraint: "engine already finished",
             });
         }
-        let index: HashMap<u32, u32> = self
-            .candidates
-            .iter()
-            .enumerate()
-            .map(|(i, &p)| (p, i as u32))
-            .collect();
         let n_cands = self.candidates.len() as u32;
-        let code = self.code;
-        let prefix_len = self.prefix_len;
 
         let (scores, comm) = if self.config.validity {
-            let vp = self.cache.vp(eps, n_cands)?;
-            let template = (VpAggregator::new(&vp), CommStats::default());
-            let (agg, comm) = executor.fold(
-                source,
-                stage_seed,
-                &template,
-                |rng, _abs, items, (agg, comm): &mut (VpAggregator, CommStats)| {
-                    for &item in items {
-                        let input = match item {
-                            Some(it) => match index.get(&code.prefix(it, prefix_len)) {
-                                Some(&idx) => ValidityInput::Valid(idx),
-                                None => ValidityInput::Invalid,
-                            },
-                            None => ValidityInput::Invalid,
-                        };
-                        let report = vp.privatize(input, rng)?;
-                        comm.record(report.len());
-                        agg.absorb(&report)?;
-                    }
-                    Ok(())
-                },
-                |a, b| {
-                    a.0.merge(&b.0)?;
-                    a.1.merge(b.1);
-                    Ok(())
-                },
-            )?;
+            let stage = PemVpRoundStage::with_mech(
+                eps,
+                self.code.domain(),
+                self.prefix_len,
+                self.candidates.clone(),
+                self.cache.vp(eps, n_cands)?,
+            );
+            let (agg, comm) = executor.fold(source, stage_seed, &stage)?;
             (agg.raw_counts().iter().map(|&c| c as f64).collect(), comm)
         } else {
-            let oracle = self.cache.oracle(eps, n_cands)?;
-            let template = (Aggregator::new(&oracle), CommStats::default());
-            let (agg, comm) = executor.fold(
-                source,
-                stage_seed,
-                &template,
-                |rng, _abs, items, (agg, comm): &mut (Aggregator, CommStats)| {
-                    for &item in items {
-                        let value = match item {
-                            Some(it) => match index.get(&code.prefix(it, prefix_len)) {
-                                Some(&idx) => idx,
-                                None => rng.random_range(0..n_cands),
-                            },
-                            None => rng.random_range(0..n_cands),
-                        };
-                        let report = oracle.privatize(value, rng)?;
-                        comm.record(report.size_bits());
-                        agg.absorb(&report)?;
-                    }
-                    Ok(())
-                },
-                |a, b| {
-                    a.0.merge(&b.0)?;
-                    a.1.merge(b.1);
-                    Ok(())
-                },
-            )?;
+            let stage = PemOracleRoundStage::with_mech(
+                eps,
+                self.code.domain(),
+                self.prefix_len,
+                self.candidates.clone(),
+                self.cache.oracle(eps, n_cands)?,
+            );
+            let (agg, comm) = executor.fold(source, stage_seed, &stage)?;
             (agg.estimate(), comm)
         };
 
@@ -591,16 +777,39 @@ impl Pem {
             let items = drain_source(&mut source)?;
             return self.mine_seq(eps, &items, &mut plan.seq_rng());
         }
-        let executor = plan.in_process();
+        self.execute_on(&plan.in_process(), eps, plan.base_seed(), source)
+    }
+
+    /// Mines the top-k on an explicit [`Executor`] backend — the
+    /// distributed-reducer seam of the whole-miner layer. Requires a
+    /// **sized** source (rounds split the population up front).
+    ///
+    /// Round `r` runs through [`PemEngine::execute_round_on`] with the
+    /// `r`-th seed of the [`SplitMix64`] stream over `base_seed`, exactly
+    /// like [`Pem::execute`] with a sharded plan seeded `base_seed` —
+    /// bit-identical for every conforming executor. `base_seed` is
+    /// explicit because multi-stage callers (the multi-class top-k
+    /// methods) derive one seed per mining stage.
+    pub fn execute_on<E, S>(
+        &self,
+        executor: &E,
+        eps: Eps,
+        base_seed: u64,
+        mut source: S,
+    ) -> Result<PemOutcome>
+    where
+        E: Executor,
+        S: ReportSource<Item = Option<u32>>,
+    {
         let n = required_len(&source)?;
         let mut engine = PemEngine::new(self.d, self.config)?;
         let rounds = engine.remaining_rounds();
         let mut comm = CommStats::default();
         let chunk = (n.div_ceil(rounds as u64)).max(1);
-        let mut stream = SplitMix64::new(plan.base_seed());
+        let mut stream = SplitMix64::new(base_seed);
         for _ in 0..rounds {
             let group = Take::new(&mut source, chunk);
-            let stats = engine.execute_round_on(&executor, eps, stream.next_u64(), group)?;
+            let stats = engine.execute_round_on(executor, eps, stream.next_u64(), group)?;
             comm.merge(stats);
         }
         Ok(PemOutcome {

@@ -16,6 +16,9 @@
 //! * [`core`] — domains, frameworks, validity/correlated perturbation,
 //!   estimators (Eqs. 4 and 6), utility analysis (Theorems 4–10, Table I).
 //! * [`topk`] — PEM, the shuffling scheme, Algorithms 1 & 2.
+//! * [`dist`] — the multi-process distributed reducer: a socket-backed
+//!   [`Coordinator`](dist::Coordinator) executor plus the worker runtime
+//!   behind `mcim worker`, bit-identical to in-process execution.
 //! * [`datasets`] — SYN1–SYN4 and simulated real-world workloads.
 //! * [`metrics`] — RMSE, F1@k, NCR@k, PMI.
 //!
@@ -46,6 +49,7 @@
 
 pub use mcim_core as core;
 pub use mcim_datasets as datasets;
+pub use mcim_dist as dist;
 pub use mcim_metrics as metrics;
 pub use mcim_oracles as oracles;
 pub use mcim_topk as topk;
@@ -58,11 +62,12 @@ pub mod prelude {
         CorrelatedPerturbation, CpAggregator, Domains, Framework, FrequencyTable, LabelItem,
         ValidityInput, ValidityPerturbation, VpAggregator,
     };
+    pub use mcim_dist::Coordinator;
     pub use mcim_metrics::{f1_at_k, ncr_at_k, rmse};
     pub use mcim_oracles::exec::{Exec, ExecMode, Executor, InProcess};
     pub use mcim_oracles::stream::{ReportSource, SliceSource, StreamConfig};
     pub use mcim_oracles::{
         exec, parallel, stream, Aggregator, ColumnCounter, Eps, Error, Oracle, Result,
     };
-    pub use mcim_topk::{execute, TopKConfig, TopKMethod, TopKResult};
+    pub use mcim_topk::{execute, execute_on, TopKConfig, TopKMethod, TopKResult};
 }

@@ -18,6 +18,10 @@
 //! Run: `cargo bench -p mcim-bench --bench stream_ingestion`
 //! (`MCIM_BENCH_N` shrinks the workload; CI uses a small N.)
 
+// Timing tool: measuring wall-clock time is this target's whole job
+// (mcim-lint classifies benches as Tool; clippy needs the explicit allow).
+#![allow(clippy::disallowed_methods)]
+
 use std::fmt::Write as _;
 use std::time::Instant;
 

@@ -16,7 +16,7 @@
 
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use mcim_oracles::exec::{Exec, Executor, InProcess, Stage};
 use mcim_oracles::parallel::SHARD_SIZE;
@@ -154,9 +154,17 @@ impl Coordinator {
         })
     }
 
+    /// Locks the connection table. Poisoning is survivable: the guarded
+    /// state is only a list of socket handles, and a connection left
+    /// mid-conversation by a panicking fold surfaces as a protocol error
+    /// on its next use — so recover the guard instead of re-panicking.
+    fn conns(&self) -> MutexGuard<'_, Vec<WorkerConn>> {
+        self.conns.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Number of connected workers.
     pub fn workers(&self) -> usize {
-        self.conns.lock().expect("coordinator poisoned").len()
+        self.conns().len()
     }
 
     /// The shard assignment of each worker for a stream of `size_hint`
@@ -194,7 +202,7 @@ impl Coordinator {
 
     /// Sends `Shutdown` to every worker (idempotent; also done on drop).
     pub fn shutdown(&self) {
-        let mut conns = self.conns.lock().expect("coordinator poisoned");
+        let mut conns = self.conns();
         for conn in conns.iter_mut() {
             let _ = conn.send(&Frame::Shutdown);
             let _ = conn.flush();
@@ -225,7 +233,7 @@ impl Executor for Coordinator {
             return InProcess::new(&self.plan).fold(source, stage_seed, stage);
         };
 
-        let mut conns = self.conns.lock().expect("coordinator poisoned");
+        let mut conns = self.conns();
         if conns.is_empty() {
             return Err(Error::protocol(
                 "starting a job (coordinator already shut down)",

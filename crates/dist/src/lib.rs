@@ -31,6 +31,21 @@
 //! matrix (`crates/cli/tests/dist_equivalence.rs`, run in CI with 1, 2 and
 //! 4 spawned workers) locks that in.
 //!
+//! ## Lint-enforced determinism
+//!
+//! The wire paths in this crate (`proto.rs`, `coord.rs`, `worker.rs`) are
+//! **statically enforced deterministic** by the workspace's invariant
+//! checker (`cargo run -p mcim-lint`, see the README's "Static analysis"
+//! section): hashed containers (`HashMap`/`HashSet` iterate in a
+//! per-process random order), ambient entropy (`thread_rng`,
+//! `SystemTime::now`, `Instant::now`) and panicking shortcuts
+//! (`unwrap`/`expect`/`panic!`) are all banned here, so nothing
+//! order-dependent or process-local can leak into an encoded frame and a
+//! malformed frame can never crash a worker. Lookup tables use ordered
+//! containers (the [`Registry`] is a `BTreeMap`); the
+//! encode → decode → re-encode byte-identity of every frame is
+//! property-tested in `tests/proto_roundtrip.rs`.
+//!
 //! ## Quick start
 //!
 //! ```text

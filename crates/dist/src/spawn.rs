@@ -65,6 +65,7 @@ pub fn spawn_local_workers(binary: &Path, n: usize) -> Result<SpawnedWorkers> {
             .stderr(Stdio::inherit())
             .spawn()
             .map_err(|e| Error::transport(format!("spawning {}", binary.display()), e))?;
+        // mcim-lint: allow(panic-freedom, infallible: Stdio::piped() was set on this Command three lines up)
         let stdout = child.stdout.take().expect("stdout was piped");
         // Children are tracked before the blocking read, so Drop kills
         // them even if the announcement never comes.

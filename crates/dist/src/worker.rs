@@ -16,7 +16,7 @@
 //! frame instead — it never stops reading while the coordinator is
 //! writing, which is what keeps the socket deadlock-free.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::net::{TcpListener, TcpStream};
 
@@ -57,9 +57,12 @@ type JobRunner = fn(&[u8], u64, ShardAssignment, &mut JobConn<'_>) -> Result<()>
 /// [`crate::builtin_registry`] registers every distributable stage in the
 /// workspace; embedders with custom stages add their own with
 /// [`Registry::register`].
+/// Keyed on a `BTreeMap` so diagnostics and any future capability
+/// handshake enumerate kinds deterministically (`mcim-lint` forbids hash
+/// iteration in wire paths).
 #[derive(Default)]
 pub struct Registry {
-    runners: HashMap<&'static str, JobRunner>,
+    runners: BTreeMap<&'static str, JobRunner>,
 }
 
 impl Registry {
@@ -78,11 +81,9 @@ impl Registry {
         assert!(previous.is_none(), "duplicate stage kind {:?}", St::KIND);
     }
 
-    /// The registered kinds (sorted; for diagnostics).
+    /// The registered kinds (in sorted order; for diagnostics).
     pub fn kinds(&self) -> Vec<&'static str> {
-        let mut kinds: Vec<_> = self.runners.keys().copied().collect();
-        kinds.sort_unstable();
-        kinds
+        self.runners.keys().copied().collect()
     }
 }
 
@@ -259,6 +260,7 @@ impl Worker {
             // connection must not take the worker down for the next —
             // but the operator gets the evidence.
             if let Err(e) = self.serve_conn(stream) {
+                // mcim-lint: allow(stdout-noise, serve() is the worker binary's operator-facing loop; stderr is its diagnostic channel)
                 eprintln!("mcim worker: connection from {peer} failed: {e}");
             }
         }

@@ -1,0 +1,388 @@
+//! The grandfathering baseline: `lint-baseline.toml`.
+//!
+//! The baseline freezes pre-existing violations so new ones fail CI while
+//! old ones are burned down over time. Policy is **shrink-only**: an entry
+//! caps how many findings of one `(rule, file, token)` key may exist. New
+//! findings beyond the cap fail; fixing a site makes the entry *stale*
+//! (cap above reality), which `--deny-stale` turns into an error so the
+//! baseline must shrink in the same PR.
+//!
+//! Entries are keyed by counts, not line numbers, so unrelated edits that
+//! move a grandfathered site around don't churn the file. Every entry
+//! must carry a `reason` string — an unexplained allowance is itself a
+//! violation of the policy.
+//!
+//! The format is a deliberately tiny TOML subset (parsed by hand — the
+//! workspace builds offline with no registry access):
+//!
+//! ```toml
+//! [[allow]]
+//! rule = "panic-freedom"
+//! file = "crates/datasets/src/synthetic.rs"
+//! token = "expect"
+//! count = 2
+//! reason = "static literal-parameter constructors; convert to Result"
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::rules::Finding;
+
+/// One grandfathered allowance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entry {
+    /// Rule identifier.
+    pub rule: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// Offending token the findings share.
+    pub token: String,
+    /// Maximum number of such findings allowed in the file.
+    pub count: usize,
+    /// Why these sites are grandfathered.
+    pub reason: String,
+}
+
+impl Entry {
+    fn key(&self) -> (String, String, String) {
+        (self.rule.clone(), self.file.clone(), self.token.clone())
+    }
+}
+
+/// A parsed baseline file.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct Baseline {
+    /// All entries, in file order.
+    pub entries: Vec<Entry>,
+}
+
+/// Parses the tiny TOML subset. Unknown keys, duplicate keys, missing
+/// fields, zero counts and empty reasons are all hard errors — a baseline
+/// that silently drops an allowance (or silently allows more than
+/// intended) defeats its purpose.
+pub fn parse(text: &str) -> Result<Baseline, String> {
+    let mut entries: Vec<Entry> = Vec::new();
+    let mut current: Option<BTreeMap<String, String>> = None;
+
+    fn finish(
+        fields: BTreeMap<String, String>,
+        at: usize,
+        entries: &mut Vec<Entry>,
+    ) -> Result<(), String> {
+        let get = |k: &str| {
+            fields
+                .get(k)
+                .cloned()
+                .ok_or_else(|| format!("entry ending near line {at}: missing `{k}`"))
+        };
+        let count: usize = get("count")?
+            .parse()
+            .map_err(|_| format!("entry ending near line {at}: `count` is not an integer"))?;
+        if count == 0 {
+            return Err(format!(
+                "entry ending near line {at}: `count = 0` — delete the entry instead"
+            ));
+        }
+        let entry = Entry {
+            rule: get("rule")?,
+            file: get("file")?,
+            token: get("token")?,
+            count,
+            reason: get("reason")?,
+        };
+        if entry.reason.trim().is_empty() {
+            return Err(format!(
+                "entry ending near line {at}: empty `reason` — every allowance must be justified"
+            ));
+        }
+        if entries.iter().any(|e| e.key() == entry.key()) {
+            return Err(format!(
+                "entry ending near line {at}: duplicate key ({}, {}, {})",
+                entry.rule, entry.file, entry.token
+            ));
+        }
+        entries.push(entry);
+        Ok(())
+    }
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[allow]]" {
+            if let Some(fields) = current.take() {
+                finish(fields, lineno, &mut entries)?;
+            }
+            current = Some(BTreeMap::new());
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!(
+                "line {lineno}: expected `key = value`, got `{raw}`"
+            ));
+        };
+        let Some(fields) = current.as_mut() else {
+            return Err(format!(
+                "line {lineno}: `{key}` outside an [[allow]] entry",
+                key = key.trim()
+            ));
+        };
+        let key = key.trim().to_string();
+        if !matches!(key.as_str(), "rule" | "file" | "token" | "count" | "reason") {
+            return Err(format!("line {lineno}: unknown key `{key}`"));
+        }
+        let value = value.trim();
+        let value = value
+            .strip_prefix('"')
+            .and_then(|v| v.strip_suffix('"'))
+            .unwrap_or(value);
+        if fields.insert(key.clone(), value.to_string()).is_some() {
+            return Err(format!("line {lineno}: duplicate key `{key}` in entry"));
+        }
+    }
+    if let Some(fields) = current.take() {
+        finish(fields, text.lines().count(), &mut entries)?;
+    }
+    Ok(Baseline { entries })
+}
+
+/// Serializes a baseline back to the canonical file format.
+pub fn render(baseline: &Baseline) -> String {
+    let mut out = String::from(
+        "# mcim-lint baseline — grandfathered findings, shrink-only.\n\
+         # Fix a site, then shrink (or delete) its entry in the same change.\n\
+         # New findings are NOT covered: only `count` sites per (rule, file,\n\
+         # token) are tolerated. Every entry must explain itself in `reason`.\n",
+    );
+    for e in &baseline.entries {
+        let _ = write!(
+            out,
+            "\n[[allow]]\nrule = \"{}\"\nfile = \"{}\"\ntoken = \"{}\"\ncount = {}\nreason = \"{}\"\n",
+            e.rule, e.file, e.token, e.count, e.reason
+        );
+    }
+    out
+}
+
+/// The result of matching findings against a baseline.
+#[derive(Debug, Default)]
+pub struct Matched {
+    /// Findings not covered by the baseline — real violations.
+    pub violations: Vec<Finding>,
+    /// Findings absorbed by baseline entries.
+    pub baselined: Vec<Finding>,
+    /// Entries whose cap exceeds reality (fixed sites): shrink these.
+    pub stale: Vec<(Entry, usize)>,
+}
+
+/// Applies the baseline: the first `count` findings per key are absorbed,
+/// the rest are violations.
+pub fn apply(findings: Vec<Finding>, baseline: &Baseline) -> Matched {
+    let mut budget: BTreeMap<(String, String, String), usize> = baseline
+        .entries
+        .iter()
+        .map(|e| (e.key(), e.count))
+        .collect();
+    let mut matched = Matched::default();
+    for f in findings {
+        let key = (f.rule.to_string(), f.file.clone(), f.token.clone());
+        match budget.get_mut(&key) {
+            Some(left) if *left > 0 => {
+                *left -= 1;
+                matched.baselined.push(f);
+            }
+            _ => matched.violations.push(f),
+        }
+    }
+    for e in &baseline.entries {
+        let left = budget.get(&e.key()).copied().unwrap_or(0);
+        if left > 0 {
+            matched.stale.push((e.clone(), e.count - left));
+        }
+    }
+    matched
+}
+
+/// Shrink-only guard: errors if `current` allows anything `reference`
+/// does not (new keys, or a raised `count`). Used by CI against the
+/// merge-base copy of the baseline.
+pub fn check_shrink(current: &Baseline, reference: &Baseline) -> Result<(), Vec<String>> {
+    let ref_counts: BTreeMap<_, _> = reference
+        .entries
+        .iter()
+        .map(|e| (e.key(), e.count))
+        .collect();
+    let mut grew = Vec::new();
+    for e in &current.entries {
+        let allowed = ref_counts.get(&e.key()).copied().unwrap_or(0);
+        if e.count > allowed {
+            grew.push(format!(
+                "baseline grew: ({}, {}, {}) allows {} (reference allows {allowed})",
+                e.rule, e.file, e.token, e.count
+            ));
+        }
+    }
+    if grew.is_empty() {
+        Ok(())
+    } else {
+        Err(grew)
+    }
+}
+
+/// Builds a fresh baseline from violations (`--write-baseline`), keeping
+/// reasons from `previous` where keys survive.
+pub fn from_findings(findings: &[Finding], previous: &Baseline) -> Baseline {
+    let mut counts: BTreeMap<(String, String, String), usize> = BTreeMap::new();
+    for f in findings {
+        *counts
+            .entry((f.rule.to_string(), f.file.clone(), f.token.clone()))
+            .or_insert(0) += 1;
+    }
+    let entries = counts
+        .into_iter()
+        .map(|((rule, file, token), count)| {
+            let reason = previous
+                .entries
+                .iter()
+                .find(|e| e.rule == rule && e.file == file && e.token == token)
+                .map(|e| e.reason.clone())
+                .unwrap_or_else(|| "TODO: justify this allowance or fix the sites".to_string());
+            Entry {
+                rule,
+                file,
+                token,
+                count,
+                reason,
+            }
+        })
+        .collect();
+    Baseline { entries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, file: &str, token: &str) -> Finding {
+        Finding {
+            rule,
+            file: file.to_string(),
+            line: 1,
+            col: 1,
+            token: token.to_string(),
+            message: String::new(),
+        }
+    }
+
+    fn entry(rule: &str, file: &str, token: &str, count: usize) -> Entry {
+        Entry {
+            rule: rule.into(),
+            file: file.into(),
+            token: token.into(),
+            count,
+            reason: "because".into(),
+        }
+    }
+
+    #[test]
+    fn round_trips_through_render_and_parse() {
+        let b = Baseline {
+            entries: vec![
+                entry("panic-freedom", "crates/a/src/x.rs", "unwrap", 2),
+                entry("hashmap-in-wire", "crates/b/src/wire.rs", "HashMap", 1),
+            ],
+        };
+        assert_eq!(parse(&render(&b)).unwrap(), b);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(parse("rule = \"x\"\n").is_err(), "field outside entry");
+        assert!(
+            parse("[[allow]]\nrule = \"x\"\n").is_err(),
+            "missing fields"
+        );
+        assert!(
+            parse("[[allow]]\nrule=\"r\"\nfile=\"f\"\ntoken=\"t\"\ncount=0\nreason=\"x\"\n")
+                .is_err(),
+            "zero count"
+        );
+        assert!(
+            parse("[[allow]]\nrule=\"r\"\nfile=\"f\"\ntoken=\"t\"\ncount=1\nreason=\"\"\n")
+                .is_err(),
+            "empty reason"
+        );
+        assert!(
+            parse("[[allow]]\nrule=\"r\"\nbogus=\"b\"\n").is_err(),
+            "unknown key"
+        );
+        let dup = "[[allow]]\nrule=\"r\"\nfile=\"f\"\ntoken=\"t\"\ncount=1\nreason=\"x\"\n\
+                   [[allow]]\nrule=\"r\"\nfile=\"f\"\ntoken=\"t\"\ncount=2\nreason=\"y\"\n";
+        assert!(parse(dup).is_err(), "duplicate key");
+    }
+
+    #[test]
+    fn apply_caps_by_count_and_reports_stale() {
+        let b = Baseline {
+            entries: vec![
+                entry("panic-freedom", "f.rs", "unwrap", 2),
+                entry("panic-freedom", "g.rs", "expect", 3),
+            ],
+        };
+        let findings = vec![
+            finding("panic-freedom", "f.rs", "unwrap"),
+            finding("panic-freedom", "f.rs", "unwrap"),
+            finding("panic-freedom", "f.rs", "unwrap"), // over cap
+            finding("panic-freedom", "g.rs", "expect"), // 2 under cap
+            finding("stdout-noise", "f.rs", "println"), // no entry
+        ];
+        let m = apply(findings, &b);
+        assert_eq!(m.violations.len(), 2);
+        assert_eq!(m.baselined.len(), 3);
+        assert_eq!(m.stale.len(), 1);
+        assert_eq!(m.stale[0].1, 1, "one of three expect sites remains");
+    }
+
+    #[test]
+    fn shrink_guard_rejects_growth_only() {
+        let reference = Baseline {
+            entries: vec![entry("panic-freedom", "f.rs", "unwrap", 2)],
+        };
+        let shrunk = Baseline {
+            entries: vec![entry("panic-freedom", "f.rs", "unwrap", 1)],
+        };
+        assert!(check_shrink(&shrunk, &reference).is_ok());
+        assert!(check_shrink(&Baseline::default(), &reference).is_ok());
+        let raised = Baseline {
+            entries: vec![entry("panic-freedom", "f.rs", "unwrap", 3)],
+        };
+        assert!(check_shrink(&raised, &reference).is_err());
+        let new_key = Baseline {
+            entries: vec![entry("stdout-noise", "f.rs", "println", 1)],
+        };
+        assert!(check_shrink(&new_key, &reference).is_err());
+    }
+
+    #[test]
+    fn write_baseline_groups_and_keeps_reasons() {
+        let previous = Baseline {
+            entries: vec![Entry {
+                reason: "known static constructors".into(),
+                ..entry("panic-freedom", "f.rs", "expect", 9)
+            }],
+        };
+        let findings = vec![
+            finding("panic-freedom", "f.rs", "expect"),
+            finding("panic-freedom", "f.rs", "expect"),
+            finding("stdout-noise", "g.rs", "println"),
+        ];
+        let b = from_findings(&findings, &previous);
+        assert_eq!(b.entries.len(), 2);
+        assert_eq!(b.entries[0].count, 2);
+        assert_eq!(b.entries[0].reason, "known static constructors");
+        assert!(b.entries[1].reason.starts_with("TODO"));
+    }
+}

@@ -1,0 +1,365 @@
+//! `mcim-lint` — the workspace invariant checker.
+//!
+//! The system's headline guarantee is bit-identical results across the
+//! sequential/batch/stream/distributed backends. That rests on invariants
+//! no compiler checks: no ambient entropy in pipeline code, no
+//! order-nondeterministic hash iteration feeding wire encoding, and no
+//! panicking escape hatches in library crates a long-lived server would
+//! hit at traffic. This binary is a self-contained static-analysis pass
+//! (hand-rolled lexer, no `syn` — the build environment is offline) that
+//! machine-enforces them.
+//!
+//! ```text
+//! cargo run -p mcim-lint                      # human output, exit 1 on violations
+//! cargo run -p mcim-lint -- --format=json     # machine output for CI
+//! cargo run -p mcim-lint -- --deny-stale      # stale baseline entries also fail
+//! cargo run -p mcim-lint -- --write-baseline  # regenerate lint-baseline.toml
+//! cargo run -p mcim-lint -- --check-shrink old.toml   # baseline grew? fail
+//! ```
+//!
+//! Exit codes: `0` clean, `1` violations (or stale entries under
+//! `--deny-stale`, or baseline growth under `--check-shrink`), `2` usage
+//! or I/O error. Inline allowances use
+//! `// mcim-lint: allow(rule, reason)`; see README "Static analysis".
+
+mod baseline;
+mod lexer;
+mod rules;
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use rules::{classify, Finding};
+
+#[derive(Debug, Default)]
+struct Args {
+    root: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    json: bool,
+    deny_stale: bool,
+    write_baseline: bool,
+    check_shrink: Option<PathBuf>,
+    list_rules: bool,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut path_value = |name: &str| {
+            it.next()
+                .map(PathBuf::from)
+                .ok_or_else(|| format!("{name} requires a path argument"))
+        };
+        match arg.as_str() {
+            "--root" => args.root = Some(path_value("--root")?),
+            "--baseline" => args.baseline = Some(path_value("--baseline")?),
+            "--check-shrink" => args.check_shrink = Some(path_value("--check-shrink")?),
+            "--format=json" => args.json = true,
+            "--format=human" => args.json = false,
+            "--deny-stale" => args.deny_stale = true,
+            "--write-baseline" => args.write_baseline = true,
+            "--list-rules" => args.list_rules = true,
+            "--help" | "-h" => {
+                return Err("usage: mcim-lint [--root DIR] [--baseline FILE] \
+                            [--format=human|json] [--deny-stale] [--write-baseline] \
+                            [--check-shrink FILE] [--list-rules]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+/// Finds the workspace root: `--root`, or walk up from cwd looking for a
+/// directory holding both `Cargo.toml` and `crates/`.
+fn find_root(arg: Option<PathBuf>) -> Result<PathBuf, String> {
+    if let Some(root) = arg {
+        return Ok(root);
+    }
+    let mut dir = std::env::current_dir().map_err(|e| format!("cwd: {e}"))?;
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Ok(dir);
+        }
+        if !dir.pop() {
+            return Err("no workspace root found (run from the repo or pass --root)".to_string());
+        }
+    }
+}
+
+/// Collects every `.rs` file under the workspace's source directories,
+/// sorted for deterministic reports.
+fn collect_files(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut files = Vec::new();
+    let mut stack: Vec<PathBuf> = ["crates", "src", "tests", "examples"]
+        .iter()
+        .map(|d| root.join(d))
+        .filter(|d| d.is_dir())
+        .collect();
+    while let Some(dir) = stack.pop() {
+        let entries =
+            std::fs::read_dir(&dir).map_err(|e| format!("reading {}: {e}", dir.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("reading {}: {e}", dir.display()))?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name != "target" && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn finding_json(f: &Finding, baselined: bool) -> String {
+    format!(
+        "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"col\":{},\"token\":\"{}\",\
+         \"baselined\":{},\"message\":\"{}\"}}",
+        f.rule,
+        json_escape(&f.file),
+        f.line,
+        f.col,
+        json_escape(&f.token),
+        baselined,
+        json_escape(&f.message)
+    )
+}
+
+fn run() -> Result<ExitCode, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = parse_args(&argv)?;
+
+    if args.list_rules {
+        for rule in rules::RULE_IDS {
+            println!("{rule}");
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let root = find_root(args.root.clone())?;
+    let baseline_path = args
+        .baseline
+        .clone()
+        .unwrap_or_else(|| root.join("lint-baseline.toml"));
+    let previous = if baseline_path.is_file() {
+        let text = std::fs::read_to_string(&baseline_path)
+            .map_err(|e| format!("reading {}: {e}", baseline_path.display()))?;
+        baseline::parse(&text).map_err(|e| format!("{}: {e}", baseline_path.display()))?
+    } else {
+        baseline::Baseline::default()
+    };
+
+    // The shrink guard needs no source scan: it compares baselines.
+    if let Some(ref_path) = &args.check_shrink {
+        let text = std::fs::read_to_string(ref_path)
+            .map_err(|e| format!("reading {}: {e}", ref_path.display()))?;
+        let reference =
+            baseline::parse(&text).map_err(|e| format!("{}: {e}", ref_path.display()))?;
+        return Ok(match baseline::check_shrink(&previous, &reference) {
+            Ok(()) => {
+                println!("baseline is shrink-only relative to {}", ref_path.display());
+                ExitCode::SUCCESS
+            }
+            Err(growth) => {
+                for g in growth {
+                    eprintln!("error: {g}");
+                }
+                ExitCode::FAILURE
+            }
+        });
+    }
+
+    // Scan the tree.
+    let mut all_kept: Vec<Finding> = Vec::new();
+    let mut all_allowed: Vec<Finding> = Vec::new();
+    let mut files_checked = 0usize;
+    for path in collect_files(&root)? {
+        let rel = rel_path(&root, &path);
+        let Some(class) = classify(&rel) else {
+            continue;
+        };
+        let source = std::fs::read_to_string(&path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        files_checked += 1;
+        let report = rules::check_file(&rel, &source, class);
+        let (kept, allowed, dead) = rules::apply_pragmas(report, &rel);
+        all_kept.extend(kept);
+        all_kept.extend(dead);
+        all_allowed.extend(allowed);
+    }
+
+    if args.write_baseline {
+        let fresh = baseline::from_findings(&all_kept, &previous);
+        std::fs::write(&baseline_path, baseline::render(&fresh))
+            .map_err(|e| format!("writing {}: {e}", baseline_path.display()))?;
+        println!(
+            "wrote {} ({} entries)",
+            baseline_path.display(),
+            fresh.entries.len()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let matched = baseline::apply(all_kept, &previous);
+    let stale_fails = args.deny_stale && !matched.stale.is_empty();
+    let ok = matched.violations.is_empty() && !stale_fails;
+
+    if args.json {
+        let mut items: Vec<String> = matched
+            .violations
+            .iter()
+            .map(|f| finding_json(f, false))
+            .chain(matched.baselined.iter().map(|f| finding_json(f, true)))
+            .collect();
+        items.sort();
+        let stale: Vec<String> = matched
+            .stale
+            .iter()
+            .map(|(e, remaining)| {
+                format!(
+                    "{{\"rule\":\"{}\",\"file\":\"{}\",\"token\":\"{}\",\"allowed\":{},\
+                     \"found\":{}}}",
+                    e.rule,
+                    json_escape(&e.file),
+                    json_escape(&e.token),
+                    e.count,
+                    remaining
+                )
+            })
+            .collect();
+        println!(
+            "{{\"ok\":{ok},\"files_checked\":{files_checked},\"violations\":{},\
+             \"baselined\":{},\"pragma_allowed\":{},\"findings\":[{}],\"stale_baseline\":[{}]}}",
+            matched.violations.len(),
+            matched.baselined.len(),
+            all_allowed.len(),
+            items.join(","),
+            stale.join(",")
+        );
+    } else {
+        for f in &matched.violations {
+            println!(
+                "{}:{}:{}: [{}] {}",
+                f.file, f.line, f.col, f.rule, f.message
+            );
+        }
+        for (e, remaining) in &matched.stale {
+            let verb = if args.deny_stale { "error" } else { "note" };
+            println!(
+                "{verb}: stale baseline entry ({}, {}, {}): allows {} but only {} remain — \
+                 shrink it",
+                e.rule, e.file, e.token, e.count, remaining
+            );
+        }
+        println!(
+            "mcim-lint: {} files, {} violation(s), {} baselined, {} pragma-allowed{}",
+            files_checked,
+            matched.violations.len(),
+            matched.baselined.len(),
+            all_allowed.len(),
+            if matched.stale.is_empty() {
+                String::new()
+            } else {
+                format!(", {} stale baseline entr(ies)", matched.stale.len())
+            }
+        );
+    }
+
+    Ok(if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("mcim-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn args_parse_the_documented_surface() {
+        let a = parse_args(&argv(&[
+            "--root",
+            "/x",
+            "--format=json",
+            "--deny-stale",
+            "--baseline",
+            "b.toml",
+        ]))
+        .unwrap();
+        assert_eq!(a.root.as_deref(), Some(Path::new("/x")));
+        assert!(a.json && a.deny_stale);
+        assert_eq!(a.baseline.as_deref(), Some(Path::new("b.toml")));
+        assert!(parse_args(&argv(&["--bogus"])).is_err());
+        assert!(parse_args(&argv(&["--root"])).is_err(), "missing value");
+    }
+
+    #[test]
+    fn json_escaping_is_safe() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn finding_json_shape() {
+        let f = Finding {
+            rule: "panic-freedom",
+            file: "crates/a/src/x.rs".into(),
+            line: 3,
+            col: 7,
+            token: "unwrap".into(),
+            message: "msg".into(),
+        };
+        let j = finding_json(&f, true);
+        assert!(j.contains("\"rule\":\"panic-freedom\""));
+        assert!(j.contains("\"line\":3"));
+        assert!(j.contains("\"baselined\":true"));
+    }
+}

@@ -133,6 +133,7 @@ impl BitVec {
                 continue;
             }
             let Some(chunk) = chunk else {
+                // mcim-lint: allow(panic-freedom, the documented # Panics contract for out-of-range set bits)
                 panic!(
                     "set bit beyond counts length {} (vector holds {} bits)",
                     counts.len(),

@@ -169,6 +169,12 @@ impl CmsAggregator {
                 domain: self.sketch.d as u64,
             });
         }
+        Ok(self.estimate_in_domain(item))
+    }
+
+    /// [`estimate`](Self::estimate) after the domain check: `item` must be
+    /// `< d` (private — the bound is enforced by both public callers).
+    fn estimate_in_domain(&self, item: u32) -> f64 {
         let (p, q) = (self.sketch.ue.p(), self.sketch.ue.q());
         let w = self.sketch.width as f64;
         let mut acc = 0.0;
@@ -186,16 +192,16 @@ impl CmsAggregator {
             rows_used += 1;
         }
         if rows_used == 0 {
-            return Ok(0.0);
+            return 0.0;
         }
         let mean = acc / rows_used as f64;
-        Ok(w / (w - 1.0) * (mean - self.n as f64 / w))
+        w / (w - 1.0) * (mean - self.n as f64 / w)
     }
 
     /// Estimates every item in `[0, d)` — O(d·rows).
     pub fn estimate_all(&self) -> Vec<f64> {
         (0..self.sketch.d)
-            .map(|i| self.estimate(i).expect("item within domain"))
+            .map(|i| self.estimate_in_domain(i))
             .collect()
     }
 }

@@ -264,6 +264,7 @@ where
             let head = (SHARD_SIZE - into_shard).min(buf.len());
             let mut rng = carry
                 .take()
+                // mcim-lint: allow(panic-freedom, invariant: carry is set whenever abs stops mid-shard, restored below)
                 .expect("mid-shard position implies a carried RNG");
             f(&mut rng, abs, &buf[..head], &mut acc)?;
             if into_shard + head < SHARD_SIZE {
@@ -303,6 +304,7 @@ where
                     }
                     handles
                         .into_iter()
+                        // mcim-lint: allow(panic-freedom, join only fails if a worker panicked; re-raising that panic is the scoped-thread idiom)
                         .map(|h| h.join().expect("stream worker panicked"))
                         .collect::<Vec<_>>()
                 });

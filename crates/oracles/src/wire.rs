@@ -108,7 +108,11 @@ macro_rules! wire_int {
             }
             fn take(r: &mut WireReader<'_>) -> Result<Self> {
                 let bytes = r.take_bytes(std::mem::size_of::<$t>())?;
-                Ok(<$t>::from_le_bytes(bytes.try_into().expect("sized take")))
+                // take_bytes returned exactly size_of bytes, so the
+                // conversion cannot fail; map it anyway — decode paths
+                // must be statically panic-free.
+                let sized = bytes.try_into().map_err(|_| truncated())?;
+                Ok(<$t>::from_le_bytes(sized))
             }
         }
     )*};

@@ -17,8 +17,6 @@
 //! * the engine can start from an externally supplied candidate set (the
 //!   "globally frequent candidates" optimization of Algorithm 1).
 
-use std::collections::HashMap;
-
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -33,6 +31,36 @@ use mcim_oracles::{Aggregator, Eps, Error, Oracle, Result};
 
 use crate::encoding::PrefixCode;
 
+/// Candidate-prefix → candidate-index lookup backed by a sorted vec with
+/// binary search. This file is wire-sensitive (it carries `StageDecode`
+/// impls), so even lookup-only tables stay off `HashMap` — hashed
+/// containers are banned here outright (`mcim-lint`'s hashmap-in-wire
+/// rule) rather than audited use-by-use for iteration-order leaks.
+#[derive(Debug, Clone)]
+struct CandIndex {
+    /// `(prefix, candidate index)` pairs, sorted by prefix.
+    by_prefix: Vec<(u32, u32)>,
+}
+
+impl CandIndex {
+    fn new(candidates: &[u32]) -> Self {
+        let mut by_prefix: Vec<(u32, u32)> = candidates
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, i as u32))
+            .collect();
+        by_prefix.sort_unstable();
+        CandIndex { by_prefix }
+    }
+
+    fn get(&self, prefix: u32) -> Option<u32> {
+        self.by_prefix
+            .binary_search_by_key(&prefix, |&(p, _)| p)
+            .ok()
+            .map(|i| self.by_prefix[i].1)
+    }
+}
+
 /// One PEM round's bulk privatize+aggregate step over the
 /// validity-perturbation mechanism, as a serializable [`Stage`]: a worker
 /// process rebuilds the candidate index and VP mechanism from
@@ -44,7 +72,7 @@ pub struct PemVpRoundStage {
     prefix_len: u32,
     candidates: Vec<u32>,
     code: PrefixCode,
-    index: HashMap<u32, u32>,
+    index: CandIndex,
     vp: ValidityPerturbation,
 }
 
@@ -64,11 +92,7 @@ impl PemVpRoundStage {
         candidates: Vec<u32>,
         vp: ValidityPerturbation,
     ) -> Self {
-        let index = candidates
-            .iter()
-            .enumerate()
-            .map(|(i, &p)| (p, i as u32))
-            .collect();
+        let index = CandIndex::new(&candidates);
         PemVpRoundStage {
             eps,
             domain,
@@ -82,8 +106,8 @@ impl PemVpRoundStage {
 
     fn classify(&self, item: Option<u32>) -> ValidityInput {
         match item {
-            Some(it) => match self.index.get(&self.code.prefix(it, self.prefix_len)) {
-                Some(&idx) => ValidityInput::Valid(idx),
+            Some(it) => match self.index.get(self.code.prefix(it, self.prefix_len)) {
+                Some(idx) => ValidityInput::Valid(idx),
                 None => ValidityInput::Invalid,
             },
             None => ValidityInput::Invalid,
@@ -158,7 +182,7 @@ pub struct PemOracleRoundStage {
     prefix_len: u32,
     candidates: Vec<u32>,
     code: PrefixCode,
-    index: HashMap<u32, u32>,
+    index: CandIndex,
     oracle: Oracle,
 }
 
@@ -177,11 +201,7 @@ impl PemOracleRoundStage {
         candidates: Vec<u32>,
         oracle: Oracle,
     ) -> Self {
-        let index = candidates
-            .iter()
-            .enumerate()
-            .map(|(i, &p)| (p, i as u32))
-            .collect();
+        let index = CandIndex::new(&candidates);
         PemOracleRoundStage {
             eps,
             domain,
@@ -212,8 +232,8 @@ impl Stage for PemOracleRoundStage {
         let n_cands = self.candidates.len() as u32;
         for &item in items {
             let value = match item {
-                Some(it) => match self.index.get(&self.code.prefix(it, self.prefix_len)) {
-                    Some(&idx) => idx,
+                Some(it) => match self.index.get(self.code.prefix(it, self.prefix_len)) {
+                    Some(idx) => idx,
                     None => rng.random_range(0..n_cands),
                 },
                 None => rng.random_range(0..n_cands),
@@ -477,12 +497,7 @@ impl PemEngine {
                 constraint: "engine already finished",
             });
         }
-        let index: HashMap<u32, u32> = self
-            .candidates
-            .iter()
-            .enumerate()
-            .map(|(i, &p)| (p, i as u32))
-            .collect();
+        let index = CandIndex::new(&self.candidates);
         let n_cands = self.candidates.len() as u32;
         let mut comm = CommStats::default();
 
@@ -491,8 +506,8 @@ impl PemEngine {
             let mut agg = VpAggregator::new(&vp);
             for item in items {
                 let input = match item {
-                    Some(it) => match index.get(&self.code.prefix(it, self.prefix_len)) {
-                        Some(&idx) => ValidityInput::Valid(idx),
+                    Some(it) => match index.get(self.code.prefix(it, self.prefix_len)) {
+                        Some(idx) => ValidityInput::Valid(idx),
                         None => ValidityInput::Invalid,
                     },
                     None => ValidityInput::Invalid,
@@ -507,8 +522,8 @@ impl PemEngine {
             let mut agg = Aggregator::new(&oracle);
             for item in items {
                 let value = match item {
-                    Some(it) => match index.get(&self.code.prefix(it, self.prefix_len)) {
-                        Some(&idx) => idx,
+                    Some(it) => match index.get(self.code.prefix(it, self.prefix_len)) {
+                        Some(idx) => idx,
                         // Vanilla PEM: pruned/invalid users substitute a
                         // uniformly random candidate for deniability.
                         None => rng.random_range(0..n_cands),

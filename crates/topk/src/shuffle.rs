@@ -170,6 +170,7 @@ impl ShuffleEngine {
     /// Panics if no round is pending or `scores` does not match the bucket
     /// count — engine-internal misuse, not data-dependent.
     pub fn complete_round(&mut self, view: &RoundView, scores: &[f64], keep: usize) {
+        // mcim-lint: allow(panic-freedom, the documented # Panics contract for engine-internal misuse)
         let (seed, buckets) = self.pending.take().expect("no round in flight");
         assert_eq!(seed, view.seed, "view does not match pending round");
         assert_eq!(scores.len(), buckets, "one score per bucket required");

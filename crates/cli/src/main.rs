@@ -53,6 +53,18 @@ COMMON OPTIONS:
                   for every worker count.
   --dist-spawn <n> like --dist, but spawn (and reap) n local worker
                   processes automatically
+  --dist-timeout <ms> socket read/write deadline per worker conversation;
+                  a worker silent for this long counts as failed and its
+                  shards are re-routed (0 = wait forever, the default).
+                  Don't set it below the time a worker legitimately needs
+                  to fold its share, or slow-but-alive workers get dropped
+  --dist-retries <n> connection attempts per worker (with deterministic
+                  exponential backoff) and the per-fold re-route budget
+                  (default 3 attempts, 8 re-routes). Requires --dist or
+                  --dist-spawn, as does --dist-timeout. Worker loss is
+                  survived either way: lost shards replay on surviving
+                  workers, or in-process when none remain — results stay
+                  bit-identical, only `--verbose` shows the difference
   --verbose       print the resolved execution plan (mode/seed/threads/
                   chunk) before running
   --output <file> write results as CSV (default: print a summary)
@@ -150,24 +162,44 @@ fn parse_method(name: &str) -> Result<TopKMethod, ArgError> {
     }
 }
 
-/// The distributed-reducer backend of one `freq`/`topk` run, when
-/// `--dist`/`--dist-spawn` asks for it: a connected coordinator, plus the
-/// spawned child workers when the CLI owns them (reaped on drop).
-struct DistBackend {
-    coordinator: mcim_dist::Coordinator,
-    _spawned: Option<mcim_dist::SpawnedWorkers>,
+/// Builds the transport config from `--dist-timeout`/`--dist-retries`
+/// (defaults otherwise).
+fn dist_config(args: &Args) -> Result<mcim_dist::DistConfig, Box<dyn std::error::Error>> {
+    let mut config = mcim_dist::DistConfig::default();
+    if args.optional("dist-timeout").is_some() {
+        let millis: u64 = args.required_num("dist-timeout")?;
+        // 0 = "wait forever"; the socket API would reject a zero timeout.
+        config.io_timeout = (millis > 0).then(|| std::time::Duration::from_millis(millis));
+    }
+    if args.optional("dist-retries").is_some() {
+        let n: u32 = args.required_num("dist-retries")?;
+        config.connect_attempts = n.max(1);
+        config.max_reroutes = n;
+    }
+    Ok(config)
 }
 
 /// Assembles the distributed backend from `--dist addr,addr,...` or
-/// `--dist-spawn n` (mutually exclusive). `None` means run locally.
+/// `--dist-spawn n` (mutually exclusive). `None` means run locally. The
+/// coordinator owns any spawned children (adopted; reaped on drop) and
+/// carries the `--dist-timeout`/`--dist-retries` transport knobs.
 fn dist_setup(
     args: &Args,
     plan: &mcim_oracles::exec::Exec,
-) -> Result<Option<DistBackend>, Box<dyn std::error::Error>> {
+) -> Result<Option<mcim_dist::Coordinator>, Box<dyn std::error::Error>> {
     let addrs = args.optional("dist");
     let spawn = args.optional("dist-spawn");
     match (addrs, spawn) {
-        (None, None) => Ok(None),
+        (None, None) => {
+            for knob in ["dist-timeout", "dist-retries"] {
+                if args.optional(knob).is_some() {
+                    return Err(
+                        ArgError(format!("--{knob} requires --dist or --dist-spawn")).into(),
+                    );
+                }
+            }
+            Ok(None)
+        }
         (Some(_), Some(_)) => {
             Err(ArgError("--dist and --dist-spawn are mutually exclusive".into()).into())
         }
@@ -180,11 +212,9 @@ fn dist_setup(
             if addrs.is_empty() {
                 return Err(ArgError("--dist needs at least one worker address".into()).into());
             }
-            let coordinator = mcim_dist::Coordinator::connect(plan, &addrs)?;
-            Ok(Some(DistBackend {
-                coordinator,
-                _spawned: None,
-            }))
+            let coordinator =
+                mcim_dist::Coordinator::connect_with(plan, &addrs, dist_config(args)?)?;
+            Ok(Some(coordinator))
         }
         (None, Some(_)) => {
             let n: usize = args.required_num("dist-spawn")?;
@@ -193,12 +223,9 @@ fn dist_setup(
             }
             let binary = std::env::current_exe()
                 .map_err(|e| mcim_oracles::Error::transport("locating the mcim binary", e))?;
-            let spawned = mcim_dist::spawn_local_workers(&binary, n)?;
-            let coordinator = mcim_dist::Coordinator::connect(plan, &spawned.addrs)?;
-            Ok(Some(DistBackend {
-                coordinator,
-                _spawned: Some(spawned),
-            }))
+            let coordinator =
+                mcim_dist::Coordinator::connect_spawned(plan, &binary, n, dist_config(args)?)?;
+            Ok(Some(coordinator))
         }
     }
 }
@@ -286,6 +313,20 @@ impl mcim_oracles::stream::ReportSource for CountedPairSource {
         self.yielded += got as u64;
         Ok(got)
     }
+
+    fn rewind(&mut self, n: u64) -> mcim_oracles::Result<bool> {
+        // Forwarded so streamed `--dist` runs stay recoverable on worker
+        // loss (the file sources replay from the start of the file). The
+        // replayed pairs re-validate in `fill`; the count stays in step.
+        let ok = match &mut self.inner {
+            PairSource::Csv(s) => s.rewind(n)?,
+            PairSource::Ndjson(s) => s.rewind(n)?,
+        };
+        if ok {
+            self.yielded = self.yielded.saturating_sub(n);
+        }
+        Ok(ok)
+    }
 }
 
 fn cmd_freq(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
@@ -299,6 +340,8 @@ fn cmd_freq(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         "chunk-size",
         "dist",
         "dist-spawn",
+        "dist-timeout",
+        "dist-retries",
         "verbose",
         "output",
         "framework",
@@ -317,7 +360,7 @@ fn cmd_freq(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     if args.flag("verbose") {
         eprintln!("plan: {plan}");
         if let Some(backend) = &dist {
-            eprintln!("dist: {} workers", backend.coordinator.workers());
+            eprintln!("dist: {} workers", backend.workers());
         }
     }
     let (result, n, domains) = match plan.resolved_mode() {
@@ -325,9 +368,7 @@ fn cmd_freq(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             let (domains, source) = stream_setup(args, input)?;
             let mut source = source.counted(domains);
             let result = match &dist {
-                Some(backend) => {
-                    framework.execute_on(&backend.coordinator, eps, domains, &mut source)?
-                }
+                Some(backend) => framework.execute_on(backend, eps, domains, &mut source)?,
                 None => framework.execute(eps, domains, &plan, &mut source)?,
             };
             (result, source.yielded, domains)
@@ -340,15 +381,18 @@ fn cmd_freq(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             )?;
             let source = SliceSource::new(&data.pairs);
             let result = match &dist {
-                Some(backend) => {
-                    framework.execute_on(&backend.coordinator, eps, data.domains, source)?
-                }
+                Some(backend) => framework.execute_on(backend, eps, data.domains, source)?,
                 None => framework.execute(eps, data.domains, &plan, source)?,
             };
             let n = data.pairs.len() as u64;
             (result, n, data.domains)
         }
     };
+    if args.flag("verbose") {
+        if let Some(backend) = &dist {
+            eprintln!("dist: {}", backend.session_report());
+        }
+    }
     eprintln!(
         "{}: N = {n}, c = {}, d = {}, {}, threads = {} — {:.0} uplink bits/user",
         framework.name(),
@@ -390,6 +434,8 @@ fn cmd_topk(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         "chunk-size",
         "dist",
         "dist-spawn",
+        "dist-timeout",
+        "dist-retries",
         "verbose",
         "output",
         "method",
@@ -410,7 +456,7 @@ fn cmd_topk(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     if args.flag("verbose") {
         eprintln!("plan: {plan}");
         if let Some(backend) = &dist {
-            eprintln!("dist: {} workers", backend.coordinator.workers());
+            eprintln!("dist: {} workers", backend.workers());
         }
     }
     let (result, n, domains) = match plan.resolved_mode() {
@@ -418,13 +464,9 @@ fn cmd_topk(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             let (domains, source) = stream_setup(args, input)?;
             let mut source = source.counted(domains);
             let result = match &dist {
-                Some(backend) => mcim_topk::execute_on(
-                    method,
-                    config,
-                    domains,
-                    &backend.coordinator,
-                    &mut source,
-                )?,
+                Some(backend) => {
+                    mcim_topk::execute_on(method, config, domains, backend, &mut source)?
+                }
                 None => mcim_topk::execute(method, config, domains, &plan, &mut source)?,
             };
             (result, source.yielded, domains)
@@ -437,19 +479,20 @@ fn cmd_topk(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             )?;
             let source = SliceSource::new(&data.pairs);
             let result = match &dist {
-                Some(backend) => mcim_topk::execute_on(
-                    method,
-                    config,
-                    data.domains,
-                    &backend.coordinator,
-                    source,
-                )?,
+                Some(backend) => {
+                    mcim_topk::execute_on(method, config, data.domains, backend, source)?
+                }
                 None => mcim_topk::execute(method, config, data.domains, &plan, source)?,
             };
             let n = data.pairs.len() as u64;
             (result, n, data.domains)
         }
     };
+    if args.flag("verbose") {
+        if let Some(backend) = &dist {
+            eprintln!("dist: {}", backend.session_report());
+        }
+    }
     eprintln!(
         "{}: N = {n}, c = {}, d = {}, {}, k = {k}, threads = {} — {:.0} uplink bits/user",
         method.name(),
@@ -847,6 +890,15 @@ mod tests {
             run_cli(&["freq", "--input", "x.csv", "--eps", "1", "--typo", "1"]).is_err(),
             "unknown option"
         );
+    }
+
+    #[test]
+    fn dist_knobs_require_a_dist_backend() {
+        for knob in ["--dist-timeout", "--dist-retries"] {
+            let err = run_cli(&["freq", "--input", "x.csv", "--eps", "1", knob, "100"])
+                .expect_err("transport knobs without --dist must be rejected");
+            assert!(err.to_string().contains("requires --dist"), "{knob}: {err}");
+        }
     }
 
     #[test]

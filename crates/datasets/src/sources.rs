@@ -45,6 +45,7 @@ struct PairFile {
     path: PathBuf,
     reader: std::io::Lines<std::io::BufReader<std::fs::File>>,
     lineno: u64,
+    yielded: u64,
 }
 
 impl PairFile {
@@ -54,6 +55,7 @@ impl PairFile {
             path: path.to_path_buf(),
             reader: std::io::BufReader::new(file).lines(),
             lineno: 0,
+            yielded: 0,
         })
     }
 
@@ -77,7 +79,40 @@ impl PairFile {
                 got += 1;
             }
         }
+        self.yielded += got as u64;
         Ok(got)
+    }
+
+    /// Un-consumes the `n` most recent pairs by reopening the file and
+    /// re-parsing (and discarding) everything before the target position.
+    /// Exactness depends on the file not changing between passes — the
+    /// batch/stream equivalence contract already assumes that.
+    fn rewind_with(
+        &mut self,
+        n: u64,
+        parse: impl Fn(&Path, u64, &str) -> Result<Option<LabelItem>>,
+    ) -> Result<bool> {
+        let target = self.yielded.checked_sub(n).ok_or_else(|| Error::Source {
+            message: format!(
+                "{}: rewind({n}) exceeds the {} pairs already yielded",
+                self.path.display(),
+                self.yielded
+            ),
+        })?;
+        *self = PairFile::open(&self.path)?;
+        while self.yielded < target {
+            let Some(line) = self.reader.next() else {
+                return Err(Error::Source {
+                    message: format!("{}: file shrank during rewind", self.path.display()),
+                });
+            };
+            self.lineno += 1;
+            let line = line.map_err(|e| io_err(&self.path, e))?;
+            if parse(&self.path, self.lineno, &line)?.is_some() {
+                self.yielded += 1;
+            }
+        }
+        Ok(true)
     }
 }
 
@@ -164,6 +199,10 @@ impl ReportSource for CsvPairSource {
     fn fill(&mut self, buf: &mut Vec<LabelItem>, max: usize) -> Result<usize> {
         self.file.fill_with(buf, max, parse_csv_line)
     }
+
+    fn rewind(&mut self, n: u64) -> Result<bool> {
+        self.file.rewind_with(n, parse_csv_line)
+    }
 }
 
 /// A newline-delimited JSON file of `{"label": c, "item": i}` objects as a
@@ -188,6 +227,10 @@ impl ReportSource for NdjsonPairSource {
 
     fn fill(&mut self, buf: &mut Vec<LabelItem>, max: usize) -> Result<usize> {
         self.file.fill_with(buf, max, parse_ndjson_line)
+    }
+
+    fn rewind(&mut self, n: u64) -> Result<bool> {
+        self.file.rewind_with(n, parse_ndjson_line)
     }
 }
 
@@ -228,6 +271,16 @@ impl SyntheticPairSource {
             emitted: 0,
         }
     }
+
+    /// Draws the next pair — the single place the generator's RNG stream
+    /// advances, so replaying from the seed reproduces it exactly.
+    fn next_pair(&mut self) -> LabelItem {
+        let label = self.rng.random_range(0..self.config.classes);
+        let rank = self.zipf.sample(&mut self.rng);
+        let item = (label.wrapping_mul(37).wrapping_add(rank)) % self.config.items;
+        self.emitted += 1;
+        LabelItem::new(label, item)
+    }
 }
 
 impl ReportSource for SyntheticPairSource {
@@ -236,17 +289,32 @@ impl ReportSource for SyntheticPairSource {
     fn fill(&mut self, buf: &mut Vec<LabelItem>, max: usize) -> Result<usize> {
         let take = (self.config.users - self.emitted).min(max as u64) as usize;
         for _ in 0..take {
-            let label = self.rng.random_range(0..self.config.classes);
-            let rank = self.zipf.sample(&mut self.rng);
-            let item = (label.wrapping_mul(37).wrapping_add(rank)) % self.config.items;
-            buf.push(LabelItem::new(label, item));
-            self.emitted += 1;
+            let pair = self.next_pair();
+            buf.push(pair);
         }
         Ok(take)
     }
 
     fn size_hint(&self) -> Option<u64> {
         Some(self.config.users - self.emitted)
+    }
+
+    fn rewind(&mut self, n: u64) -> Result<bool> {
+        let target = self.emitted.checked_sub(n).ok_or_else(|| Error::Source {
+            message: format!(
+                "rewind({n}) exceeds the {} pairs already generated",
+                self.emitted
+            ),
+        })?;
+        // The RNG stream has no random access; replay it from the seed up
+        // to the target position (cheap and exact — `next_pair` is the
+        // only consumer of the stream).
+        self.rng = StdRng::seed_from_u64(self.config.seed);
+        self.emitted = 0;
+        for _ in 0..target {
+            let _ = self.next_pair();
+        }
+        Ok(true)
     }
 }
 
@@ -337,5 +405,62 @@ mod tests {
         // The Zipf head must dominate: rank-0 items are the per-class modes.
         let head = a.iter().filter(|p| p.item == (p.label * 37) % 64).count();
         assert!(head > a.len() / 4, "zipf head too light: {head}");
+    }
+
+    /// Shared shape of every rewind test: consume a prefix, rewind part of
+    /// it, and require the replayed stream to match the first pass exactly.
+    fn assert_rewind_replays<S: ReportSource<Item = LabelItem>>(mut source: S, total: usize) {
+        let mut first = Vec::new();
+        let consumed = total * 2 / 3;
+        while first.len() < consumed {
+            let want = consumed - first.len();
+            let got = source.fill(&mut first, want).unwrap();
+            assert!(got > 0, "source ended early");
+        }
+        let back = (consumed / 2) as u64;
+        assert!(source.rewind(back).unwrap(), "source must support rewind");
+        let mut replay = Vec::new();
+        while source.fill(&mut replay, 7).unwrap() > 0 {}
+        assert_eq!(replay.len(), total - consumed + back as usize);
+        assert_eq!(
+            replay[..back as usize],
+            first[consumed - back as usize..],
+            "replayed items must be byte-identical"
+        );
+        assert!(source.rewind(u64::MAX).is_err(), "over-rewind must error");
+    }
+
+    #[test]
+    fn synthetic_rewind_replays_identically() {
+        let config = SyntheticSourceConfig {
+            classes: 4,
+            items: 64,
+            users: 900,
+            zipf_s: 1.5,
+            seed: 9,
+        };
+        assert_rewind_replays(SyntheticPairSource::new(config), 900);
+    }
+
+    #[test]
+    fn csv_rewind_replays_identically() {
+        let path = tmp("rewind.csv");
+        let mut body = String::from("label,item\n");
+        for i in 0..120u32 {
+            body.push_str(&format!("{},{}\n\n", i % 5, i % 11)); // blanks interleaved
+        }
+        std::fs::write(&path, body).unwrap();
+        assert_rewind_replays(CsvPairSource::open(&path).unwrap(), 120);
+    }
+
+    #[test]
+    fn ndjson_rewind_replays_identically() {
+        let path = tmp("rewind.ndjson");
+        let mut body = String::new();
+        for i in 0..90u32 {
+            body.push_str(&format!("{{\"label\": {}, \"item\": {}}}\n", i % 3, i % 13));
+        }
+        std::fs::write(&path, body).unwrap();
+        assert_rewind_replays(NdjsonPairSource::open(&path).unwrap(), 90);
     }
 }

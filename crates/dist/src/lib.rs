@@ -31,6 +31,26 @@
 //! matrix (`crates/cli/tests/dist_equivalence.rs`, run in CI with 1, 2 and
 //! 4 spawned workers) locks that in.
 //!
+//! ## Fault tolerance: the re-route invariant
+//!
+//! The same shard contract that makes results placement-independent makes
+//! them **failure-independent**: a shard's fold depends only on
+//! `(stage_seed, shard, items)`, never on which process folds it. So when
+//! a worker dies mid-fold (socket error, kill, hang past
+//! [`DistConfig::io_timeout`]) or refuses a job, the [`Coordinator`]
+//! [`rewind`](mcim_oracles::stream::ReportSource::rewind)s the source and
+//! replays *only the lost shard assignment* on a surviving worker — or
+//! in-process as the last resort — and the fold's result is bit-identical
+//! to the unfailed run. The chaos suite (`crates/dist/tests/chaos.rs`)
+//! asserts exactly that, killing workers at scripted frame boundaries via
+//! the [`proto::fault`] seam. Recovery requires a rewindable source
+//! (`SliceSource`, the dataset file/synthetic sources, and `Take` views of
+//! them all are); a non-rewindable source fails the fold with
+//! [`Unrecoverable`](mcim_oracles::Error::Unrecoverable) instead of
+//! returning partial data. Per-fold failure accounting is reported through
+//! [`Executor::last_fold_report`](mcim_oracles::exec::Executor::last_fold_report)
+//! and [`Coordinator::session_report`].
+//!
 //! ## Lint-enforced determinism
 //!
 //! The wire paths in this crate (`proto.rs`, `coord.rs`, `worker.rs`) are
@@ -91,7 +111,7 @@ mod coord;
 mod spawn;
 mod worker;
 
-pub use coord::Coordinator;
+pub use coord::{Coordinator, DistConfig};
 pub use proto::{Frame, ShardAssignment, MAX_FRAME, PROTOCOL_VERSION};
 pub use spawn::{spawn_local_workers, SpawnedWorkers, LISTENING_PREFIX};
 pub use worker::{Registry, Worker};

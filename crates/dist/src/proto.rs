@@ -35,6 +35,8 @@ use std::io::{Read, Write};
 use mcim_oracles::wire::{Wire, WireReader};
 use mcim_oracles::{Error, Result};
 
+pub mod fault;
+
 /// Protocol version; bumped on any frame-layout change. Coordinator and
 /// worker exchange it in `Hello` and refuse mismatches.
 pub const PROTOCOL_VERSION: u32 = 1;

@@ -1,0 +1,378 @@
+//! Scripted fault injection for the wire protocol — the chaos-test seam.
+//!
+//! The chaos suite (`crates/dist/tests/chaos.rs`) needs workers that die,
+//! stall, truncate or delay at *exact* points in the conversation, not at
+//! whatever byte a kill signal happens to land on. [`scripted`] wraps one
+//! side of a TCP connection in a [`FaultReader`]/[`FaultWriter`] pair that
+//! tracks frame boundaries (every frame starts with a little-endian `u32`
+//! length prefix — see the [`proto`](super) module docs) and triggers its
+//! [`FaultPlan`]'s faults deterministically: "after reading 3 frames",
+//! "inside the body of outgoing frame 1", and so on.
+//!
+//! To keep frame counting exact, each `read`/`write` call is clamped so it
+//! never crosses a boundary of the frame state machine (length prefix,
+//! then body). Callers buffer anyway, so the extra calls cost nothing.
+//!
+//! This module is compiled unconditionally (no cargo feature) so
+//! integration tests in other crates can drive it, but nothing in the
+//! production paths constructs a [`FaultPlan`]: the plain
+//! [`read_frame`](super::read_frame)/[`write_frame`](super::write_frame)
+//! codecs never route through it.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+/// One scripted failure. Frame indices are 0-based and counted per
+/// direction on the wrapped side: `DieAfterReadingFrames(2)` on a worker
+/// means "after consuming Hello and Job" while its written frames count
+/// the handshake reply as 0 and the first `Partial`/`Err` as 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Close the socket abruptly once `n` whole frames have been read —
+    /// the peer sees EOF / a reset mid-conversation.
+    DieAfterReadingFrames(u64),
+    /// Close the socket partway through reading frame `index`: its length
+    /// prefix is consumed, its body is abandoned.
+    DieInsideFrame {
+        /// 0-based index of the incoming frame to die inside.
+        index: u64,
+    },
+    /// Stop consuming input once `frames` frames have been read, hold the
+    /// socket open for `hold_millis`, then close it — a hung peer, held
+    /// long enough for the other side's read deadline to fire first (the
+    /// bound keeps test threads from leaking forever).
+    StallAfterReadingFrames {
+        /// Frames to read before stalling.
+        frames: u64,
+        /// How long to hold the socket open before closing it.
+        hold_millis: u64,
+    },
+    /// Write only the first `keep_bytes` bytes (counted from the length
+    /// prefix) of outgoing frame `index`, then close — a truncated reply.
+    TruncateWrittenFrame {
+        /// 0-based index of the outgoing frame to truncate.
+        index: u64,
+        /// Bytes of the frame to let through before closing.
+        keep_bytes: u64,
+    },
+    /// Sleep `millis` before starting each outgoing frame from `from_index`
+    /// onward — a slow peer (with a read deadline on the other side, a
+    /// too-slow reply becomes a `Transport` error there).
+    DelayWrittenFrames {
+        /// First outgoing frame to delay.
+        from_index: u64,
+        /// Sleep before each delayed frame.
+        millis: u64,
+    },
+}
+
+/// An ordered script of [`Fault`]s applied to one wrapped connection.
+/// Faults are independent; each fires when its own condition is met. An
+/// empty plan is a faithful pass-through (a healthy peer).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan — a healthy peer.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds a fault to the script.
+    #[must_use]
+    pub fn with(mut self, fault: Fault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+}
+
+/// Tracks progress through the frame layout (`u32` length prefix, then
+/// `len` body bytes) so I/O can be clamped to boundary-respecting steps.
+#[derive(Debug)]
+struct FrameScan {
+    header: [u8; 4],
+    have: usize,
+    body_left: u64,
+    into_frame: u64,
+}
+
+impl FrameScan {
+    fn new() -> Self {
+        FrameScan {
+            header: [0; 4],
+            have: 0,
+            body_left: 0,
+            into_frame: 0,
+        }
+    }
+
+    /// Whether the scan is inside a frame's body (prefix consumed).
+    fn in_body(&self) -> bool {
+        self.body_left > 0
+    }
+
+    /// Bytes already transferred of the current frame (prefix + body).
+    fn offset_into_frame(&self) -> u64 {
+        self.into_frame
+    }
+
+    /// Bytes until the next boundary event (end of prefix or end of
+    /// body) — I/O calls are clamped to this so `advance` sees at most
+    /// one boundary per call.
+    fn step_limit(&self) -> usize {
+        if self.body_left > 0 {
+            usize::try_from(self.body_left).unwrap_or(usize::MAX)
+        } else {
+            4 - self.have
+        }
+    }
+
+    /// Advances over `bytes` (at most `step_limit` of them); returns
+    /// `true` when those bytes completed a frame.
+    fn advance(&mut self, bytes: &[u8]) -> bool {
+        self.into_frame += bytes.len() as u64;
+        if self.body_left > 0 {
+            self.body_left -= bytes.len() as u64;
+            if self.body_left == 0 {
+                self.into_frame = 0;
+                return true;
+            }
+            return false;
+        }
+        for &b in bytes {
+            self.header[self.have] = b;
+            self.have += 1;
+        }
+        if self.have == 4 {
+            self.have = 0;
+            self.body_left = u64::from(u32::from_le_bytes(self.header));
+            if self.body_left == 0 {
+                // A zero-length frame is malformed (the codec rejects it),
+                // but the scan must still terminate it.
+                self.into_frame = 0;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[derive(Debug)]
+struct Shared {
+    /// Owned duplicate of the socket, kept to shut *both* directions down
+    /// when a fault fires (a died peer stops reading and writing at once).
+    stream: TcpStream,
+    plan: FaultPlan,
+    read_scan: FrameScan,
+    read_frames: u64,
+    write_scan: FrameScan,
+    write_frames: u64,
+    closed: bool,
+}
+
+impl Shared {
+    fn close(&mut self) {
+        let _ = self.stream.shutdown(Shutdown::Both);
+        self.closed = true;
+    }
+}
+
+fn lock(shared: &Arc<Mutex<Shared>>) -> MutexGuard<'_, Shared> {
+    shared.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn closed_err() -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::BrokenPipe,
+        "fault plan closed the connection",
+    )
+}
+
+/// The read half of a fault-scripted connection.
+#[derive(Debug)]
+pub struct FaultReader {
+    inner: TcpStream,
+    shared: Arc<Mutex<Shared>>,
+}
+
+/// The write half of a fault-scripted connection.
+#[derive(Debug)]
+pub struct FaultWriter {
+    inner: TcpStream,
+    shared: Arc<Mutex<Shared>>,
+}
+
+/// Wraps `stream` in a reader/writer pair that executes `plan`. The two
+/// halves share the frame counters, so a read-side fault (a "death") also
+/// kills the write side, as a dead process would.
+pub fn scripted(stream: TcpStream, plan: FaultPlan) -> std::io::Result<(FaultReader, FaultWriter)> {
+    let read_half = stream.try_clone()?;
+    let write_half = stream.try_clone()?;
+    let shared = Arc::new(Mutex::new(Shared {
+        stream,
+        plan,
+        read_scan: FrameScan::new(),
+        read_frames: 0,
+        write_scan: FrameScan::new(),
+        write_frames: 0,
+        closed: false,
+    }));
+    Ok((
+        FaultReader {
+            inner: read_half,
+            shared: Arc::clone(&shared),
+        },
+        FaultWriter {
+            inner: write_half,
+            shared,
+        },
+    ))
+}
+
+impl Read for FaultReader {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let mut shared = lock(&self.shared);
+        if shared.closed {
+            return Ok(0);
+        }
+        for i in 0..shared.plan.faults.len() {
+            match shared.plan.faults[i] {
+                Fault::DieAfterReadingFrames(n) if shared.read_frames >= n => {
+                    shared.close();
+                    return Ok(0);
+                }
+                Fault::DieInsideFrame { index }
+                    if shared.read_frames == index && shared.read_scan.in_body() =>
+                {
+                    shared.close();
+                    return Ok(0);
+                }
+                Fault::StallAfterReadingFrames {
+                    frames,
+                    hold_millis,
+                } if shared.read_frames >= frames => {
+                    // Release the lock while stalling so the writer half
+                    // observes `closed` promptly afterwards.
+                    drop(shared);
+                    std::thread::sleep(Duration::from_millis(hold_millis));
+                    lock(&self.shared).close();
+                    return Ok(0);
+                }
+                _ => {}
+            }
+        }
+        let limit = shared.read_scan.step_limit().min(buf.len());
+        drop(shared);
+        let n = self.inner.read(&mut buf[..limit])?;
+        let mut shared = lock(&self.shared);
+        if n > 0 && shared.read_scan.advance(&buf[..n]) {
+            shared.read_frames += 1;
+        }
+        Ok(n)
+    }
+}
+
+impl Write for FaultWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let mut shared = lock(&self.shared);
+        if shared.closed {
+            return Err(closed_err());
+        }
+        let frame = shared.write_frames;
+        let offset = shared.write_scan.offset_into_frame();
+        let mut limit = shared.write_scan.step_limit().min(buf.len());
+        for i in 0..shared.plan.faults.len() {
+            match shared.plan.faults[i] {
+                Fault::TruncateWrittenFrame { index, keep_bytes } if frame == index => {
+                    if offset >= keep_bytes {
+                        shared.close();
+                        return Err(closed_err());
+                    }
+                    let room = usize::try_from(keep_bytes - offset).unwrap_or(usize::MAX);
+                    limit = limit.min(room);
+                }
+                Fault::DelayWrittenFrames { from_index, millis }
+                    if frame >= from_index && offset == 0 =>
+                {
+                    drop(shared);
+                    std::thread::sleep(Duration::from_millis(millis));
+                    shared = lock(&self.shared);
+                    if shared.closed {
+                        return Err(closed_err());
+                    }
+                }
+                _ => {}
+            }
+        }
+        drop(shared);
+        let n = self.inner.write(&buf[..limit])?;
+        let mut shared = lock(&self.shared);
+        if n > 0 && shared.write_scan.advance(&buf[..n]) {
+            shared.write_frames += 1;
+        }
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        if lock(&self.shared).closed {
+            return Err(closed_err());
+        }
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_scan_counts_boundaries_exactly() {
+        let mut scan = FrameScan::new();
+        // Frame of body length 3: prefix must be consumable byte-by-byte.
+        assert_eq!(scan.step_limit(), 4);
+        assert!(!scan.advance(&[3]));
+        assert_eq!(scan.step_limit(), 3);
+        assert!(!scan.advance(&[0, 0, 0]));
+        assert!(scan.in_body());
+        assert_eq!(scan.step_limit(), 3);
+        assert_eq!(scan.offset_into_frame(), 4);
+        assert!(!scan.advance(&[0xAA, 0xBB]));
+        assert!(scan.advance(&[0xCC]), "last body byte completes the frame");
+        assert!(!scan.in_body());
+        assert_eq!(scan.offset_into_frame(), 0);
+        // Next frame starts fresh at its prefix.
+        assert_eq!(scan.step_limit(), 4);
+        assert!(!scan.advance(&[1, 0, 0, 0]));
+        assert!(scan.advance(&[0x7F]));
+    }
+
+    #[test]
+    fn zero_length_frames_terminate_the_scan() {
+        let mut scan = FrameScan::new();
+        assert!(scan.advance(&[0, 0, 0, 0]), "malformed but terminated");
+        assert_eq!(scan.step_limit(), 4);
+    }
+
+    #[test]
+    fn faults_compose_in_one_plan() {
+        let plan = FaultPlan::new()
+            .with(Fault::DelayWrittenFrames {
+                from_index: 1,
+                millis: 5,
+            })
+            .with(Fault::DieAfterReadingFrames(3));
+        assert_eq!(plan.faults.len(), 2);
+        assert_eq!(plan, plan.clone());
+        assert_ne!(plan, FaultPlan::new());
+    }
+}

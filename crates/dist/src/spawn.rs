@@ -4,6 +4,7 @@
 use std::io::{BufRead, BufReader};
 use std::path::Path;
 use std::process::{Child, Command, Stdio};
+use std::time::Duration;
 
 use mcim_oracles::{Error, Result};
 
@@ -30,14 +31,37 @@ impl SpawnedWorkers {
     pub fn is_empty(&self) -> bool {
         self.children.is_empty()
     }
-}
 
-impl Drop for SpawnedWorkers {
-    fn drop(&mut self) {
+    /// Reaps the children: waits up to `grace` for each to exit on its
+    /// own (spawned workers run `--once`, so a coordinator's `Shutdown`
+    /// frame ends them cleanly), then kills and waits any stragglers so
+    /// nothing is orphaned. Idempotent; `Duration::ZERO` kills at once.
+    pub fn reap(&mut self, grace: Duration) {
+        const STEP: Duration = Duration::from_millis(10);
+        // Grace is counted in fixed sleep steps rather than measured
+        // (library code reads no clocks); the bound is approximate but
+        // the outcome is not — stragglers are always killed below.
+        let mut waited = Duration::ZERO;
+        loop {
+            self.children
+                .retain_mut(|child| !matches!(child.try_wait(), Ok(Some(_))));
+            if self.children.is_empty() || waited >= grace {
+                break;
+            }
+            std::thread::sleep(STEP);
+            waited += STEP;
+        }
         for child in &mut self.children {
             let _ = child.kill();
             let _ = child.wait();
         }
+        self.children.clear();
+    }
+}
+
+impl Drop for SpawnedWorkers {
+    fn drop(&mut self) {
+        self.reap(Duration::ZERO);
     }
 }
 

@@ -285,8 +285,17 @@ impl Worker {
         let reader = stream
             .try_clone()
             .map_err(|e| Error::transport("cloning a connection handle", e))?;
+        self.serve_io(reader, stream)
+    }
+
+    /// Runs the frame loop over arbitrary reader/writer halves — the
+    /// transport-agnostic core of [`Worker::serve_conn`], also driven
+    /// directly by the chaos harness over fault-injected streams
+    /// ([`crate::proto::fault`]). Buffering is applied here; pass the raw
+    /// halves.
+    pub fn serve_io<R: Read, W: Write>(&self, reader: R, writer: W) -> Result<()> {
         let mut reader = BufReader::new(reader);
-        let mut writer = BufWriter::new(stream);
+        let mut writer = BufWriter::new(writer);
 
         // Handshake: the coordinator leads with its version.
         match expect_frame(&mut reader)? {

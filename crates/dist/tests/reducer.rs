@@ -205,50 +205,58 @@ fn spec_less_stages_fall_back_to_in_process() {
 }
 
 /// A stage kind the worker does not know is refused cleanly: the worker
-/// drains the stream, reports the failure, and the connection stays
+/// drains the stream and reports the failure, the coordinator recovers
+/// by replaying the refused shards in-process, and the connections stay
 /// usable for the next (valid) job.
+/// A stage whose kind no worker registry knows: every remote job it is
+/// shipped in comes back as an `Err` reply.
+struct AlienStage;
+impl Stage for AlienStage {
+    type Item = u32;
+    type Acc = u64;
+    fn template(&self) -> u64 {
+        0
+    }
+    fn fold(
+        &self,
+        _rng: &mut rand::rngs::StdRng,
+        _abs: u64,
+        items: &[u32],
+        acc: &mut u64,
+    ) -> Result<()> {
+        *acc += items.len() as u64;
+        Ok(())
+    }
+    fn merge(&self, into: &mut u64, from: &u64) -> Result<()> {
+        *into += *from;
+        Ok(())
+    }
+    fn spec(&self) -> Option<StageSpec> {
+        Some(StageSpec::new("test/alien", |_| {}))
+    }
+}
+
 #[test]
 fn unknown_stage_kind_is_refused_not_hung() {
-    struct AlienStage;
-    impl Stage for AlienStage {
-        type Item = u32;
-        type Acc = u64;
-        fn template(&self) -> u64 {
-            0
-        }
-        fn fold(
-            &self,
-            _rng: &mut rand::rngs::StdRng,
-            _abs: u64,
-            items: &[u32],
-            acc: &mut u64,
-        ) -> Result<()> {
-            *acc += items.len() as u64;
-            Ok(())
-        }
-        fn merge(&self, into: &mut u64, from: &u64) -> Result<()> {
-            *into += *from;
-            Ok(())
-        }
-        fn spec(&self) -> Option<StageSpec> {
-            Some(StageSpec::new("test/alien", |_| {}))
-        }
-    }
-
-    // Two workers: the refusing worker's Err reply must not leave the
-    // *other* worker's queued Partial behind to desynchronize the next
-    // job (the coordinator drains every reply before reporting failure).
+    // Two workers: every worker refuses the alien kind, so the fold
+    // degrades to the in-process replay path — and still succeeds,
+    // because the refused shards are recomputable locally. The refusals
+    // must not leave any queued reply behind to desynchronize the next
+    // job (the coordinator drains every reply before recovering).
     let cluster = TestWorkers::start(2, 1);
     let plan = Exec::seeded(0);
     let coordinator = Coordinator::connect(&plan, &cluster.addrs).unwrap();
     let items: Vec<u32> = (0..5000).collect();
-    let err = coordinator
+    let total = coordinator
         .fold(&mut SliceSource::new(&items), 1, &AlienStage)
-        .unwrap_err();
-    assert!(
-        err.to_string().contains("unknown stage kind"),
-        "unexpected error: {err}"
-    );
+        .unwrap();
+    assert_eq!(total, 5000, "local replay folds every refused shard");
+    let report = coordinator.last_fold_report().unwrap();
+    assert!(report.degraded(), "{report}");
+    assert_eq!(report.worker_errors, 2, "{report}");
+    assert!(report.local_fallback, "{report}");
+    assert_eq!(report.local_shards, 2, "{report}");
+    assert_eq!(report.workers_lost, 0, "refusal is not death: {report}");
 
     // Same connections, valid job: still works.
     let domains = Domains::new(2, 16).unwrap();
@@ -265,8 +273,52 @@ fn unknown_stage_kind_is_refused_not_hung() {
     cluster.join();
 }
 
-/// A stage failure inside the worker (out-of-domain item) comes back as a
-/// clean error, not a hang or a poisoned socket.
+/// When recovery needs a rewind the source cannot provide, the fold fails
+/// with `Unrecoverable` wrapping the original worker failure — never with
+/// silently partial results.
+#[test]
+fn non_rewindable_source_fails_unrecoverably() {
+    struct NonRewind<'a> {
+        inner: SliceSource<'a, u32>,
+    }
+    impl ReportSource for NonRewind<'_> {
+        type Item = u32;
+        fn fill(&mut self, buf: &mut Vec<u32>, max: usize) -> Result<usize> {
+            self.inner.fill(buf, max)
+        }
+        fn size_hint(&self) -> Option<u64> {
+            self.inner.size_hint()
+        }
+        // rewind: deliberately left at the `Ok(false)` default.
+    }
+
+    let cluster = TestWorkers::start(1, 1);
+    let plan = Exec::seeded(0);
+    let coordinator = Coordinator::connect(&plan, &cluster.addrs).unwrap();
+    let items: Vec<u32> = (0..5000).collect();
+    let err = coordinator
+        .fold(
+            &mut NonRewind {
+                inner: SliceSource::new(&items),
+            },
+            1,
+            &AlienStage,
+        )
+        .unwrap_err();
+    assert!(matches!(err, Error::Unrecoverable { .. }), "{err}");
+    let message = err.to_string();
+    assert!(message.contains("cannot rewind"), "{message}");
+    assert!(
+        message.contains("unknown stage kind"),
+        "the original failure is preserved as the cause: {message}"
+    );
+    drop(coordinator);
+    cluster.join();
+}
+
+/// A deterministic stage failure (out-of-domain item) fails every replay
+/// target the same way, so it ends as a clean error from the local replay
+/// — not a hang, not a poisoned socket.
 #[test]
 fn worker_stage_errors_propagate() {
     let domains = Domains::new(2, 16).unwrap();
@@ -284,11 +336,13 @@ fn worker_stage_errors_propagate() {
             SliceSource::new(&data),
         )
         .unwrap_err();
-    assert!(
-        matches!(err, Error::Source { .. }),
-        "worker failure surfaces as a source error: {err}"
-    );
     assert!(err.to_string().contains("outside domain"), "{err}");
+    // The failure reproduced on every target: the primary worker, the
+    // rerouted worker, and finally the in-process replay (whence the
+    // typed error instead of a worker's stringified one).
+    assert!(!matches!(err, Error::Source { .. }), "{err}");
+    let report = coordinator.session_report();
+    assert!(report.worker_errors >= 2, "{report}");
 
     // Every connection was drained (one reply per worker), so a valid
     // retry on the same coordinator produces correct results.
@@ -331,8 +385,8 @@ fn empty_worker_set_is_rejected() {
     assert!(matches!(err, Error::InvalidParameter { .. }), "{err}");
 }
 
-/// More workers than shards: the surplus workers get empty ranges and the
-/// result is still identical.
+/// More workers than shards: the surplus workers stay idle (no empty
+/// no-op jobs on the wire) and the result is still identical.
 #[test]
 fn more_workers_than_shards_is_fine() {
     let domains = Domains::new(2, 32).unwrap();
@@ -353,6 +407,10 @@ fn more_workers_than_shards_is_fine() {
             assert!(distributed.table.get(label, item) == reference.table.get(label, item));
         }
     }
+    let report = coordinator.last_fold_report().unwrap();
+    assert_eq!(report.workers, 4, "{report}");
+    assert_eq!(report.workers_used, 1, "one shard, one job: {report}");
+    assert!(!report.degraded(), "{report}");
     drop(coordinator);
     cluster.join();
 }

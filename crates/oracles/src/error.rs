@@ -46,6 +46,19 @@ pub enum Error {
         /// The underlying I/O error (`Arc` keeps the enum cloneable).
         source: Arc<std::io::Error>,
     },
+    /// The distributed reducer lost workers mid-fold and could not
+    /// recover the orphaned shard assignments — typically because the
+    /// report source cannot [`rewind`](crate::stream::ReportSource::rewind),
+    /// so the lost shards cannot be replayed anywhere. Chains the worker
+    /// failure that exhausted recovery as its
+    /// [`source`](std::error::Error::source).
+    Unrecoverable {
+        /// What recovery was attempted and why it was impossible.
+        context: String,
+        /// The failure that made recovery necessary (boxed: the enum
+        /// stays small and cloneable).
+        cause: Box<Error>,
+    },
 }
 
 impl Error {
@@ -65,6 +78,15 @@ impl Error {
             context,
             std::io::Error::new(std::io::ErrorKind::InvalidData, "protocol violation"),
         )
+    }
+
+    /// An [`Error::Unrecoverable`] from a description of the failed
+    /// recovery and the error that triggered it.
+    pub fn unrecoverable(context: impl Into<String>, cause: Error) -> Self {
+        Error::Unrecoverable {
+            context: context.into(),
+            cause: Box::new(cause),
+        }
     }
 }
 
@@ -108,6 +130,16 @@ impl PartialEq for Error {
                     source: s2,
                 },
             ) => c1 == c2 && s1.kind() == s2.kind(),
+            (
+                Error::Unrecoverable {
+                    context: c1,
+                    cause: e1,
+                },
+                Error::Unrecoverable {
+                    context: c2,
+                    cause: e2,
+                },
+            ) => c1 == c2 && e1 == e2,
             _ => false,
         }
     }
@@ -136,6 +168,12 @@ impl fmt::Display for Error {
             Error::Transport { context, source } => {
                 write!(f, "distributed transport failed while {context}: {source}")
             }
+            Error::Unrecoverable { context, cause } => {
+                write!(
+                    f,
+                    "distributed fold failed without recovery ({context}): {cause}"
+                )
+            }
         }
     }
 }
@@ -144,6 +182,7 @@ impl std::error::Error for Error {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Error::Transport { source, .. } => Some(source.as_ref()),
+            Error::Unrecoverable { cause, .. } => Some(cause.as_ref()),
             _ => None,
         }
     }
@@ -221,5 +260,33 @@ mod tests {
             Error::protocol("bad frame"),
             Error::Transport { .. }
         ));
+    }
+
+    #[test]
+    fn unrecoverable_chains_its_cause() {
+        use std::error::Error as _;
+        let cause = Error::transport(
+            "collecting partials",
+            std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "worker vanished"),
+        );
+        let err = Error::unrecoverable(
+            "2 shard assignments lost and the source cannot rewind",
+            cause.clone(),
+        );
+        let shown = err.to_string();
+        assert!(shown.contains("cannot rewind"), "{shown}");
+        assert!(shown.contains("worker vanished"), "{shown}");
+        assert_eq!(
+            err.source().expect("cause is chained").to_string(),
+            cause.to_string()
+        );
+        assert_eq!(
+            err,
+            Error::unrecoverable(
+                "2 shard assignments lost and the source cannot rewind",
+                cause.clone()
+            )
+        );
+        assert_ne!(err, Error::unrecoverable("other context", cause));
     }
 }

@@ -414,6 +414,90 @@ pub trait Executor {
     where
         S: ReportSource<Item = St::Item>,
         St: Stage;
+
+    /// Failure accounting for the most recent [`fold`](Executor::fold),
+    /// when this backend tracks any — `None` for backends that cannot
+    /// lose workers (the in-process executor). Recovery never changes a
+    /// fold's *result* (the shard contract makes replays bit-identical),
+    /// so this report is the only observable difference between a clean
+    /// run and one that survived failures.
+    fn last_fold_report(&self) -> Option<FoldReport> {
+        None
+    }
+}
+
+/// Per-fold failure accounting from a distributed [`Executor`] backend:
+/// how many workers the fold started with, how many partials were merged,
+/// what was lost, and where the orphaned shards were replayed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FoldReport {
+    /// Worker connections at fold start.
+    pub workers: usize,
+    /// Workers whose primary partial was merged.
+    pub workers_used: usize,
+    /// Connections lost to transport failures during the fold.
+    pub workers_lost: usize,
+    /// Clean worker `Err` replies (stage failures, unknown stage kinds,
+    /// undecodable partials) — the connection survived, the job did not.
+    pub worker_errors: usize,
+    /// Replay jobs re-routed to surviving workers.
+    pub reroutes: u32,
+    /// Shards replayed on surviving workers.
+    pub rerouted_shards: u64,
+    /// Shards replayed in-process as the last resort.
+    pub local_shards: u64,
+    /// Whether any part of the fold ran in-process (replayed shards, or
+    /// the entire fold once every worker was gone).
+    pub local_fallback: bool,
+    /// Connect-time retries the backend needed (session-wide, not
+    /// per-fold: connections are established once and reused).
+    pub connect_retries: u32,
+}
+
+impl FoldReport {
+    /// Whether the fold needed any recovery at all.
+    pub fn degraded(&self) -> bool {
+        self.workers_lost > 0 || self.worker_errors > 0 || self.local_fallback
+    }
+
+    /// Folds another per-fold report into this one, producing the
+    /// session-cumulative view: failure counters add up, while
+    /// `workers`, `workers_used` and `connect_retries` track the most
+    /// recent fold (they describe state, not events).
+    pub fn absorb(&mut self, other: &FoldReport) {
+        self.workers = other.workers;
+        self.workers_used = other.workers_used;
+        self.connect_retries = other.connect_retries;
+        self.workers_lost += other.workers_lost;
+        self.worker_errors += other.worker_errors;
+        self.reroutes += other.reroutes;
+        self.rerouted_shards += other.rerouted_shards;
+        self.local_shards += other.local_shards;
+        self.local_fallback |= other.local_fallback;
+    }
+}
+
+impl fmt::Display for FoldReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "workers={} used={} lost={} errors={} reroutes={} rerouted_shards={} local_shards={}",
+            self.workers,
+            self.workers_used,
+            self.workers_lost,
+            self.worker_errors,
+            self.reroutes,
+            self.rerouted_shards,
+            self.local_shards,
+        )?;
+        if self.local_fallback {
+            write!(f, " local_fallback")?;
+        }
+        if self.connect_retries > 0 {
+            write!(f, " connect_retries={}", self.connect_retries)?;
+        }
+        Ok(())
+    }
 }
 
 /// The in-process [`Executor`]: scoped worker threads over this process's
@@ -613,5 +697,49 @@ mod tests {
         let stage = sum_mix_stage();
         assert!(stage.spec().is_none(), "closure stages carry no spec");
         assert_eq!(stage.template(), (0, 0));
+    }
+
+    #[test]
+    fn in_process_reports_no_fold_accounting() {
+        assert_eq!(Exec::batch().in_process().last_fold_report(), None);
+    }
+
+    #[test]
+    fn fold_report_accumulates_and_displays() {
+        let clean = FoldReport {
+            workers: 4,
+            workers_used: 4,
+            ..FoldReport::default()
+        };
+        assert!(!clean.degraded());
+        let recovered = FoldReport {
+            workers: 4,
+            workers_used: 3,
+            workers_lost: 1,
+            reroutes: 1,
+            rerouted_shards: 5,
+            ..FoldReport::default()
+        };
+        assert!(recovered.degraded());
+        let shown = recovered.to_string();
+        assert!(shown.contains("lost=1"), "{shown}");
+        assert!(shown.contains("rerouted_shards=5"), "{shown}");
+        assert!(!shown.contains("local_fallback"), "{shown}");
+
+        let mut session = FoldReport::default();
+        session.absorb(&recovered);
+        session.absorb(&FoldReport {
+            workers: 3,
+            workers_used: 3,
+            local_shards: 2,
+            local_fallback: true,
+            ..FoldReport::default()
+        });
+        assert_eq!(session.workers, 3, "state fields track the latest fold");
+        assert_eq!(session.workers_lost, 1, "event counters accumulate");
+        assert_eq!(session.rerouted_shards, 5);
+        assert_eq!(session.local_shards, 2);
+        assert!(session.local_fallback);
+        assert!(session.to_string().contains("local_fallback"));
     }
 }

@@ -82,6 +82,30 @@ pub trait ReportSource {
     fn size_hint(&self) -> Option<u64> {
         None
     }
+
+    /// Un-consumes the `n` most recently yielded items, so subsequent
+    /// [`fill`](ReportSource::fill) calls yield them again —
+    /// **byte-for-byte identical** to the first pass.
+    ///
+    /// Returns `Ok(true)` when the source rewound, `Ok(false)` when it
+    /// cannot (the default — one-shot sources like sockets or queues).
+    /// The distributed reducer uses this capability to *replay* a dead
+    /// worker's shard ranges: a rewound source re-yields the same items,
+    /// and the shard contract pins every shard's RNG stream to its
+    /// absolute index rather than its host, so the re-routed fold is
+    /// bit-identical to the unfailed one.
+    ///
+    /// Implementations must either restore the stream position exactly
+    /// `n` items back or report `Ok(false)`; rewinding to any *other*
+    /// position would silently corrupt a replayed fold. `n` larger than
+    /// the number of items already yielded is an error. Wrappers forward
+    /// the call ([`Take`] adds the `n` items back to its own budget),
+    /// which keeps the capability intact through the view types the
+    /// round-based miners build mid-stream.
+    fn rewind(&mut self, n: u64) -> Result<bool> {
+        let _ = n;
+        Ok(false)
+    }
 }
 
 /// Every `&mut` to a source is itself a source — lets `execute`-style
@@ -96,6 +120,13 @@ impl<S: ReportSource + ?Sized> ReportSource for &mut S {
 
     fn size_hint(&self) -> Option<u64> {
         (**self).size_hint()
+    }
+
+    // Forwarded explicitly: the default body would report `Ok(false)` and
+    // silently strip the rewind capability from any source passed by
+    // reference, which is exactly how the executors receive them.
+    fn rewind(&mut self, n: u64) -> Result<bool> {
+        (**self).rewind(n)
     }
 }
 
@@ -146,6 +177,18 @@ impl<T: Clone> ReportSource for SliceSource<'_, T> {
     fn size_hint(&self) -> Option<u64> {
         Some((self.items.len() - self.pos) as u64)
     }
+
+    fn rewind(&mut self, n: u64) -> Result<bool> {
+        match usize::try_from(n).ok().filter(|&back| back <= self.pos) {
+            Some(back) => {
+                self.pos -= back;
+                Ok(true)
+            }
+            None => Err(Error::Source {
+                message: format!("rewind({n}) exceeds the {} items already yielded", self.pos),
+            }),
+        }
+    }
 }
 
 /// A borrowed view of another source limited to `remaining` items — how
@@ -154,6 +197,7 @@ impl<T: Clone> ReportSource for SliceSource<'_, T> {
 pub struct Take<'s, S> {
     source: &'s mut S,
     remaining: u64,
+    taken: u64,
 }
 
 impl<'s, S: ReportSource> Take<'s, S> {
@@ -162,6 +206,7 @@ impl<'s, S: ReportSource> Take<'s, S> {
         Take {
             source,
             remaining: limit,
+            taken: 0,
         }
     }
 }
@@ -176,11 +221,34 @@ impl<S: ReportSource> ReportSource for Take<'_, S> {
         }
         let got = self.source.fill(buf, max)?;
         self.remaining -= got as u64;
+        self.taken += got as u64;
         Ok(got)
     }
 
     fn size_hint(&self) -> Option<u64> {
         self.source.size_hint().map(|n| n.min(self.remaining))
+    }
+
+    // A relative rewind composes through mid-stream views: un-consuming
+    // the underlying source restores exactly this view's items (they were
+    // the most recent ones pulled), so the budget gets them back. An
+    // absolute "rewind to start" could not be forwarded this way — it
+    // would replay items that belong to earlier rounds' views.
+    fn rewind(&mut self, n: u64) -> Result<bool> {
+        if n > self.taken {
+            return Err(Error::Source {
+                message: format!(
+                    "rewind({n}) exceeds the {} items this view yielded",
+                    self.taken
+                ),
+            });
+        }
+        if !self.source.rewind(n)? {
+            return Ok(false);
+        }
+        self.remaining += n;
+        self.taken -= n;
+        Ok(true)
     }
 }
 
@@ -585,5 +653,60 @@ mod tests {
         }
         assert!(required_len(&Unsized).is_err());
         assert_eq!(required_len(&SliceSource::new(&[1u32, 2])).unwrap(), 2);
+    }
+
+    #[test]
+    fn rewind_defaults_to_unsupported() {
+        let mut dribble = Dribble {
+            next: 0,
+            n: 10,
+            per_call: 10,
+        };
+        drain_source(&mut dribble).unwrap();
+        assert!(!dribble.rewind(3).unwrap());
+        // The blanket &mut impl forwards rather than re-defaulting.
+        let mut source = SliceSource::new(&[1u32, 2, 3]);
+        drain_source(&mut source).unwrap();
+        let mut view: &mut SliceSource<'_, u32> = &mut source;
+        assert!(ReportSource::rewind(&mut view, 2).unwrap());
+        assert_eq!(drain_source(&mut source).unwrap(), vec![2, 3]);
+    }
+
+    #[test]
+    fn slice_rewind_replays_identically() {
+        let items: Vec<u32> = (0..300).collect();
+        let mut source = SliceSource::new(&items);
+        let mut buf = Vec::new();
+        source.fill(&mut buf, 200).unwrap();
+        assert!(source.rewind(150).unwrap());
+        assert_eq!(source.size_hint(), Some(250));
+        let mut again = Vec::new();
+        source.fill(&mut again, 250).unwrap();
+        assert_eq!(again, (50..300).collect::<Vec<u32>>());
+        assert!(source.rewind(301).is_err());
+    }
+
+    #[test]
+    fn take_rewind_restores_only_its_own_budget() {
+        let items: Vec<u32> = (0..100).collect();
+        let mut source = SliceSource::new(&items);
+        // First round consumes 0..40 through its own view.
+        drain_source(&mut Take::new(&mut source, 40)).unwrap();
+        // Second round: consume 30, rewind 20, re-drain — the view must
+        // hand back exactly its own items, never round one's.
+        let mut view = Take::new(&mut source, 30);
+        let mut buf = Vec::new();
+        view.fill(&mut buf, 30).unwrap();
+        assert!(view.rewind(20).unwrap());
+        assert!(view.rewind(31).is_err(), "cannot rewind past this view");
+        assert_eq!(
+            drain_source(&mut view).unwrap(),
+            (50..70).collect::<Vec<u32>>()
+        );
+        // The underlying source continues where round two's budget ended.
+        assert_eq!(
+            drain_source(&mut source).unwrap(),
+            (70..100).collect::<Vec<u32>>()
+        );
     }
 }

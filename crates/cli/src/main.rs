@@ -65,8 +65,12 @@ COMMON OPTIONS:
                   survived either way: lost shards replay on surviving
                   workers, or in-process when none remain — results stay
                   bit-identical, only `--verbose` shows the difference
+  --rng-contract <v2> assert the RNG contract the run is pinned against.
+                  Only the current word-parallel contract `v2` is
+                  accepted; `v1` is retired and errors with a migration
+                  hint (see the README section \"RNG contract\")
   --verbose       print the resolved execution plan (mode/seed/threads/
-                  chunk) before running
+                  chunk/contract) before running
   --output <file> write results as CSV (default: print a summary)
 
 These options assemble one execution plan (see `Exec` in the library):
@@ -338,6 +342,7 @@ fn cmd_freq(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         "seed",
         "threads",
         "chunk-size",
+        "rng-contract",
         "dist",
         "dist-spawn",
         "dist-timeout",
@@ -432,6 +437,7 @@ fn cmd_topk(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         "seed",
         "threads",
         "chunk-size",
+        "rng-contract",
         "dist",
         "dist-spawn",
         "dist-timeout",
@@ -890,6 +896,17 @@ mod tests {
             run_cli(&["freq", "--input", "x.csv", "--eps", "1", "--typo", "1"]).is_err(),
             "unknown option"
         );
+        let err = run_cli(&[
+            "freq",
+            "--input",
+            "x.csv",
+            "--eps",
+            "1",
+            "--rng-contract",
+            "v1",
+        ])
+        .expect_err("retired contract");
+        assert!(err.to_string().contains("retired"), "{err}");
     }
 
     #[test]

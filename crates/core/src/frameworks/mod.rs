@@ -14,9 +14,12 @@
 //! `privatize`-style step and a streaming server-side aggregator, plus one
 //! generic [`execute`](Framework::execute) entry point that processes a
 //! whole dataset (or stream) under an [`Exec`] plan and returns the
-//! estimated [`FrequencyTable`] with communication statistics. The legacy
-//! `run`/`run_batch`/`run_stream` triplet survives as deprecated shims
-//! over `execute`.
+//! estimated [`FrequencyTable`] with communication statistics. Under
+//! RNG-contract v2 every [`Exec`] mode folds through the same sharded
+//! stages, so `execute` is a thin wrapper over
+//! [`execute_on`](Framework::execute_on) with the plan's in-process
+//! executor; the legacy `run`/`run_batch`/`run_stream` triplet (and the
+//! separate v1 sequential stream it preserved) is gone.
 
 mod hec;
 mod ptj;
@@ -28,11 +31,9 @@ pub use ptj::{Ptj, PtjAggregator};
 pub use pts::{Pts, PtsAggregator, PtsReport};
 
 use mcim_oracles::exec::{Exec, Executor};
-use mcim_oracles::stream::{drain_source, ReportSource, SliceSource, StreamConfig};
+use mcim_oracles::stream::ReportSource;
 use mcim_oracles::{Eps, Result};
-use rand::Rng;
 
-use crate::correlated::{CorrelatedPerturbation, CpAggregator};
 use crate::{Domains, FrequencyTable, LabelItem};
 
 /// Communication accounting for one pipeline run.
@@ -131,108 +132,26 @@ impl Framework {
     }
 
     /// Runs the framework end-to-end under an [`Exec`] plan — the single
-    /// entry point replacing the deprecated `run` / `run_batch` /
-    /// `run_stream` triplet.
+    /// entry point for every execution mode.
     ///
-    /// * **Sequential** plans reproduce the historical
-    ///   `run(eps, domains, data, &mut StdRng::seed_from_u64(seed))`
-    ///   stream bit-for-bit.
-    /// * **Batch**, **Stream** and **Auto** plans run the sharded
-    ///   deterministic runtime ([`Framework::execute_on`] with the plan's
-    ///   in-process [`Executor`]) and are bit-identical to each other —
-    ///   and to the deprecated `run_batch`/`run_stream` — for every
-    ///   `threads` and `chunk_size`.
-    ///
-    /// Pass any [`ReportSource`] of label-item pairs: a
-    /// [`SliceSource`] over an in-memory dataset, a CSV/NDJSON file source,
+    /// Under RNG-contract v2 every mode (sequential, batch, stream, auto)
+    /// folds the same sharded stages through the plan's in-process
+    /// [`Executor`], so seed-equal plans are bit-identical across modes,
+    /// thread counts and chunk sizes; mode only picks the resource
+    /// envelope. Pass any [`ReportSource`] of label-item pairs: a
+    /// `SliceSource` over an in-memory dataset, a CSV/NDJSON file source,
     /// or `&mut source` to keep ownership.
     pub fn execute<S>(
         &self,
         eps: Eps,
         domains: Domains,
         plan: &Exec,
-        mut source: S,
+        source: S,
     ) -> Result<EstimationResult>
     where
         S: ReportSource<Item = LabelItem>,
     {
-        if plan.is_sequential() {
-            let data = drain_source(&mut source)?;
-            return self.run_seq(eps, domains, &data, &mut plan.seq_rng());
-        }
         self.execute_on(&plan.in_process(), eps, domains, source)
-    }
-
-    /// The sequential reference implementation (one RNG stream in user
-    /// order) behind [`Exec::sequential`] plans and the deprecated
-    /// caller-RNG `run`.
-    fn run_seq<R: Rng + ?Sized>(
-        &self,
-        eps: Eps,
-        domains: Domains,
-        data: &[LabelItem],
-        rng: &mut R,
-    ) -> Result<EstimationResult> {
-        match *self {
-            Framework::Hec => {
-                let mech = Hec::new(eps, domains)?;
-                let mut agg = HecAggregator::new(&mech);
-                let mut comm = CommStats::default();
-                for (u, &pair) in data.iter().enumerate() {
-                    let report = mech.privatize(u as u64, pair, rng)?;
-                    comm.record(report.report.size_bits());
-                    agg.absorb(&report)?;
-                }
-                Ok(EstimationResult {
-                    table: agg.estimate()?,
-                    comm,
-                })
-            }
-            Framework::Ptj => {
-                let mech = Ptj::new(eps, domains)?;
-                let mut agg = PtjAggregator::new(&mech);
-                let mut comm = CommStats::default();
-                for &pair in data {
-                    let report = mech.privatize(pair, rng)?;
-                    comm.record(report.size_bits());
-                    agg.absorb(&report)?;
-                }
-                Ok(EstimationResult {
-                    table: agg.estimate(),
-                    comm,
-                })
-            }
-            Framework::Pts { label_frac } => {
-                let (e1, e2) = eps.split(label_frac)?;
-                let mech = Pts::new(e1, e2, domains)?;
-                let mut agg = PtsAggregator::new(&mech);
-                let mut comm = CommStats::default();
-                for &pair in data {
-                    let report = mech.privatize(pair, rng)?;
-                    comm.record(report.size_bits());
-                    agg.absorb(&report)?;
-                }
-                Ok(EstimationResult {
-                    table: agg.estimate(),
-                    comm,
-                })
-            }
-            Framework::PtsCp { label_frac } => {
-                let (e1, e2) = eps.split(label_frac)?;
-                let mech = CorrelatedPerturbation::new(e1, e2, domains)?;
-                let mut agg = CpAggregator::new(&mech);
-                let mut comm = CommStats::default();
-                for &pair in data {
-                    let report = mech.privatize(pair, rng)?;
-                    comm.record(report.size_bits());
-                    agg.absorb(&report)?;
-                }
-                Ok(EstimationResult {
-                    table: agg.estimate(),
-                    comm,
-                })
-            }
-        }
     }
 
     /// Runs the framework's sharded pipeline on an explicit [`Executor`]
@@ -301,75 +220,12 @@ impl Framework {
             }
         }
     }
-
-    /// Runs the framework end-to-end over a dataset with a caller-supplied
-    /// RNG, in user order.
-    #[deprecated(
-        note = "use `Framework::execute` with `Exec::sequential().seed(..)` — identical \
-                output for a fresh `StdRng::seed_from_u64(seed)`"
-    )]
-    pub fn run<R: Rng + ?Sized>(
-        &self,
-        eps: Eps,
-        domains: Domains,
-        data: &[LabelItem],
-        rng: &mut R,
-    ) -> Result<EstimationResult> {
-        self.run_seq(eps, domains, data, rng)
-    }
-
-    /// Runs the framework end-to-end on the batched, sharded runtime.
-    #[deprecated(
-        note = "use `Framework::execute` with `Exec::batch().seed(base_seed).threads(threads)` \
-                — bit-identical output"
-    )]
-    pub fn run_batch(
-        &self,
-        eps: Eps,
-        domains: Domains,
-        data: &[LabelItem],
-        base_seed: u64,
-        threads: usize,
-    ) -> Result<EstimationResult> {
-        self.execute(
-            eps,
-            domains,
-            &Exec::batch().seed(base_seed).threads(threads),
-            SliceSource::new(data),
-        )
-    }
-
-    /// Runs the framework end-to-end over a stream of label-item pairs
-    /// with bounded memory.
-    #[deprecated(note = "use `Framework::execute` with \
-                `Exec::stream().seed(base_seed).threads(..).chunk_size(..)` — bit-identical \
-                output")]
-    pub fn run_stream<S>(
-        &self,
-        eps: Eps,
-        domains: Domains,
-        source: &mut S,
-        base_seed: u64,
-        config: StreamConfig,
-    ) -> Result<EstimationResult>
-    where
-        S: ReportSource<Item = LabelItem>,
-    {
-        self.execute(
-            eps,
-            domains,
-            &Exec::stream()
-                .seed(base_seed)
-                .threads(config.threads)
-                .chunk_size(config.chunk_items),
-            source,
-        )
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mcim_oracles::stream::SliceSource;
 
     fn eps(v: f64) -> Eps {
         Eps::new(v).unwrap()

@@ -21,8 +21,9 @@
 //!
 //! ```
 //! use mcim_core::{Domains, LabelItem, Framework, FrequencyTable};
+//! use mcim_oracles::exec::Exec;
+//! use mcim_oracles::stream::SliceSource;
 //! use mcim_oracles::Eps;
-//! use rand::SeedableRng;
 //!
 //! let domains = Domains::new(2, 16).unwrap();
 //! // 2 classes, 16 items: class 0 buys item 3, class 1 buys item 9.
@@ -31,9 +32,8 @@
 //!     .collect();
 //! let truth = FrequencyTable::ground_truth(domains, &data).unwrap();
 //!
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
 //! let result = Framework::PtsCp { label_frac: 0.5 }
-//!     .run(Eps::new(4.0).unwrap(), domains, &data, &mut rng)
+//!     .execute(Eps::new(4.0).unwrap(), domains, &Exec::seeded(1), SliceSource::new(&data))
 //!     .unwrap();
 //! let err = (result.table.get(0, 3) - truth.get(0, 3)).abs();
 //! assert!(err < 2_500.0, "estimate within 5% of 25k: err {err}");

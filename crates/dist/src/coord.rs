@@ -456,6 +456,7 @@ impl Coordinator {
     {
         conn.send(&Frame::Job {
             stage_seed: replay.stage_seed,
+            contract: replay.spec.contract,
             kind: replay.spec.kind.to_string(),
             payload: replay.spec.payload.clone(),
             shards: replay.assignment,
@@ -671,6 +672,7 @@ impl Executor for Coordinator {
         S: ReportSource<Item = St::Item>,
         St: Stage,
     {
+        self.plan.validate_contract()?;
         let Some(spec) = stage.spec() else {
             // No wire form — run the stage locally. The shard contract
             // makes this bit-identical, just not remote.
@@ -717,6 +719,7 @@ impl Executor for Coordinator {
         for (i, &shards) in assignments.iter().enumerate() {
             let sent = conns[i].send(&Frame::Job {
                 stage_seed,
+                contract: spec.contract,
                 kind: spec.kind.to_string(),
                 payload: spec.payload.clone(),
                 shards,

@@ -38,8 +38,11 @@ use mcim_oracles::{Error, Result};
 pub mod fault;
 
 /// Protocol version; bumped on any frame-layout change. Coordinator and
-/// worker exchange it in `Hello` and refuse mismatches.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// worker exchange it in `Hello` and refuse mismatches. Version 2 added
+/// the RNG-contract field to `Job`, so a v1 coordinator (whose stages
+/// sample under the retired split sequential/batch contract) is refused at
+/// the handshake rather than silently producing divergent bits.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Upper bound on one frame's tag+body bytes (64 MiB — comfortably above
 /// the default ingestion chunk of 65 536 pairs, far below anything a
@@ -144,6 +147,11 @@ pub enum Frame {
     Job {
         /// Base seed of the stage's per-shard RNG streams.
         stage_seed: u64,
+        /// RNG-contract version the coordinator built the stage under
+        /// (see [`RngContract`](mcim_oracles::exec::RngContract)). The
+        /// worker refuses jobs from a different contract — a mismatch
+        /// would merge partials sampled from incompatible RNG streams.
+        contract: u32,
         /// Registry key of the stage implementation.
         kind: String,
         /// Encoded stage parameters (see
@@ -217,11 +225,13 @@ impl Frame {
             Frame::Hello { version } => version.put(buf),
             Frame::Job {
                 stage_seed,
+                contract,
                 kind,
                 payload,
                 shards,
             } => {
                 stage_seed.put(buf);
+                contract.put(buf);
                 kind.put(buf);
                 payload.put(buf);
                 shards.put(buf);
@@ -243,6 +253,7 @@ impl Frame {
             },
             TAG_JOB => Frame::Job {
                 stage_seed: u64::take(r)?,
+                contract: u32::take(r)?,
                 kind: String::take(r)?,
                 payload: Vec::<u8>::take(r)?,
                 shards: ShardAssignment::take(r)?,
@@ -388,12 +399,14 @@ mod tests {
         });
         round_trip(Frame::Job {
             stage_seed: 0xDEAD_BEEF,
+            contract: 2,
             kind: "fw/pts".into(),
             payload: vec![1, 2, 3],
             shards: ShardAssignment::Range { first: 2, end: 9 },
         });
         round_trip(Frame::Job {
             stage_seed: 1,
+            contract: 1,
             kind: "pem/vp-round".into(),
             payload: Vec::new(),
             shards: ShardAssignment::Stride {
@@ -504,6 +517,7 @@ mod tests {
         // Inverted range assignment.
         let mut body = vec![1u8]; // Job tag
         7u64.put(&mut body);
+        2u32.put(&mut body); // contract
         "k".to_string().put(&mut body);
         Vec::<u8>::new().put(&mut body);
         body.push(0); // Range

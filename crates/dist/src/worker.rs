@@ -22,7 +22,7 @@ use std::net::{TcpListener, TcpStream};
 
 use rand::rngs::StdRng;
 
-use mcim_oracles::exec::{Stage, StageDecode};
+use mcim_oracles::exec::{RngContract, Stage, StageDecode};
 use mcim_oracles::parallel::{shard_rng, SHARD_SIZE};
 use mcim_oracles::wire::{Wire, WireReader, WireState};
 use mcim_oracles::{Error, Result};
@@ -342,6 +342,7 @@ impl Worker {
             match frame {
                 Frame::Job {
                     stage_seed,
+                    contract,
                     kind,
                     payload,
                     shards,
@@ -351,6 +352,22 @@ impl Worker {
                         reader: &mut reader,
                         writer: &mut writer,
                     };
+                    // Refuse cross-contract jobs before touching the
+                    // registry: a stage folded under a different sampling
+                    // contract would return plausible but wrong partials.
+                    if contract != RngContract::CURRENT_VERSION {
+                        drain_and_refuse(
+                            &mut conn,
+                            format!(
+                                "RNG-contract mismatch: job declares v{contract}, worker \
+                                 implements v{} — re-run the coordinator under contract \
+                                 v{} (see the README section \"RNG contract\")",
+                                RngContract::CURRENT_VERSION,
+                                RngContract::CURRENT_VERSION,
+                            ),
+                        )?;
+                        continue;
+                    }
                     match self.registry.runners.get(kind.as_str()) {
                         Some(runner) => runner(&payload, stage_seed, shards, &mut conn)?,
                         None => drain_and_refuse(

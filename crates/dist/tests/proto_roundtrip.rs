@@ -67,6 +67,7 @@ proptest! {
     fn every_frame_variant_roundtrips(
         version in any::<u32>(),
         stage_seed in any::<u64>(),
+        contract in any::<u32>(),
         raw_kind in prop::collection::vec(any::<u8>(), 0..24),
         payload in prop::collection::vec(any::<u8>(), 0..80),
         first_abs in any::<u64>(),
@@ -80,6 +81,7 @@ proptest! {
         frame_bytes_stable(&Frame::Hello { version: PROTOCOL_VERSION });
         frame_bytes_stable(&Frame::Job {
             stage_seed,
+            contract,
             kind: kind.clone(),
             payload: payload.clone(),
             shards,

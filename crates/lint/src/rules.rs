@@ -9,7 +9,7 @@
 //! | `hashmap-in-wire` | iteration order never reaches encoded bytes |
 //! | `panic-freedom` | library code returns `Error`, never panics |
 //! | `stdout-noise` | library crates never write to stdout/stderr |
-//! | `deprecated-shim` | internal callers use the `Exec` API |
+//! | `sampler-bypass` | noise planes come from the one UE sampler |
 //! | `unsafe-header` | every lib crate carries `#![forbid(unsafe_code)]` |
 //! | `pragma-syntax` | every `mcim-lint:` comment actually parses |
 
@@ -21,7 +21,7 @@ pub const RULE_IDS: &[&str] = &[
     "hashmap-in-wire",
     "panic-freedom",
     "stdout-noise",
-    "deprecated-shim",
+    "sampler-bypass",
     "unsafe-header",
     "pragma-syntax",
 ];
@@ -189,23 +189,17 @@ fn is_wire_sensitive(rel: &str, toks: &[Tok]) -> bool {
     })
 }
 
-/// Methods that are deprecated `Exec`-shim entry points. Call sites
-/// (`.name(` / `::name(`) are flagged; definitions (`fn name`) are not.
-const DEPRECATED_SHIMS: &[&str] = &[
-    "run",
-    "run_batch",
-    "run_stream",
-    "run_round",
-    "run_round_batch",
-    "run_round_stream",
-    "mine",
-    "mine_batch",
-    "mine_stream",
-];
+/// The raw Bernoulli fillers. Under RNG-contract v2 every noise plane
+/// must be drawn through `UnaryEncoding`'s private `fill_plane` sampler —
+/// a pipeline call site reaching these directly forks the noise stream
+/// (the wordwise/geometric branch point would no longer be
+/// mode-invariant). Call sites (`.name(` / `::name(`) are flagged;
+/// definitions (`fn name`) are not.
+const RAW_SAMPLERS: &[&str] = &["fill_bernoulli", "fill_bernoulli_wordwise"];
 
-/// The only file allowed to exercise the deprecated shims: the matrix
-/// proving them equivalent to `Exec` plans.
-const SHIM_EXEMPT_FILE: &str = "tests/exec_equivalence.rs";
+/// The sampler module itself: where the fillers live (`bitvec.rs`) and
+/// the one sanctioned chooser between them (`ue.rs`'s `fill_plane`).
+const SAMPLER_HOME_FILES: &[&str] = &["crates/oracles/src/bitvec.rs", "crates/oracles/src/ue.rs"];
 
 /// Everything the engine knows about one analyzed file.
 pub struct FileReport {
@@ -342,19 +336,24 @@ pub fn check_file(rel: &str, source: &str, class: FileClass) -> FileReport {
             }
         }
 
-        // deprecated-shim: any class; call sites only; one file exempt.
-        if DEPRECATED_SHIMS.contains(&id)
+        // sampler-bypass: lib code (tests may probe the fillers directly);
+        // call sites only; the sampler module itself is exempt.
+        if class == FileClass::Lib
+            && !tested
+            && RAW_SAMPLERS.contains(&id)
             && (prev_is('.') || prev_is(':'))
             && next_is('(')
-            && rel != SHIM_EXEMPT_FILE
+            && !SAMPLER_HOME_FILES.contains(&rel)
         {
             push(
-                "deprecated-shim",
+                "sampler-bypass",
                 tok,
                 id,
                 format!(
-                    "`{id}` is a deprecated seq/batch/stream shim; build an `Exec` plan and \
-                     call the `execute*` entry point instead"
+                    "`{id}` bypasses the RNG-contract sampler; draw noise planes through \
+                     `UnaryEncoding` (its `fill_plane` picks the wordwise/geometric path \
+                     from the mechanism parameters alone, keeping every execution mode on \
+                     one stream)"
                 ),
             );
         }
@@ -569,20 +568,27 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_shim_rule_flags_calls_not_definitions() {
-        let src = "fn f(fw: &F) { fw.run_batch(e, d, &x, 1, 2); topk::mine_stream(a); }\n\
-                   pub fn run_batch() {}\n";
-        let f = lib_findings("crates/core/src/x.rs", src);
-        assert_eq!(rules_of(&f), ["deprecated-shim", "deprecated-shim"]);
-        assert_eq!(f[0].token, "run_batch");
-        assert_eq!(f[1].token, "mine_stream");
-        // The equivalence matrix is the one sanctioned caller.
+    fn sampler_bypass_rule_flags_calls_not_definitions() {
+        let src = "fn f(b: &mut BitVec) { b.fill_bernoulli(q, rng); \
+                   BitVec::fill_bernoulli_wordwise(b, q, rng); }\n\
+                   pub fn fill_bernoulli() {}\n";
+        let f = lib_findings("crates/topk/src/x.rs", src);
+        assert_eq!(rules_of(&f), ["sampler-bypass", "sampler-bypass"]);
+        assert_eq!(f[0].token, "fill_bernoulli");
+        assert_eq!(f[1].token, "fill_bernoulli_wordwise");
+        // The sampler module itself is the sanctioned caller …
+        for home in SAMPLER_HOME_FILES {
+            assert!(lib_findings(home, src).is_empty(), "{home}");
+        }
+        // … and tests may probe the fillers directly.
         let t = check_file(
-            SHIM_EXEMPT_FILE,
-            "fn t() { fw.run_batch(); }",
+            "crates/oracles/tests/proptests.rs",
+            "fn t() { b.fill_bernoulli(q, rng); }",
             FileClass::TestLike,
         );
         assert!(t.findings.is_empty());
+        let src = "#[cfg(test)]\nmod tests {\n fn t() { b.fill_bernoulli(q, rng); }\n}\n";
+        assert!(lib_findings("crates/oracles/src/colsum.rs", src).is_empty());
     }
 
     #[test]
@@ -641,7 +647,7 @@ mod tests {
                        let t = SystemTime::now();\n\
                        let r = thread_rng();\n\
                        println!(\"{t:?}\");\n\
-                       engine.run_round(e).unwrap()\n\
+                       plane.fill_bernoulli(q, &mut r).unwrap()\n\
                    }\n";
         let f = lib_findings("crates/core/src/lib.rs", src);
         let mut rules = rules_of(&f);
@@ -651,9 +657,9 @@ mod tests {
             [
                 "ambient-entropy",
                 "ambient-entropy",
-                "deprecated-shim",
                 "hashmap-in-wire",
                 "panic-freedom",
+                "sampler-bypass",
                 "stdout-noise",
                 "unsafe-header",
             ]

@@ -27,22 +27,22 @@
 //!
 //! | mode | machinery | output |
 //! |---|---|---|
-//! | `Sequential` | one `StdRng` over the whole input, in user order | the historical `run(..., &mut rng)` stream |
-//! | `Batch` | sharded deterministic runtime, input materialized | bit-identical to `Stream` |
-//! | `Stream` | sharded deterministic runtime, bounded chunks | bit-identical to `Batch` |
-//! | `Auto` | resolves to `Stream` | bit-identical to `Batch`/`Stream` |
+//! | `Sequential` | sharded deterministic runtime pinned to 1 worker | bit-identical to every other mode |
+//! | `Batch` | sharded deterministic runtime, input materialized | bit-identical to every other mode |
+//! | `Stream` | sharded deterministic runtime, bounded chunks | bit-identical to every other mode |
+//! | `Auto` | resolves to `Stream` | bit-identical to every other mode |
 //!
-//! `Batch` and `Stream` share one code path (the chunked executor is
-//! bit-identical for every chunk size, see [`crate::stream`]), so the only
-//! observable difference between them is memory: `Batch` pulls the whole
-//! source into one chunk, `Stream` holds `O(chunk + threads × shard)`.
-//! Because every mode is source-generic, `Batch`/`Sequential` copy the
-//! input items once into their buffer (one `Vec` of 8-byte pairs — the
-//! privatized reports, which dominate memory, never materialize beyond
-//! the per-worker shard buffers in any sharded mode).
-//! `Sequential` reproduces the legacy caller-RNG entry points for a seeded
-//! `StdRng` and exists for exact backward compatibility and tiny inputs;
-//! it is the only mode whose output differs from the other three.
+//! Under [RNG-contract v2](RngContract) **every mode is one code path**:
+//! the chunked executor over absolute [`parallel::SHARD_SIZE`] shards,
+//! each shard privatized with its deterministic
+//! [`parallel::shard_rng`]`(stage_seed, shard)` stream. Mode only chooses
+//! the resource envelope — `Sequential` pins one worker, `Batch` pulls the
+//! whole source into a single chunk, `Stream` holds
+//! `O(chunk + threads × shard)` — so seed-equal plans produce bit-identical
+//! results in all four modes (including the distributed backend, which
+//! replays the same shard streams on worker processes). The historical v1
+//! sequential stream (one caller `StdRng` over the whole input) is retired;
+//! plans declaring [`RngContract::V1`] are refused with a migration hint.
 //!
 //! ```
 //! use mcim_oracles::exec::Exec;
@@ -57,7 +57,6 @@ use std::fmt;
 use std::marker::PhantomData;
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 use crate::parallel;
 use crate::stream::{fold_stream, ReportSource, StreamConfig, DEFAULT_CHUNK_ITEMS};
@@ -72,8 +71,8 @@ pub enum ExecMode {
     /// memory, bit-identical to `Batch`).
     #[default]
     Auto,
-    /// One RNG stream over the whole input in user order — the historical
-    /// seeded sequential path.
+    /// The sharded runtime pinned to a single worker thread — smallest
+    /// footprint, bit-identical to every other mode under contract v2.
     Sequential,
     /// Sharded deterministic runtime over a fully materialized input.
     Batch,
@@ -101,6 +100,91 @@ impl ExecMode {
     }
 }
 
+/// The versioned contract naming *which* seeded RNG streams the pipelines
+/// draw their noise from.
+///
+/// A contract version pins, for a given `(stage_seed, shard)` pair, the
+/// exact sequence of RNG draws every privatization path performs — it is
+/// the thing the workspace's bit-identity nets actually test. Bumping it
+/// is how seeded outputs are allowed to change: once, versioned, across
+/// every execution mode together.
+///
+/// * **v1** (retired): unary encoding drew its noise planes through the
+///   per-report geometric sampler on the sequential path but word-parallel
+///   in `privatize_batch`, so the sequential stream was a *different*
+///   stream from the sharded ones and pipelines were locked out of the
+///   fast sampler. No v1 compatibility path survives; v1 plans are
+///   refused with a migration hint.
+/// * **v2** (current): every unary-encoding path — sequential, batch,
+///   stream, distributed workers and their recovery replays — draws noise
+///   planes through the same word-parallel sampler
+///   ([`crate::BitVec::fill_bernoulli_wordwise`] above the density
+///   cross-over) from the same `(stage_seed, shard)` stream, so all four
+///   [`ExecMode`]s are bit-identical to each other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RngContract {
+    /// The retired v1 streams (split sequential/batch sampling).
+    V1,
+    /// Word-parallel privatization end-to-end; the only supported
+    /// contract.
+    #[default]
+    V2,
+}
+
+impl RngContract {
+    /// The contract this build implements.
+    pub const CURRENT: RngContract = RngContract::V2;
+    /// The wire encoding of the current contract (what [`StageSpec`]s and
+    /// dist Job frames carry).
+    pub const CURRENT_VERSION: u32 = 2;
+
+    /// Numeric version for wire frames and stage specs.
+    pub fn version(self) -> u32 {
+        match self {
+            RngContract::V1 => 1,
+            RngContract::V2 => 2,
+        }
+    }
+
+    /// Lower-case name used in plan displays and CLI flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            RngContract::V1 => "v1",
+            RngContract::V2 => "v2",
+        }
+    }
+
+    /// The contract a numeric wire version names, if any.
+    pub fn from_version(version: u32) -> Option<RngContract> {
+        match version {
+            1 => Some(RngContract::V1),
+            2 => Some(RngContract::V2),
+            _ => None,
+        }
+    }
+
+    /// `Ok` iff this build can execute the contract. The v1 streams were
+    /// deleted with the contract bump, so v1 plans are refused here rather
+    /// than silently producing v2 output under a v1 label.
+    pub fn validate(self) -> Result<()> {
+        match self {
+            RngContract::V2 => Ok(()),
+            RngContract::V1 => Err(crate::Error::InvalidParameter {
+                name: "rng-contract",
+                constraint: "contract v1 (split sequential/batch UE sampling) is retired; \
+                             re-derive pinned outputs under v2 — see the README section \
+                             \"RNG contract\"",
+            }),
+        }
+    }
+}
+
+impl fmt::Display for RngContract {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// A declarative execution plan: seed, worker budget, chunk size and mode.
 ///
 /// Built with a fluent builder; unset knobs resolve lazily (`threads` to
@@ -115,6 +199,7 @@ pub struct Exec {
     seed: u64,
     threads: Option<usize>,
     chunk_items: Option<usize>,
+    contract: RngContract,
 }
 
 impl Default for Exec {
@@ -131,6 +216,7 @@ impl Exec {
             seed: 0,
             threads: None,
             chunk_items: None,
+            contract: RngContract::CURRENT,
         }
     }
 
@@ -179,10 +265,20 @@ impl Exec {
     }
 
     /// Sets the items pulled (and held) per ingestion chunk in
-    /// [`ExecMode::Stream`] (default [`DEFAULT_CHUNK_ITEMS`]). Ignored by
-    /// `Batch` (whole input) and `Sequential`. Never changes outputs.
+    /// [`ExecMode::Stream`] and [`ExecMode::Sequential`] (default
+    /// [`DEFAULT_CHUNK_ITEMS`]). Ignored by `Batch` (whole input). Never
+    /// changes outputs.
     pub fn chunk_size(mut self, chunk_items: usize) -> Self {
         self.chunk_items = Some(chunk_items.max(1));
+        self
+    }
+
+    /// Declares the RNG contract this plan expects (default
+    /// [`RngContract::CURRENT`]). Executors refuse to fold under a
+    /// contract this build does not implement, so pinned v1 expectations
+    /// fail loudly instead of silently reproducing v2 streams.
+    pub fn rng_contract(mut self, contract: RngContract) -> Self {
+        self.contract = contract;
         self
     }
 
@@ -220,11 +316,15 @@ impl Exec {
         self.chunk_items.unwrap_or(DEFAULT_CHUNK_ITEMS).max(1)
     }
 
-    /// The single sequential RNG of a [`ExecMode::Sequential`] plan —
-    /// `StdRng::seed_from_u64(base_seed)`, the exact stream of the legacy
-    /// `run(..., &mut StdRng::seed_from_u64(seed))` call shape.
-    pub fn seq_rng(&self) -> StdRng {
-        StdRng::seed_from_u64(self.seed)
+    /// The RNG contract this plan declares.
+    pub fn resolved_contract(&self) -> RngContract {
+        self.contract
+    }
+
+    /// `Ok` iff this build implements the plan's declared contract; the
+    /// per-fold gate every executor applies before drawing any noise.
+    pub fn validate_contract(&self) -> Result<()> {
+        self.contract.validate()
     }
 
     /// The equivalent [`StreamConfig`] of the sharded modes.
@@ -253,13 +353,16 @@ impl fmt::Display for Exec {
             Some(t) => write!(f, " threads={t}")?,
             None => write!(f, " threads={}(auto)", self.resolved_threads())?,
         }
-        if self.resolved_mode() == ExecMode::Stream {
+        if matches!(
+            self.resolved_mode(),
+            ExecMode::Stream | ExecMode::Sequential
+        ) {
             match self.chunk_items {
                 Some(c) => write!(f, " chunk={c}")?,
                 None => write!(f, " chunk={}(default)", self.resolved_chunk_items())?,
             }
         }
-        Ok(())
+        write!(f, " contract={}", self.contract)
     }
 }
 
@@ -526,6 +629,7 @@ impl Executor for InProcess {
         S: ReportSource<Item = St::Item>,
         St: Stage,
     {
+        self.plan.validate_contract()?;
         let mut config = self.plan.stream_config();
         if self.plan.resolved_mode() == ExecMode::Batch {
             // Batch mode materializes: one chunk spanning the whole
@@ -608,9 +712,11 @@ mod tests {
         assert!(shown.contains("seed=5"), "{shown}");
         assert!(shown.contains("threads=2"), "{shown}");
         assert!(shown.contains("chunk=64"), "{shown}");
+        assert!(shown.contains("contract=v2"), "{shown}");
         let batch = Exec::batch().to_string();
         assert!(batch.contains("mode=batch"), "{batch}");
         assert!(!batch.contains("chunk="), "batch hides the chunk: {batch}");
+        assert!(batch.contains("contract=v2"), "{batch}");
     }
 
     /// Unset knobs display their lazily resolved values tagged as such, so
@@ -629,19 +735,52 @@ mod tests {
         let seq = Exec::sequential().to_string();
         assert!(seq.contains("mode=sequential"), "{seq}");
         assert!(seq.contains("threads=1(auto)"), "sequential pins 1: {seq}");
-        assert!(!seq.contains("chunk="), "sequential hides the chunk: {seq}");
+        assert!(
+            seq.contains("chunk="),
+            "sequential chunk-streams under v2: {seq}"
+        );
+        assert!(seq.contains("contract=v2"), "{seq}");
         let explicit = Exec::stream().threads(7).to_string();
         assert!(explicit.contains("threads=7"), "{explicit}");
         assert!(!explicit.contains("threads=7(auto)"), "{explicit}");
     }
 
     #[test]
-    fn seq_rng_matches_seed_from_u64() {
-        let mut a = Exec::sequential().seed(42).seq_rng();
-        let mut b = StdRng::seed_from_u64(42);
-        for _ in 0..8 {
-            assert_eq!(a.next_u64(), b.next_u64());
+    fn rng_contract_versions_round_trip() {
+        assert_eq!(RngContract::CURRENT, RngContract::V2);
+        assert_eq!(RngContract::CURRENT.version(), RngContract::CURRENT_VERSION);
+        for contract in [RngContract::V1, RngContract::V2] {
+            assert_eq!(
+                RngContract::from_version(contract.version()),
+                Some(contract)
+            );
         }
+        assert_eq!(RngContract::from_version(0), None);
+        assert_eq!(RngContract::from_version(3), None);
+        assert_eq!(RngContract::V1.name(), "v1");
+        assert_eq!(RngContract::V2.to_string(), "v2");
+        assert_eq!(Exec::new().resolved_contract(), RngContract::V2);
+    }
+
+    #[test]
+    fn v1_plans_are_refused_with_a_migration_hint() {
+        let plan = Exec::seeded(3).rng_contract(RngContract::V1);
+        let err = plan.validate_contract().unwrap_err();
+        let crate::Error::InvalidParameter { name, constraint } = &err else {
+            panic!("expected InvalidParameter, got {err:?}");
+        };
+        assert_eq!(*name, "rng-contract");
+        assert!(constraint.contains("v2"), "{constraint}");
+        assert!(constraint.contains("RNG contract"), "{constraint}");
+
+        // The gate fires on the executor, before any noise is drawn.
+        let stage = sum_mix_stage();
+        let folded = plan
+            .in_process()
+            .fold(&mut SliceSource::new(&[1u32, 2, 3]), 7, &stage);
+        assert_eq!(folded.unwrap_err(), err);
+        // Current-contract plans pass.
+        Exec::seeded(3).validate_contract().unwrap();
     }
 
     #[allow(clippy::type_complexity)]
@@ -668,8 +807,9 @@ mod tests {
         )
     }
 
-    /// The shard contract: batch and stream plans fold bit-identically,
-    /// for every chunk size, and a sized batch fold materializes whole.
+    /// The shard contract: sequential, batch and stream plans fold
+    /// bit-identically, for every chunk size, and a sized batch fold
+    /// materializes whole.
     #[test]
     fn in_process_fold_is_mode_and_chunk_invariant() {
         let items: Vec<u32> = (0..3 * parallel::SHARD_SIZE as u32 + 500).collect();
@@ -682,6 +822,8 @@ mod tests {
         let reference = fold(Exec::batch().threads(1));
         for plan in [
             Exec::batch().threads(4),
+            Exec::sequential(),
+            Exec::sequential().chunk_size(parallel::SHARD_SIZE + 1),
             Exec::stream().threads(1),
             Exec::stream()
                 .threads(4)

@@ -127,37 +127,26 @@ impl Oracle {
     /// `(self, values, base_seed)` — any thread count produces
     /// bit-identical reports.
     ///
-    /// Unary-encoding oracles take the bulk sampler
-    /// ([`UnaryEncoding::privatize_into`]): noise planes are drawn
-    /// word-parallel for dense `q`, which makes the batch path faster than
-    /// a [`Oracle::privatize`] loop *per core* — the single-report path
-    /// keeps its historical geometric RNG stream for seed stability, so
-    /// the two streams coincide only for sparse `q`. GRR and OLH shards
-    /// privatize exactly as a per-report loop would.
+    /// Every shard privatizes exactly as a per-report [`Oracle::privatize`]
+    /// loop would: under RNG-contract v2 the unary-encoding sampler draws
+    /// its noise planes word-parallel for dense `q` on *every* entry point
+    /// ([`UnaryEncoding::privatize`] and
+    /// [`crate::UnaryEncoding::privatize_into`] consume the RNG stream
+    /// identically), so the batch output needs no UE special case to match
+    /// the sequential stream bit-for-bit.
     pub fn privatize_batch(
         &self,
         values: &[u32],
         base_seed: u64,
         threads: usize,
     ) -> Result<Vec<Report>> {
-        match self {
-            Oracle::Ue(m) => parallel::try_fill_shards(values, threads, |shard, chunk, slots| {
-                let mut rng = parallel::shard_rng(base_seed, shard);
-                for (&v, slot) in chunk.iter().zip(slots.iter_mut()) {
-                    let mut bits = BitVec::zeros(m.domain_size() as usize);
-                    m.privatize_into(v, &mut rng, &mut bits)?;
-                    *slot = Some(Report::Bits(bits));
-                }
-                Ok(())
-            }),
-            _ => parallel::try_fill_shards(values, threads, |shard, chunk, slots| {
-                let mut rng = parallel::shard_rng(base_seed, shard);
-                for (&v, slot) in chunk.iter().zip(slots.iter_mut()) {
-                    *slot = Some(self.privatize(v, &mut rng)?);
-                }
-                Ok(())
-            }),
-        }
+        parallel::try_fill_shards(values, threads, |shard, chunk, slots| {
+            let mut rng = parallel::shard_rng(base_seed, shard);
+            for (&v, slot) in chunk.iter().zip(slots.iter_mut()) {
+                *slot = Some(self.privatize(v, &mut rng)?);
+            }
+            Ok(())
+        })
     }
 
     /// Short name for logs and benchmark tables.
@@ -489,20 +478,14 @@ mod tests {
                 );
             }
             // The documented contract: shard s is privatized sequentially
-            // with parallel::shard_rng(base, s) — through the bulk sampler
-            // for unary encoding, the plain privatize loop otherwise.
+            // with parallel::shard_rng(base, s) through the plain
+            // per-report privatize loop — for every mechanism, including
+            // unary encoding (contract v2 shares one sampler stream).
             let mut reference = Vec::new();
             for (s, chunk) in values.chunks(parallel::SHARD_SIZE).enumerate() {
                 let mut rng = parallel::shard_rng(base, s as u64);
                 for &v in chunk {
-                    match &oracle {
-                        Oracle::Ue(m) => {
-                            let mut bits = BitVec::zeros(d as usize);
-                            m.privatize_into(v, &mut rng, &mut bits).unwrap();
-                            reference.push(Report::Bits(bits));
-                        }
-                        _ => reference.push(oracle.privatize(v, &mut rng).unwrap()),
-                    }
+                    reference.push(oracle.privatize(v, &mut rng).unwrap());
                 }
             }
             assert_eq!(seq, reference, "{}", oracle.name());

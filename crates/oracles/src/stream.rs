@@ -28,28 +28,39 @@
 //! and associative (true for counter sums and [`super::parallel`]-style
 //! accumulators).
 //!
-//! ## Why stream privatization keeps the per-report UE sampler
+//! ## RNG-contract v2: one sampler stream for every mode
 //!
-//! `Oracle::privatize_batch` draws its unary-encoding noise planes through
-//! the exact word-parallel Bernoulli sampler
-//! ([`crate::BitVec::fill_bernoulli_wordwise`]) — 64 lanes per RNG word, no
-//! `ln` per set bit — and the ROADMAP asked whether the streaming pipelines
-//! (`Framework::execute` in stream/batch mode, formerly `run_stream`) could
-//! route their UE privatization through it too, for roughly an
-//! order-of-magnitude end-to-end frequency throughput lift. They cannot,
-//! under the current RNG contract, and the obstacle is **not** the chunk
-//! layout: chunks and shards never split a single report, so every noise
-//! plane could be drawn whole. The obstacle is deterministic replay. The
-//! framework mechanisms privatize each user through their single-report
-//! paths, whose geometric-skipping sampler consumes a *different* RNG
-//! stream than the word-sliced lanes for the same `(seed, shard)`; the
-//! committed seed-regression and `Exec`-equivalence nets pin those exact
-//! per-`(seed, threads, chunk)` outputs across sequential, batch and
-//! stream modes. Swapping samplers inside any one mode would silently
-//! change every seeded estimate rather than just its wall clock. Routing
-//! the planes word-parallel therefore needs an explicit, versioned
-//! RNG-contract bump that re-baselines all modes together — tracked in
-//! ROADMAP.md as an open item, not smuggled in here.
+//! The workspace's seeded outputs are governed by a versioned **RNG
+//! contract** ([`crate::exec::RngContract`]); this section is the v2
+//! specification.
+//!
+//! 1. **Shard streams.** Item `i` belongs to absolute shard
+//!    `i / `[`SHARD_SIZE`]; shard `s` is processed with
+//!    [`shard_rng`]`(stage_seed, s)`. The derivation (splitmix64 over a
+//!    salted shard index, seeding a `StdRng`) is unchanged from v1.
+//!    Fragments of a split shard continue the carried RNG state in order,
+//!    including on distributed workers and their recovery replays.
+//! 2. **One sampler per draw, everywhere.** Unary-encoding noise planes
+//!    are drawn through the contract-v2 plane sampler
+//!    (`UnaryEncoding::fill_plane`): word-parallel
+//!    ([`crate::BitVec::fill_bernoulli_wordwise`] — 64 lanes per RNG word,
+//!    no `ln` per set bit) whenever the plane probability is at least
+//!    `UnaryEncoding::WORDWISE_MIN_Q`, geometric skipping below it. The
+//!    branch depends only on mechanism parameters, never on the execution
+//!    mode, so `privatize`, `privatize_into` and `perturb_bits` consume
+//!    the RNG stream identically wherever they run.
+//! 3. **Consequence.** Sequential, batch, stream and distributed execution
+//!    are one code path differing only in resource envelope, and their
+//!    outputs are bit-identical per `(stage_seed, threads, chunk,
+//!    workers)` — the committed determinism / `Exec`-equivalence / chaos
+//!    nets pin exactly this.
+//!
+//! Under v1, the sequential path privatized through a per-report
+//! geometric sampler while `privatize_batch` went word-parallel: two
+//! streams for the same seed, and the fast sampler locked out of every
+//! pipeline the equivalence nets pinned. The v2 bump changed all seeded
+//! estimates once (versioned, re-baselined) in exchange for the
+//! word-parallel sampler end-to-end; v1 plans are refused, not emulated.
 
 use rand::rngs::StdRng;
 

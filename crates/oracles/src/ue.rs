@@ -111,7 +111,33 @@ impl UnaryEncoding {
         self.d as usize
     }
 
+    /// Fills `out` with an i.i.d. Bernoulli(`prob`) plane — **the**
+    /// RNG-contract v2 sampler every UE path shares.
+    ///
+    /// Word-parallel ([`BitVec::fill_bernoulli_wordwise`]) when `prob` is
+    /// dense enough for the bit-sliced sampler to beat geometric skipping,
+    /// geometric ([`BitVec::fill_bernoulli`]) below
+    /// [`UnaryEncoding::WORDWISE_MIN_Q`]. Because the cross-over depends
+    /// only on `prob` (a mechanism parameter, never on data), every
+    /// execution mode picks the same branch and consumes the RNG stream
+    /// identically — this is what keeps sequential, batch, stream and
+    /// distributed outputs bit-identical under contract v2.
+    #[inline]
+    fn fill_plane<R: Rng + ?Sized>(&self, prob: f64, out: &mut BitVec, rng: &mut R) {
+        if prob >= Self::WORDWISE_MIN_Q {
+            out.fill_bernoulli_wordwise(prob, rng);
+        } else {
+            out.fill_bernoulli(prob, rng);
+        }
+    }
+
     /// Encodes and perturbs item `v`.
+    ///
+    /// Draws its Bernoulli(`q`) noise plane through the shared contract-v2
+    /// sampler, so a per-report loop over `privatize` consumes the RNG
+    /// stream exactly like [`UnaryEncoding::privatize_into`] — the batch,
+    /// stream and distributed paths reproduce this output bit-for-bit from
+    /// the same `(stage_seed, shard)` stream.
     pub fn privatize<R: Rng + ?Sized>(&self, v: u32, rng: &mut R) -> Result<BitVec> {
         if v >= self.d {
             return Err(Error::ValueOutOfDomain {
@@ -120,26 +146,20 @@ impl UnaryEncoding {
             });
         }
         let mut bits = BitVec::zeros(self.d as usize);
-        bits.fill_bernoulli(self.q, rng);
+        self.fill_plane(self.q, &mut bits, rng);
         bits.set(v as usize, rng.random_bool(self.p));
         Ok(bits)
     }
 
     /// Encodes and perturbs item `v` into `out`, reusing its allocation.
     ///
-    /// This is the **bulk** privatization path: the Bernoulli(`q`) noise
-    /// plane is sampled word-parallel
-    /// ([`BitVec::fill_bernoulli_wordwise`]) whenever `q` is dense enough
-    /// for the bit-sliced sampler to beat geometric skipping — no `ln`
-    /// per set bit, ~8 RNG words per 64 output bits. For sparse `q`
-    /// (below [`UnaryEncoding::WORDWISE_MIN_Q`]) it falls back to the same
-    /// geometric fill as [`UnaryEncoding::privatize`], making the two
-    /// paths RNG-identical in that regime.
-    ///
-    /// Both samplers are exactly Bernoulli(`q`); they only consume the RNG
-    /// stream differently, so batch outputs remain a pure function of
-    /// `(self, v, rng state)` — the determinism the batch runtime needs —
-    /// while diverging from the single-report stream for dense `q`.
+    /// This is the allocation-free twin of [`UnaryEncoding::privatize`]:
+    /// both draw the Bernoulli(`q`) noise plane through the same
+    /// contract-v2 sampler (word-parallel for dense `q` — no `ln` per set
+    /// bit, ~8 RNG words per 64 output bits; geometric skipping below
+    /// [`UnaryEncoding::WORDWISE_MIN_Q`]), then one `p` draw for the hot
+    /// bit. Identical inputs and RNG state produce identical outputs *and*
+    /// identical post-call RNG states on either entry point.
     ///
     /// `out` is resized (reallocated) only when its length differs from
     /// `d`; streaming absorbers reuse one scratch report per worker and
@@ -159,17 +179,13 @@ impl UnaryEncoding {
         if out.len() != self.d as usize {
             *out = BitVec::zeros(self.d as usize);
         }
-        if self.q >= Self::WORDWISE_MIN_Q {
-            out.fill_bernoulli_wordwise(self.q, rng);
-        } else {
-            out.fill_bernoulli(self.q, rng);
-        }
+        self.fill_plane(self.q, out, rng);
         out.set(v as usize, rng.random_bool(self.p));
         Ok(())
     }
 
-    /// `q` threshold above which [`UnaryEncoding::privatize_into`] samples
-    /// noise word-parallel. Geometric skipping costs ~`64·q` draws + `ln`s
+    /// Probability threshold above which the contract-v2 plane sampler
+    /// goes word-parallel. Geometric skipping costs ~`64·q` draws + `ln`s
     /// per word; the bit-sliced sampler a flat ~8 words. The cross-over
     /// (with `ln` ≈ 2 word-draws of work) sits near `q ≈ 0.04`; 1/16 keeps
     /// a margin for the cheap-`ln` case.
@@ -181,12 +197,16 @@ impl UnaryEncoding {
     /// perturbation encodes invalid items on an extra flag bit and then
     /// applies exactly this bit-flipping step).
     ///
-    /// Clear bits always go through [`BitVec::fill_bernoulli`]'s geometric
-    /// skipping. Set bits get one draw each while the encoding is sparse
-    /// (the one-hot case), and a word-parallel Bernoulli(`p`) mask once the
-    /// per-bit draws would cost more than sampling the mask — so the RNG
-    /// cost is `O(d·min(q + p, q + 1 − p))` draws even for dense inputs,
-    /// never a per-bit loop over the whole domain.
+    /// The Bernoulli(`q`) noise plane comes from the shared contract-v2
+    /// sampler (word-parallel for dense `q`, geometric below
+    /// [`UnaryEncoding::WORDWISE_MIN_Q`]). Set bits get one draw each
+    /// while the encoding is sparse (the one-hot case), and a contract-v2
+    /// Bernoulli(`p`) mask once the per-bit draws would cost more than
+    /// sampling the mask — so the RNG cost is `O(d·min(q + p, q + 1 − p))`
+    /// draws even for dense inputs, never a per-bit loop over the whole
+    /// domain. The sparse/dense branch depends only on the encoding and
+    /// the mechanism parameters, so identical inputs consume the RNG
+    /// stream identically in every execution mode.
     pub fn perturb_bits<R: Rng + ?Sized>(&self, encoded: &BitVec, rng: &mut R) -> Result<BitVec> {
         if encoded.len() != self.d as usize {
             return Err(Error::ReportMismatch {
@@ -194,10 +214,10 @@ impl UnaryEncoding {
             });
         }
         let mut out = BitVec::zeros(encoded.len());
-        out.fill_bernoulli(self.q, rng);
+        self.fill_plane(self.q, &mut out, rng);
         let ones = encoded.count_ones();
-        // Geometric skipping draws ~len·min(p, 1−p) gaps for the mask;
-        // the per-bit path draws exactly `ones`.
+        // The mask samples ~len·min(p, 1−p) effective density; the
+        // per-bit path draws exactly `ones`.
         let mask_cost = encoded.len() as f64 * self.p.min(1.0 - self.p);
         if (ones as f64) <= mask_cost {
             for i in encoded.iter_ones() {
@@ -206,10 +226,10 @@ impl UnaryEncoding {
         } else {
             let mut keep = BitVec::zeros(encoded.len());
             if self.p <= 0.5 {
-                keep.fill_bernoulli(self.p, rng);
+                self.fill_plane(self.p, &mut keep, rng);
             } else {
                 // Sample the (rarer) drops and complement.
-                keep.fill_bernoulli(1.0 - self.p, rng);
+                self.fill_plane(1.0 - self.p, &mut keep, rng);
                 keep.toggle_all();
             }
             out.merge_masked(encoded, &keep);
@@ -297,6 +317,34 @@ mod tests {
         let q_hat = set_false as f64 / (n * 63) as f64;
         assert!((p_hat - m.p()).abs() < 0.02, "p_hat={p_hat}");
         assert!((q_hat - m.q()).abs() < 0.005, "q_hat={q_hat}");
+    }
+
+    #[test]
+    fn privatize_and_privatize_into_share_one_rng_stream() {
+        // The RNG-contract v2 invariant: both entry points draw through
+        // the same plane sampler, so equal seeds give equal outputs AND
+        // equal post-call RNG states — on either side of the
+        // WORDWISE_MIN_Q cross-over.
+        for m in [
+            UnaryEncoding::optimized(eps(1.0), 96).unwrap(), // dense q
+            UnaryEncoding::symmetric(eps(0.5), 96).unwrap(), // dense q
+            UnaryEncoding::optimized(eps(6.0), 96).unwrap(), // sparse q
+        ] {
+            let mut a = StdRng::seed_from_u64(77);
+            let mut b = StdRng::seed_from_u64(77);
+            let mut out = BitVec::zeros(96);
+            for v in 0..200u32 {
+                let bits = m.privatize(v % 96, &mut a).unwrap();
+                m.privatize_into(v % 96, &mut b, &mut out).unwrap();
+                assert_eq!(bits, out, "kind {:?} v={v}", m.kind());
+            }
+            assert_eq!(
+                a.random::<u64>(),
+                b.random::<u64>(),
+                "RNG states diverged for kind {:?}",
+                m.kind()
+            );
+        }
     }
 
     #[test]

@@ -292,14 +292,25 @@ pub struct StageSpec {
     pub kind: &'static str,
     /// Encoded stage parameters ([`Wire`] values).
     pub payload: Vec<u8>,
+    /// The [`RngContract`](crate::exec::RngContract) version
+    /// ([`version()`](crate::exec::RngContract::version)) the emitting
+    /// coordinator folds under. Travels in the dist Job frame so a worker
+    /// on a different contract refuses the job instead of silently folding
+    /// a different stream.
+    pub contract: u32,
 }
 
 impl StageSpec {
-    /// Builds a spec from a kind and an encoding closure.
+    /// Builds a spec from a kind and an encoding closure, stamped with the
+    /// current build's RNG contract.
     pub fn new(kind: &'static str, encode: impl FnOnce(&mut Vec<u8>)) -> Self {
         let mut payload = Vec::new();
         encode(&mut payload);
-        StageSpec { kind, payload }
+        StageSpec {
+            kind,
+            payload,
+            contract: crate::exec::RngContract::CURRENT_VERSION,
+        }
     }
 }
 
@@ -406,5 +417,10 @@ mod tests {
         });
         assert_eq!(spec.kind, "test/x");
         assert_eq!(u32::take(&mut WireReader::new(&spec.payload)).unwrap(), 7);
+        assert_eq!(
+            spec.contract,
+            crate::exec::RngContract::CURRENT_VERSION,
+            "specs are stamped with the build's contract"
+        );
     }
 }

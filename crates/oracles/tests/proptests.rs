@@ -121,6 +121,46 @@ proptest! {
 }
 
 proptest! {
+    /// The two Bernoulli fillers behind the RNG-contract sampler are
+    /// statistically equivalent: for any density `q`, the word-parallel
+    /// path and the geometric-skip path both realize per-bit marginal
+    /// Bernoulli(q). Contract v2 may therefore pick between them from the
+    /// mechanism parameters alone — the choice moves which stream the
+    /// bits come from, never their distribution.
+    #[test]
+    fn wordwise_and_geometric_fillers_share_the_bernoulli_marginal(
+        q in 0.005f64..0.6,
+        seed in any::<u64>(),
+    ) {
+        const LEN: usize = 4096;
+        const TRIALS: usize = 32;
+        let mean_of = |wordwise: bool| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut ones = 0u64;
+            let mut v = BitVec::zeros(LEN);
+            for _ in 0..TRIALS {
+                if wordwise {
+                    v.fill_bernoulli_wordwise(q, &mut rng);
+                } else {
+                    v.fill_bernoulli(q, &mut rng);
+                }
+                ones += v.count_ones() as u64;
+            }
+            ones as f64 / (LEN * TRIALS) as f64
+        };
+        let n = (LEN * TRIALS) as f64;
+        // Six standard deviations of the empirical mean: a per-case false
+        // alarm rate around 1e-9, so the suite stays deterministic-green.
+        let tol = 6.0 * (q * (1.0 - q) / n).sqrt();
+        let (wordwise, geometric) = (mean_of(true), mean_of(false));
+        prop_assert!((wordwise - q).abs() < tol, "wordwise {wordwise} vs q {q}");
+        prop_assert!((geometric - q).abs() < tol, "geometric {geometric} vs q {q}");
+        prop_assert!((wordwise - geometric).abs() < 2.0 * tol,
+            "fillers disagree: {wordwise} vs {geometric} at q {q}");
+    }
+}
+
+proptest! {
     /// Stochastic rounding reports are always ±1 and calibration maps them
     /// to ±(e^ε+1)/(e^ε−1).
     #[test]

@@ -51,7 +51,5 @@ pub mod pem;
 pub mod shuffle;
 
 pub use multiclass::{execute, execute_on, NoiseTest, TopKConfig, TopKMethod, TopKResult};
-#[allow(deprecated)]
-pub use multiclass::{mine, mine_batch, mine_stream};
 pub use pem::{Pem, PemConfig, PemEngine, PemOracleRoundStage, PemOutcome, PemVpRoundStage};
 pub use shuffle::{replay, CompletedRound, ShuffleEngine};

@@ -20,7 +20,7 @@ use std::collections::HashMap;
 use rand::Rng;
 
 use mcim_core::{CommStats, Domains, LabelItem, ValidityInput, ValidityPerturbation, VpAggregator};
-use mcim_oracles::exec::{Exec, Executor, InProcess};
+use mcim_oracles::exec::{Exec, Executor};
 use mcim_oracles::hash::SplitMix64;
 use mcim_oracles::stream::{drain_source, ReportSource, SliceSource};
 use mcim_oracles::{
@@ -229,39 +229,30 @@ pub struct TopKResult {
     pub broadcast_bits_per_user: f64,
 }
 
-/// Execution pacing for the bulk privatize+aggregate stages.
+/// Execution pacing for the bulk privatize+aggregate stages: the sharded
+/// deterministic runtime of [`parallel`].
 ///
-/// `Seq` drives every stage with the caller's RNG, drawing in user order —
-/// the classic [`mine`] behavior. `Par` replaces each bulk stage with the
-/// sharded deterministic runtime of [`parallel`]: stage `i` takes the
-/// `i`-th seed of a [`SplitMix64`] stream and fans out over fixed-size
-/// shards with derived per-shard RNGs, so the mined result is bit-identical
-/// for every thread count.
-enum Pace<'r, R: Rng + ?Sized, E: Executor> {
-    /// Sequential execution with the caller's RNG.
-    Seq(&'r mut R),
-    /// Sharded deterministic execution.
-    Par {
-        /// Per-stage seed stream.
-        stream: SplitMix64,
-        /// Worker thread cap (local fan-out stages).
-        threads: usize,
-        /// Backend for the PEM stages — [`InProcess`] threads or the
-        /// distributed reducer. The label-routing and shuffling stages
-        /// stay local: their folds are output-per-input maps, not
-        /// mergeable reductions, so there is nothing for a reducer to
-        /// merge.
-        executor: &'r E,
-    },
+/// Stage `i` takes the `i`-th seed of a [`SplitMix64`] stream over the
+/// plan seed and fans out over fixed-size shards with derived per-shard
+/// RNGs, so the mined result is bit-identical for every thread count,
+/// chunk size and worker count. Sequential plans are this same runtime
+/// pinned to one worker (RNG-contract v2; see `mcim_oracles::stream`).
+struct Pace<'r, E: Executor> {
+    /// Per-stage seed stream.
+    stream: SplitMix64,
+    /// Worker thread cap (local fan-out stages).
+    threads: usize,
+    /// Backend for the PEM stages — in-process threads or the distributed
+    /// reducer. The label-routing and shuffling stages stay local: their
+    /// folds are output-per-input maps, not mergeable reductions, so there
+    /// is nothing for a reducer to merge.
+    executor: &'r E,
 }
 
-impl<R: Rng + ?Sized, E: Executor> Pace<'_, R, E> {
+impl<E: Executor> Pace<'_, E> {
     /// A fresh 64-bit seed (shuffle-round seeds, sharded-stage base seeds).
     fn next_seed(&mut self) -> u64 {
-        match self {
-            Pace::Seq(rng) => rng.random(),
-            Pace::Par { stream, .. } => stream.next_u64(),
-        }
+        self.stream.next_u64()
     }
 
     /// GRR-routes a block of labels, recording uplink per user.
@@ -269,21 +260,14 @@ impl<R: Rng + ?Sized, E: Executor> Pace<'_, R, E> {
         for _ in labels {
             comm.record(grr.report_bits());
         }
-        match self {
-            Pace::Seq(rng) => labels.iter().map(|&l| grr.perturb(l, rng)).collect(),
-            Pace::Par {
-                stream, threads, ..
-            } => {
-                let base = stream.next_u64();
-                parallel::try_fill_shards(labels, *threads, |shard, chunk, slots| {
-                    let mut rng = parallel::shard_rng(base, shard);
-                    for (&l, slot) in chunk.iter().zip(slots.iter_mut()) {
-                        *slot = Some(grr.perturb(l, &mut rng)?);
-                    }
-                    Ok(())
-                })
+        let base = self.stream.next_u64();
+        parallel::try_fill_shards(labels, self.threads, |shard, chunk, slots| {
+            let mut rng = parallel::shard_rng(base, shard);
+            for (&l, slot) in chunk.iter().zip(slots.iter_mut()) {
+                *slot = Some(grr.perturb(l, &mut rng)?);
             }
-        }
+            Ok(())
+        })
     }
 
     /// Privatizes and aggregates a block of validity-perturbation inputs.
@@ -293,23 +277,8 @@ impl<R: Rng + ?Sized, E: Executor> Pace<'_, R, E> {
         inputs: &[ValidityInput],
         comm: &mut CommStats,
     ) -> Result<VpAggregator> {
-        match self {
-            Pace::Seq(rng) => {
-                let mut agg = VpAggregator::new(vp);
-                for &input in inputs {
-                    let report = vp.privatize(input, rng)?;
-                    comm.record(report.len());
-                    agg.absorb(&report)?;
-                }
-                Ok(agg)
-            }
-            Pace::Par {
-                stream, threads, ..
-            } => {
-                let base = stream.next_u64();
-                vp_aggregate_batch(vp, inputs, base, *threads, comm)
-            }
-        }
+        let base = self.stream.next_u64();
+        vp_aggregate_batch(vp, inputs, base, self.threads, comm)
     }
 
     /// Runs one PEM round on a prepared item group.
@@ -319,39 +288,34 @@ impl<R: Rng + ?Sized, E: Executor> Pace<'_, R, E> {
         eps: Eps,
         items: &[Option<u32>],
     ) -> Result<CommStats> {
-        match self {
-            Pace::Seq(rng) => engine.run_round_seq(eps, items.iter().copied(), rng),
-            Pace::Par {
-                stream, executor, ..
-            } => {
-                engine.execute_round_on(*executor, eps, stream.next_u64(), SliceSource::new(items))
-            }
-        }
+        engine.execute_round_on(
+            self.executor,
+            eps,
+            self.stream.next_u64(),
+            SliceSource::new(items),
+        )
     }
 
     /// Runs a full single-population PEM mine.
     fn pem_mine(&mut self, pem: &Pem, eps: Eps, items: &[Option<u32>]) -> Result<PemOutcome> {
-        match self {
-            Pace::Seq(rng) => pem.mine_seq(eps, items, rng),
-            Pace::Par {
-                stream, executor, ..
-            } => pem.execute_on(*executor, eps, stream.next_u64(), SliceSource::new(items)),
-        }
+        pem.execute_on(
+            self.executor,
+            eps,
+            self.stream.next_u64(),
+            SliceSource::new(items),
+        )
     }
 }
 
 /// Runs `method` under an [`Exec`] plan and returns per-class top-k items
-/// — the single entry point replacing the deprecated `mine` /
-/// `mine_batch` / `mine_stream` triplet.
+/// — the single entry point of the multi-class layer.
 ///
-/// Sequential plans reproduce the historical
-/// `mine(method, config, domains, data, &mut StdRng::seed_from_u64(seed))`
-/// stream bit-for-bit. The sharded modes fan every bulk
-/// privatize+aggregate stage out over fixed-size shards with RNG streams
-/// derived from the plan seed, so the mined result is a pure function of
-/// `(method, config, domains, pairs, seed)` — bit-identical to the
-/// deprecated `mine_batch`/`mine_stream` for every thread count and chunk
-/// size (the `MCIM_THREADS` CI matrix locks this in).
+/// Every mode fans each bulk privatize+aggregate stage out over
+/// fixed-size shards with RNG streams derived from the plan seed
+/// (RNG-contract v2), so the mined result is a pure function of
+/// `(method, config, domains, pairs, seed)` — bit-identical across
+/// sequential, batch, stream and distributed execution for every thread
+/// count and chunk size (the `MCIM_THREADS` CI matrix locks this in).
 ///
 /// Multi-round mining routes users into per-class groups that later
 /// rounds revisit, so the 8-byte pairs themselves are drained into memory
@@ -365,21 +329,11 @@ pub fn execute<S>(
     config: TopKConfig,
     domains: Domains,
     plan: &Exec,
-    mut source: S,
+    source: S,
 ) -> Result<TopKResult>
 where
     S: ReportSource<Item = LabelItem>,
 {
-    if plan.is_sequential() {
-        let data = drain_source(&mut source)?;
-        return mine_with(
-            method,
-            config,
-            domains,
-            &data,
-            &mut Pace::<_, InProcess>::Seq(&mut plan.seq_rng()),
-        );
-    }
     execute_on(method, config, domains, &plan.in_process(), source)
 }
 
@@ -406,8 +360,11 @@ where
     E: Executor,
     S: ReportSource<Item = LabelItem>,
 {
+    // PTJ/PTS-Shuffled never reach `Executor::fold`, so the contract gate
+    // must also sit here — every multi-class entry point refuses v1 plans.
+    executor.plan().validate_contract()?;
     let data = drain_source(&mut source)?;
-    let mut pace: Pace<'_, rand::rngs::StdRng, E> = Pace::Par {
+    let mut pace = Pace {
         stream: SplitMix64::new(executor.plan().base_seed()),
         threads: executor.plan().resolved_threads(),
         executor,
@@ -415,82 +372,12 @@ where
     mine_with(method, config, domains, &data, &mut pace)
 }
 
-/// Runs `method` over the dataset with a caller-supplied RNG, in user
-/// order.
-#[deprecated(
-    note = "use `mcim_topk::execute` with `Exec::sequential().seed(..)` — identical output \
-            for a fresh `StdRng::seed_from_u64(seed)`"
-)]
-pub fn mine<R: Rng + ?Sized>(
+fn mine_with<E: Executor>(
     method: TopKMethod,
     config: TopKConfig,
     domains: Domains,
     data: &[LabelItem],
-    rng: &mut R,
-) -> Result<TopKResult> {
-    mine_with(
-        method,
-        config,
-        domains,
-        data,
-        &mut Pace::<_, InProcess>::Seq(rng),
-    )
-}
-
-/// Runs `method` on the batched, sharded runtime.
-#[deprecated(
-    note = "use `mcim_topk::execute` with `Exec::batch().seed(base_seed).threads(threads)` — \
-            bit-identical output"
-)]
-pub fn mine_batch(
-    method: TopKMethod,
-    config: TopKConfig,
-    domains: Domains,
-    data: &[LabelItem],
-    base_seed: u64,
-    threads: usize,
-) -> Result<TopKResult> {
-    execute(
-        method,
-        config,
-        domains,
-        &Exec::batch().seed(base_seed).threads(threads),
-        SliceSource::new(data),
-    )
-}
-
-/// Runs `method` fed from a stream of label-item pairs.
-#[deprecated(note = "use `mcim_topk::execute` with \
-            `Exec::stream().seed(base_seed).threads(..).chunk_size(..)` — bit-identical output")]
-pub fn mine_stream<S>(
-    method: TopKMethod,
-    config: TopKConfig,
-    domains: Domains,
-    source: &mut S,
-    base_seed: u64,
-    stream_config: mcim_oracles::stream::StreamConfig,
-) -> Result<TopKResult>
-where
-    S: ReportSource<Item = LabelItem>,
-{
-    execute(
-        method,
-        config,
-        domains,
-        &Exec::stream()
-            .seed(base_seed)
-            .threads(stream_config.threads)
-            .chunk_size(stream_config.chunk_items),
-        source,
-    )
-}
-
-fn mine_with<R: Rng + ?Sized, E: Executor>(
-    method: TopKMethod,
-    config: TopKConfig,
-    domains: Domains,
-    data: &[LabelItem],
-    pace: &mut Pace<'_, R, E>,
+    pace: &mut Pace<'_, E>,
 ) -> Result<TopKResult> {
     if config.k == 0 {
         return Err(Error::InvalidParameter {
@@ -521,11 +408,11 @@ fn mine_with<R: Rng + ?Sized, E: Executor>(
 
 // ---------------------------------------------------------------- HEC --
 
-fn hec<R: Rng + ?Sized, E: Executor>(
+fn hec<E: Executor>(
     config: TopKConfig,
     domains: Domains,
     data: &[LabelItem],
-    pace: &mut Pace<'_, R, E>,
+    pace: &mut Pace<'_, E>,
 ) -> Result<TopKResult> {
     let c = domains.classes();
     let pem = Pem::new(
@@ -565,12 +452,12 @@ fn hec<R: Rng + ?Sized, E: Executor>(
 
 // ---------------------------------------------------------------- PTJ --
 
-fn ptj_pem<R: Rng + ?Sized, E: Executor>(
+fn ptj_pem<E: Executor>(
     config: TopKConfig,
     domains: Domains,
     data: &[LabelItem],
     validity: bool,
-    pace: &mut Pace<'_, R, E>,
+    pace: &mut Pace<'_, E>,
 ) -> Result<TopKResult> {
     let kk = config.k * domains.classes() as usize;
     let pem = Pem::new(
@@ -591,12 +478,12 @@ fn ptj_pem<R: Rng + ?Sized, E: Executor>(
     })
 }
 
-fn ptj_shuffled<R: Rng + ?Sized, E: Executor>(
+fn ptj_shuffled<E: Executor>(
     config: TopKConfig,
     domains: Domains,
     data: &[LabelItem],
     validity: bool,
-    pace: &mut Pace<'_, R, E>,
+    pace: &mut Pace<'_, E>,
 ) -> Result<TopKResult> {
     let kk = config.k * domains.classes() as usize;
     let buckets = 4 * kk;
@@ -651,13 +538,13 @@ fn ptj_shuffled<R: Rng + ?Sized, E: Executor>(
 
 // ---------------------------------------------------------------- PTS --
 
-fn pts_pem<R: Rng + ?Sized, E: Executor>(
+fn pts_pem<E: Executor>(
     config: TopKConfig,
     domains: Domains,
     data: &[LabelItem],
     validity: bool,
     global: bool,
-    pace: &mut Pace<'_, R, E>,
+    pace: &mut Pace<'_, E>,
 ) -> Result<TopKResult> {
     let (e1, e2) = config.eps.split(config.label_frac)?;
     let grr = Grr::new(e1, domains.classes())?;
@@ -744,14 +631,14 @@ fn pts_pem<R: Rng + ?Sized, E: Executor>(
 
 /// Algorithms 1 & 2 (and their ablations): label-routed shuffled mining.
 #[allow(clippy::too_many_arguments)]
-fn pts_shuffled<R: Rng + ?Sized, E: Executor>(
+fn pts_shuffled<E: Executor>(
     config: TopKConfig,
     domains: Domains,
     data: &[LabelItem],
     validity: bool,
     global: bool,
     correlated: bool,
-    pace: &mut Pace<'_, R, E>,
+    pace: &mut Pace<'_, E>,
 ) -> Result<TopKResult> {
     // CP is built on VP; `correlated` therefore implies validity reports.
     let validity = validity || correlated;
@@ -958,57 +845,32 @@ fn pts_shuffled<R: Rng + ?Sized, E: Executor>(
             Ok((scores, comm))
         };
 
-    match pace {
-        Pace::Par {
-            stream, threads, ..
-        } => {
-            // Final cohorts rarely fill a single 4096-item shard, so
-            // per-class sharding runs them one after another on one worker.
-            // Pre-drawing each eligible class's base seed in class order
-            // (exactly the draws the sequential-in-class-order execution
-            // performs) lets the classes themselves fan out across workers
-            // while every RNG stream — and therefore the mined set — stays
-            // bit-identical.
-            let threads = *threads;
-            let jobs: Vec<(usize, u64)> = finals
-                .iter()
-                .enumerate()
-                .filter(|(_, fg)| !fg.users.is_empty() && !fg.candidates.is_empty())
-                .map(|(i, _)| (i, stream.next_u64()))
-                .collect();
-            // Split the worker budget between the class fan-out and each
-            // class's internal sharding: paper-scale cohorts exceed one
-            // shard, and `jobs.len() × threads` workers would oversubscribe
-            // the machine in exactly the path this fan-out accelerates.
-            let inner_threads = (threads / jobs.len().max(1)).max(1);
-            let outcomes = parallel::map_each(&jobs, threads, |_, &(i, seed)| {
-                class_scores_batch(&finals[i], seed, inner_threads).map(|r| (i, r))
-            });
-            for outcome in outcomes {
-                let (i, (scores, class_comm)) = outcome?;
-                comm.merge(class_comm);
-                let fg = &finals[i];
-                per_class[fg.class as usize] = rank_top(&fg.candidates, scores);
-            }
-        }
-        Pace::Seq(_) => {
-            for fg in &finals {
-                if fg.users.is_empty() || fg.candidates.is_empty() {
-                    continue;
-                }
-                let index = cand_index(fg);
-                let scores: Vec<f64> = if fg.use_cp {
-                    let vp = ValidityPerturbation::new(e2, fg.candidates.len() as u32)?;
-                    let inputs = cp_inputs(fg, &index);
-                    let agg = pace.vp_aggregate(&vp, &inputs, &mut comm)?;
-                    cp_scores(fg, &vp, &agg)
-                } else {
-                    let inputs = item_inputs(fg, &index);
-                    score_round(pace, e2, fg.candidates.len(), &inputs, validity, &mut comm)?
-                };
-                per_class[fg.class as usize] = rank_top(&fg.candidates, scores);
-            }
-        }
+    // Final cohorts rarely fill a single 4096-item shard, so per-class
+    // sharding runs them one after another on one worker. Pre-drawing each
+    // eligible class's base seed in class order (exactly the draws an
+    // in-class-order execution performs) lets the classes themselves fan
+    // out across workers while every RNG stream — and therefore the mined
+    // set — stays bit-identical.
+    let threads = pace.threads;
+    let jobs: Vec<(usize, u64)> = finals
+        .iter()
+        .enumerate()
+        .filter(|(_, fg)| !fg.users.is_empty() && !fg.candidates.is_empty())
+        .map(|(i, _)| (i, pace.next_seed()))
+        .collect();
+    // Split the worker budget between the class fan-out and each class's
+    // internal sharding: paper-scale cohorts exceed one shard, and
+    // `jobs.len() × threads` workers would oversubscribe the machine in
+    // exactly the path this fan-out accelerates.
+    let inner_threads = (threads / jobs.len().max(1)).max(1);
+    let outcomes = parallel::map_each(&jobs, threads, |_, &(i, seed)| {
+        class_scores_batch(&finals[i], seed, inner_threads).map(|r| (i, r))
+    });
+    for outcome in outcomes {
+        let (i, (scores, class_comm)) = outcome?;
+        comm.merge(class_comm);
+        let fg = &finals[i];
+        per_class[fg.class as usize] = rank_top(&fg.candidates, scores);
     }
 
     Ok(TopKResult {
@@ -1024,10 +886,10 @@ fn pts_shuffled<R: Rng + ?Sized, E: Executor>(
 /// `inputs` holds each user's bucket (`None` = invalid). With `validity`
 /// the VP mechanism is used; otherwise invalid users substitute a uniform
 /// random bucket (vanilla PEM deniability) under the adaptive oracle.
-/// Bulk work follows `pace`: sequential with the caller's RNG, or sharded
-/// across threads with derived deterministic streams.
-fn score_round<R: Rng + ?Sized, E: Executor>(
-    pace: &mut Pace<'_, R, E>,
+/// Bulk work is sharded across `pace`'s threads with derived deterministic
+/// streams.
+fn score_round<E: Executor>(
+    pace: &mut Pace<'_, E>,
     eps: Eps,
     buckets: usize,
     inputs: &[Option<u32>],
@@ -1049,25 +911,8 @@ fn score_round<R: Rng + ?Sized, E: Executor>(
         let agg = pace.vp_aggregate(&vp, &vp_inputs, comm)?;
         Ok(agg.raw_counts().iter().map(|&c| c as f64).collect())
     } else {
-        match pace {
-            Pace::Seq(rng) => {
-                let oracle = Oracle::adaptive(eps, buckets as u32)?;
-                let mut agg = Aggregator::new(&oracle);
-                for &b in inputs {
-                    let value = b.unwrap_or_else(|| rng.random_range(0..buckets as u32));
-                    let report = oracle.privatize(value, rng)?;
-                    comm.record(report.size_bits());
-                    agg.absorb(&report)?;
-                }
-                Ok(agg.estimate())
-            }
-            Pace::Par {
-                stream, threads, ..
-            } => {
-                let base = stream.next_u64();
-                oracle_score_batch(eps, buckets, inputs, base, *threads, comm)
-            }
-        }
+        let base = pace.next_seed();
+        oracle_score_batch(eps, buckets, inputs, base, pace.threads, comm)
     }
 }
 

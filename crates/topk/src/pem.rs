@@ -23,9 +23,7 @@ use rand::Rng;
 use mcim_core::{CommStats, ValidityInput, ValidityPerturbation, VpAggregator};
 use mcim_oracles::exec::{Exec, Executor, Stage, StageDecode};
 use mcim_oracles::hash::SplitMix64;
-use mcim_oracles::stream::{
-    drain_source, required_len, ReportSource, SliceSource, StreamConfig, Take,
-};
+use mcim_oracles::stream::{drain_source, required_len, ReportSource, SliceSource, Take};
 use mcim_oracles::wire::{StageSpec, Wire, WireReader};
 use mcim_oracles::{Aggregator, Eps, Error, Oracle, Result};
 
@@ -448,97 +446,27 @@ impl PemEngine {
         self.prefix_len
     }
 
-    /// Runs one round under an [`Exec`] plan — the single entry point
-    /// replacing the deprecated `run_round` / `run_round_batch` /
-    /// `run_round_stream` triplet. `source` yields each participating
-    /// user's item (`None` = the user is invalid for this mining task,
-    /// e.g. her label does not match the class being mined). Returns
-    /// uplink statistics.
+    /// Runs one round under an [`Exec`] plan — the single entry point for
+    /// every execution mode. `source` yields each participating user's
+    /// item (`None` = the user is invalid for this mining task, e.g. her
+    /// label does not match the class being mined). Returns uplink
+    /// statistics.
     ///
-    /// Sequential plans reproduce the historical
-    /// `run_round(eps, items, &mut StdRng::seed_from_u64(seed))` stream;
-    /// the sharded modes are bit-identical to the deprecated
-    /// `run_round_batch`/`run_round_stream` for every thread count and
-    /// chunk size, with the plan's seed as the round's base seed.
+    /// Under RNG-contract v2 every mode folds the round's serializable
+    /// stage through the plan's in-process executor
+    /// ([`PemEngine::execute_round_on`]), so seed-equal plans are
+    /// bit-identical across modes, thread counts and chunk sizes.
     ///
-    /// The plan seed is **this round's** seed (exactly like the legacy
-    /// `base_seed` argument): a multi-round driver must pass a distinct
-    /// seed per round — reusing one plan verbatim replays the same noise
-    /// stream every round and correlates the rounds. [`Pem::execute`]
-    /// does this for you by deriving one [`SplitMix64`] seed per round
-    /// from its plan seed.
-    pub fn execute_round<S>(&mut self, eps: Eps, plan: &Exec, mut source: S) -> Result<CommStats>
+    /// The plan seed is **this round's** seed: a multi-round driver must
+    /// pass a distinct seed per round — reusing one plan verbatim replays
+    /// the same noise stream every round and correlates the rounds.
+    /// [`Pem::execute`] does this for you by deriving one [`SplitMix64`]
+    /// seed per round from its plan seed.
+    pub fn execute_round<S>(&mut self, eps: Eps, plan: &Exec, source: S) -> Result<CommStats>
     where
         S: ReportSource<Item = Option<u32>>,
     {
-        if plan.is_sequential() {
-            let items = drain_source(&mut source)?;
-            return self.run_round_seq(eps, items, &mut plan.seq_rng());
-        }
         self.execute_round_on(&plan.in_process(), eps, plan.base_seed(), source)
-    }
-
-    /// The sequential reference round (one RNG stream in user order)
-    /// behind [`Exec::sequential`] plans and the deprecated caller-RNG
-    /// `run_round`.
-    pub(crate) fn run_round_seq<R, I>(
-        &mut self,
-        eps: Eps,
-        items: I,
-        rng: &mut R,
-    ) -> Result<CommStats>
-    where
-        R: Rng + ?Sized,
-        I: IntoIterator<Item = Option<u32>>,
-    {
-        if self.finished {
-            return Err(Error::InvalidParameter {
-                name: "round",
-                constraint: "engine already finished",
-            });
-        }
-        let index = CandIndex::new(&self.candidates);
-        let n_cands = self.candidates.len() as u32;
-        let mut comm = CommStats::default();
-
-        let scores: Vec<f64> = if self.config.validity {
-            let vp = self.cache.vp(eps, n_cands)?;
-            let mut agg = VpAggregator::new(&vp);
-            for item in items {
-                let input = match item {
-                    Some(it) => match index.get(self.code.prefix(it, self.prefix_len)) {
-                        Some(idx) => ValidityInput::Valid(idx),
-                        None => ValidityInput::Invalid,
-                    },
-                    None => ValidityInput::Invalid,
-                };
-                let report = vp.privatize(input, rng)?;
-                comm.record(report.len());
-                agg.absorb(&report)?;
-            }
-            agg.raw_counts().iter().map(|&c| c as f64).collect()
-        } else {
-            let oracle = self.cache.oracle(eps, n_cands)?;
-            let mut agg = Aggregator::new(&oracle);
-            for item in items {
-                let value = match item {
-                    Some(it) => match index.get(self.code.prefix(it, self.prefix_len)) {
-                        Some(idx) => idx,
-                        // Vanilla PEM: pruned/invalid users substitute a
-                        // uniformly random candidate for deniability.
-                        None => rng.random_range(0..n_cands),
-                    },
-                    None => rng.random_range(0..n_cands),
-                };
-                let report = oracle.privatize(value, rng)?;
-                comm.record(report.size_bits());
-                agg.absorb(&report)?;
-            }
-            agg.estimate()
-        };
-
-        self.prune_and_extend(scores);
-        Ok(comm)
     }
 
     /// Runs one sharded round on an explicit [`Executor`] backend — the
@@ -601,61 +529,6 @@ impl PemEngine {
 
         self.prune_and_extend(scores);
         Ok(comm)
-    }
-
-    /// Runs one round with a caller-supplied RNG, in user order.
-    #[deprecated(
-        note = "use `PemEngine::execute_round` with `Exec::sequential().seed(..)` (a distinct \
-                seed per round) — identical output for a fresh `StdRng::seed_from_u64(seed)`"
-    )]
-    pub fn run_round<R, I>(&mut self, eps: Eps, items: I, rng: &mut R) -> Result<CommStats>
-    where
-        R: Rng + ?Sized,
-        I: IntoIterator<Item = Option<u32>>,
-    {
-        self.run_round_seq(eps, items, rng)
-    }
-
-    /// Runs one round on the batched, sharded runtime.
-    #[deprecated(note = "use `PemEngine::execute_round` with \
-                `Exec::batch().seed(base_seed).threads(threads)` — bit-identical output")]
-    pub fn run_round_batch(
-        &mut self,
-        eps: Eps,
-        items: &[Option<u32>],
-        base_seed: u64,
-        threads: usize,
-    ) -> Result<CommStats> {
-        self.execute_round(
-            eps,
-            &Exec::batch().seed(base_seed).threads(threads),
-            SliceSource::new(items),
-        )
-    }
-
-    /// Runs one round over a stream of the round's user group with bounded
-    /// memory.
-    #[deprecated(note = "use `PemEngine::execute_round` with \
-                `Exec::stream().seed(base_seed).threads(..).chunk_size(..)` — bit-identical \
-                output")]
-    pub fn run_round_stream<S>(
-        &mut self,
-        eps: Eps,
-        source: &mut S,
-        base_seed: u64,
-        config: StreamConfig,
-    ) -> Result<CommStats>
-    where
-        S: ReportSource<Item = Option<u32>>,
-    {
-        self.execute_round(
-            eps,
-            &Exec::stream()
-                .seed(base_seed)
-                .threads(config.threads)
-                .chunk_size(config.chunk_items),
-            source,
-        )
     }
 
     /// Applies external scores (one per candidate) — used by callers that
@@ -771,26 +644,31 @@ impl Pem {
         Ok(Pem { d, config })
     }
 
-    /// Mines the top-k under an [`Exec`] plan — the single entry point
-    /// replacing the deprecated `mine` / `mine_batch` / `mine_stream`
-    /// triplet. `None` items are invalid users.
+    /// Mines the top-k under an [`Exec`] plan — the single entry point for
+    /// every execution mode. `None` items are invalid users.
     ///
-    /// Sequential plans reproduce the historical
-    /// `mine(eps, items, &mut StdRng::seed_from_u64(seed))` stream. The
-    /// sharded modes split the source into one `⌈n/rounds⌉`-user group per
+    /// Every mode splits the source into one `⌈n/rounds⌉`-user group per
     /// round (pulled straight off the source via [`Take`] — stream mode
-    /// never materializes a round group beyond one chunk) and run round
+    /// never materializes a round group beyond one chunk) and runs round
     /// `r` through [`PemEngine::execute_round_on`] with the `r`-th seed of
-    /// the [`SplitMix64`] stream over the plan seed; they therefore
-    /// require a **sized** source and are bit-identical to the deprecated
-    /// `mine_batch`/`mine_stream` for every thread count and chunk size.
+    /// the [`SplitMix64`] stream over the plan seed; under RNG-contract v2
+    /// the modes are bit-identical to each other for every thread count
+    /// and chunk size. The round split needs the population size up
+    /// front, so sharded modes require a **sized** source; sequential
+    /// plans keep their historical unsized-source support by draining the
+    /// source first (they materialize anyway).
     pub fn execute<S>(&self, eps: Eps, plan: &Exec, mut source: S) -> Result<PemOutcome>
     where
         S: ReportSource<Item = Option<u32>>,
     {
-        if plan.is_sequential() {
+        if plan.is_sequential() && source.size_hint().is_none() {
             let items = drain_source(&mut source)?;
-            return self.mine_seq(eps, &items, &mut plan.seq_rng());
+            return self.execute_on(
+                &plan.in_process(),
+                eps,
+                plan.base_seed(),
+                SliceSource::new(&items),
+            );
         }
         self.execute_on(&plan.in_process(), eps, plan.base_seed(), source)
     }
@@ -831,87 +709,6 @@ impl Pem {
             top: engine.top_items()?,
             comm,
         })
-    }
-
-    /// The sequential reference miner behind [`Exec::sequential`] plans
-    /// and the deprecated caller-RNG `mine`.
-    pub(crate) fn mine_seq<R: Rng + ?Sized>(
-        &self,
-        eps: Eps,
-        items: &[Option<u32>],
-        rng: &mut R,
-    ) -> Result<PemOutcome> {
-        let mut engine = PemEngine::new(self.d, self.config)?;
-        let rounds = engine.remaining_rounds();
-        let mut comm = CommStats::default();
-        let chunk = items.len().div_ceil(rounds).max(1);
-        let mut groups = items.chunks(chunk);
-        for _ in 0..rounds {
-            let group = groups.next().unwrap_or(&[]);
-            let stats = engine.run_round_seq(eps, group.iter().copied(), rng)?;
-            comm.merge(stats);
-        }
-        Ok(PemOutcome {
-            top: engine.top_items()?,
-            comm,
-        })
-    }
-
-    /// Mines the top-k with a caller-supplied RNG, in user order.
-    #[deprecated(
-        note = "use `Pem::execute` with `Exec::sequential().seed(..)` — identical output for \
-                a fresh `StdRng::seed_from_u64(seed)`"
-    )]
-    pub fn mine<R: Rng + ?Sized>(
-        &self,
-        eps: Eps,
-        items: &[Option<u32>],
-        rng: &mut R,
-    ) -> Result<PemOutcome> {
-        self.mine_seq(eps, items, rng)
-    }
-
-    /// Mines the top-k on the batched, sharded runtime.
-    #[deprecated(
-        note = "use `Pem::execute` with `Exec::batch().seed(base_seed).threads(threads)` — \
-                bit-identical output"
-    )]
-    pub fn mine_batch(
-        &self,
-        eps: Eps,
-        items: &[Option<u32>],
-        base_seed: u64,
-        threads: usize,
-    ) -> Result<PemOutcome> {
-        self.execute(
-            eps,
-            &Exec::batch().seed(base_seed).threads(threads),
-            SliceSource::new(items),
-        )
-    }
-
-    /// Mines the top-k over a stream of users with bounded memory.
-    #[deprecated(note = "use `Pem::execute` with \
-                `Exec::stream().seed(base_seed).threads(..).chunk_size(..)` — bit-identical \
-                output")]
-    pub fn mine_stream<S>(
-        &self,
-        eps: Eps,
-        source: &mut S,
-        base_seed: u64,
-        config: StreamConfig,
-    ) -> Result<PemOutcome>
-    where
-        S: ReportSource<Item = Option<u32>>,
-    {
-        self.execute(
-            eps,
-            &Exec::stream()
-                .seed(base_seed)
-                .threads(config.threads)
-                .chunk_size(config.chunk_items),
-            source,
-        )
     }
 }
 

@@ -1,28 +1,21 @@
-//! The `Exec` equivalence matrix — the shim-equivalence test and the only
-//! internal caller allowed to touch the deprecated triplet methods.
+//! The `Exec` equivalence matrix under RNG-contract v2: every in-process
+//! mode of every `execute` entry point must be **bit-identical** to every
+//! other mode for the same plan seed.
 //!
-//! Every mode of every `execute` entry point must be **bit-identical** to
-//! the legacy entry point it replaces:
-//!
-//! | legacy entry point | `Exec` plan |
+//! | plan | machinery |
 //! |---|---|
-//! | `Framework::run(.., &mut StdRng::seed_from_u64(s))` | `Exec::sequential().seed(s)` |
-//! | `Framework::run_batch(.., s, t)` | `Exec::batch().seed(s).threads(t)` |
-//! | `Framework::run_stream(.., s, cfg)` | `Exec::stream().seed(s).threads(t).chunk_size(c)` |
-//! | `Pem::mine` / `mine_batch` / `mine_stream` | same three plans |
-//! | `mcim_topk::mine` / `mine_batch` / `mine_stream` | same three plans |
+//! | `Exec::sequential().seed(s)` | sharded runtime pinned to 1 worker |
+//! | `Exec::batch().seed(s).threads(t)` | sharded runtime, materialized input |
+//! | `Exec::stream().seed(s).threads(t).chunk_size(c)` | sharded runtime, bounded chunks |
+//! | `Exec::seeded(s)` (auto) | resolves to stream |
 //!
-//! (plus the `PemEngine` round triplet underneath the `Pem` pipeline), and
-//! `Auto` must equal `Batch`/`Stream`. Each sharded comparison runs at
-//! two `(threads, chunk_size)` combinations, one of which splits shards
-//! mid-way.
-
-#![allow(deprecated)]
+//! Each sharded comparison runs at two `(threads, chunk_size)`
+//! combinations, one of which splits shards mid-way; the distributed
+//! worker matrix (`crates/dist/tests`, `crates/cli/tests`) extends the
+//! same identity across process boundaries.
 
 use multiclass_ldp::prelude::*;
 use multiclass_ldp::topk::{Pem, PemConfig, PemEngine};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 const SHARD: usize = parallel::SHARD_SIZE;
 
@@ -59,16 +52,22 @@ fn assert_tables_identical(a: &EstimationResultPair, b: &EstimationResultPair, w
 struct EstimationResultPair(multiclass_ldp::core::EstimationResult);
 
 #[test]
-fn framework_execute_matches_all_three_legacy_entry_points() {
+fn framework_execute_is_mode_invariant() {
     let domains = Domains::new(3, 32).unwrap();
     let data = sample_pairs(domains, SHARD + 700);
     let eps = Eps::new(2.0).unwrap();
     let seed = 0xE0_2024;
     for fw in Framework::fig6_set() {
-        // Sequential: legacy `run` with a fresh seeded StdRng.
-        let legacy_seq = fw
-            .run(eps, domains, &data, &mut StdRng::seed_from_u64(seed))
+        // Reference: the batch plan at one thread.
+        let reference = fw
+            .execute(
+                eps,
+                domains,
+                &Exec::batch().seed(seed).threads(1),
+                SliceSource::new(&data),
+            )
             .unwrap();
+        let reference = EstimationResultPair(reference);
         let exec_seq = fw
             .execute(
                 eps,
@@ -78,22 +77,12 @@ fn framework_execute_matches_all_three_legacy_entry_points() {
             )
             .unwrap();
         assert_tables_identical(
-            &EstimationResultPair(legacy_seq),
+            &reference,
             &EstimationResultPair(exec_seq),
-            &format!("{} sequential", fw.name()),
+            &format!("{} sequential vs batch", fw.name()),
         );
 
         for (threads, chunk) in COMBOS {
-            let legacy_batch = fw.run_batch(eps, domains, &data, seed, threads).unwrap();
-            let legacy_stream = fw
-                .run_stream(
-                    eps,
-                    domains,
-                    &mut SliceSource::new(&data),
-                    seed,
-                    StreamConfig::new(threads).with_chunk_items(chunk),
-                )
-                .unwrap();
             let exec_batch = fw
                 .execute(
                     eps,
@@ -118,18 +107,25 @@ fn framework_execute_matches_all_three_legacy_entry_points() {
                     SliceSource::new(&data),
                 )
                 .unwrap();
+            let exec_seq_chunked = fw
+                .execute(
+                    eps,
+                    domains,
+                    &Exec::sequential().seed(seed).chunk_size(chunk),
+                    SliceSource::new(&data),
+                )
+                .unwrap();
             let what = format!("{} t={threads} chunk={chunk}", fw.name());
-            let legacy_batch = EstimationResultPair(legacy_batch);
             for (label, result) in [
-                ("legacy stream", legacy_stream),
-                ("exec batch", exec_batch),
-                ("exec stream", exec_stream),
-                ("exec auto", exec_auto),
+                ("batch", exec_batch),
+                ("stream", exec_stream),
+                ("auto", exec_auto),
+                ("sequential+chunk", exec_seq_chunked),
             ] {
                 assert_tables_identical(
-                    &legacy_batch,
+                    &reference,
                     &EstimationResultPair(result),
-                    &format!("{what} [{label} vs legacy batch]"),
+                    &format!("{what} [{label} vs reference]"),
                 );
             }
         }
@@ -137,7 +133,7 @@ fn framework_execute_matches_all_three_legacy_entry_points() {
 }
 
 #[test]
-fn pem_engine_execute_round_matches_legacy_round_triplet() {
+fn pem_engine_execute_round_is_mode_invariant() {
     let d = 128u32;
     let eps = Eps::new(3.0).unwrap();
     let seed = 0xE0_4111;
@@ -158,67 +154,53 @@ fn pem_engine_execute_round_matches_legacy_round_triplet() {
         };
         let fresh = || PemEngine::new(d, config).unwrap();
 
-        // Sequential round.
-        let (mut legacy, mut exec) = (fresh(), fresh());
-        let legacy_comm = legacy
-            .run_round(eps, items.iter().copied(), &mut StdRng::seed_from_u64(seed))
-            .unwrap();
-        let exec_comm = exec
+        // Reference: one sequential round.
+        let mut reference = fresh();
+        let reference_comm = reference
             .execute_round(
                 eps,
                 &Exec::sequential().seed(seed),
                 SliceSource::new(&items),
             )
             .unwrap();
-        assert_eq!(legacy_comm, exec_comm, "validity={validity} seq comm");
-        assert_eq!(
-            legacy.candidates(),
-            exec.candidates(),
-            "validity={validity} seq candidates"
-        );
 
         for (threads, chunk) in COMBOS {
             let what = format!("validity={validity} t={threads} chunk={chunk}");
-            let (mut legacy_b, mut legacy_s, mut exec_b, mut exec_s) =
-                (fresh(), fresh(), fresh(), fresh());
-            let comm_b = legacy_b
-                .run_round_batch(eps, &items, seed, threads)
-                .unwrap();
-            let comm_s = legacy_s
-                .run_round_stream(
-                    eps,
-                    &mut SliceSource::new(&items),
-                    seed,
-                    StreamConfig::new(threads).with_chunk_items(chunk),
-                )
-                .unwrap();
-            let comm_eb = exec_b
+            let (mut exec_b, mut exec_s, mut exec_a) = (fresh(), fresh(), fresh());
+            let comm_b = exec_b
                 .execute_round(
                     eps,
                     &Exec::batch().seed(seed).threads(threads),
                     SliceSource::new(&items),
                 )
                 .unwrap();
-            let comm_es = exec_s
+            let comm_s = exec_s
                 .execute_round(
                     eps,
                     &Exec::stream().seed(seed).threads(threads).chunk_size(chunk),
                     SliceSource::new(&items),
                 )
                 .unwrap();
-            assert_eq!(comm_b, comm_s, "{what} legacy batch vs stream comm");
-            assert_eq!(comm_b, comm_eb, "{what} exec batch comm");
-            assert_eq!(comm_b, comm_es, "{what} exec stream comm");
-            assert_eq!(legacy_b.candidates(), legacy_s.candidates(), "{what}");
-            assert_eq!(legacy_b.candidates(), exec_b.candidates(), "{what}");
-            assert_eq!(legacy_b.candidates(), exec_s.candidates(), "{what}");
-            assert_eq!(legacy_b.prefix_len(), exec_b.prefix_len(), "{what}");
+            let comm_a = exec_a
+                .execute_round(
+                    eps,
+                    &Exec::seeded(seed).threads(threads).chunk_size(chunk),
+                    SliceSource::new(&items),
+                )
+                .unwrap();
+            assert_eq!(reference_comm, comm_b, "{what} batch comm");
+            assert_eq!(reference_comm, comm_s, "{what} stream comm");
+            assert_eq!(reference_comm, comm_a, "{what} auto comm");
+            assert_eq!(reference.candidates(), exec_b.candidates(), "{what}");
+            assert_eq!(reference.candidates(), exec_s.candidates(), "{what}");
+            assert_eq!(reference.candidates(), exec_a.candidates(), "{what}");
+            assert_eq!(reference.prefix_len(), exec_b.prefix_len(), "{what}");
         }
     }
 }
 
 #[test]
-fn pem_execute_matches_legacy_mine_triplet() {
+fn pem_execute_is_mode_invariant() {
     let d = 128u32;
     let eps = Eps::new(4.0).unwrap();
     let seed = 0xE0_5222;
@@ -234,30 +216,16 @@ fn pem_execute_matches_legacy_mine_triplet() {
     for config in [PemConfig::new(4), PemConfig::new(4).with_validity()] {
         let pem = Pem::new(d, config).unwrap();
 
-        let legacy_seq = pem
-            .mine(eps, &items, &mut StdRng::seed_from_u64(seed))
-            .unwrap();
-        let exec_seq = pem
+        let reference = pem
             .execute(
                 eps,
                 &Exec::sequential().seed(seed),
                 SliceSource::new(&items),
             )
             .unwrap();
-        assert_eq!(legacy_seq.top, exec_seq.top, "validity={}", config.validity);
-        assert_eq!(legacy_seq.comm, exec_seq.comm);
 
         for (threads, chunk) in COMBOS {
             let what = format!("validity={} t={threads} chunk={chunk}", config.validity);
-            let legacy_batch = pem.mine_batch(eps, &items, seed, threads).unwrap();
-            let legacy_stream = pem
-                .mine_stream(
-                    eps,
-                    &mut SliceSource::new(&items),
-                    seed,
-                    StreamConfig::new(threads).with_chunk_items(chunk),
-                )
-                .unwrap();
             let exec_batch = pem
                 .execute(
                     eps,
@@ -280,20 +248,19 @@ fn pem_execute_matches_legacy_mine_triplet() {
                 )
                 .unwrap();
             for (label, out) in [
-                ("legacy stream", &legacy_stream),
-                ("exec batch", &exec_batch),
-                ("exec stream", &exec_stream),
-                ("exec auto", &exec_auto),
+                ("batch", &exec_batch),
+                ("stream", &exec_stream),
+                ("auto", &exec_auto),
             ] {
-                assert_eq!(legacy_batch.top, out.top, "{what} [{label}]");
-                assert_eq!(legacy_batch.comm, out.comm, "{what} [{label}]");
+                assert_eq!(reference.top, out.top, "{what} [{label}]");
+                assert_eq!(reference.comm, out.comm, "{what} [{label}]");
             }
         }
     }
 }
 
 #[test]
-fn topk_execute_matches_legacy_mine_triplet() {
+fn topk_execute_is_mode_invariant() {
     let domains = Domains::new(3, 64).unwrap();
     let data = sample_pairs(domains, 14_000);
     let config = TopKConfig::new(3, Eps::new(6.0).unwrap());
@@ -311,15 +278,7 @@ fn topk_execute_matches_legacy_mine_triplet() {
             correlated: true,
         },
     ] {
-        let legacy_seq = multiclass_ldp::topk::mine(
-            method,
-            config,
-            domains,
-            &data,
-            &mut StdRng::seed_from_u64(seed),
-        )
-        .unwrap();
-        let exec_seq = execute(
+        let reference = execute(
             method,
             config,
             domains,
@@ -327,28 +286,9 @@ fn topk_execute_matches_legacy_mine_triplet() {
             SliceSource::new(&data),
         )
         .unwrap();
-        assert_eq!(
-            legacy_seq.per_class,
-            exec_seq.per_class,
-            "{} sequential",
-            method.name()
-        );
-        assert_eq!(legacy_seq.comm, exec_seq.comm);
 
         for (threads, chunk) in COMBOS {
             let what = format!("{} t={threads} chunk={chunk}", method.name());
-            let legacy_batch =
-                multiclass_ldp::topk::mine_batch(method, config, domains, &data, seed, threads)
-                    .unwrap();
-            let legacy_stream = multiclass_ldp::topk::mine_stream(
-                method,
-                config,
-                domains,
-                &mut SliceSource::new(&data),
-                seed,
-                StreamConfig::new(threads).with_chunk_items(chunk),
-            )
-            .unwrap();
             let exec_batch = execute(
                 method,
                 config,
@@ -374,16 +314,14 @@ fn topk_execute_matches_legacy_mine_triplet() {
             )
             .unwrap();
             for (label, out) in [
-                ("legacy stream", &legacy_stream),
-                ("exec batch", &exec_batch),
-                ("exec stream", &exec_stream),
-                ("exec auto", &exec_auto),
+                ("batch", &exec_batch),
+                ("stream", &exec_stream),
+                ("auto", &exec_auto),
             ] {
-                assert_eq!(legacy_batch.per_class, out.per_class, "{what} [{label}]");
-                assert_eq!(legacy_batch.comm, out.comm, "{what} [{label}]");
+                assert_eq!(reference.per_class, out.per_class, "{what} [{label}]");
+                assert_eq!(reference.comm, out.comm, "{what} [{label}]");
                 assert!(
-                    (legacy_batch.broadcast_bits_per_user - out.broadcast_bits_per_user).abs()
-                        == 0.0,
+                    (reference.broadcast_bits_per_user - out.broadcast_bits_per_user).abs() == 0.0,
                     "{what} [{label}]"
                 );
             }
@@ -391,11 +329,13 @@ fn topk_execute_matches_legacy_mine_triplet() {
     }
 }
 
-/// Sequential mode must genuinely differ from the sharded modes (different
-/// RNG discipline) — otherwise the matrix above could pass vacuously with
-/// all four modes wired to one implementation.
+/// Under RNG-contract v2 sequential mode IS the sharded runtime pinned to
+/// one worker — the modes share one noise stream, so a sequential run and
+/// a multi-threaded batch run of the same seed must agree bit-for-bit
+/// (pre-v2, sequential kept a separate caller-RNG stream and this test
+/// asserted the opposite).
 #[test]
-fn sequential_and_sharded_modes_are_distinct_streams() {
+fn sequential_and_sharded_modes_share_one_stream() {
     let domains = Domains::new(3, 32).unwrap();
     let data = sample_pairs(domains, SHARD + 700);
     let eps = Eps::new(2.0).unwrap();
@@ -415,7 +355,13 @@ fn sequential_and_sharded_modes_are_distinct_streams() {
             SliceSource::new(&data),
         )
         .unwrap();
-    let differs = (0..domains.classes())
-        .any(|l| (0..domains.items()).any(|i| seq.table.get(l, i) != batch.table.get(l, i)));
-    assert!(differs, "sequential and batch modes drew identical noise");
+    assert_eq!(seq.comm, batch.comm, "comm diverged");
+    for l in 0..domains.classes() {
+        for i in 0..domains.items() {
+            assert!(
+                seq.table.get(l, i) == batch.table.get(l, i),
+                "sequential and batch diverged at ({l},{i})"
+            );
+        }
+    }
 }

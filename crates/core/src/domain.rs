@@ -47,6 +47,26 @@ impl Domains {
         Ok(Domains { classes, items })
     }
 
+    /// Creates domains from shapes known to be valid, for generator code
+    /// whose class/item counts are compile-time literals or already-asserted
+    /// configuration. Being `const`, a call with literal arguments is
+    /// checked at compile time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes == 0`, `items == 0`, or `classes · items`
+    /// overflows `u32` (the joint-domain bound PTJ relies on). Use
+    /// [`Domains::new`] for untrusted input.
+    #[must_use]
+    pub const fn of(classes: u32, items: u32) -> Self {
+        assert!(classes >= 1 && items >= 1, "domains must be non-empty");
+        assert!(
+            (classes as u64) * (items as u64) <= u32::MAX as u64,
+            "joint domain must fit in u32"
+        );
+        Domains { classes, items }
+    }
+
     /// Number of classes `c`.
     #[inline]
     pub fn classes(&self) -> u32 {

@@ -31,6 +31,21 @@ impl Dataset {
         })
     }
 
+    /// Creates a dataset from pairs the caller constructed in-domain (the
+    /// generator crates build every pair from indices bounded by the same
+    /// `domains` value). Validation still runs in debug builds.
+    pub fn pre_validated(name: impl Into<String>, domains: Domains, pairs: Vec<LabelItem>) -> Self {
+        debug_assert!(
+            pairs.iter().all(|&p| domains.check(p).is_ok()),
+            "pre_validated pairs must lie inside the domains"
+        );
+        Dataset {
+            name: name.into(),
+            domains,
+            pairs,
+        }
+    }
+
     /// Number of users.
     pub fn len(&self) -> usize {
         self.pairs.len()
@@ -44,6 +59,7 @@ impl Dataset {
     /// Exact classwise counts `f(C, I)`.
     pub fn ground_truth(&self) -> FrequencyTable {
         FrequencyTable::ground_truth(self.domains, &self.pairs)
+            // mcim-lint: allow(panic-freedom, every constructor validates pairs against the domains; the fields are pub so this invariant is advisory and a panic here means a caller broke it upstream)
             .expect("pairs were validated at construction")
     }
 

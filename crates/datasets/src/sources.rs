@@ -267,6 +267,7 @@ impl SyntheticPairSource {
         SyntheticPairSource {
             config,
             zipf: Zipf::new(config.zipf_s, config.items),
+            // mcim-lint: allow(rng-discipline, generator stream seeded from the source's explicit config seed; not a privatization stage)
             rng: StdRng::seed_from_u64(config.seed),
             emitted: 0,
         }
@@ -309,6 +310,7 @@ impl ReportSource for SyntheticPairSource {
         // The RNG stream has no random access; replay it from the seed up
         // to the target position (cheap and exact — `next_pair` is the
         // only consumer of the stream).
+        // mcim-lint: allow(rng-discipline, replaying the generator stream from its explicit config seed; not a privatization stage)
         self.rng = StdRng::seed_from_u64(self.config.seed);
         self.emitted = 0;
         for _ in 0..target {

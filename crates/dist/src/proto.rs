@@ -29,6 +29,17 @@
 //! are the handshake reply and the per-job `Partial`/`Err` after `Flush` —
 //! so the socket carries strictly one direction of bulk traffic at a time
 //! and the pair cannot deadlock on full TCP windows.
+//!
+//! ## Schema lock
+//!
+//! Every layout decision in this module — the [`Frame`] variants, the tag
+//! bytes, [`PROTOCOL_VERSION`], [`MAX_FRAME`], and the `Wire` codecs the
+//! bodies ride on — is fingerprinted into the workspace's
+//! `wire-schema.lock` by `mcim-lint`. Editing any of them fails the lint
+//! until the lock is regenerated (`cargo run -p mcim-lint --
+//! --write-schema-lock`), and because this file is dist-reachable the
+//! regeneration itself is refused unless [`PROTOCOL_VERSION`] is bumped
+//! in the same change. See README "Static analysis" for the workflow.
 
 use std::io::{Read, Write};
 

@@ -232,6 +232,28 @@ pub fn check_shrink(current: &Baseline, reference: &Baseline) -> Result<(), Vec<
     }
 }
 
+/// Describes what a regenerated baseline dropped or shrank relative to
+/// `previous` — `--write-baseline` prints these so burn-down progress is
+/// visible in CI logs instead of silently disappearing from the file.
+pub fn shrink_notes(previous: &Baseline, fresh: &Baseline) -> Vec<String> {
+    let fresh_counts: BTreeMap<_, _> = fresh.entries.iter().map(|e| (e.key(), e.count)).collect();
+    let mut notes = Vec::new();
+    for e in &previous.entries {
+        match fresh_counts.get(&e.key()).copied() {
+            None => notes.push(format!(
+                "dropped ({}, {}, {}): all {} grandfathered site(s) fixed",
+                e.rule, e.file, e.token, e.count
+            )),
+            Some(now) if now < e.count => notes.push(format!(
+                "shrunk ({}, {}, {}): {} -> {} site(s)",
+                e.rule, e.file, e.token, e.count, now
+            )),
+            Some(_) => {}
+        }
+    }
+    notes
+}
+
 /// Builds a fresh baseline from violations (`--write-baseline`), keeping
 /// reasons from `previous` where keys survive.
 pub fn from_findings(findings: &[Finding], previous: &Baseline) -> Baseline {
@@ -384,5 +406,27 @@ mod tests {
         assert_eq!(b.entries[0].count, 2);
         assert_eq!(b.entries[0].reason, "known static constructors");
         assert!(b.entries[1].reason.starts_with("TODO"));
+    }
+
+    #[test]
+    fn shrink_notes_report_dropped_and_shrunk_entries() {
+        let previous = Baseline {
+            entries: vec![
+                entry("panic-freedom", "f.rs", "expect", 6),
+                entry("panic-freedom", "g.rs", "unwrap", 2),
+                entry("stdout-noise", "h.rs", "println", 1),
+            ],
+        };
+        let fresh = Baseline {
+            entries: vec![
+                entry("panic-freedom", "f.rs", "expect", 4), // shrunk
+                entry("stdout-noise", "h.rs", "println", 1), // unchanged
+            ],
+        };
+        let notes = shrink_notes(&previous, &fresh);
+        assert_eq!(notes.len(), 2, "{notes:?}");
+        assert!(notes[0].contains("shrunk") && notes[0].contains("6 -> 4"));
+        assert!(notes[1].contains("dropped") && notes[1].contains("g.rs"));
+        assert!(shrink_notes(&previous, &previous).is_empty());
     }
 }

@@ -408,6 +408,42 @@ mod tests {
     }
 
     #[test]
+    fn raw_string_containing_impl_wire_is_inert() {
+        // A raw string spelling out a wire impl must not reach the symbol
+        // index as tokens — only the real impl after it may.
+        let code = code_of(
+            r###"const DOC: &str = r#"impl Wire for Ghost { }"# ;
+impl Wire for Real { }"###,
+        );
+        assert!(!code.contains("Ghost"), "{code}");
+        assert!(code.contains("impl Wire for Real"), "{code}");
+        let impls = tokenize(&code)
+            .iter()
+            .filter(|t| t.ident() == Some("impl"))
+            .count();
+        assert_eq!(impls, 1, "only the real impl tokenizes");
+    }
+
+    #[test]
+    fn macro_bodies_tokenize_like_ordinary_code() {
+        // Macro-expansion policy: `wire_int!`-style macros are fingerprinted
+        // unexpanded, so their bodies and invocation args must tokenize with
+        // honest positions rather than being treated as opaque blobs.
+        let src = "macro_rules! wire_int { ($t:ty) => { impl Wire for $t { } } }\nwire_int!(u8);";
+        let toks = tokenize(&scrub(src).code);
+        let idents: Vec<&str> = toks.iter().filter_map(Tok::ident).collect();
+        assert!(idents.contains(&"wire_int"));
+        assert!(idents.contains(&"impl") && idents.contains(&"u8"));
+        let bang = toks
+            .iter()
+            .position(|t| t.ident() == Some("wire_int"))
+            .unwrap();
+        assert_eq!(toks[bang].line, 1, "macro definition on line 1");
+        let last = toks.iter().rposition(|t| t.ident() == Some("u8")).unwrap();
+        assert_eq!(toks[last].line, 2, "invocation args on line 2");
+    }
+
+    #[test]
     fn byte_and_c_strings_are_blanked() {
         let code = code_of(r##"let b = b"unwrap"; let r = br#"x"# ; t();"##);
         assert!(!code.contains("unwrap"), "{code}");

@@ -3,43 +3,53 @@
 //! The system's headline guarantee is bit-identical results across the
 //! sequential/batch/stream/distributed backends. That rests on invariants
 //! no compiler checks: no ambient entropy in pipeline code, no
-//! order-nondeterministic hash iteration feeding wire encoding, and no
+//! order-nondeterministic hash iteration feeding wire encoding, no
 //! panicking escape hatches in library crates a long-lived server would
-//! hit at traffic. This binary is a self-contained static-analysis pass
-//! (hand-rolled lexer, no `syn` — the build environment is offline) that
-//! machine-enforces them.
+//! hit at traffic, RNG streams born only in their sanctioned homes — and,
+//! cross-file, wire formats that never change silently. This binary is a
+//! self-contained static-analysis pass (hand-rolled lexer and symbol
+//! index, no `syn` — the build environment is offline) that
+//! machine-enforces them; the analysis itself lives in the `mcim_lint`
+//! library.
 //!
 //! ```text
 //! cargo run -p mcim-lint                      # human output, exit 1 on violations
 //! cargo run -p mcim-lint -- --format=json     # machine output for CI
 //! cargo run -p mcim-lint -- --deny-stale      # stale baseline entries also fail
 //! cargo run -p mcim-lint -- --write-baseline  # regenerate lint-baseline.toml
-//! cargo run -p mcim-lint -- --check-shrink old.toml   # baseline grew? fail
+//! cargo run -p mcim-lint -- --check-shrink old.toml    # baseline grew? fail
+//! cargo run -p mcim-lint -- --write-schema-lock        # regenerate wire-schema.lock
+//! cargo run -p mcim-lint -- --schema-compat old.lock   # unbumped dist drift? fail
 //! ```
 //!
 //! Exit codes: `0` clean, `1` violations (or stale entries under
-//! `--deny-stale`, or baseline growth under `--check-shrink`), `2` usage
-//! or I/O error. Inline allowances use
-//! `// mcim-lint: allow(rule, reason)`; see README "Static analysis".
-
-mod baseline;
-mod lexer;
-mod rules;
+//! `--deny-stale`, baseline growth under `--check-shrink`, unbumped dist
+//! drift under `--schema-compat` / `--write-schema-lock`), `2` usage or
+//! I/O error. Inline allowances use `// mcim-lint: allow(rule, reason)`;
+//! see README "Static analysis". Schema findings (`schema-drift`,
+//! `schema-lock`, `protocol-version`) have no pragma or baseline escape —
+//! the only way through is `--write-schema-lock`, which itself refuses
+//! dist-reachable drift without a `PROTOCOL_VERSION` bump.
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use rules::{classify, Finding};
+use mcim_lint::rules::{classify, Finding};
+use mcim_lint::symbols::SymbolIndex;
+use mcim_lint::{baseline, rules, schema};
 
 #[derive(Debug, Default)]
 struct Args {
     root: Option<PathBuf>,
     baseline: Option<PathBuf>,
+    schema_lock: Option<PathBuf>,
     json: bool,
     deny_stale: bool,
     write_baseline: bool,
+    write_schema_lock: bool,
     check_shrink: Option<PathBuf>,
+    schema_compat: Option<PathBuf>,
     list_rules: bool,
 }
 
@@ -55,16 +65,20 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         match arg.as_str() {
             "--root" => args.root = Some(path_value("--root")?),
             "--baseline" => args.baseline = Some(path_value("--baseline")?),
+            "--schema-lock" => args.schema_lock = Some(path_value("--schema-lock")?),
             "--check-shrink" => args.check_shrink = Some(path_value("--check-shrink")?),
+            "--schema-compat" => args.schema_compat = Some(path_value("--schema-compat")?),
             "--format=json" => args.json = true,
             "--format=human" => args.json = false,
             "--deny-stale" => args.deny_stale = true,
             "--write-baseline" => args.write_baseline = true,
+            "--write-schema-lock" => args.write_schema_lock = true,
             "--list-rules" => args.list_rules = true,
             "--help" | "-h" => {
                 return Err("usage: mcim-lint [--root DIR] [--baseline FILE] \
-                            [--format=human|json] [--deny-stale] [--write-baseline] \
-                            [--check-shrink FILE] [--list-rules]"
+                            [--schema-lock FILE] [--format=human|json] [--deny-stale] \
+                            [--write-baseline] [--write-schema-lock] \
+                            [--check-shrink FILE] [--schema-compat FILE] [--list-rules]"
                     .to_string())
             }
             other => return Err(format!("unknown argument `{other}` (try --help)")),
@@ -158,6 +172,12 @@ fn finding_json(f: &Finding, baselined: bool) -> String {
     )
 }
 
+fn read_lock(path: &Path) -> Result<schema::Lock, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    schema::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
 fn run() -> Result<ExitCode, String> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = parse_args(&argv)?;
@@ -174,6 +194,11 @@ fn run() -> Result<ExitCode, String> {
         .baseline
         .clone()
         .unwrap_or_else(|| root.join("lint-baseline.toml"));
+    let lock_path = args
+        .schema_lock
+        .clone()
+        .unwrap_or_else(|| root.join("wire-schema.lock"));
+    let lock_rel = rel_path(&root, &lock_path);
     let previous = if baseline_path.is_file() {
         let text = std::fs::read_to_string(&baseline_path)
             .map_err(|e| format!("reading {}: {e}", baseline_path.display()))?;
@@ -202,10 +227,34 @@ fn run() -> Result<ExitCode, String> {
         });
     }
 
-    // Scan the tree.
+    // Neither does the schema-compat guard: it compares two lock files
+    // (the committed lock vs the merge-base copy).
+    if let Some(ref_path) = &args.schema_compat {
+        let current = read_lock(&lock_path)?;
+        let reference = read_lock(ref_path)?;
+        return Ok(match schema::compat(&current, &reference) {
+            Ok(()) => {
+                println!(
+                    "{lock_rel} is protocol-compatible with {} (dist drift, if any, is \
+                     version-bumped)",
+                    ref_path.display()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(errs) => {
+                for e in errs {
+                    eprintln!("error: {e}");
+                }
+                ExitCode::FAILURE
+            }
+        });
+    }
+
+    // Scan the tree: per-file rules plus the workspace symbol index.
     let mut all_kept: Vec<Finding> = Vec::new();
     let mut all_allowed: Vec<Finding> = Vec::new();
     let mut files_checked = 0usize;
+    let mut index = SymbolIndex::default();
     for path in collect_files(&root)? {
         let rel = rel_path(&root, &path);
         let Some(class) = classify(&rel) else {
@@ -214,15 +263,40 @@ fn run() -> Result<ExitCode, String> {
         let source = std::fs::read_to_string(&path)
             .map_err(|e| format!("reading {}: {e}", path.display()))?;
         files_checked += 1;
+        if class == rules::FileClass::Lib {
+            index.add_file(&rel, &source);
+        }
         let report = rules::check_file(&rel, &source, class);
         let (kept, allowed, dead) = rules::apply_pragmas(report, &rel);
         all_kept.extend(kept);
         all_kept.extend(dead);
         all_allowed.extend(allowed);
     }
+    let entries = schema::compute(&index);
+
+    if args.write_schema_lock {
+        if lock_path.is_file() {
+            let old = read_lock(&lock_path)?;
+            if let Err(errs) = schema::write_guard(&entries, &old) {
+                for e in errs {
+                    eprintln!("error: {e}");
+                }
+                return Ok(ExitCode::FAILURE);
+            }
+        }
+        std::fs::write(&lock_path, schema::render(&entries))
+            .map_err(|e| format!("writing {}: {e}", lock_path.display()))?;
+        println!("wrote {} ({} entries)", lock_path.display(), entries.len());
+        if !args.write_baseline {
+            return Ok(ExitCode::SUCCESS);
+        }
+    }
 
     if args.write_baseline {
         let fresh = baseline::from_findings(&all_kept, &previous);
+        for note in baseline::shrink_notes(&previous, &fresh) {
+            println!("note: {note}");
+        }
         std::fs::write(&baseline_path, baseline::render(&fresh))
             .map_err(|e| format!("writing {}: {e}", baseline_path.display()))?;
         println!(
@@ -233,7 +307,30 @@ fn run() -> Result<ExitCode, String> {
         return Ok(ExitCode::SUCCESS);
     }
 
-    let matched = baseline::apply(all_kept, &previous);
+    // Schema findings: never baselineable or pragma-allowable — appended
+    // after baseline application.
+    let schema_findings = if lock_path.is_file() {
+        let lock = read_lock(&lock_path)?;
+        schema::check(&entries, &lock, &lock_rel)
+    } else if entries.is_empty() {
+        Vec::new()
+    } else {
+        vec![Finding {
+            rule: "schema-lock",
+            file: lock_rel.clone(),
+            line: 1,
+            col: 1,
+            token: "wire-schema.lock".to_string(),
+            message: format!(
+                "{} wire-visible symbol(s) but no {lock_rel} — generate it with \
+                 `--write-schema-lock` and commit it",
+                entries.len()
+            ),
+        }]
+    };
+
+    let mut matched = baseline::apply(all_kept, &previous);
+    matched.violations.extend(schema_findings);
     let stale_fails = args.deny_stale && !matched.stale.is_empty();
     let ok = matched.violations.is_empty() && !stale_fails;
 
@@ -262,10 +359,12 @@ fn run() -> Result<ExitCode, String> {
             .collect();
         println!(
             "{{\"ok\":{ok},\"files_checked\":{files_checked},\"violations\":{},\
-             \"baselined\":{},\"pragma_allowed\":{},\"findings\":[{}],\"stale_baseline\":[{}]}}",
+             \"baselined\":{},\"pragma_allowed\":{},\"schema_entries\":{},\
+             \"findings\":[{}],\"stale_baseline\":[{}]}}",
             matched.violations.len(),
             matched.baselined.len(),
             all_allowed.len(),
+            entries.len(),
             items.join(","),
             stale.join(",")
         );
@@ -285,11 +384,13 @@ fn run() -> Result<ExitCode, String> {
             );
         }
         println!(
-            "mcim-lint: {} files, {} violation(s), {} baselined, {} pragma-allowed{}",
+            "mcim-lint: {} files, {} violation(s), {} baselined, {} pragma-allowed, \
+             {} schema entr(ies){}",
             files_checked,
             matched.violations.len(),
             matched.baselined.len(),
             all_allowed.len(),
+            entries.len(),
             if matched.stale.is_empty() {
                 String::new()
             } else {
@@ -332,13 +433,20 @@ mod tests {
             "--deny-stale",
             "--baseline",
             "b.toml",
+            "--schema-lock",
+            "w.lock",
         ]))
         .unwrap();
         assert_eq!(a.root.as_deref(), Some(Path::new("/x")));
         assert!(a.json && a.deny_stale);
         assert_eq!(a.baseline.as_deref(), Some(Path::new("b.toml")));
+        assert_eq!(a.schema_lock.as_deref(), Some(Path::new("w.lock")));
+        let b = parse_args(&argv(&["--write-schema-lock", "--schema-compat", "r.lock"])).unwrap();
+        assert!(b.write_schema_lock);
+        assert_eq!(b.schema_compat.as_deref(), Some(Path::new("r.lock")));
         assert!(parse_args(&argv(&["--bogus"])).is_err());
         assert!(parse_args(&argv(&["--root"])).is_err(), "missing value");
+        assert!(parse_args(&argv(&["--schema-compat"])).is_err());
     }
 
     #[test]

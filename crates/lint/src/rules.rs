@@ -10,10 +10,21 @@
 //! | `panic-freedom` | library code returns `Error`, never panics |
 //! | `stdout-noise` | library crates never write to stdout/stderr |
 //! | `sampler-bypass` | noise planes come from the one UE sampler |
+//! | `rng-discipline` | RNG streams are only constructed in their homes |
 //! | `unsafe-header` | every lib crate carries `#![forbid(unsafe_code)]` |
+//! | `schema-drift` | wire fingerprints match `wire-schema.lock` |
+//! | `schema-lock` | the lock exists once wire symbols do |
+//! | `protocol-version` | dist drift rides with a `PROTOCOL_VERSION` bump |
 //! | `pragma-syntax` | every `mcim-lint:` comment actually parses |
+//!
+//! The three `schema-*`/`protocol-version` rules are produced by the
+//! workspace pass ([`crate::schema`]), not per-file checks; they are
+//! listed here so `--list-rules` and pragma validation know them —
+//! schema findings are never baselineable or pragma-allowable, so a
+//! pragma naming them is reported dead.
 
 use crate::lexer::{scrub, tokenize, Pragma, Tok};
+use crate::symbols::WIRE_TRAITS;
 
 /// Every rule identifier, for `--list-rules` and pragma validation.
 pub const RULE_IDS: &[&str] = &[
@@ -22,7 +33,11 @@ pub const RULE_IDS: &[&str] = &[
     "panic-freedom",
     "stdout-noise",
     "sampler-bypass",
+    "rng-discipline",
     "unsafe-header",
+    "schema-drift",
+    "schema-lock",
+    "protocol-version",
     "pragma-syntax",
 ];
 
@@ -85,8 +100,9 @@ pub struct Finding {
 }
 
 /// Marks the lines belonging to `#[cfg(test)]` / `#[test]` items and
-/// `mod tests { … }` blocks.
-fn test_lines(toks: &[Tok], n_lines: usize) -> Vec<bool> {
+/// `mod tests { … }` blocks. (Also used by the symbol index to keep
+/// test-only types and impls out of the wire schema.)
+pub fn test_lines(toks: &[Tok], n_lines: usize) -> Vec<bool> {
     let mut in_test = vec![false; n_lines + 2];
     let mut i = 0usize;
     let mut pending_test: Option<usize> = None; // line of the test attr
@@ -176,9 +192,6 @@ fn test_lines(toks: &[Tok], n_lines: usize) -> Vec<bool> {
 /// Basenames whose whole file is a wire path: order there reaches bytes.
 const WIRE_FILES: &[&str] = &["wire.rs", "stages.rs", "coord.rs", "worker.rs", "proto.rs"];
 
-/// Traits whose `impl … for` presence makes a file wire-sensitive.
-const WIRE_TRAITS: &[&str] = &["Wire", "WireState", "StageDecode"];
-
 fn is_wire_sensitive(rel: &str, toks: &[Tok]) -> bool {
     let base = rel.rsplit('/').next().unwrap_or(rel);
     if WIRE_FILES.contains(&base) {
@@ -200,6 +213,35 @@ const RAW_SAMPLERS: &[&str] = &["fill_bernoulli", "fill_bernoulli_wordwise"];
 /// The sampler module itself: where the fillers live (`bitvec.rs`) and
 /// the one sanctioned chooser between them (`ue.rs`'s `fill_plane`).
 const SAMPLER_HOME_FILES: &[&str] = &["crates/oracles/src/bitvec.rs", "crates/oracles/src/ue.rs"];
+
+/// RNG-stream constructors. Under RNG-contract v2 every stream a
+/// pipeline consumes is derived by `shard_rng(stage_seed, shard)`
+/// (splitmix64 key-stretching in `parallel.rs`); constructing a stream
+/// any other way forks the noise sequence and breaks the cross-mode
+/// bit-identity the equivalence matrices pin. Call sites are flagged;
+/// definitions (`fn splitmix64`) are not.
+const RNG_CONSTRUCTORS: &[&str] = &[
+    "seed_from_u64",
+    "from_seed",
+    "from_rng",
+    "try_from_rng",
+    "from_entropy",
+    "from_os_rng",
+    "splitmix64",
+];
+
+/// Where RNG streams may legitimately be born: the shard-stream derivation
+/// (`parallel.rs`) and the samplers that consume them (`ue.rs`,
+/// `bitvec.rs`).
+const RNG_HOME_FILES: &[&str] = &[
+    "crates/oracles/src/parallel.rs",
+    "crates/oracles/src/ue.rs",
+    "crates/oracles/src/bitvec.rs",
+];
+
+/// `hash.rs` uses `splitmix64` as a *mixing function* (OLH seed
+/// hashing), not to seed a stream — sanctioned for that token only.
+const SPLITMIX_EXTRA_HOMES: &[&str] = &["crates/oracles/src/hash.rs"];
 
 /// Everything the engine knows about one analyzed file.
 pub struct FileReport {
@@ -354,6 +396,30 @@ pub fn check_file(rel: &str, source: &str, class: FileClass) -> FileReport {
                      `UnaryEncoding` (its `fill_plane` picks the wordwise/geometric path \
                      from the mechanism parameters alone, keeping every execution mode on \
                      one stream)"
+                ),
+            );
+        }
+
+        // rng-discipline: lib code may not construct RNG streams outside
+        // the sanctioned homes (tests may build seeded fixtures freely).
+        if class == FileClass::Lib
+            && !tested
+            && RNG_CONSTRUCTORS.contains(&id)
+            && next_is('(')
+            && prev.and_then(Tok::ident) != Some("fn")
+            && !RNG_HOME_FILES.contains(&rel)
+            && !(id == "splitmix64" && SPLITMIX_EXTRA_HOMES.contains(&rel))
+        {
+            push(
+                "rng-discipline",
+                tok,
+                id,
+                format!(
+                    "`{id}` constructs an RNG stream outside the sanctioned homes \
+                     (parallel.rs/ue.rs/bitvec.rs); RNG-contract v2 derives every pipeline \
+                     stream via `shard_rng(stage_seed, shard)` so all execution modes share \
+                     one noise sequence — route through it, or justify a non-privatization \
+                     stream with a pragma"
                 ),
             );
         }
@@ -592,6 +658,44 @@ mod tests {
     }
 
     #[test]
+    fn rng_discipline_bans_stream_construction_outside_homes() {
+        let src = "fn f(seed: u64) { let r = StdRng::seed_from_u64(seed); \
+                   let s = SmallRng::from_entropy(); let k = splitmix64(seed); }\n\
+                   pub fn splitmix64(x: u64) -> u64 { x }\n";
+        let f = lib_findings("crates/topk/src/pem.rs", src);
+        assert_eq!(
+            rules_of(&f),
+            ["rng-discipline", "rng-discipline", "rng-discipline"]
+        );
+        assert_eq!(f[0].token, "seed_from_u64");
+        assert_eq!(f[2].token, "splitmix64");
+        // The sanctioned homes may construct streams …
+        for home in RNG_HOME_FILES {
+            assert!(lib_findings(home, src).is_empty(), "{home}");
+        }
+        // … hash.rs may call splitmix64 (mixing, not stream seeding) but
+        // not the other constructors.
+        let h = lib_findings("crates/oracles/src/hash.rs", src);
+        assert_eq!(rules_of(&h), ["rng-discipline", "rng-discipline"]);
+        assert!(h.iter().all(|f| f.token != "splitmix64"));
+        // Tests and tool crates build seeded fixtures freely.
+        let t = check_file(
+            "crates/oracles/tests/p.rs",
+            "fn t() { StdRng::seed_from_u64(7); }",
+            FileClass::TestLike,
+        );
+        assert!(t.findings.is_empty());
+        let src = "#[cfg(test)]\nmod tests {\n fn t() { StdRng::seed_from_u64(7); }\n}\n";
+        assert!(lib_findings("crates/core/src/domain.rs", src).is_empty());
+        let b = check_file(
+            "crates/bench/src/x.rs",
+            "fn f() { StdRng::seed_from_u64(7); }",
+            FileClass::Tool,
+        );
+        assert!(b.findings.is_empty());
+    }
+
+    #[test]
     fn unsafe_header_required_on_lib_roots_only() {
         let f = lib_findings("crates/core/src/lib.rs", "pub mod x;\n");
         assert_eq!(rules_of(&f), ["unsafe-header"]);
@@ -646,6 +750,7 @@ mod tests {
                    fn f() -> u64 {\n\
                        let t = SystemTime::now();\n\
                        let r = thread_rng();\n\
+                       let s = StdRng::seed_from_u64(7);\n\
                        println!(\"{t:?}\");\n\
                        plane.fill_bernoulli(q, &mut r).unwrap()\n\
                    }\n";
@@ -659,6 +764,7 @@ mod tests {
                 "ambient-entropy",
                 "hashmap-in-wire",
                 "panic-freedom",
+                "rng-discipline",
                 "sampler-bypass",
                 "stdout-noise",
                 "unsafe-header",

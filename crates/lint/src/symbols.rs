@@ -1,0 +1,682 @@
+//! The workspace symbol index: a cross-file map of type definitions,
+//! wire-trait implementations, constants and macros, built on the same
+//! hand-rolled lexer the per-file rules use (no `syn` — offline build).
+//!
+//! The index answers the questions the schema lock needs:
+//!
+//! * which `struct`/`enum` definitions exist, and what do their
+//!   declarations (field names, type tokens, order, variant tags) look
+//!   like as a canonical token string,
+//! * which types implement `Wire`/`WireState`/`StageDecode`, resolved
+//!   from the `impl … for Type` head back to the definition — across
+//!   files and crates,
+//! * which `macro_rules!` macros *emit* wire impls, and with which
+//!   argument lists they are invoked (macro-generated impls are
+//!   fingerprinted unexpanded: body + invocations),
+//! * which `const` items carry protocol-critical values
+//!   (`PROTOCOL_VERSION`, `MAX_FRAME`, frame tags).
+//!
+//! ## What the scanner sees
+//!
+//! Items are recognized at module level only: the scanner tracks brace
+//! depth, descends into inline `mod name { … }` blocks, and skips `fn`
+//! bodies, test regions (`#[cfg(test)]`, `#[test]`, `mod tests`) and
+//! everything inside consumed item bodies. `#[cfg]`-gated duplicate
+//! definitions of one type are all collected — the schema fingerprint
+//! covers every configuration, so gating a wire type differently is
+//! itself a visible change. Comments and strings are scrubbed before
+//! tokenization, so a raw string containing `impl Wire for X` is prose,
+//! not an impl.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::{scrub, tokenize, Tok, TokKind};
+use crate::rules::test_lines;
+
+/// Traits whose implementations define the wire surface. (Also the
+/// trigger list for the per-file `hashmap-in-wire` rule.)
+pub const WIRE_TRAITS: &[&str] = &["Wire", "WireState", "StageDecode"];
+
+/// One `struct`/`enum` definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeDef {
+    /// Type name.
+    pub name: String,
+    /// Workspace-relative file.
+    pub file: String,
+    /// 1-based line of the `struct`/`enum` keyword.
+    pub line: usize,
+    /// Canonical declaration text (space-joined tokens, comments and
+    /// strings already scrubbed): field names, types, order, variants.
+    pub decl: String,
+}
+
+/// One `impl Trait for Type` block for a wire trait.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraitImpl {
+    /// Last path segment of the trait (`crate::wire::WireState` → `WireState`).
+    pub trait_name: String,
+    /// The full implementing-type text (`FwPartial < Agg , Rep >`).
+    pub type_text: String,
+    /// The type's head identifier for definition lookup (`FwPartial`),
+    /// or `None` for non-path types (tuples).
+    pub type_head: Option<String>,
+    /// Workspace-relative file.
+    pub file: String,
+    /// 1-based line of the `impl` keyword.
+    pub line: usize,
+    /// Canonical body text — the encode/decode logic itself.
+    pub body: String,
+}
+
+/// One module-level `const` item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstDef {
+    /// Constant name.
+    pub name: String,
+    /// Workspace-relative file.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Canonical initializer text (tokens after `=`).
+    pub value: String,
+}
+
+/// One `macro_rules!` definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MacroDef {
+    /// Macro name.
+    pub name: String,
+    /// Workspace-relative file.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Canonical body text.
+    pub body: String,
+    /// Whether the body contains an `impl <WireTrait> for` sequence —
+    /// such macros generate wire impls and must be fingerprinted.
+    pub emits_wire_impl: bool,
+}
+
+/// One module-level macro invocation (`wire_int!(u8, u16, …)`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MacroUse {
+    /// Invoked macro name.
+    pub name: String,
+    /// Workspace-relative file.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Canonical argument text.
+    pub args: String,
+}
+
+/// The cross-file index, fed one library file at a time.
+#[derive(Debug, Default)]
+pub struct SymbolIndex {
+    /// Definitions by type name. Multiple entries mean `#[cfg]`-gated
+    /// (or name-colliding) duplicates; all participate in fingerprints.
+    pub types: BTreeMap<String, Vec<TypeDef>>,
+    /// Every wire-trait impl found.
+    pub impls: Vec<TraitImpl>,
+    /// Every module-level const.
+    pub consts: Vec<ConstDef>,
+    /// Every `macro_rules!` definition.
+    pub macros: Vec<MacroDef>,
+    /// Every module-level macro invocation.
+    pub macro_uses: Vec<MacroUse>,
+}
+
+/// Canonical text of a token run: idents and puncts space-joined. All
+/// fingerprints hash this form, so reformatting never registers as drift.
+fn text(toks: &[Tok]) -> String {
+    let mut out = String::new();
+    for t in toks {
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        match &t.kind {
+            TokKind::Ident(s) => out.push_str(s),
+            TokKind::Punct(c) => out.push(*c),
+        }
+    }
+    out
+}
+
+/// `i` points at `<`; returns the index just past the matching `>`.
+/// `->` and `=>` arrows inside (e.g. `Fn(u32) -> u64` bounds) don't close.
+fn skip_generics(toks: &[Tok], mut i: usize) -> usize {
+    let mut depth = 0usize;
+    while i < toks.len() {
+        if toks[i].is_punct('<') {
+            depth += 1;
+        } else if toks[i].is_punct('>')
+            && !(i > 0 && (toks[i - 1].is_punct('-') || toks[i - 1].is_punct('=')))
+        {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// `i` points at `open`; returns the index just past the matching `close`.
+fn skip_delim(toks: &[Tok], mut i: usize, open: char, close: char) -> usize {
+    let mut depth = 0usize;
+    while i < toks.len() {
+        if toks[i].is_punct(open) {
+            depth += 1;
+        } else if toks[i].is_punct(close) {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Last identifier of the leading path, before any `<` or `(`:
+/// `mcim_oracles :: wire :: Wire` → `Wire`, `FwPartial < A , B >` →
+/// `FwPartial`, `( A , B )` → `None`.
+fn path_head(toks: &[Tok]) -> Option<String> {
+    let cut = toks
+        .iter()
+        .position(|t| t.is_punct('<') || t.is_punct('('))
+        .unwrap_or(toks.len());
+    toks[..cut]
+        .iter()
+        .rev()
+        .find_map(Tok::ident)
+        .map(str::to_string)
+}
+
+/// `s` points at `struct`/`enum`; returns `(name, end_past_item)`.
+fn parse_type_def(toks: &[Tok], s: usize) -> Option<(String, usize)> {
+    let name = toks.get(s + 1)?.ident()?.to_string();
+    let mut i = s + 2;
+    if toks.get(i).is_some_and(|t| t.is_punct('<')) {
+        i = skip_generics(toks, i);
+    }
+    while i < toks.len() {
+        if toks[i].is_punct('{') {
+            return Some((name, skip_delim(toks, i, '{', '}')));
+        }
+        if toks[i].is_punct('(') {
+            // Tuple struct: fields, then (possibly a where clause and) `;`.
+            i = skip_delim(toks, i, '(', ')');
+            continue;
+        }
+        if toks[i].is_punct(';') {
+            return Some((name, i + 1));
+        }
+        i += 1;
+    }
+    Some((name, i))
+}
+
+/// A parsed `impl` item.
+enum ImplItem {
+    /// Inherent impl (or a trait we don't resolve the head of): skipped.
+    Other { end: usize },
+    /// `impl Trait for Type { body }`.
+    Trait {
+        trait_name: String,
+        type_text: String,
+        type_head: Option<String>,
+        body: String,
+        end: usize,
+    },
+}
+
+/// `s` points at `impl`; parses past the whole item (body included).
+fn parse_impl(toks: &[Tok], s: usize) -> ImplItem {
+    let mut i = s + 1;
+    if toks.get(i).is_some_and(|t| t.is_punct('<')) {
+        i = skip_generics(toks, i);
+    }
+    // Trait (or self-type, for inherent impls) tokens up to a top-level
+    // `for`, `where`, or the body brace.
+    let head_start = i;
+    let mut angle = 0usize;
+    let mut for_at = None;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') && !(i > 0 && toks[i - 1].is_punct('-')) {
+            angle = angle.saturating_sub(1);
+        } else if angle == 0 {
+            if t.ident() == Some("for") {
+                for_at = Some(i);
+                break;
+            }
+            if t.ident() == Some("where") || t.is_punct('{') {
+                break;
+            }
+        }
+        i += 1;
+    }
+    let body_end = |from: usize| {
+        let mut j = from;
+        while j < toks.len() && !toks[j].is_punct('{') {
+            j += 1;
+        }
+        (j, skip_delim(toks, j, '{', '}'))
+    };
+    let Some(for_at) = for_at else {
+        let (_, end) = body_end(i);
+        return ImplItem::Other { end };
+    };
+    let trait_toks = &toks[head_start..for_at];
+    let Some(trait_name) = path_head(trait_toks) else {
+        let (_, end) = body_end(for_at);
+        return ImplItem::Other { end };
+    };
+    // Implementing-type tokens up to `where` or the body brace.
+    let type_start = for_at + 1;
+    let mut j = type_start;
+    let mut angle = 0usize;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') && !(j > 0 && toks[j - 1].is_punct('-')) {
+            angle = angle.saturating_sub(1);
+        } else if angle == 0 && (t.ident() == Some("where") || t.is_punct('{')) {
+            break;
+        }
+        j += 1;
+    }
+    let type_toks = &toks[type_start..j];
+    let (open, end) = body_end(j);
+    let body = if open < toks.len() {
+        text(&toks[open + 1..end.saturating_sub(1)])
+    } else {
+        String::new()
+    };
+    ImplItem::Trait {
+        trait_name,
+        type_text: text(type_toks),
+        type_head: path_head(type_toks),
+        body,
+        end,
+    }
+}
+
+/// `s` points at `const`; returns `(name, value_text, end)` for a const
+/// *item* (`const NAME: Ty = …;`), or `None` for `const fn` and friends.
+fn parse_const(toks: &[Tok], s: usize) -> Option<(String, String, usize)> {
+    let name = toks.get(s + 1)?.ident()?;
+    if name == "fn" || !toks.get(s + 2).is_some_and(|t| t.is_punct(':')) {
+        return None;
+    }
+    // Find `=` then `;`, both at zero (paren|bracket|brace) depth — the
+    // value may contain `[0; N]` arrays or `64 << 20` shifts.
+    let mut depth = 0usize;
+    let mut eq_at = None;
+    let mut i = s + 3;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth = depth.saturating_sub(1);
+        } else if depth == 0 && eq_at.is_none() && t.is_punct('=') {
+            eq_at = Some(i);
+        } else if depth == 0 && t.is_punct(';') {
+            let eq = eq_at?;
+            return Some((name.to_string(), text(&toks[eq + 1..i]), i + 1));
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Whether a macro body contains an `impl <WireTrait> for` sequence.
+fn emits_wire_impl(body: &[Tok]) -> bool {
+    let mut seen_impl = false;
+    for (j, t) in body.iter().enumerate() {
+        if t.ident() == Some("impl") {
+            seen_impl = true;
+        }
+        if seen_impl
+            && t.ident().is_some_and(|id| WIRE_TRAITS.contains(&id))
+            && body.get(j + 1).and_then(Tok::ident) == Some("for")
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// The matching close delimiter for a macro invocation's open delimiter.
+fn close_of(open: char) -> char {
+    match open {
+        '(' => ')',
+        '[' => ']',
+        _ => '}',
+    }
+}
+
+impl SymbolIndex {
+    /// Indexes one library source file.
+    pub fn add_file(&mut self, rel: &str, source: &str) {
+        let scrubbed = scrub(source);
+        let toks = tokenize(&scrubbed.code);
+        let n_lines = source.lines().count().max(1);
+        let in_test = test_lines(&toks, n_lines);
+        let tested = |line: usize| in_test.get(line).copied().unwrap_or(false);
+
+        // Brace frames: `true` frames are inline `mod name { … }` blocks
+        // whose contents are still module-level; `false` frames (trait
+        // bodies, initializers, anything unconsumed) hide items.
+        let mut frames: Vec<bool> = Vec::new();
+        let mut opaque = 0usize;
+        let mut i = 0usize;
+        while i < toks.len() {
+            let t = &toks[i];
+            if t.is_punct('{') {
+                frames.push(false);
+                opaque += 1;
+                i += 1;
+                continue;
+            }
+            if t.is_punct('}') {
+                if let Some(transparent) = frames.pop() {
+                    if !transparent {
+                        opaque = opaque.saturating_sub(1);
+                    }
+                }
+                i += 1;
+                continue;
+            }
+            if opaque > 0 {
+                i += 1;
+                continue;
+            }
+            let Some(id) = t.ident() else {
+                i += 1;
+                continue;
+            };
+            if tested(t.line) {
+                i += 1;
+                continue;
+            }
+            match id {
+                "mod"
+                    if toks.get(i + 1).and_then(Tok::ident).is_some()
+                        && toks.get(i + 2).is_some_and(|t| t.is_punct('{')) =>
+                {
+                    // Inline module: descend transparently.
+                    frames.push(true);
+                    i += 3;
+                }
+                "fn" => {
+                    // Skip the whole function (signature has no braces
+                    // before the body in this codebase's Rust subset).
+                    let mut j = i + 1;
+                    while j < toks.len() && !toks[j].is_punct('{') && !toks[j].is_punct(';') {
+                        j += 1;
+                    }
+                    i = if toks.get(j).is_some_and(|t| t.is_punct('{')) {
+                        skip_delim(&toks, j, '{', '}')
+                    } else {
+                        j + 1
+                    };
+                }
+                "struct" | "enum" => {
+                    let Some((name, end)) = parse_type_def(&toks, i) else {
+                        i += 1;
+                        continue;
+                    };
+                    self.types.entry(name.clone()).or_default().push(TypeDef {
+                        name,
+                        file: rel.to_string(),
+                        line: t.line,
+                        decl: text(&toks[i..end]),
+                    });
+                    i = end;
+                }
+                "impl" => {
+                    let line = t.line;
+                    match parse_impl(&toks, i) {
+                        ImplItem::Other { end } => i = end,
+                        ImplItem::Trait {
+                            trait_name,
+                            type_text,
+                            type_head,
+                            body,
+                            end,
+                        } => {
+                            if WIRE_TRAITS.contains(&trait_name.as_str()) {
+                                self.impls.push(TraitImpl {
+                                    trait_name,
+                                    type_text,
+                                    type_head,
+                                    file: rel.to_string(),
+                                    line,
+                                    body,
+                                });
+                            }
+                            i = end;
+                        }
+                    }
+                }
+                "const" => match parse_const(&toks, i) {
+                    Some((name, value, end)) => {
+                        self.consts.push(ConstDef {
+                            name,
+                            file: rel.to_string(),
+                            line: t.line,
+                            value,
+                        });
+                        i = end;
+                    }
+                    None => i += 1,
+                },
+                "macro_rules"
+                    if toks.get(i + 1).is_some_and(|t| t.is_punct('!'))
+                        && toks.get(i + 2).and_then(Tok::ident).is_some() =>
+                {
+                    let name = toks[i + 2].ident().unwrap_or_default().to_string();
+                    let open = i + 3;
+                    let Some(TokKind::Punct(d)) = toks.get(open).map(|t| t.kind.clone()) else {
+                        i += 3;
+                        continue;
+                    };
+                    let end = skip_delim(&toks, open, d, close_of(d));
+                    let body = &toks[open + 1..end.saturating_sub(1)];
+                    self.macros.push(MacroDef {
+                        name,
+                        file: rel.to_string(),
+                        line: t.line,
+                        body: text(body),
+                        emits_wire_impl: emits_wire_impl(body),
+                    });
+                    i = end;
+                }
+                _ if toks.get(i + 1).is_some_and(|t| t.is_punct('!'))
+                    && toks
+                        .get(i + 2)
+                        .is_some_and(|t| t.is_punct('(') || t.is_punct('[') || t.is_punct('{')) =>
+                {
+                    // Module-level macro invocation: `wire_int!(u8, …);`.
+                    let open = i + 2;
+                    let Some(TokKind::Punct(d)) = toks.get(open).map(|t| t.kind.clone()) else {
+                        i += 2;
+                        continue;
+                    };
+                    let end = skip_delim(&toks, open, d, close_of(d));
+                    self.macro_uses.push(MacroUse {
+                        name: id.to_string(),
+                        file: rel.to_string(),
+                        line: t.line,
+                        args: text(&toks[open + 1..end.saturating_sub(1)]),
+                    });
+                    i = end;
+                }
+                _ => i += 1,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index_of(files: &[(&str, &str)]) -> SymbolIndex {
+        let mut idx = SymbolIndex::default();
+        for (rel, src) in files {
+            idx.add_file(rel, src);
+        }
+        idx
+    }
+
+    #[test]
+    fn resolves_impls_to_definitions_across_files() {
+        let idx = index_of(&[
+            (
+                "crates/a/src/types.rs",
+                "pub struct Point { pub x: u32, pub y: u32 }\n",
+            ),
+            (
+                "crates/b/src/codec.rs",
+                "impl mcim_oracles::wire::Wire for Point {\n\
+                 fn put(&self, buf: &mut Vec<u8>) { self.x.put(buf); }\n}\n",
+            ),
+        ]);
+        let defs = &idx.types["Point"];
+        assert_eq!(defs.len(), 1);
+        assert_eq!(defs[0].file, "crates/a/src/types.rs");
+        assert!(defs[0].decl.contains("x : u32"), "{}", defs[0].decl);
+        assert_eq!(idx.impls.len(), 1);
+        let imp = &idx.impls[0];
+        assert_eq!(imp.trait_name, "Wire");
+        assert_eq!(imp.type_head.as_deref(), Some("Point"));
+        assert!(imp.body.contains("put ( buf )"), "{}", imp.body);
+    }
+
+    #[test]
+    fn generic_impl_heads_resolve_and_non_wire_traits_are_ignored() {
+        let src = "pub struct FwPartial<Agg, Rep> { agg: Agg, rep: Rep }\n\
+                   impl<Agg: WireState, Rep> WireState for FwPartial<Agg, Rep> {\n\
+                       fn save(&self, buf: &mut Vec<u8>) {}\n\
+                   }\n\
+                   impl<Agg: Clone, Rep: Clone> Clone for FwPartial<Agg, Rep> {\n\
+                       fn clone(&self) -> Self { todo!() }\n\
+                   }\n\
+                   impl<M> StageDecode for FwStage<M> where M: Default {\n\
+                       fn decode() {}\n\
+                   }\n";
+        let idx = index_of(&[("crates/a/src/x.rs", src)]);
+        let traits: Vec<&str> = idx.impls.iter().map(|i| i.trait_name.as_str()).collect();
+        assert_eq!(traits, ["WireState", "StageDecode"], "Clone is not wire");
+        assert_eq!(idx.impls[0].type_head.as_deref(), Some("FwPartial"));
+        assert_eq!(idx.impls[0].type_text, "FwPartial < Agg , Rep >");
+        assert_eq!(idx.impls[1].type_head.as_deref(), Some("FwStage"));
+        assert!(
+            !idx.impls[1].body.contains("where"),
+            "where clause excluded"
+        );
+    }
+
+    #[test]
+    fn tuple_and_primitive_impls_have_no_resolvable_head() {
+        let src = "impl<A: Wire, B: Wire> Wire for (A, B) { fn put(&self) {} }\n\
+                   impl Wire for u64 { fn put(&self) {} }\n";
+        let idx = index_of(&[("crates/a/src/x.rs", src)]);
+        assert_eq!(idx.impls[0].type_head, None, "tuple");
+        assert_eq!(idx.impls[1].type_head.as_deref(), Some("u64"));
+    }
+
+    #[test]
+    fn raw_strings_and_comments_mentioning_impls_are_not_impls() {
+        let src = "pub fn doc() -> &'static str {\n\
+                       r#\"impl Wire for Fake { fn put() {} }\"#\n\
+                   }\n\
+                   // impl WireState for AlsoFake {}\n\
+                   /* impl StageDecode for StillFake {} */\n";
+        let idx = index_of(&[("crates/a/src/x.rs", src)]);
+        assert!(idx.impls.is_empty(), "{:?}", idx.impls);
+    }
+
+    #[test]
+    fn cfg_gated_duplicate_definitions_are_all_collected() {
+        let src = "#[cfg(feature = \"wide\")]\npub struct Counter { w: u64 }\n\
+                   #[cfg(not(feature = \"wide\"))]\npub struct Counter { w: u32 }\n";
+        let idx = index_of(&[("crates/a/src/x.rs", src)]);
+        let defs = &idx.types["Counter"];
+        assert_eq!(defs.len(), 2);
+        assert!(defs[0].decl.contains("u64") && defs[1].decl.contains("u32"));
+    }
+
+    #[test]
+    fn test_regions_and_fn_bodies_are_not_indexed() {
+        let src = "pub fn f() { struct Inner { x: u32 } let c = Inner { x: 0 }; }\n\
+                   #[cfg(test)]\nmod tests {\n\
+                       pub struct Fixture { y: u32 }\n\
+                       impl Wire for Fixture { fn put(&self) {} }\n\
+                   }\n\
+                   pub struct Real { z: u32 }\n";
+        let idx = index_of(&[("crates/a/src/x.rs", src)]);
+        assert!(!idx.types.contains_key("Inner"), "fn-local type");
+        assert!(!idx.types.contains_key("Fixture"), "test type");
+        assert!(idx.types.contains_key("Real"));
+        assert!(idx.impls.is_empty(), "test impl");
+    }
+
+    #[test]
+    fn inline_modules_are_transparent() {
+        let src = "pub mod inner {\n\
+                       pub struct Nested { a: u8 }\n\
+                       impl Wire for Nested { fn put(&self) {} }\n\
+                   }\n";
+        let idx = index_of(&[("crates/a/src/x.rs", src)]);
+        assert!(idx.types.contains_key("Nested"));
+        assert_eq!(idx.impls.len(), 1);
+    }
+
+    #[test]
+    fn consts_parse_including_shifts_and_arrays() {
+        let src = "pub const PROTOCOL_VERSION: u32 = 2;\n\
+                   pub const MAX_FRAME: u32 = 64 << 20;\n\
+                   const TABLE: [u8; 3] = [1; 3];\n\
+                   pub const fn of(x: u32) -> u32 { x }\n\
+                   const TAIL: u8 = 7;\n";
+        let idx = index_of(&[("crates/a/src/x.rs", src)]);
+        let names: Vec<&str> = idx.consts.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["PROTOCOL_VERSION", "MAX_FRAME", "TABLE", "TAIL"]);
+        assert_eq!(idx.consts[0].value, "2");
+        assert_eq!(idx.consts[1].value, "64 < < 20");
+        assert_eq!(idx.consts[2].value, "[ 1 ; 3 ]");
+    }
+
+    #[test]
+    fn wire_emitting_macros_and_their_invocations_are_captured() {
+        let src = "macro_rules! wire_int {\n\
+                       ($($t:ty),*) => {$(\n\
+                           impl Wire for $t { fn put(&self, buf: &mut Vec<u8>) {} }\n\
+                       )*};\n\
+                   }\n\
+                   wire_int!(u8, u16, u32, u64);\n\
+                   macro_rules! plain { () => {}; }\n\
+                   plain!();\n";
+        let idx = index_of(&[("crates/a/src/x.rs", src)]);
+        assert_eq!(idx.macros.len(), 2);
+        assert!(idx.macros[0].emits_wire_impl);
+        assert!(!idx.macros[1].emits_wire_impl);
+        let wire_uses: Vec<&MacroUse> = idx
+            .macro_uses
+            .iter()
+            .filter(|u| u.name == "wire_int")
+            .collect();
+        assert_eq!(wire_uses.len(), 1);
+        assert_eq!(wire_uses[0].args, "u8 , u16 , u32 , u64");
+    }
+}

@@ -1,0 +1,183 @@
+//! End-to-end drift-lock tests against a self-contained fixture workspace:
+//! mutating a wire struct must fail the lint until the lock is regenerated,
+//! and dist-reachable drift must additionally ride with a
+//! `PROTOCOL_VERSION` bump — `--write-schema-lock` refuses it otherwise.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+const DEMO_LIB: &str = "#![forbid(unsafe_code)]\n\
+    pub struct Packet {\n\
+        pub seq: u32,\n\
+        pub body: Vec<u8>,\n\
+    }\n\
+    impl Wire for Packet {\n\
+        fn encode(&self, w: &mut Writer) { w.put(self.seq); }\n\
+    }\n";
+
+const DIST_PROTO: &str = "pub const PROTOCOL_VERSION: u32 = 1;\n\
+    pub const MAX_FRAME: usize = 1024;\n\
+    pub const TAG_HELLO: u8 = 1;\n\
+    pub enum Frame {\n\
+        Hello { version: u32 },\n\
+        Done,\n\
+    }\n";
+
+fn fixture(name: &str) -> PathBuf {
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = fs::remove_dir_all(&root);
+    fs::create_dir_all(root.join("crates/demo/src")).unwrap();
+    fs::create_dir_all(root.join("crates/dist/src")).unwrap();
+    fs::write(root.join("Cargo.toml"), "[workspace]\n").unwrap();
+    fs::write(root.join("crates/demo/src/lib.rs"), DEMO_LIB).unwrap();
+    fs::write(root.join("crates/dist/src/proto.rs"), DIST_PROTO).unwrap();
+    root
+}
+
+fn lint(root: &Path, extra: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_mcim-lint"))
+        .arg("--root")
+        .arg(root)
+        .args(extra)
+        .output()
+        .expect("spawn mcim-lint");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn edit(root: &Path, rel: &str, from: &str, to: &str) {
+    let path = root.join(rel);
+    let text = fs::read_to_string(&path).unwrap();
+    assert!(
+        text.contains(from),
+        "fixture drifted: {from:?} not in {rel}"
+    );
+    fs::write(path, text.replace(from, to)).unwrap();
+}
+
+#[test]
+fn lock_generation_covers_types_frames_and_consts() {
+    let root = fixture("drift-coverage");
+    let (ok, _, stderr) = lint(&root, &["--write-schema-lock"]);
+    assert!(ok, "stderr: {stderr}");
+    let lock = fs::read_to_string(root.join("wire-schema.lock")).unwrap();
+    assert!(lock.contains("protocol_version = \"1\""), "{lock}");
+    for name in [
+        "Packet",
+        "Frame",
+        "PROTOCOL_VERSION",
+        "MAX_FRAME",
+        "TAG_HELLO",
+    ] {
+        assert!(
+            lock.contains(&format!("name = \"{name}\"")),
+            "{name} missing"
+        );
+    }
+    let (ok, stdout, _) = lint(&root, &[]);
+    assert!(ok, "fresh lock must be clean: {stdout}");
+}
+
+#[test]
+fn wire_struct_field_mutation_fails_until_lock_regenerated() {
+    let root = fixture("drift-mutation");
+    assert!(lint(&root, &["--write-schema-lock"]).0);
+    edit(
+        &root,
+        "crates/demo/src/lib.rs",
+        "pub seq: u32",
+        "pub seq: u64",
+    );
+    let (ok, stdout, _) = lint(&root, &[]);
+    assert!(!ok, "field mutation must fail: {stdout}");
+    assert!(stdout.contains("schema-drift"), "{stdout}");
+    assert!(stdout.contains("Packet"), "{stdout}");
+    // Non-dist drift regenerates without ceremony, and the tree is clean.
+    let (ok, _, stderr) = lint(&root, &["--write-schema-lock"]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(lint(&root, &[]).0);
+}
+
+#[test]
+fn impl_body_change_is_drift_even_when_the_decl_is_not_touched() {
+    let root = fixture("drift-impl-body");
+    assert!(lint(&root, &["--write-schema-lock"]).0);
+    edit(
+        &root,
+        "crates/demo/src/lib.rs",
+        "w.put(self.seq);",
+        "w.put(self.seq); w.put(0u8);",
+    );
+    let (ok, stdout, _) = lint(&root, &[]);
+    assert!(!ok, "encode-body change must fail: {stdout}");
+    assert!(stdout.contains("schema-drift"), "{stdout}");
+}
+
+#[test]
+fn dist_frame_drift_demands_a_protocol_version_bump() {
+    let root = fixture("drift-dist");
+    assert!(lint(&root, &["--write-schema-lock"]).0);
+    edit(
+        &root,
+        "crates/dist/src/proto.rs",
+        "Done,",
+        "Done,\n        Abort { code: u32 },",
+    );
+    let (ok, stdout, _) = lint(&root, &[]);
+    assert!(!ok, "{stdout}");
+    assert!(stdout.contains("schema-drift"), "{stdout}");
+    assert!(stdout.contains("protocol-version"), "{stdout}");
+    // Regeneration is refused while the version stands still…
+    let (ok, _, stderr) = lint(&root, &["--write-schema-lock"]);
+    assert!(!ok, "unbumped dist drift must refuse regeneration");
+    assert!(stderr.contains("PROTOCOL_VERSION"), "{stderr}");
+    // …and allowed once it is bumped, after which the tree is clean.
+    edit(
+        &root,
+        "crates/dist/src/proto.rs",
+        "PROTOCOL_VERSION: u32 = 1",
+        "PROTOCOL_VERSION: u32 = 2",
+    );
+    let (ok, _, stderr) = lint(&root, &["--write-schema-lock"]);
+    assert!(ok, "stderr: {stderr}");
+    let (ok, stdout, _) = lint(&root, &[]);
+    assert!(ok, "{stdout}");
+}
+
+#[test]
+fn schema_compat_rejects_unbumped_dist_drift_between_locks() {
+    let root = fixture("drift-compat");
+    assert!(lint(&root, &["--write-schema-lock"]).0);
+    let base = root.join("base.lock");
+    fs::copy(root.join("wire-schema.lock"), &base).unwrap();
+    // Bumped dist drift: compatible.
+    edit(
+        &root,
+        "crates/dist/src/proto.rs",
+        "Done,",
+        "Done,\n        Abort { code: u32 },",
+    );
+    edit(
+        &root,
+        "crates/dist/src/proto.rs",
+        "PROTOCOL_VERSION: u32 = 1",
+        "PROTOCOL_VERSION: u32 = 2",
+    );
+    assert!(lint(&root, &["--write-schema-lock"]).0);
+    let (ok, _, stderr) = lint(&root, &["--schema-compat", base.to_str().unwrap()]);
+    assert!(ok, "bumped drift is compatible; stderr: {stderr}");
+    // Tampering the recorded version back recreates unbumped drift.
+    edit(
+        &root,
+        "wire-schema.lock",
+        "protocol_version = \"2\"",
+        "protocol_version = \"1\"",
+    );
+    let (ok, _, stderr) = lint(&root, &["--schema-compat", base.to_str().unwrap()]);
+    assert!(!ok, "same version with dist drift must fail compat");
+    assert!(stderr.contains("error:"), "{stderr}");
+}

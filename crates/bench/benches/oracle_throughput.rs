@@ -281,6 +281,26 @@ fn main() {
         run_plan(&Exec::stream().seed(6).threads(threads))
     }));
 
+    // ---------------------------------------------------- metrics tax ----
+    // The same batch pipeline with the global `mcim_obs` registry
+    // recording. Disabled (every scenario above), each instrumentation
+    // site folds to one relaxed atomic load, so the plain scenarios
+    // already price the off path; enabled it must stay within noise —
+    // the JSON's `metrics_overhead_batch_tn` is the enabled/disabled
+    // wall-time ratio (acceptance gate: ≤ 1.03). The snapshot recorded
+    // here is embedded in the JSON artifact under `obs`.
+    mcim_obs::reset();
+    mcim_obs::set_enabled(true);
+    scenarios.push(scenario(
+        "exec_plan_batch_tn_metrics",
+        exec_n,
+        trials,
+        || run_plan(&Exec::batch().seed(6).threads(threads)),
+    ));
+    mcim_obs::set_enabled(false);
+    let obs_snapshot = mcim_obs::snapshot();
+    mcim_obs::reset();
+
     // ------------------------------------------------- dist reduce ----
     // The distributed reducer racing the in-process executor on the same
     // PTS pipeline: 1/2/4 locally spawned worker *processes* (loopback
@@ -386,6 +406,8 @@ fn main() {
     for (name, x) in &speedups {
         println!("  {name:>32}  {x:.2}x");
     }
+    let metrics_overhead = ms_of("exec_plan_batch_tn_metrics") / ms_of("exec_plan_batch_tn");
+    println!("metrics overhead (exec_plan_batch_tn, enabled/disabled): {metrics_overhead:.3}x");
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
@@ -410,7 +432,12 @@ fn main() {
         let comma = if i + 1 < speedups.len() { "," } else { "" };
         let _ = writeln!(json, "    \"{name}\": {x:.2}{comma}");
     }
-    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(
+        json,
+        "  \"metrics_overhead_batch_tn\": {metrics_overhead:.3},"
+    );
+    let _ = writeln!(json, "  \"obs\": {}", obs_snapshot.to_json().trim_end());
     let _ = writeln!(json, "}}");
 
     let dir = results_dir();

@@ -110,6 +110,12 @@ fn main() {
         "== stream_ingestion | n={n} d={D} chunk={chunk} threads={threads} baseline_rss={rss_baseline:.0}MiB =="
     );
 
+    // Record the whole run: every phase pays the (noise-level) metrics
+    // tax uniformly, and the fold/stage counters land in the JSON
+    // artifact under `obs` alongside the wall-clock numbers.
+    mcim_obs::reset();
+    mcim_obs::set_enabled(true);
+
     let mut phases: Vec<Phase> = Vec::new();
     let mut record = |name: &'static str, users: u64, start: Instant| {
         let ms = start.elapsed().as_secs_f64() * 1e3;
@@ -168,6 +174,10 @@ fn main() {
     let report_bytes: usize = reports.iter().map(|r| r.size_bits() / 8 + 56).sum();
     drop(reports);
 
+    mcim_obs::set_enabled(false);
+    let obs_snapshot = mcim_obs::snapshot();
+    mcim_obs::reset();
+
     // ------------------------------------------------------- results ----
     let mut table = Table::new(
         "stream_ingestion",
@@ -212,9 +222,10 @@ fn main() {
     let _ = writeln!(json, "  \"stream_rss_delta_mib\": {stream_delta:.1},");
     let _ = writeln!(
         json,
-        "  \"materialized_report_heap_mib\": {:.1}",
+        "  \"materialized_report_heap_mib\": {:.1},",
         report_bytes as f64 / (1024.0 * 1024.0)
     );
+    let _ = writeln!(json, "  \"obs\": {}", obs_snapshot.to_json().trim_end());
     let _ = writeln!(json, "}}");
 
     let dir = results_dir();

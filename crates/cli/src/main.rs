@@ -69,8 +69,15 @@ COMMON OPTIONS:
                   Only the current word-parallel contract `v2` is
                   accepted; `v1` is retired and errors with a migration
                   hint (see the README section \"RNG contract\")
+  --metrics-out <file> write the run's telemetry snapshot after the
+                  results: Prometheus text exposition, or the JSON
+                  envelope when the path ends in `.json`. Metrics never
+                  change results — estimates are bit-identical with the
+                  snapshot on or off (freq/topk only)
   --verbose       print the resolved execution plan (mode/seed/threads/
-                  chunk/contract) before running
+                  chunk/contract) before running, then the telemetry
+                  snapshot table (stage/fold timings plus the distributed
+                  reducer's I/O and fold-report counters) after
   --output <file> write results as CSV (default: print a summary)
 
 These options assemble one execution plan (see `Exec` in the library):
@@ -234,6 +241,48 @@ fn dist_setup(
     }
 }
 
+/// Turns metric recording on when this run asked for it (`--metrics-out`
+/// or `--verbose`) and returns the export path, if any. Resets the
+/// registry first so one process invocation is one snapshot.
+fn metrics_setup(args: &Args) -> Option<&str> {
+    let out = args.optional("metrics-out");
+    if out.is_some() || args.flag("verbose") {
+        mcim_obs::reset();
+        mcim_obs::set_enabled(true);
+    }
+    out
+}
+
+/// Emits the run's telemetry: the `--verbose` snapshot table to stderr
+/// (the one rendering path for fold reports, dist I/O and stage timings)
+/// and the `--metrics-out` file — the JSON envelope for `.json` paths,
+/// Prometheus text exposition otherwise.
+fn metrics_finish(args: &Args, out: Option<&str>) -> Result<(), Box<dyn std::error::Error>> {
+    if !mcim_obs::enabled() {
+        return Ok(());
+    }
+    let snap = mcim_obs::snapshot();
+    if args.flag("verbose") && !snap.is_empty() {
+        eprint!("{}", snap.render_table());
+    }
+    if let Some(path) = out {
+        let json = Path::new(path)
+            .extension()
+            .and_then(|e| e.to_str())
+            .is_some_and(|e| e.eq_ignore_ascii_case("json"));
+        let body = if json {
+            snap.to_json()
+        } else {
+            snap.to_prometheus()
+        };
+        std::fs::write(path, body)
+            .map_err(|e| mcim_oracles::Error::transport(format!("writing metrics to {path}"), e))?;
+        eprintln!("wrote {path}");
+    }
+    mcim_obs::set_enabled(false);
+    Ok(())
+}
+
 fn cmd_worker(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     args.expect_only(&["listen", "once"])?;
     let listen = args.optional("listen").unwrap_or("127.0.0.1:0");
@@ -348,6 +397,7 @@ fn cmd_freq(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         "dist-timeout",
         "dist-retries",
         "verbose",
+        "metrics-out",
         "output",
         "framework",
         "label-frac",
@@ -361,6 +411,7 @@ fn cmd_freq(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         other => other,
     };
     let plan = args.exec_plan()?;
+    let metrics_out = metrics_setup(args);
     let dist = dist_setup(args, &plan)?;
     if args.flag("verbose") {
         eprintln!("plan: {plan}");
@@ -393,11 +444,11 @@ fn cmd_freq(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             (result, n, data.domains)
         }
     };
-    if args.flag("verbose") {
-        if let Some(backend) = &dist {
-            eprintln!("dist: {}", backend.session_report());
-        }
-    }
+    // Shut the backend down before snapshotting so its final I/O deltas
+    // (including the Shutdown frames) land in the exported metrics. The
+    // old bespoke `dist: <session_report>` verbose line lives on as the
+    // `mcim_dist_*` rows of the snapshot table.
+    drop(dist);
     eprintln!(
         "{}: N = {n}, c = {}, d = {}, {}, threads = {} — {:.0} uplink bits/user",
         framework.name(),
@@ -424,7 +475,7 @@ fn cmd_freq(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             }
         }
     }
-    Ok(())
+    metrics_finish(args, metrics_out)
 }
 
 fn cmd_topk(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
@@ -443,6 +494,7 @@ fn cmd_topk(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         "dist-timeout",
         "dist-retries",
         "verbose",
+        "metrics-out",
         "output",
         "method",
         "label-frac",
@@ -458,6 +510,7 @@ fn cmd_topk(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     config.sample_frac = args.num_or("sample-frac", config.sample_frac)?;
     config.noise_factor = args.num_or("noise-b", config.noise_factor)?;
     let plan = args.exec_plan()?;
+    let metrics_out = metrics_setup(args);
     let dist = dist_setup(args, &plan)?;
     if args.flag("verbose") {
         eprintln!("plan: {plan}");
@@ -494,11 +547,9 @@ fn cmd_topk(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             (result, n, data.domains)
         }
     };
-    if args.flag("verbose") {
-        if let Some(backend) = &dist {
-            eprintln!("dist: {}", backend.session_report());
-        }
-    }
+    // See cmd_freq: the backend flushes its final I/O deltas on drop, and
+    // the snapshot table replaces the bespoke session-report line.
+    drop(dist);
     eprintln!(
         "{}: N = {n}, c = {}, d = {}, {}, k = {k}, threads = {} — {:.0} uplink bits/user",
         method.name(),
@@ -519,7 +570,7 @@ fn cmd_topk(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             }
         }
     }
-    Ok(())
+    metrics_finish(args, metrics_out)
 }
 
 fn cmd_gen(args: &Args) -> Result<(), Box<dyn std::error::Error>> {

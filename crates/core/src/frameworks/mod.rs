@@ -181,9 +181,21 @@ impl Framework {
     {
         use stages::{CpArm, FwStage, HecArm, PtjArm, PtsArm};
 
+        if mcim_obs::enabled() {
+            mcim_obs::counter_add(
+                &mcim_obs::labeled("mcim_pipeline_runs_total", &[("pipeline", self.name())]),
+                1,
+            );
+        }
+        let span = mcim_obs::span_with(|| {
+            mcim_obs::labeled(
+                "mcim_pipeline_duration_seconds",
+                &[("pipeline", self.name())],
+            )
+        });
         let source = &mut source;
         let seed = executor.plan().base_seed();
-        match *self {
+        let result = match *self {
             Framework::Hec => {
                 let stage = FwStage::new(HecArm::new(eps, domains)?);
                 let (agg, comm) = executor.fold(source, seed, &stage)?.into_parts();
@@ -218,7 +230,9 @@ impl Framework {
                     comm,
                 })
             }
-        }
+        };
+        span.finish();
+        result
     }
 }
 

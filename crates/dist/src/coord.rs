@@ -36,7 +36,7 @@ use std::io::{BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
 
 use rand::rngs::StdRng;
@@ -47,6 +47,7 @@ use mcim_oracles::stream::ReportSource;
 use mcim_oracles::wire::{StageSpec, Wire, WireReader, WireState};
 use mcim_oracles::{Error, Result};
 
+use crate::proto::count::{CountingReader, CountingWriter, IoStats};
 use crate::proto::{expect_frame, write_chunk_frame, write_frame, Frame, ShardAssignment};
 use crate::spawn::{spawn_local_workers, SpawnedWorkers};
 use crate::PROTOCOL_VERSION;
@@ -94,12 +95,32 @@ impl DistConfig {
     }
 }
 
+/// Per-connection I/O tallies already flushed into the metrics registry,
+/// so each flush exports only the delta since the previous one.
+#[derive(Debug, Default)]
+struct FlushedIo {
+    tx_bytes: u64,
+    rx_bytes: u64,
+    tx_frames: u64,
+    rx_frames: u64,
+    round_trips: u64,
+}
+
 /// One worker connection (buffered writer for the chunk torrent, direct
-/// reader for the single partial per job).
+/// reader for the single partial per job). Both halves run through the
+/// [`count`](crate::proto::count) wrappers, so byte/frame tallies
+/// accumulate as a side effect of ordinary I/O.
 struct WorkerConn {
     peer: String,
-    reader: BufReader<TcpStream>,
-    writer: BufWriter<TcpStream>,
+    /// Position in the connect-time address list — the stable `worker`
+    /// metric label. Peer addresses would not do: spawned workers bind
+    /// ephemeral ports, which would break run-to-run snapshot identity.
+    index: usize,
+    stats: Arc<IoStats>,
+    round_trips: u64,
+    flushed: FlushedIo,
+    reader: BufReader<CountingReader<TcpStream>>,
+    writer: BufWriter<CountingWriter<TcpStream>>,
 }
 
 impl WorkerConn {
@@ -167,10 +188,15 @@ impl WorkerConn {
         let reader = stream
             .try_clone()
             .map_err(|e| Error::transport(format!("cloning the handle of worker {addr}"), e))?;
+        let stats = Arc::new(IoStats::new());
         let mut conn = WorkerConn {
             peer: addr.to_string(),
-            reader: BufReader::new(reader),
-            writer: BufWriter::new(stream),
+            index: 0,
+            round_trips: 0,
+            flushed: FlushedIo::default(),
+            reader: BufReader::new(CountingReader::new(reader, Arc::clone(&stats))),
+            writer: BufWriter::new(CountingWriter::new(stream, Arc::clone(&stats))),
+            stats,
         };
         // Version handshake, coordinator leads.
         conn.send(&Frame::Hello {
@@ -210,7 +236,63 @@ impl WorkerConn {
     }
 
     fn receive(&mut self) -> Result<Frame> {
+        self.round_trips += 1;
         expect_frame(&mut self.reader)
+    }
+
+    /// Exports this connection's I/O deltas since the previous flush as
+    /// `mcim_dist_*` counters labeled by worker index. No-op while
+    /// metrics are disabled (the unflushed tallies keep accumulating and
+    /// surface whole once metrics turn on).
+    fn flush_obs(&mut self) {
+        if !mcim_obs::enabled() {
+            return;
+        }
+        let index = self.index.to_string();
+        let flush = |name: &str, current: u64, exported: &mut u64| {
+            if current > *exported {
+                mcim_obs::counter_add(
+                    &mcim_obs::labeled(name, &[("worker", &index)]),
+                    current - *exported,
+                );
+                *exported = current;
+            }
+        };
+        let load = |v: &std::sync::atomic::AtomicU64| v.load(Ordering::Relaxed);
+        flush(
+            "mcim_dist_tx_bytes_total",
+            load(&self.stats.tx_bytes),
+            &mut self.flushed.tx_bytes,
+        );
+        flush(
+            "mcim_dist_rx_bytes_total",
+            load(&self.stats.rx_bytes),
+            &mut self.flushed.rx_bytes,
+        );
+        flush(
+            "mcim_dist_tx_frames_total",
+            load(&self.stats.tx_frames),
+            &mut self.flushed.tx_frames,
+        );
+        flush(
+            "mcim_dist_rx_frames_total",
+            load(&self.stats.rx_frames),
+            &mut self.flushed.rx_frames,
+        );
+        flush(
+            "mcim_dist_round_trips_total",
+            self.round_trips,
+            &mut self.flushed.round_trips,
+        );
+    }
+}
+
+impl Drop for WorkerConn {
+    fn drop(&mut self) {
+        // Every removal path (a lost worker dropped from the table, a
+        // teardown, the coordinator's own drop) exports what the
+        // connection still owes the registry.
+        self.flush_obs();
     }
 }
 
@@ -291,8 +373,9 @@ impl Coordinator {
         }
         let mut conns = Vec::with_capacity(addrs.len());
         let mut retries = 0u32;
-        for addr in addrs {
-            let (conn, r) = WorkerConn::connect(addr.as_ref(), &config)?;
+        for (index, addr) in addrs.iter().enumerate() {
+            let (mut conn, r) = WorkerConn::connect(addr.as_ref(), &config)?;
+            conn.index = index;
             conns.push(conn);
             retries += r;
         }
@@ -354,7 +437,11 @@ impl Coordinator {
             .clone()
     }
 
-    fn finish_report(&self, report: FoldReport) {
+    fn finish_report(&self, conns: &mut [WorkerConn], report: FoldReport) {
+        for conn in conns.iter_mut() {
+            conn.flush_obs();
+        }
+        record_report(&report);
         self.session
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
@@ -613,6 +700,34 @@ impl Coordinator {
     }
 }
 
+/// Absorbs one fold's [`FoldReport`] into the metrics registry: the
+/// per-fold event counts become `mcim_dist_*` counters, the state-like
+/// fields (worker counts, session-wide connect retries) become gauges.
+/// No wire traffic, no behavioral change — the snapshot simply carries
+/// the same numbers `session_report` aggregates.
+fn record_report(report: &FoldReport) {
+    if !mcim_obs::enabled() {
+        return;
+    }
+    let gauge = |v: u64| i64::try_from(v).unwrap_or(i64::MAX);
+    mcim_obs::counter_add("mcim_dist_folds_total", 1);
+    mcim_obs::gauge_set("mcim_dist_workers", gauge(report.workers as u64));
+    mcim_obs::gauge_set("mcim_dist_workers_used", gauge(report.workers_used as u64));
+    mcim_obs::gauge_set(
+        "mcim_dist_connect_retries",
+        gauge(u64::from(report.connect_retries)),
+    );
+    mcim_obs::counter_add("mcim_dist_workers_lost_total", report.workers_lost as u64);
+    mcim_obs::counter_add("mcim_dist_worker_errors_total", report.worker_errors as u64);
+    mcim_obs::counter_add("mcim_dist_reroutes_total", u64::from(report.reroutes));
+    mcim_obs::counter_add("mcim_dist_rerouted_shards_total", report.rerouted_shards);
+    mcim_obs::counter_add("mcim_dist_local_shards_total", report.local_shards);
+    mcim_obs::counter_add(
+        "mcim_dist_local_fallbacks_total",
+        u64::from(report.local_fallback),
+    );
+}
+
 /// Rewinds `source` back to the fold's start position (`*position` items
 /// ago). `Ok(false)` mid-recovery means the source changed its answer
 /// between calls — fail the fold rather than replay from a wrong offset.
@@ -695,7 +810,7 @@ impl Executor for Coordinator {
                 ..FoldReport::default()
             };
             let acc = InProcess::new(&self.plan).fold(source, stage_seed, stage)?;
-            self.finish_report(report);
+            self.finish_report(&mut conns, report);
             return Ok(acc);
         }
 
@@ -821,7 +936,7 @@ impl Executor for Coordinator {
             // unfinishable and no connection's framing can be trusted by
             // a later fold. Tear the session down.
             Self::teardown(&mut conns);
-            self.finish_report(report);
+            self.finish_report(&mut conns, report);
             return Err(e);
         }
 
@@ -864,7 +979,7 @@ impl Executor for Coordinator {
                             // drained, so the session stays usable.
                             if let Err(e) = stage.merge(&mut acc, &partial) {
                                 Self::drop_dead(&mut conns, &alive);
-                                self.finish_report(report);
+                                self.finish_report(&mut conns, report);
                                 return Err(e);
                             }
                             report.workers_used += 1;
@@ -926,7 +1041,7 @@ impl Executor for Coordinator {
                 Ok(true) => {}
                 Ok(false) => {
                     Self::drop_dead(&mut conns, &alive);
-                    self.finish_report(report);
+                    self.finish_report(&mut conns, report);
                     let cause = first_failure.take().unwrap_or_else(|| {
                         Error::protocol("recovering a fold (failure recorded without a cause)")
                     });
@@ -940,7 +1055,7 @@ impl Executor for Coordinator {
                 }
                 Err(e) => {
                     Self::drop_dead(&mut conns, &alive);
-                    self.finish_report(report);
+                    self.finish_report(&mut conns, report);
                     return Err(e);
                 }
             }
@@ -986,7 +1101,7 @@ impl Executor for Coordinator {
                             }
                             Err(ReplayFailure::Fatal(e)) => {
                                 Self::teardown(&mut conns);
-                                self.finish_report(report);
+                                self.finish_report(&mut conns, report);
                                 return Err(e);
                             }
                         }
@@ -997,7 +1112,7 @@ impl Executor for Coordinator {
                             Ok(shards) => report.local_shards += shards,
                             Err(e) => {
                                 Self::drop_dead(&mut conns, &alive);
-                                self.finish_report(report);
+                                self.finish_report(&mut conns, report);
                                 return Err(e);
                             }
                         }
@@ -1015,7 +1130,7 @@ impl Executor for Coordinator {
                 match source.fill(&mut buf, want) {
                     Ok(0) => {
                         Self::drop_dead(&mut conns, &alive);
-                        self.finish_report(report);
+                        self.finish_report(&mut conns, report);
                         return Err(Error::Source {
                             message: format!(
                                 "source yielded fewer items on replay ({position}) than on the \
@@ -1026,7 +1141,7 @@ impl Executor for Coordinator {
                     Ok(got) => position += got as u64,
                     Err(e) => {
                         Self::drop_dead(&mut conns, &alive);
-                        self.finish_report(report);
+                        self.finish_report(&mut conns, report);
                         return Err(e);
                     }
                 }
@@ -1034,7 +1149,7 @@ impl Executor for Coordinator {
         }
 
         Self::drop_dead(&mut conns, &alive);
-        self.finish_report(report);
+        self.finish_report(&mut conns, report);
         Ok(acc)
     }
 

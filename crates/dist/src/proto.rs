@@ -46,6 +46,7 @@ use std::io::{Read, Write};
 use mcim_oracles::wire::{Wire, WireReader};
 use mcim_oracles::{Error, Result};
 
+pub mod count;
 pub mod fault;
 
 /// Protocol version; bumped on any frame-layout change. Coordinator and

@@ -1,0 +1,226 @@
+//! Byte/frame accounting wrappers for worker connections — the
+//! observability seam of the wire layer.
+//!
+//! [`CountingReader`]/[`CountingWriter`] wrap one side of a TCP
+//! connection and tally bytes and *completed frames* per direction into a
+//! shared [`IoStats`] (every frame starts with a little-endian `u32`
+//! length prefix — see the [`proto`](super) module docs). Unlike the
+//! chaos seam's `FaultReader`/`FaultWriter`, nothing here clamps or
+//! perturbs I/O: reads and writes pass through at full size and the
+//! frame scan walks whatever span the call moved, so the wrappers are
+//! free to sit under `BufReader`/`BufWriter` on the hot path. Frames and
+//! bytes on the wire are identical with or without the wrappers — they
+//! observe the conversation, never shape it.
+
+use std::io::{Read, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cumulative per-connection I/O tallies, shared between the two
+/// directions' wrappers (and readable while they are in use). `tx` is
+/// coordinator→worker, `rx` is worker→coordinator.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    /// Bytes written to the peer.
+    pub tx_bytes: AtomicU64,
+    /// Bytes read from the peer.
+    pub rx_bytes: AtomicU64,
+    /// Whole frames written to the peer.
+    pub tx_frames: AtomicU64,
+    /// Whole frames read from the peer.
+    pub rx_frames: AtomicU64,
+}
+
+impl IoStats {
+    /// Fresh zeroed tallies.
+    pub fn new() -> Self {
+        IoStats::default()
+    }
+}
+
+/// Tracks progress through the frame layout (`u32` length prefix, then
+/// `len` body bytes) across arbitrary-size I/O calls. The chaos seam's
+/// scan clamps each call to one boundary; this one instead walks any
+/// span and reports how many frames it closed, so it never constrains
+/// the I/O size above it.
+#[derive(Debug)]
+struct FrameCount {
+    header: [u8; 4],
+    have: usize,
+    body_left: u64,
+}
+
+impl FrameCount {
+    fn new() -> Self {
+        FrameCount {
+            header: [0; 4],
+            have: 0,
+            body_left: 0,
+        }
+    }
+
+    /// Advances over `bytes` (any length, any alignment); returns how
+    /// many frames those bytes completed.
+    fn advance(&mut self, mut bytes: &[u8]) -> u64 {
+        let mut completed = 0u64;
+        while !bytes.is_empty() {
+            if self.body_left > 0 {
+                let take =
+                    usize::try_from(self.body_left.min(bytes.len() as u64)).unwrap_or(bytes.len());
+                self.body_left -= take as u64;
+                bytes = &bytes[take..];
+                if self.body_left == 0 {
+                    completed += 1;
+                }
+            } else {
+                let take = (4 - self.have).min(bytes.len());
+                self.header[self.have..self.have + take].copy_from_slice(&bytes[..take]);
+                self.have += take;
+                bytes = &bytes[take..];
+                if self.have == 4 {
+                    self.have = 0;
+                    self.body_left = u64::from(u32::from_le_bytes(self.header));
+                    if self.body_left == 0 {
+                        // Malformed (the codec rejects zero-length
+                        // frames), but the scan must still terminate it.
+                        completed += 1;
+                    }
+                }
+            }
+        }
+        completed
+    }
+}
+
+/// The counted read half: passes reads through `R` verbatim while
+/// tallying `rx_bytes`/`rx_frames` into the shared [`IoStats`].
+#[derive(Debug)]
+pub struct CountingReader<R> {
+    inner: R,
+    stats: std::sync::Arc<IoStats>,
+    scan: FrameCount,
+}
+
+impl<R: Read> CountingReader<R> {
+    /// Wraps `inner`, tallying into `stats`.
+    pub fn new(inner: R, stats: std::sync::Arc<IoStats>) -> Self {
+        CountingReader {
+            inner,
+            stats,
+            scan: FrameCount::new(),
+        }
+    }
+}
+
+impl<R: Read> Read for CountingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        if n > 0 {
+            self.stats.rx_bytes.fetch_add(n as u64, Ordering::Relaxed);
+            let frames = self.scan.advance(&buf[..n]);
+            if frames > 0 {
+                self.stats.rx_frames.fetch_add(frames, Ordering::Relaxed);
+            }
+        }
+        Ok(n)
+    }
+}
+
+/// The counted write half: passes writes through `W` verbatim while
+/// tallying `tx_bytes`/`tx_frames` into the shared [`IoStats`].
+#[derive(Debug)]
+pub struct CountingWriter<W> {
+    inner: W,
+    stats: std::sync::Arc<IoStats>,
+    scan: FrameCount,
+}
+
+impl<W: Write> CountingWriter<W> {
+    /// Wraps `inner`, tallying into `stats`.
+    pub fn new(inner: W, stats: std::sync::Arc<IoStats>) -> Self {
+        CountingWriter {
+            inner,
+            stats,
+            scan: FrameCount::new(),
+        }
+    }
+}
+
+impl<W: Write> Write for CountingWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        if n > 0 {
+            self.stats.tx_bytes.fetch_add(n as u64, Ordering::Relaxed);
+            let frames = self.scan.advance(&buf[..n]);
+            if frames > 0 {
+                self.stats.tx_frames.fetch_add(frames, Ordering::Relaxed);
+            }
+        }
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// One frame with body length `n`, as bytes.
+    fn frame(n: u32) -> Vec<u8> {
+        let mut out = n.to_le_bytes().to_vec();
+        out.extend(vec![0xABu8; n as usize]);
+        out
+    }
+
+    #[test]
+    fn frame_count_handles_arbitrary_spans() {
+        let mut scan = FrameCount::new();
+        let mut bytes = frame(3);
+        bytes.extend(frame(1));
+        bytes.extend(frame(2));
+        // Whole burst at once: three frames.
+        assert_eq!(scan.advance(&bytes), 3);
+        // Byte-by-byte: same three frames.
+        let mut one_by_one = 0;
+        for b in &bytes {
+            one_by_one += scan.advance(std::slice::from_ref(b));
+        }
+        assert_eq!(one_by_one, 3);
+        // Split mid-prefix and mid-body: nothing completes until the
+        // first body's last byte arrives, then the rest close at once.
+        assert_eq!(scan.advance(&bytes[..2]), 0);
+        assert_eq!(scan.advance(&bytes[2..6]), 0);
+        assert_eq!(scan.advance(&bytes[6..]), 3);
+    }
+
+    #[test]
+    fn zero_length_frames_terminate_the_count() {
+        let mut scan = FrameCount::new();
+        assert_eq!(scan.advance(&[0, 0, 0, 0]), 1);
+        assert_eq!(scan.advance(&frame(1)), 1);
+    }
+
+    #[test]
+    fn wrappers_tally_bytes_and_frames() {
+        let stats = Arc::new(IoStats::new());
+        let mut sink = Vec::new();
+        {
+            let mut w = CountingWriter::new(&mut sink, Arc::clone(&stats));
+            w.write_all(&frame(5)).unwrap();
+            w.write_all(&frame(2)).unwrap();
+            w.flush().unwrap();
+        }
+        assert_eq!(stats.tx_bytes.load(Ordering::Relaxed), 9 + 6);
+        assert_eq!(stats.tx_frames.load(Ordering::Relaxed), 2);
+
+        let mut r = CountingReader::new(&sink[..], Arc::clone(&stats));
+        let mut buf = Vec::new();
+        r.read_to_end(&mut buf).unwrap();
+        assert_eq!(buf, sink);
+        assert_eq!(stats.rx_bytes.load(Ordering::Relaxed), 15);
+        assert_eq!(stats.rx_frames.load(Ordering::Relaxed), 2);
+    }
+}

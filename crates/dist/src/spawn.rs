@@ -110,5 +110,6 @@ pub fn spawn_local_workers(binary: &Path, n: usize) -> Result<SpawnedWorkers> {
             })?;
         spawned.addrs.push(addr.to_string());
     }
+    mcim_obs::counter_add("mcim_dist_spawned_workers_total", n as u64);
     Ok(spawned)
 }

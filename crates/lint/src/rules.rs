@@ -6,6 +6,7 @@
 //! | rule | invariant |
 //! |---|---|
 //! | `ambient-entropy` | pipeline output depends only on the seed |
+//! | `clock-discipline` | wall time is read only through the obs clock seam |
 //! | `hashmap-in-wire` | iteration order never reaches encoded bytes |
 //! | `panic-freedom` | library code returns `Error`, never panics |
 //! | `stdout-noise` | library crates never write to stdout/stderr |
@@ -29,6 +30,7 @@ use crate::symbols::WIRE_TRAITS;
 /// Every rule identifier, for `--list-rules` and pragma validation.
 pub const RULE_IDS: &[&str] = &[
     "ambient-entropy",
+    "clock-discipline",
     "hashmap-in-wire",
     "panic-freedom",
     "stdout-noise",
@@ -243,6 +245,12 @@ const RNG_HOME_FILES: &[&str] = &[
 /// hashing), not to seed a stream — sanctioned for that token only.
 const SPLITMIX_EXTRA_HOMES: &[&str] = &["crates/oracles/src/hash.rs"];
 
+/// The one sanctioned home of `Instant::now` outside tool crates: the
+/// telemetry layer's clock seam. Everything else (instrumentation sites,
+/// spans, tests) goes through `mcim_obs::Clock`, so a test can inject a
+/// `ManualClock` and every timing-shaped code path stays reproducible.
+const CLOCK_HOME_FILES: &[&str] = &["crates/obs/src/clock.rs"];
+
 /// Everything the engine knows about one analyzed file.
 pub struct FileReport {
     /// All findings, before pragma/baseline filtering.
@@ -300,13 +308,14 @@ pub fn check_file(rel: &str, source: &str, class: FileClass) -> FileReport {
 
         // ambient-entropy: everywhere except Tool crates, including tests —
         // the equivalence nets are only as deterministic as their inputs.
+        // (Monotonic `Instant::now` is the separate `clock-discipline`
+        // rule below: it has a sanctioned non-tool home, wall clocks and
+        // thread RNGs do not.)
         if class != FileClass::Tool {
             let entropy = match id {
                 "thread_rng" if next_is('(') => true,
                 "now"
-                    if prev_is(':')
-                        && idx >= 3
-                        && matches!(toks[idx - 3].ident(), Some("SystemTime" | "Instant")) =>
+                    if prev_is(':') && idx >= 3 && toks[idx - 3].ident() == Some("SystemTime") =>
                 {
                     true
                 }
@@ -314,9 +323,9 @@ pub fn check_file(rel: &str, source: &str, class: FileClass) -> FileReport {
             };
             if entropy {
                 let what = if id == "thread_rng" {
-                    "thread_rng()".to_string()
+                    "thread_rng()"
                 } else {
-                    format!("{}::now()", toks[idx - 3].ident().unwrap_or("clock"))
+                    "SystemTime::now()"
                 };
                 push(
                     "ambient-entropy",
@@ -327,6 +336,27 @@ pub fn check_file(rel: &str, source: &str, class: FileClass) -> FileReport {
                          randomness and time from explicit seeds/parameters (clocks are \
                          allowed only in crates/bench and crates/cli)"
                     ),
+                );
+            }
+
+            // clock-discipline: `Instant::now` lives in exactly one place
+            // outside tool crates — the obs clock seam. Everything else
+            // times through `mcim_obs` spans/`Clock`, so tests can inject
+            // a manual clock and timing stays test-reproducible.
+            if id == "now"
+                && prev_is(':')
+                && idx >= 3
+                && toks[idx - 3].ident() == Some("Instant")
+                && !CLOCK_HOME_FILES.contains(&rel)
+            {
+                push(
+                    "clock-discipline",
+                    tok,
+                    id,
+                    "`Instant::now()` outside the telemetry clock seam \
+                     (crates/obs/src/clock.rs); time spans through `mcim_obs::span` / the \
+                     `Clock` trait instead, so a `ManualClock` can reproduce them in tests"
+                        .to_string(),
                 );
             }
         }
@@ -545,12 +575,15 @@ mod tests {
                    fn g() -> u64 { SystemTime::now() }\n\
                    fn h() { let t = Instant::now(); }\n";
         let f = lib_findings("crates/core/src/x.rs", src);
+        // thread_rng and the wall clock are ambient entropy; the
+        // monotonic clock is owned by the clock-discipline rule.
         assert_eq!(
             rules_of(&f),
-            ["ambient-entropy", "ambient-entropy", "ambient-entropy"]
+            ["ambient-entropy", "ambient-entropy", "clock-discipline"]
         );
         assert_eq!(f[0].line, 1);
         assert_eq!(f[1].token, "now");
+        assert_eq!(f[2].line, 3);
         // And in tests too — determinism nets need seeded inputs.
         let t = check_file(
             "crates/core/tests/x.rs",
@@ -561,6 +594,28 @@ mod tests {
         // But tool crates may read clocks.
         let b = check_file("crates/bench/src/x.rs", src, FileClass::Tool);
         assert!(b.findings.is_empty());
+    }
+
+    #[test]
+    fn clock_discipline_sanctions_only_the_obs_seam() {
+        let src = "pub fn origin() { let t = Instant::now(); }\n";
+        // The telemetry clock seam is the one sanctioned home …
+        for home in CLOCK_HOME_FILES {
+            assert!(lib_findings(home, src).is_empty(), "{home}");
+        }
+        // … any other lib file is a violation, including obs itself
+        // outside clock.rs, and test-like files.
+        let f = lib_findings("crates/obs/src/registry.rs", src);
+        assert_eq!(rules_of(&f), ["clock-discipline"]);
+        assert!(f[0].message.contains("clock seam"));
+        let t = check_file("tests/obs_equivalence.rs", src, FileClass::TestLike);
+        assert_eq!(rules_of(&t.findings), ["clock-discipline"]);
+        // Tool crates (bench timing loops) stay free to read clocks.
+        let b = check_file("crates/bench/benches/x.rs", src, FileClass::Tool);
+        assert!(b.findings.is_empty());
+        // Lookalikes don't trip it: a fn named now, a field, other paths.
+        let src = "fn f(now: u64) { other::now(); instant.now_field; }";
+        assert!(lib_findings("crates/core/src/x.rs", src).is_empty());
     }
 
     #[test]
@@ -749,9 +804,10 @@ mod tests {
                    impl WireState for X {}\n\
                    fn f() -> u64 {\n\
                        let t = SystemTime::now();\n\
+                       let i = Instant::now();\n\
                        let r = thread_rng();\n\
                        let s = StdRng::seed_from_u64(7);\n\
-                       println!(\"{t:?}\");\n\
+                       println!(\"{t:?} {i:?}\");\n\
                        plane.fill_bernoulli(q, &mut r).unwrap()\n\
                    }\n";
         let f = lib_findings("crates/core/src/lib.rs", src);
@@ -762,6 +818,7 @@ mod tests {
             [
                 "ambient-entropy",
                 "ambient-entropy",
+                "clock-discipline",
                 "hashmap-in-wire",
                 "panic-freedom",
                 "rng-discipline",

@@ -47,9 +47,9 @@ fn list_rules_inventory_is_pinned() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert_eq!(
         stdout,
-        "ambient-entropy\nhashmap-in-wire\npanic-freedom\nstdout-noise\nsampler-bypass\n\
-         rng-discipline\nunsafe-header\nschema-drift\nschema-lock\nprotocol-version\n\
-         pragma-syntax\n",
+        "ambient-entropy\nclock-discipline\nhashmap-in-wire\npanic-freedom\nstdout-noise\n\
+         sampler-bypass\nrng-discipline\nunsafe-header\nschema-drift\nschema-lock\n\
+         protocol-version\npragma-syntax\n",
         "rule inventory changed — update README, CI, and this golden"
     );
 }

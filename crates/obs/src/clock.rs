@@ -1,0 +1,118 @@
+//! The clock seam: every span duration in the workspace is read through
+//! the [`Clock`] trait, never from `std::time` directly.
+//!
+//! This file is the **single lint-sanctioned home for `Instant::now`**
+//! (`mcim-lint`'s `clock-discipline` rule): tools and pipelines time
+//! spans through [`MonotonicClock`], tests inject a [`ManualClock`] and
+//! advance it by hand, and no other library file may read a wall or
+//! monotonic clock at all. Keeping the read behind one trait is what
+//! lets the telemetry layer exist inside a bit-reproducible system —
+//! durations are observable, but nothing downstream of a clock read can
+//! feed back into pipeline output.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// A monotonic microsecond source.
+///
+/// Implementations must be monotonic per instance (later calls return
+/// `>=` earlier calls); the absolute origin is arbitrary.
+pub trait Clock: Send + Sync {
+    /// Microseconds since this clock's (arbitrary) origin.
+    fn now_micros(&self) -> u64;
+}
+
+/// The real monotonic clock, for tools and long-running processes.
+///
+/// Lazily anchors an [`Instant`] origin on first read so the type stays
+/// `const`-constructible (a process-wide `static` needs that).
+pub struct MonotonicClock {
+    origin: OnceLock<Instant>,
+}
+
+impl MonotonicClock {
+    /// A clock whose origin is its first `now_micros` call.
+    pub const fn new() -> Self {
+        Self {
+            origin: OnceLock::new(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_micros(&self) -> u64 {
+        // The one sanctioned monotonic-clock read in library code; see
+        // the module docs and mcim-lint's `clock-discipline` rule.
+        #[allow(clippy::disallowed_methods)]
+        let origin = self.origin.get_or_init(Instant::now);
+        u64::try_from(origin.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+}
+
+/// A hand-advanced clock for deterministic tests: time moves only when
+/// the test says so, making span durations (and therefore histogram
+/// contents) exactly reproducible.
+pub struct ManualClock {
+    micros: AtomicU64,
+}
+
+impl ManualClock {
+    /// A manual clock starting at 0 µs.
+    pub const fn new() -> Self {
+        Self {
+            micros: AtomicU64::new(0),
+        }
+    }
+
+    /// Advances the clock by `micros` microseconds.
+    pub fn advance_micros(&self, micros: u64) {
+        self.micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Sets the clock to an absolute microsecond value.
+    pub fn set_micros(&self, micros: u64) {
+        self.micros.store(micros, Ordering::Relaxed);
+    }
+}
+
+impl Default for ManualClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_micros(&self) -> u64 {
+        self.micros.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_is_monotonic() {
+        let c = MonotonicClock::new();
+        let a = c.now_micros();
+        let b = c.now_micros();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_moves_only_by_hand() {
+        let c = ManualClock::new();
+        assert_eq!(c.now_micros(), 0);
+        c.advance_micros(150);
+        assert_eq!(c.now_micros(), 150);
+        c.set_micros(42);
+        assert_eq!(c.now_micros(), 42);
+    }
+}

@@ -1,0 +1,335 @@
+//! Snapshot export: Prometheus text exposition, a hand-rolled JSON
+//! envelope, the CLI's `--verbose` summary table — and the golden
+//! parser CI uses to validate emitted exposition files.
+//!
+//! All rendering is pure integer formatting (durations are microsecond
+//! `u64`s rendered as fixed-point seconds), so identical snapshots
+//! always produce byte-identical output — the property the golden tests
+//! pin.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::registry::{HistogramSnapshot, Snapshot};
+
+/// Renders `micros` as a fixed-point seconds literal (`0.000150`).
+fn fmt_seconds(micros: u64) -> String {
+    format!("{}.{:06}", micros / 1_000_000, micros % 1_000_000)
+}
+
+/// Splits a rendered metric key into `(family, label_block)` where
+/// `label_block` includes its braces (`{worker="0"}`) or is empty.
+fn split_key(key: &str) -> (&str, &str) {
+    match key.find('{') {
+        Some(i) => (&key[..i], &key[i..]),
+        None => (key, ""),
+    }
+}
+
+/// Inserts `extra` (e.g. `le="+Inf"`) into a label block, creating one
+/// if the key had none.
+fn with_label(labels: &str, extra: &str) -> String {
+    if labels.is_empty() {
+        format!("{{{extra}}}")
+    } else {
+        // split_key only returns non-empty label blocks ending in '}';
+        // the fallback keeps this infallible without a panic path.
+        let body = labels.strip_suffix('}').unwrap_or(labels);
+        format!("{body},{extra}}}")
+    }
+}
+
+fn families<V>(map: &BTreeMap<String, V>) -> BTreeMap<&str, Vec<(&str, &V)>> {
+    let mut out: BTreeMap<&str, Vec<(&str, &V)>> = BTreeMap::new();
+    for (key, v) in map {
+        let (family, labels) = split_key(key);
+        out.entry(family).or_default().push((labels, v));
+    }
+    out
+}
+
+impl Snapshot {
+    /// Prometheus text exposition (version 0.0.4): one `# TYPE` line per
+    /// metric family, histogram `_bucket`/`_sum`/`_count` expansion with
+    /// `le` upper bounds rendered as fixed-point seconds.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (family, entries) in families(&self.counters) {
+            let _ = writeln!(out, "# TYPE {family} counter");
+            for (labels, v) in entries {
+                let _ = writeln!(out, "{family}{labels} {v}");
+            }
+        }
+        for (family, entries) in families(&self.gauges) {
+            let _ = writeln!(out, "# TYPE {family} gauge");
+            for (labels, v) in entries {
+                let _ = writeln!(out, "{family}{labels} {v}");
+            }
+        }
+        for (family, entries) in families(&self.histograms) {
+            let _ = writeln!(out, "# TYPE {family} histogram");
+            for (labels, h) in entries {
+                let mut cumulative = 0u64;
+                for (i, bucket) in h.buckets.iter().enumerate() {
+                    cumulative += bucket;
+                    let le = match h.bounds.get(i) {
+                        Some(&b) => fmt_seconds(b),
+                        None => "+Inf".to_string(),
+                    };
+                    let lb = with_label(labels, &format!("le=\"{le}\""));
+                    let _ = writeln!(out, "{family}_bucket{lb} {cumulative}");
+                }
+                let _ = writeln!(out, "{family}_sum{labels} {}", fmt_seconds(h.sum));
+                let _ = writeln!(out, "{family}_count{labels} {}", h.count);
+            }
+        }
+        out
+    }
+
+    /// The hand-rolled JSON envelope: one line, deterministic key order,
+    /// microsecond-integer histogram fields (no float formatting).
+    pub fn to_json(&self) -> String {
+        fn json_str(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    c if (c as u32) < 0x20 => {
+                        let _ = write!(out, "\\u{:04x}", c as u32);
+                    }
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+            out
+        }
+        fn join(items: Vec<String>) -> String {
+            items.join(",")
+        }
+        let counters = join(
+            self.counters
+                .iter()
+                .map(|(k, v)| format!("{}:{v}", json_str(k)))
+                .collect(),
+        );
+        let gauges = join(
+            self.gauges
+                .iter()
+                .map(|(k, v)| format!("{}:{v}", json_str(k)))
+                .collect(),
+        );
+        let hist = |h: &HistogramSnapshot| {
+            format!(
+                "{{\"bounds_micros\":[{}],\"buckets\":[{}],\"sum_micros\":{},\"count\":{}}}",
+                join(h.bounds.iter().map(u64::to_string).collect()),
+                join(h.buckets.iter().map(u64::to_string).collect()),
+                h.sum,
+                h.count
+            )
+        };
+        let histograms = join(
+            self.histograms
+                .iter()
+                .map(|(k, h)| format!("{}:{}", json_str(k), hist(h)))
+                .collect(),
+        );
+        format!(
+            "{{\"mcim_obs\":1,\"counters\":{{{counters}}},\"gauges\":{{{gauges}}},\
+             \"histograms\":{{{histograms}}}}}\n"
+        )
+    }
+
+    /// The `--verbose` summary table: one aligned `key value` row per
+    /// metric, histograms condensed to `count=N sum=S.SSSSSSs`.
+    pub fn render_table(&self) -> String {
+        let mut rows: Vec<(String, String)> = Vec::new();
+        for (k, v) in &self.counters {
+            rows.push((k.clone(), v.to_string()));
+        }
+        for (k, v) in &self.gauges {
+            rows.push((k.clone(), v.to_string()));
+        }
+        for (k, h) in &self.histograms {
+            rows.push((
+                k.clone(),
+                format!("count={} sum={}s", h.count, fmt_seconds(h.sum)),
+            ));
+        }
+        let width = rows.iter().map(|(k, _)| k.len()).max().unwrap_or(6).max(6);
+        let mut out = format!("{:width$}  value\n", "metric");
+        for (k, v) in rows {
+            let _ = writeln!(out, "{k:width$}  {v}");
+        }
+        out
+    }
+}
+
+/// One sample line of a Prometheus exposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sample {
+    /// Metric name (with histogram suffix if any).
+    pub name: String,
+    /// The raw label block, braces included; empty when unlabeled.
+    pub labels: String,
+    /// The value, verbatim.
+    pub value: String,
+}
+
+fn valid_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_labels(block: &str) -> bool {
+    let Some(body) = block.strip_prefix('{').and_then(|b| b.strip_suffix('}')) else {
+        return false;
+    };
+    body.split(',').all(|pair| {
+        pair.split_once("=\"").is_some_and(|(k, v)| {
+            valid_name(k) && v.ends_with('"') && !v[..v.len() - 1].contains('"')
+        })
+    })
+}
+
+/// The golden parser: validates a Prometheus text exposition and returns
+/// its samples. Every `# TYPE` family must be one of
+/// `counter`/`gauge`/`histogram`, every sample line must parse as
+/// `name[{labels}] value` with a numeric value, and every sample's
+/// family must have been typed first. Errors name the offending line.
+pub fn parse_prometheus(text: &str) -> Result<Vec<Sample>, String> {
+    let mut samples = Vec::new();
+    let mut typed: BTreeMap<String, String> = BTreeMap::new();
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let parts: Vec<&str> = comment.split_whitespace().collect();
+            match parts.as_slice() {
+                ["TYPE", family, kind] => {
+                    if !valid_name(family) {
+                        return Err(format!("line {lineno}: bad family name `{family}`"));
+                    }
+                    if !matches!(*kind, "counter" | "gauge" | "histogram") {
+                        return Err(format!("line {lineno}: unknown metric type `{kind}`"));
+                    }
+                    typed.insert(family.to_string(), kind.to_string());
+                }
+                ["HELP", ..] => {}
+                _ => return Err(format!("line {lineno}: unparseable comment `{line}`")),
+            }
+            continue;
+        }
+        let Some((key, value)) = line.rsplit_once(' ') else {
+            return Err(format!("line {lineno}: no value in `{line}`"));
+        };
+        let (name, labels) = match key.find('{') {
+            Some(i) => (&key[..i], &key[i..]),
+            None => (key, ""),
+        };
+        if !valid_name(name) {
+            return Err(format!("line {lineno}: bad metric name `{name}`"));
+        }
+        if !labels.is_empty() && !valid_labels(labels) {
+            return Err(format!("line {lineno}: bad label block `{labels}`"));
+        }
+        let numeric = value == "+Inf"
+            || value
+                .strip_prefix('-')
+                .unwrap_or(value)
+                .chars()
+                .all(|c| c.is_ascii_digit() || c == '.');
+        if !numeric || value.is_empty() {
+            return Err(format!("line {lineno}: non-numeric value `{value}`"));
+        }
+        let family = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .filter(|f| typed.get(*f).map(String::as_str) == Some("histogram"))
+            .unwrap_or(name);
+        if !typed.contains_key(family) {
+            return Err(format!("line {lineno}: sample `{name}` has no # TYPE line"));
+        }
+        samples.push(Sample {
+            name: name.to_string(),
+            labels: labels.to_string(),
+            value: value.to_string(),
+        });
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn sample_registry() -> Registry {
+        let r = Registry::new();
+        r.counter_add("mcim_folds_total", 2);
+        r.counter_add("mcim_dist_tx_bytes_total{worker=\"0\"}", 640);
+        r.gauge_set("mcim_dist_workers", 4);
+        r.histogram("mcim_stage_duration_seconds{stage=\"fw\"}", &[100, 1000])
+            .observe(150);
+        r
+    }
+
+    #[test]
+    fn prometheus_exposition_round_trips_through_the_parser() {
+        let text = sample_registry().snapshot().to_prometheus();
+        let samples = parse_prometheus(&text).unwrap();
+        assert!(samples
+            .iter()
+            .any(|s| s.name == "mcim_folds_total" && s.value == "2"));
+        assert!(samples
+            .iter()
+            .any(|s| s.name == "mcim_stage_duration_seconds_bucket"
+                && s.labels.contains("le=\"+Inf\"")));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        assert!(parse_prometheus("# TYPE x widget\nx 1\n").is_err());
+        assert!(parse_prometheus("x 1\n").is_err(), "untyped sample");
+        assert!(parse_prometheus("# TYPE x counter\nx one\n").is_err());
+        assert!(parse_prometheus("# TYPE x counter\nx{bad} 1\n").is_err());
+        assert!(parse_prometheus("# bogus comment\n").is_err());
+    }
+
+    #[test]
+    fn fixed_point_seconds_never_use_float_formatting() {
+        assert_eq!(fmt_seconds(0), "0.000000");
+        assert_eq!(fmt_seconds(150), "0.000150");
+        assert_eq!(fmt_seconds(2_500_000), "2.500000");
+    }
+
+    #[test]
+    fn json_envelope_is_single_line_and_ordered() {
+        let json = sample_registry().snapshot().to_json();
+        assert!(json.ends_with('}') || json.ends_with("}\n"));
+        assert_eq!(json.lines().count(), 1);
+        let dist = json.find("mcim_dist_tx_bytes_total").unwrap();
+        let folds = json.find("mcim_folds_total").unwrap();
+        assert!(dist < folds, "BTreeMap order in the envelope");
+        assert!(json.contains("\"bounds_micros\":[100,1000]"));
+    }
+
+    #[test]
+    fn table_rows_align_and_cover_all_kinds() {
+        let table = sample_registry().snapshot().render_table();
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 1 + 4, "header + 4 metrics");
+        assert!(lines[0].starts_with("metric"));
+        assert!(table.contains("mcim_dist_workers"));
+        assert!(table.contains("count=1 sum=0.000150s"));
+    }
+}

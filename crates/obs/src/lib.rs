@@ -1,0 +1,249 @@
+//! # mcim-obs
+//!
+//! Deterministic telemetry for the multi-class LDP workspace: a
+//! process-wide metrics registry (atomic counters, gauges, fixed-bucket
+//! histograms, snapshotted into `BTreeMap` order), stage/fold span
+//! timing behind an injectable [`Clock`], and Prometheus/JSON export.
+//!
+//! The layer is built so observation can never perturb results:
+//!
+//! * **Off by default, no-ops when off.** The global recording calls
+//!   ([`counter_add`], [`span`], …) do nothing until
+//!   [`set_enabled`]`(true)`; built with `--no-default-features` they
+//!   compile to empty bodies. Pipeline output is bit-identical with
+//!   metrics on or off either way — nothing downstream of a counter or a
+//!   clock read feeds back into an estimate.
+//! * **One clock seam.** Span durations come from the process clock
+//!   ([`MonotonicClock`] by default, a [`ManualClock`] injected via
+//!   [`set_clock`] in tests). `crates/obs/src/clock.rs` is the single
+//!   lint-sanctioned home for `Instant::now` (`mcim-lint`'s
+//!   `clock-discipline` rule).
+//! * **Deterministic snapshots.** Two identical runs produce identical
+//!   [`Snapshot`]s modulo timing fields
+//!   ([`Snapshot::without_timing`] strips exactly those), and identical
+//!   snapshots export to byte-identical Prometheus text
+//!   ([`Snapshot::to_prometheus`]) and JSON ([`Snapshot::to_json`]).
+//!
+//! Instrumented metric families (see the README "Observability"
+//! section): `mcim_fold_*` / `mcim_stage_duration_seconds` from the
+//! in-process executor, `mcim_pipeline_*` / `mcim_pem_rounds_total` from
+//! the framework and top-k layers, and `mcim_dist_*` from the
+//! distributed reducer (per-worker byte/frame/round-trip counters plus
+//! the absorbed `FoldReport`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+mod export;
+mod registry;
+
+use std::sync::Mutex;
+
+pub use clock::{Clock, ManualClock, MonotonicClock};
+pub use export::{parse_prometheus, Sample};
+pub use registry::{
+    labeled, Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot,
+    DURATION_BUCKET_BOUNDS_MICROS,
+};
+
+/// The process-wide registry behind the free functions below.
+static GLOBAL: Registry = Registry::new();
+
+#[cfg(feature = "enabled")]
+static ENABLED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// The injected clock; `None` means the built-in monotonic clock.
+static CLOCK: Mutex<Option<&'static dyn Clock>> = Mutex::new(None);
+static DEFAULT_CLOCK: MonotonicClock = MonotonicClock::new();
+
+/// The process-wide registry. Recording through it directly bypasses the
+/// [`enabled`] gate — instrumentation sites should use the free
+/// functions; exporters and tests may read it at will.
+pub fn global() -> &'static Registry {
+    &GLOBAL
+}
+
+/// Turns global metric recording on or off (off at process start).
+/// A no-op build (`--no-default-features`) ignores this entirely.
+#[cfg(feature = "enabled")]
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// See the other cfg arm.
+#[cfg(not(feature = "enabled"))]
+pub fn set_enabled(_on: bool) {}
+
+/// Whether global recording is currently on. Constant `false` in a
+/// no-op build, letting the optimizer delete gated recording blocks.
+#[cfg(feature = "enabled")]
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// See the other cfg arm.
+#[cfg(not(feature = "enabled"))]
+#[inline]
+pub const fn enabled() -> bool {
+    false
+}
+
+/// Injects the span clock — [`ManualClock`] in tests makes every span
+/// duration exactly reproducible. Applies process-wide.
+pub fn set_clock(clock: &'static dyn Clock) {
+    *CLOCK.lock().unwrap_or_else(|p| p.into_inner()) = Some(clock);
+}
+
+/// The current time in microseconds from the injected (or default
+/// monotonic) clock.
+pub fn now_micros() -> u64 {
+    let guard = CLOCK.lock().unwrap_or_else(|p| p.into_inner());
+    match *guard {
+        Some(clock) => clock.now_micros(),
+        None => DEFAULT_CLOCK.now_micros(),
+    }
+}
+
+/// Adds `n` to the global counter `key` (no-op when disabled).
+#[inline]
+pub fn counter_add(key: &str, n: u64) {
+    if enabled() {
+        GLOBAL.counter_add(key, n);
+    }
+}
+
+/// Sets the global gauge `key` (no-op when disabled).
+#[inline]
+pub fn gauge_set(key: &str, v: i64) {
+    if enabled() {
+        GLOBAL.gauge_set(key, v);
+    }
+}
+
+/// Observes a duration into the global histogram `key` (no-op when
+/// disabled).
+#[inline]
+pub fn observe_duration_micros(key: &str, micros: u64) {
+    if enabled() {
+        GLOBAL.observe_duration_micros(key, micros);
+    }
+}
+
+/// Snapshot of the global registry (empty while nothing was recorded).
+pub fn snapshot() -> Snapshot {
+    GLOBAL.snapshot()
+}
+
+/// Clears the global registry (CLI/test run boundaries).
+pub fn reset() {
+    GLOBAL.reset();
+}
+
+/// A timed span over the global registry and clock. Obtain with
+/// [`span`]; [`Span::finish`] observes the elapsed duration into the
+/// span's histogram. When recording is disabled the span is inert and
+/// reads no clock.
+#[must_use = "a span only records when finished"]
+pub struct Span {
+    key: Option<String>,
+    start: u64,
+}
+
+/// Starts a span named by a rendered metric key (use [`labeled`] for
+/// labels). No-op (and no clock read) when disabled.
+pub fn span(key: impl Into<String>) -> Span {
+    if enabled() {
+        Span {
+            key: Some(key.into()),
+            start: now_micros(),
+        }
+    } else {
+        Span {
+            key: None,
+            start: 0,
+        }
+    }
+}
+
+/// [`span`], but the key is only rendered when recording is enabled —
+/// the idiom for labeled spans whose key needs a `format!`/[`labeled`]
+/// allocation the disabled path must not pay.
+pub fn span_with(key: impl FnOnce() -> String) -> Span {
+    if enabled() {
+        Span {
+            key: Some(key()),
+            start: now_micros(),
+        }
+    } else {
+        Span {
+            key: None,
+            start: 0,
+        }
+    }
+}
+
+impl Span {
+    /// Ends the span, observing its duration. Inert spans do nothing.
+    pub fn finish(self) {
+        if let Some(key) = self.key {
+            let elapsed = now_micros().saturating_sub(self.start);
+            GLOBAL.observe_duration_micros(&key, elapsed);
+        }
+    }
+}
+
+#[cfg(all(test, feature = "enabled"))]
+mod tests {
+    use super::*;
+
+    // The global registry, toggle and clock are process-wide; every test
+    // touching them serializes here.
+    static GLOBAL_STATE: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_recording_is_invisible() {
+        let _guard = GLOBAL_STATE.lock().unwrap_or_else(|p| p.into_inner());
+        reset();
+        set_enabled(false);
+        counter_add("c", 3);
+        gauge_set("g", 1);
+        observe_duration_micros("d", 5);
+        span("s").finish();
+        assert!(snapshot().is_empty());
+    }
+
+    #[test]
+    fn enabled_recording_lands_in_the_global_snapshot() {
+        let _guard = GLOBAL_STATE.lock().unwrap_or_else(|p| p.into_inner());
+        reset();
+        set_enabled(true);
+        counter_add("c_total", 3);
+        counter_add("c_total", 1);
+        gauge_set("g", -2);
+        let s = snapshot();
+        set_enabled(false);
+        reset();
+        assert_eq!(s.counters["c_total"], 4);
+        assert_eq!(s.gauges["g"], -2);
+    }
+
+    #[test]
+    fn spans_use_the_injected_clock() {
+        let _guard = GLOBAL_STATE.lock().unwrap_or_else(|p| p.into_inner());
+        static MANUAL: ManualClock = ManualClock::new();
+        reset();
+        set_clock(&MANUAL);
+        set_enabled(true);
+        let span = span(labeled("stage_d", &[("stage", "t")]));
+        MANUAL.advance_micros(150);
+        span.finish();
+        let s = snapshot();
+        set_enabled(false);
+        reset();
+        let h = &s.histograms["stage_d{stage=\"t\"}"];
+        assert_eq!(h.count, 1);
+        assert_eq!(h.sum, 150);
+    }
+}

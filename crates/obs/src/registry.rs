@@ -1,0 +1,352 @@
+//! The metrics registry: atomic counters, gauges and fixed-bucket
+//! histograms keyed by rendered metric keys (`name` or
+//! `name{label="value"}`), snapshotted into deterministic `BTreeMap`
+//! order.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are lock-free once
+//! registered; the registry's `Mutex`-guarded maps are touched only at
+//! registration and snapshot time. A poisoned map lock is recovered (a
+//! panicking *reader* cannot corrupt counter state), so the telemetry
+//! layer itself never panics.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// The fixed duration bucket boundaries, in microseconds (100 µs … 10 s,
+/// roughly logarithmic). All span histograms share these bounds, so any
+/// two snapshots — and the golden export tests — agree on bucket layout.
+pub const DURATION_BUCKET_BOUNDS_MICROS: &[u64] = &[
+    100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000, 2_500_000, 5_000_000, 10_000_000,
+];
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A point-in-time signed value.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket histogram over `u64` observations (microseconds for
+/// span durations). `bounds` are inclusive upper bounds; one implicit
+/// `+Inf` bucket catches the overflow.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: &'static [u64],
+    buckets: Box<[AtomicU64]>,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &'static [u64]) -> Self {
+        Self {
+            bounds,
+            buckets: (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: u64) {
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The bucket upper bounds this histogram was registered with.
+    pub fn bounds(&self) -> &'static [u64] {
+        self.bounds
+    }
+
+    fn snap(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds,
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            sum: self.sum.load(Ordering::Relaxed),
+            count: self.count.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A histogram's state at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Inclusive upper bounds; `buckets` has one extra `+Inf` slot.
+    pub bounds: &'static [u64],
+    /// Per-bucket observation counts (`bounds.len() + 1` entries).
+    pub buckets: Vec<u64>,
+    /// Sum of all observations.
+    pub sum: u64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+/// All metrics at one instant, in deterministic `BTreeMap` order. Keys
+/// are rendered metric keys (`name` or `name{label="value"}`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Counter values.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram states.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// This snapshot with every timing-derived field zeroed: histogram
+    /// sums and bucket distributions are wall-clock artifacts, while
+    /// counters, gauges and histogram *counts* are pure functions of the
+    /// work done. Two identical runs must agree exactly on this view.
+    pub fn without_timing(&self) -> Snapshot {
+        let mut out = self.clone();
+        for h in out.histograms.values_mut() {
+            h.sum = 0;
+            for b in &mut h.buckets {
+                *b = 0;
+            }
+        }
+        out
+    }
+
+    /// Whether any metric is present.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+/// A metrics registry: three keyed maps handing out shared atomic
+/// handles. One process-wide instance lives behind
+/// [`crate::global`]; tests may build private ones.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+fn locked<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // A panicked holder can only have been mid-registration or
+    // mid-snapshot; the maps' Arc values are always structurally valid.
+    m.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+impl Registry {
+    /// An empty registry.
+    pub const fn new() -> Self {
+        Self {
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The counter registered under `key`, created at zero on first use.
+    pub fn counter(&self, key: &str) -> Arc<Counter> {
+        Arc::clone(locked(&self.counters).entry(key.to_string()).or_default())
+    }
+
+    /// The gauge registered under `key`, created at zero on first use.
+    pub fn gauge(&self, key: &str) -> Arc<Gauge> {
+        Arc::clone(locked(&self.gauges).entry(key.to_string()).or_default())
+    }
+
+    /// The histogram registered under `key`. `bounds` applies on first
+    /// registration; later callers receive the existing histogram (and
+    /// its original bounds) regardless of what they pass.
+    pub fn histogram(&self, key: &str, bounds: &'static [u64]) -> Arc<Histogram> {
+        Arc::clone(
+            locked(&self.histograms)
+                .entry(key.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new(bounds))),
+        )
+    }
+
+    /// Convenience: `counter(key).add(n)`.
+    pub fn counter_add(&self, key: &str, n: u64) {
+        self.counter(key).add(n);
+    }
+
+    /// Convenience: `gauge(key).set(v)`.
+    pub fn gauge_set(&self, key: &str, v: i64) {
+        self.gauge(key).set(v);
+    }
+
+    /// Convenience: observe a span duration into the shared
+    /// [`DURATION_BUCKET_BOUNDS_MICROS`] layout.
+    pub fn observe_duration_micros(&self, key: &str, micros: u64) {
+        self.histogram(key, DURATION_BUCKET_BOUNDS_MICROS)
+            .observe(micros);
+    }
+
+    /// A deterministic snapshot of everything registered.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: locked(&self.counters)
+                .iter()
+                .map(|(k, c)| (k.clone(), c.get()))
+                .collect(),
+            gauges: locked(&self.gauges)
+                .iter()
+                .map(|(k, g)| (k.clone(), g.get()))
+                .collect(),
+            histograms: locked(&self.histograms)
+                .iter()
+                .map(|(k, h)| (k.clone(), h.snap()))
+                .collect(),
+        }
+    }
+
+    /// Drops every registered metric. Outstanding handles keep working
+    /// but no longer appear in snapshots.
+    pub fn reset(&self) {
+        locked(&self.counters).clear();
+        locked(&self.gauges).clear();
+        locked(&self.histograms).clear();
+    }
+}
+
+/// Renders `name{label="value",…}` — the registry's key syntax, shared
+/// by every instrumentation site so label order is fixed at the call
+/// site, not discovered at export time.
+pub fn labeled(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut out = String::with_capacity(name.len() + 16 * labels.len());
+    out.push_str(name);
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(v);
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_round_trip() {
+        let r = Registry::new();
+        r.counter("a_total").add(2);
+        r.counter("a_total").inc();
+        r.gauge("g").set(-4);
+        r.gauge("g").add(1);
+        let s = r.snapshot();
+        assert_eq!(s.counters["a_total"], 3);
+        assert_eq!(s.gauges["g"], -3);
+    }
+
+    #[test]
+    fn histogram_buckets_partition_observations() {
+        let r = Registry::new();
+        let h = r.histogram("d", &[10, 100]);
+        h.observe(5); // <= 10
+        h.observe(10); // <= 10 (inclusive upper bound)
+        h.observe(50); // <= 100
+        h.observe(1000); // +Inf
+        let s = r.snapshot();
+        let hs = &s.histograms["d"];
+        assert_eq!(hs.buckets, vec![2, 1, 1]);
+        assert_eq!(hs.sum, 1065);
+        assert_eq!(hs.count, 4);
+    }
+
+    #[test]
+    fn snapshot_order_is_deterministic() {
+        let r = Registry::new();
+        r.counter("z").inc();
+        r.counter("a").inc();
+        r.counter("m{w=\"1\"}").inc();
+        let snap = r.snapshot();
+        let keys: Vec<&String> = snap.counters.keys().collect();
+        assert_eq!(keys, ["a", "m{w=\"1\"}", "z"]);
+    }
+
+    #[test]
+    fn without_timing_zeroes_durations_only() {
+        let r = Registry::new();
+        r.counter("c").add(7);
+        r.observe_duration_micros("d", 333);
+        let a = r.snapshot().without_timing();
+        assert_eq!(a.counters["c"], 7);
+        assert_eq!(a.histograms["d"].count, 1);
+        assert_eq!(a.histograms["d"].sum, 0);
+        assert!(a.histograms["d"].buckets.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn labeled_renders_prometheus_key_syntax() {
+        assert_eq!(labeled("n", &[]), "n");
+        assert_eq!(
+            labeled("n", &[("worker", "0"), ("stage", "fw")]),
+            "n{worker=\"0\",stage=\"fw\"}"
+        );
+    }
+
+    #[test]
+    fn reset_clears_but_handles_survive() {
+        let r = Registry::new();
+        let c = r.counter("c");
+        c.inc();
+        r.reset();
+        assert!(r.snapshot().is_empty());
+        c.inc(); // must not panic; just invisible now
+        assert_eq!(c.get(), 2);
+    }
+}

@@ -1,0 +1,112 @@
+//! Golden exports: the Prometheus text exposition and the JSON envelope
+//! are pinned **byte for byte** (the same discipline as the lint crate's
+//! `golden_json.rs`). Monitoring configs, scrapers and the CI validation
+//! step parse these exact shapes; any change here is a consumer-visible
+//! format change and must be deliberate.
+//!
+//! The fixture registry is local — no global state, no clocks — so the
+//! goldens are stable under any test ordering or parallelism.
+
+use mcim_obs::{labeled, parse_prometheus, Registry, DURATION_BUCKET_BOUNDS_MICROS};
+
+/// A small registry exercising every export shape: plain and labeled
+/// counters, a gauge, and a histogram with observations landing in
+/// distinct buckets (150 µs, 2.5 s) plus one overflow (11 s).
+fn fixture() -> Registry {
+    let r = Registry::new();
+    r.counter_add("mcim_folds_total", 3);
+    r.counter_add(
+        &labeled("mcim_pipeline_runs_total", &[("pipeline", "PTS-CP")]),
+        1,
+    );
+    r.gauge_set("mcim_dist_workers", 2);
+    let key = labeled("mcim_stage_duration_seconds", &[("stage", "ue")]);
+    r.observe_duration_micros(&key, 150);
+    r.observe_duration_micros(&key, 2_500_000);
+    r.observe_duration_micros(&key, 11_000_000);
+    r
+}
+
+const GOLDEN_PROMETHEUS: &str = "\
+# TYPE mcim_folds_total counter
+mcim_folds_total 3
+# TYPE mcim_pipeline_runs_total counter
+mcim_pipeline_runs_total{pipeline=\"PTS-CP\"} 1
+# TYPE mcim_dist_workers gauge
+mcim_dist_workers 2
+# TYPE mcim_stage_duration_seconds histogram
+mcim_stage_duration_seconds_bucket{stage=\"ue\",le=\"0.000100\"} 0
+mcim_stage_duration_seconds_bucket{stage=\"ue\",le=\"0.000250\"} 1
+mcim_stage_duration_seconds_bucket{stage=\"ue\",le=\"0.000500\"} 1
+mcim_stage_duration_seconds_bucket{stage=\"ue\",le=\"0.001000\"} 1
+mcim_stage_duration_seconds_bucket{stage=\"ue\",le=\"0.002500\"} 1
+mcim_stage_duration_seconds_bucket{stage=\"ue\",le=\"0.005000\"} 1
+mcim_stage_duration_seconds_bucket{stage=\"ue\",le=\"0.010000\"} 1
+mcim_stage_duration_seconds_bucket{stage=\"ue\",le=\"0.025000\"} 1
+mcim_stage_duration_seconds_bucket{stage=\"ue\",le=\"0.050000\"} 1
+mcim_stage_duration_seconds_bucket{stage=\"ue\",le=\"0.100000\"} 1
+mcim_stage_duration_seconds_bucket{stage=\"ue\",le=\"0.250000\"} 1
+mcim_stage_duration_seconds_bucket{stage=\"ue\",le=\"0.500000\"} 1
+mcim_stage_duration_seconds_bucket{stage=\"ue\",le=\"1.000000\"} 1
+mcim_stage_duration_seconds_bucket{stage=\"ue\",le=\"2.500000\"} 2
+mcim_stage_duration_seconds_bucket{stage=\"ue\",le=\"5.000000\"} 2
+mcim_stage_duration_seconds_bucket{stage=\"ue\",le=\"10.000000\"} 2
+mcim_stage_duration_seconds_bucket{stage=\"ue\",le=\"+Inf\"} 3
+mcim_stage_duration_seconds_sum{stage=\"ue\"} 13.500150
+mcim_stage_duration_seconds_count{stage=\"ue\"} 3
+";
+
+const GOLDEN_JSON: &str = concat!(
+    "{\"mcim_obs\":1,",
+    "\"counters\":{\"mcim_folds_total\":3,",
+    "\"mcim_pipeline_runs_total{pipeline=\\\"PTS-CP\\\"}\":1},",
+    "\"gauges\":{\"mcim_dist_workers\":2},",
+    "\"histograms\":{\"mcim_stage_duration_seconds{stage=\\\"ue\\\"}\":{",
+    "\"bounds_micros\":[100,250,500,1000,2500,5000,10000,25000,50000,100000,",
+    "250000,500000,1000000,2500000,5000000,10000000],",
+    "\"buckets\":[0,1,0,0,0,0,0,0,0,0,0,0,0,1,0,0,1],",
+    "\"sum_micros\":13500150,\"count\":3}}}\n",
+);
+
+#[test]
+fn prometheus_exposition_is_pinned_exactly() {
+    assert_eq!(fixture().snapshot().to_prometheus(), GOLDEN_PROMETHEUS);
+}
+
+#[test]
+fn json_envelope_is_pinned_exactly() {
+    assert_eq!(fixture().snapshot().to_json(), GOLDEN_JSON);
+}
+
+#[test]
+fn golden_prometheus_round_trips_through_the_strict_parser() {
+    let samples = parse_prometheus(GOLDEN_PROMETHEUS).expect("golden must parse");
+    // 3 scalar samples + 17 buckets + sum + count.
+    assert_eq!(
+        samples.len(),
+        3 + DURATION_BUCKET_BOUNDS_MICROS.len() + 1 + 2
+    );
+    assert!(samples.iter().any(
+        |s| s.name == "mcim_stage_duration_seconds_bucket" && s.labels.contains("le=\"+Inf\"")
+    ));
+    // The histogram's cumulative counts are monotone.
+    let buckets: Vec<f64> = samples
+        .iter()
+        .filter(|s| s.name == "mcim_stage_duration_seconds_bucket")
+        .map(|s| s.value.parse().unwrap())
+        .collect();
+    assert!(buckets.windows(2).all(|w| w[0] <= w[1]), "{buckets:?}");
+}
+
+#[test]
+fn bucket_boundaries_are_pinned() {
+    // The exported `le` edges derive from these micros; changing them
+    // changes every dashboard — pin the layout.
+    assert_eq!(
+        DURATION_BUCKET_BOUNDS_MICROS,
+        [
+            100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+            1_000_000, 2_500_000, 5_000_000, 10_000_000,
+        ]
+    );
+}

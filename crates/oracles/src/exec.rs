@@ -641,14 +641,22 @@ impl Executor for InProcess {
                 .unwrap_or(DEFAULT_CHUNK_ITEMS)
                 .max(1);
         }
-        fold_stream(
+        // Per-stage wall time, labeled by the stage's registry kind
+        // (ad-hoc `FnStage` folds have no spec and share one label).
+        let span = mcim_obs::span_with(|| {
+            let kind = stage.spec().map_or("adhoc", |spec| spec.kind);
+            mcim_obs::labeled("mcim_stage_duration_seconds", &[("stage", kind)])
+        });
+        let acc = fold_stream(
             source,
             config,
             stage_seed,
             &stage.template(),
             |rng, abs, items, acc| stage.fold(rng, abs, items, acc),
             |a, b| stage.merge(a, b),
-        )
+        )?;
+        span.finish();
+        Ok(acc)
     }
 }
 

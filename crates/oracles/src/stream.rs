@@ -323,6 +323,10 @@ where
     let mut abs: u64 = 0;
     // RNG of the shard currently split across chunk boundaries.
     let mut carry: Option<StdRng> = None;
+    // Telemetry: locals accumulate for free and flush once at the end,
+    // so the instrumented loop costs nothing beyond three integer adds.
+    let obs_span = mcim_obs::span("mcim_fold_duration_seconds");
+    let (mut obs_chunks, mut obs_reports, mut obs_fragments) = (0u64, 0u64, 0u64);
 
     loop {
         buf.clear();
@@ -335,11 +339,14 @@ where
         if buf.is_empty() {
             break;
         }
+        obs_chunks += 1;
+        obs_reports += buf.len() as u64;
 
         // Head fragment: finish the shard the previous chunk started.
         let mut offset = 0usize;
         let into_shard = (abs % SHARD_SIZE as u64) as usize;
         if into_shard != 0 {
+            obs_fragments += 1;
             let head = (SHARD_SIZE - into_shard).min(buf.len());
             let mut rng = carry
                 .take()
@@ -358,6 +365,7 @@ where
         let first_shard = (abs + offset as u64) / SHARD_SIZE as u64;
         if full > 0 {
             let shards: Vec<&[S::Item]> = body[..full].chunks(SHARD_SIZE).collect();
+            obs_fragments += shards.len() as u64;
             if threads <= 1 || shards.len() <= 1 {
                 for (i, chunk) in shards.iter().enumerate() {
                     let s = first_shard + i as u64;
@@ -396,6 +404,7 @@ where
         // Tail fragment: start a new shard and carry its RNG.
         let tail = offset + full;
         if tail < buf.len() {
+            obs_fragments += 1;
             let s = (abs + tail as u64) / SHARD_SIZE as u64;
             let mut rng = shard_rng(base_seed, s);
             f(&mut rng, abs + tail as u64, &buf[tail..], &mut acc)?;
@@ -404,6 +413,13 @@ where
 
         abs += buf.len() as u64;
     }
+    if mcim_obs::enabled() {
+        mcim_obs::counter_add("mcim_folds_total", 1);
+        mcim_obs::counter_add("mcim_fold_chunks_total", obs_chunks);
+        mcim_obs::counter_add("mcim_fold_reports_total", obs_reports);
+        mcim_obs::counter_add("mcim_fold_shard_fragments_total", obs_fragments);
+    }
+    obs_span.finish();
     Ok(acc)
 }
 

@@ -363,13 +363,28 @@ where
     // PTJ/PTS-Shuffled never reach `Executor::fold`, so the contract gate
     // must also sit here — every multi-class entry point refuses v1 plans.
     executor.plan().validate_contract()?;
+    if mcim_obs::enabled() {
+        let name = method.name();
+        mcim_obs::counter_add(
+            &mcim_obs::labeled("mcim_pipeline_runs_total", &[("pipeline", &name)]),
+            1,
+        );
+    }
+    let span = mcim_obs::span_with(|| {
+        mcim_obs::labeled(
+            "mcim_pipeline_duration_seconds",
+            &[("pipeline", &method.name())],
+        )
+    });
     let data = drain_source(&mut source)?;
     let mut pace = Pace {
         stream: SplitMix64::new(executor.plan().base_seed()),
         threads: executor.plan().resolved_threads(),
         executor,
     };
-    mine_with(method, config, domains, &data, &mut pace)
+    let result = mine_with(method, config, domains, &data, &mut pace);
+    span.finish();
+    result
 }
 
 fn mine_with<E: Executor>(

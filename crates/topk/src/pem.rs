@@ -503,6 +503,7 @@ impl PemEngine {
                 constraint: "engine already finished",
             });
         }
+        mcim_obs::counter_add("mcim_pem_rounds_total", 1);
         let n_cands = self.candidates.len() as u32;
 
         let (scores, comm) = if self.config.validity {

@@ -21,6 +21,9 @@
 //!   behind `mcim worker`, bit-identical to in-process execution.
 //! * [`datasets`] — SYN1–SYN4 and simulated real-world workloads.
 //! * [`metrics`] — RMSE, F1@k, NCR@k, PMI.
+//! * [`obs`] — deterministic telemetry: the metrics registry, stage/fold
+//!   spans behind an injectable clock, Prometheus/JSON export. Collection
+//!   is off unless enabled and never changes estimates.
 //!
 //! ## Quickstart
 //!
@@ -51,6 +54,7 @@ pub use mcim_core as core;
 pub use mcim_datasets as datasets;
 pub use mcim_dist as dist;
 pub use mcim_metrics as metrics;
+pub use mcim_obs as obs;
 pub use mcim_oracles as oracles;
 pub use mcim_topk as topk;
 
